@@ -1,0 +1,116 @@
+//! Criterion benches for the attack experiments — one group per
+//! table/figure (smoke-sized workloads; the repro binary regenerates the
+//! full tables).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fia_bench::experiments::{fig10, fig11, fig5, fig6, fig7, fig8, fig9, table3};
+use fia_bench::profiles::ExperimentConfig;
+use fia_data::PaperDataset;
+
+fn bench_cfg() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.dtarget_grid = vec![0.3];
+    cfg
+}
+
+fn fig5_esa(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("fig5_esa_sweep", |b| {
+        b.iter(|| std::hint::black_box(fig5::run(&cfg)))
+    });
+}
+
+fn fig6_pra(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("fig6_pra_sweep", |b| {
+        b.iter(|| std::hint::black_box(fig6::run(&cfg)))
+    });
+}
+
+fn table3_ablation(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    c.bench_function("table3_ablation", |b| {
+        b.iter(|| std::hint::black_box(table3::run(&cfg)))
+    });
+}
+
+fn fig7_grna(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut g = c.benchmark_group("fig7_grna");
+    g.sample_size(10);
+    for model in fig7::TargetModel::all() {
+        g.bench_function(model.label(), |b| {
+            b.iter(|| {
+                std::hint::black_box(fig7::measure_point(
+                    &cfg,
+                    PaperDataset::CreditCard,
+                    model,
+                    0.3,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig8_grna_rf(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut g = c.benchmark_group("fig8_grna_rf");
+    g.sample_size(10);
+    g.bench_function("credit_card_cbr", |b| {
+        b.iter(|| {
+            std::hint::black_box(fig8::measure_point(&cfg, PaperDataset::CreditCard, 0.3))
+        })
+    });
+    g.finish();
+}
+
+fn fig9_npred(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut g = c.benchmark_group("fig9_npred");
+    g.sample_size(10);
+    for nf in [0.1, 0.5] {
+        g.bench_function(format!("n={:.0}%", nf * 100.0), |b| {
+            b.iter(|| {
+                std::hint::black_box(fig9::measure_point(
+                    &cfg,
+                    PaperDataset::Synthetic1,
+                    nf,
+                    0.3,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig10_corr(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut g = c.benchmark_group("fig10_corr");
+    g.sample_size(10);
+    g.bench_function("bank_lr_panel", |b| {
+        b.iter(|| std::hint::black_box(fig10::panel_lr(&cfg)))
+    });
+    g.finish();
+}
+
+fn fig11_defenses(c: &mut Criterion) {
+    let cfg = bench_cfg();
+    let mut g = c.benchmark_group("fig11_defenses");
+    g.sample_size(10);
+    g.bench_function("round_esa", |b| {
+        b.iter(|| std::hint::black_box(fig11::run_rounding_esa(&cfg)))
+    });
+    g.bench_function("dropout_grna", |b| {
+        b.iter(|| std::hint::black_box(fig11::run_dropout(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = attacks;
+    config = Criterion::default().sample_size(10);
+    targets = fig5_esa, fig6_pra, table3_ablation, fig7_grna, fig8_grna_rf,
+              fig9_npred, fig10_corr, fig11_defenses
+}
+criterion_main!(attacks);

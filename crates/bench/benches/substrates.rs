@@ -1,0 +1,118 @@
+//! Criterion benches for the substrate layers: linear algebra kernels,
+//! autograd throughput, model training/prediction, and the design-choice
+//! ablations from DESIGN.md §6 (pinv-vs-ridge, distillation capacity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fia_bench::experiments::ablation;
+use fia_bench::profiles::ExperimentConfig;
+use fia_linalg::{lstsq, pinv, svd, Matrix};
+use fia_models::{DecisionTree, LogisticRegression, LrConfig, PredictProba, TreeConfig};
+use fia_tensor::{Params, Tape};
+use rand::{rngs::StdRng, SeedableRng};
+
+fn linalg_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("linalg");
+    let a = Matrix::from_fn(40, 12, |i, j| ((i * 13 + j * 7) % 17) as f64 - 8.0);
+    g.bench_function("svd_40x12", |b| b.iter(|| svd(std::hint::black_box(&a))));
+    g.bench_function("pinv_40x12", |b| b.iter(|| pinv(std::hint::black_box(&a))));
+    let rhs: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin()).collect();
+    g.bench_function("lstsq_40x12", |b| {
+        b.iter(|| lstsq(std::hint::black_box(&a), std::hint::black_box(&rhs)))
+    });
+    let m = Matrix::from_fn(128, 128, |i, j| ((i + j) % 9) as f64 * 0.1);
+    g.bench_function("matmul_128", |b| b.iter(|| m.matmul(std::hint::black_box(&m))));
+    g.finish();
+}
+
+fn autograd_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("autograd");
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut params = Params::new();
+    let w1 = params.insert(fia_tensor::he_normal(32, 64, &mut rng));
+    let b1 = params.insert(Matrix::zeros(1, 64));
+    let w2 = params.insert(fia_tensor::he_normal(64, 8, &mut rng));
+    let b2 = params.insert(Matrix::zeros(1, 8));
+    let x = fia_tensor::uniform_matrix(64, 32, 0.0, 1.0, &mut rng);
+    let t = fia_tensor::uniform_matrix(64, 8, 0.0, 1.0, &mut rng);
+    g.bench_function("mlp_fwd_bwd_64x32", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let xv = tape.input(x.clone());
+            let w1v = tape.param(&params, w1);
+            let b1v = tape.param(&params, b1);
+            let h = tape.matmul(xv, w1v);
+            let h = tape.add_row_broadcast(h, b1v);
+            let h = tape.relu(h);
+            let w2v = tape.param(&params, w2);
+            let b2v = tape.param(&params, b2);
+            let z = tape.matmul(h, w2v);
+            let z = tape.add_row_broadcast(z, b2v);
+            let tv = tape.input(t.clone());
+            let loss = tape.mse_loss(z, tv);
+            tape.backward(loss);
+            std::hint::black_box(tape.param_grads())
+        })
+    });
+    g.finish();
+}
+
+fn model_training(c: &mut Criterion) {
+    let mut g = c.benchmark_group("models");
+    g.sample_size(10);
+    let cfg = fia_data::SynthConfig {
+        n_samples: 300,
+        n_features: 12,
+        n_informative: 8,
+        n_redundant: 2,
+        n_classes: 3,
+        class_sep: 1.5,
+        redundant_noise: 0.3,
+        flip_y: 0.01,
+        shuffle_features: true,
+        seed: 3,
+    };
+    let ds = fia_data::normalize_dataset(&fia_data::make_classification(&cfg)).0;
+    g.bench_function("lr_fit_300x12", |b| {
+        b.iter(|| {
+            LogisticRegression::fit(
+                std::hint::black_box(&ds),
+                &LrConfig {
+                    epochs: 5,
+                    ..LrConfig::default()
+                },
+            )
+        })
+    });
+    g.bench_function("tree_fit_300x12_depth5", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(9);
+            DecisionTree::fit(std::hint::black_box(&ds), &TreeConfig::paper_dt(), &mut rng)
+        })
+    });
+    let model = LogisticRegression::fit(&ds, &LrConfig::default());
+    g.bench_function("lr_predict_300", |b| {
+        b.iter(|| model.predict_proba(std::hint::black_box(&ds.features)))
+    });
+    g.finish();
+}
+
+fn design_ablations(c: &mut Criterion) {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.dtarget_grid = vec![0.3];
+    let mut g = c.benchmark_group("design_ablations");
+    g.sample_size(10);
+    g.bench_function("ablation_pinv_vs_ridge", |b| {
+        b.iter(|| std::hint::black_box(ablation::run_pinv_vs_ridge(&cfg, 1e-6)))
+    });
+    g.bench_function("ablation_distill_sweep", |b| {
+        b.iter(|| std::hint::black_box(ablation::run_distill_sweep(&cfg)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = substrates;
+    config = Criterion::default().sample_size(20);
+    targets = linalg_kernels, autograd_throughput, model_training, design_ablations
+}
+criterion_main!(substrates);

@@ -1,0 +1,153 @@
+//! Helpers shared by the per-figure experiment modules.
+
+use crate::profiles::ExperimentConfig;
+use crate::scenario::Scenario;
+use fia_core::{baseline, metrics, Grna, GrnaConfig, TrainedGenerator};
+use fia_linalg::Matrix;
+use fia_models::{
+    distill_forest_with_pool, DifferentiableModel, ForestConfig, LogisticRegression, Mlp,
+    RandomForest,
+};
+
+/// Trains the LR model for a scenario (binary or multinomial per `c`).
+pub fn train_lr(scenario: &Scenario, cfg: &ExperimentConfig, seed: u64) -> LogisticRegression {
+    let mut lr_cfg = cfg.lr.clone();
+    lr_cfg.seed = seed;
+    LogisticRegression::fit(&scenario.train, &lr_cfg)
+}
+
+/// Trains the NN model for a scenario.
+pub fn train_mlp(scenario: &Scenario, cfg: &ExperimentConfig, seed: u64) -> Mlp {
+    let mlp_cfg = cfg.mlp.clone().with_seed(seed);
+    Mlp::fit(&scenario.train, &mlp_cfg)
+}
+
+/// Trains the RF model for a scenario.
+pub fn train_forest(scenario: &Scenario, cfg: &ExperimentConfig, seed: u64) -> RandomForest {
+    let forest_cfg = ForestConfig {
+        seed,
+        ..cfg.forest.clone()
+    };
+    RandomForest::fit(&scenario.train, &forest_cfg)
+}
+
+/// Runs GRNA end-to-end against any differentiable model: trains the
+/// generator on the scenario's accumulated predictions and returns the
+/// inferred target features for the whole prediction set.
+pub fn run_grna<M: DifferentiableModel>(
+    scenario: &Scenario,
+    model: &M,
+    grna_cfg: GrnaConfig,
+    confidences: &Matrix,
+) -> (TrainedGenerator, Matrix) {
+    let attack = Grna::new(
+        model,
+        &scenario.adv_indices,
+        &scenario.target_indices,
+        grna_cfg,
+    );
+    let generator = attack.train(&scenario.x_adv, confidences);
+    let inferred = generator.infer(&scenario.x_adv, 0xFEED);
+    (generator, inferred)
+}
+
+/// Distills the forest and runs GRNA against the surrogate (Section V-B).
+///
+/// Dummy inputs are bootstrapped from the adversary's own observed
+/// feature values ([`fia_models::distill_forest_with_pool`]) — data the
+/// threat model already grants it — which keeps the surrogate faithful in
+/// the region the attack actually probes.
+pub fn run_grna_on_forest(
+    scenario: &Scenario,
+    forest: &RandomForest,
+    cfg: &ExperimentConfig,
+    seed: u64,
+) -> Matrix {
+    let mut distill_cfg = cfg.distill.clone();
+    distill_cfg.seed = seed;
+    let surrogate = distill_forest_with_pool(forest, &distill_cfg, scenario.x_adv.as_slice());
+    // The observed confidences come from the *real* forest — the
+    // surrogate only provides the differentiable path.
+    let confidences = scenario.confidences(forest);
+    let (_, inferred) = run_grna(
+        scenario,
+        &surrogate,
+        cfg.grna.clone().with_seed(seed),
+        &confidences,
+    );
+    inferred
+}
+
+/// Both random-guess baselines' MSE against the scenario truth.
+pub fn random_guess_mse(scenario: &Scenario, seed: u64) -> (f64, f64) {
+    let n = scenario.truth.rows();
+    let d = scenario.truth.cols();
+    let uniform = baseline::random_guess_uniform(n, d, seed);
+    let gaussian = baseline::random_guess_gaussian(n, d, seed ^ 0x6A55);
+    (
+        metrics::mse_per_feature(&uniform, &scenario.truth),
+        metrics::mse_per_feature(&gaussian, &scenario.truth),
+    )
+}
+
+/// Averages `f` over `trials` runs with per-trial seeds.
+pub fn average_over_trials(
+    cfg: &ExperimentConfig,
+    tag: &str,
+    mut f: impl FnMut(u64) -> f64,
+) -> f64 {
+    let trials = cfg.trials.max(1);
+    let sum: f64 = (0..trials).map(|t| f(cfg.seed_for(tag, t))).sum();
+    sum / trials as f64
+}
+
+/// Maps `f` over the inputs on scoped worker threads, preserving order.
+/// Keeps the repro binary's wall-clock reasonable when sweeping datasets.
+pub fn parallel_map<T: Send, R: Send>(inputs: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let mut slots: Vec<Option<R>> = inputs.iter().map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, input) in slots.iter_mut().zip(inputs) {
+            let f = &f;
+            scope.spawn(move |_| {
+                *slot = Some(f(input));
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    slots.into_iter().map(|s| s.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fia_data::PaperDataset;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map(vec![3u64, 1, 2], |x| x * 10);
+        assert_eq!(out, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn average_over_trials_uses_distinct_seeds() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.trials = 3;
+        let mut seen = Vec::new();
+        let _ = average_over_trials(&cfg, "t", |s| {
+            seen.push(s);
+            1.0
+        });
+        seen.dedup();
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn lr_training_pipeline_runs() {
+        let cfg = ExperimentConfig::smoke();
+        let s = Scenario::build(PaperDataset::CreditCard, cfg.scale, 0.3, None, 1);
+        let model = train_lr(&s, &cfg, 2);
+        let conf = s.confidences(&model);
+        assert_eq!(conf.rows(), s.n_predictions());
+        assert_eq!(conf.cols(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! Table II — "Statistics of Datasets".
+
+use fia_data::{PaperDataset, TableTwoRow};
+
+/// Returns the six Table II rows.
+pub fn run() -> Vec<TableTwoRow> {
+    PaperDataset::all()
+        .iter()
+        .map(|d| d.table_two_row())
+        .collect()
+}
+
+/// Renders Table II in the paper's column order.
+pub fn render() -> String {
+    let rows: Vec<Vec<String>> = run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.dataset.to_string(),
+                r.samples.to_string(),
+                r.classes.to_string(),
+                r.features.to_string(),
+            ]
+        })
+        .collect();
+    crate::report::render_table(
+        "Table II: Statistics of Datasets",
+        &["Dataset", "Sample Num.", "Class Num.", "Feature Num."],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn six_rows_matching_paper() {
+        let rows = super::run();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows[0].samples, 45_211);
+        assert_eq!(rows[1].features, 23);
+    }
+
+    #[test]
+    fn render_contains_all_names() {
+        let s = super::render();
+        for name in [
+            "Bank marketing",
+            "Credit card",
+            "Drive diagnosis",
+            "News popularity",
+            "Synthetic dataset 1",
+            "Synthetic dataset 2",
+        ] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

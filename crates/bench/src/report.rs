@@ -1,0 +1,75 @@
+//! Plain-text table rendering for the repro binary.
+
+/// Renders an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:<w$}", w = widths[i]))
+        .collect();
+    out.push_str(&header_line.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<w$}", w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an MSE-style metric with fixed precision.
+pub fn fmt_metric(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats an optional metric (e.g. a CBR with an empty tally).
+pub fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => fmt_metric(x),
+        None => "n/a".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let s = render_table(
+            "T",
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "2.0".into()],
+            ],
+        );
+        assert!(s.contains("== T =="));
+        assert!(s.contains("longer"));
+        // Header padded to the longest cell.
+        assert!(s.lines().nth(1).unwrap().starts_with("name  "));
+    }
+
+    #[test]
+    fn metric_formatting() {
+        assert_eq!(fmt_metric(0.12345), "0.1235");
+        assert_eq!(fmt_opt(None), "n/a");
+        assert_eq!(fmt_opt(Some(1.0)), "1.0000");
+    }
+}

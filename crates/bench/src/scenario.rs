@@ -1,0 +1,163 @@
+//! Shared attack-scenario construction.
+//!
+//! Every figure follows the same recipe (Section VI-A):
+//!
+//! 1. generate the dataset (Table II shape), normalized into `(0, 1)`;
+//! 2. split: 40% model training, 10% testing, prediction set from the
+//!    rest;
+//! 3. pick a random `d_target` fraction of features as the target party's
+//!    block (the remainder belongs to the adversary coalition);
+//! 4. train the vertical FL model *centrally* and hand it to the
+//!    adversary ("we generate the vertical FL models using centralized
+//!    training and give the trained models to the adversary");
+//! 5. run the prediction protocol to collect `(x_adv, v)` pairs.
+
+use fia_data::{Dataset, PaperDataset, SplitSpec};
+use fia_linalg::Matrix;
+use fia_models::PredictProba;
+use fia_vfl::VerticalPartition;
+
+/// A fully prepared attack scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Dataset display name.
+    pub name: String,
+    /// Model-training partition.
+    pub train: Dataset,
+    /// Prediction partition (what the adversary attacks).
+    pub prediction: Dataset,
+    /// Sorted global indices of the adversary's features.
+    pub adv_indices: Vec<usize>,
+    /// Sorted global indices of the target's features.
+    pub target_indices: Vec<usize>,
+    /// The adversary's columns of the prediction set (`n × d_adv`).
+    pub x_adv: Matrix,
+    /// Ground-truth target columns of the prediction set
+    /// (`n × d_target`) — used only for evaluation.
+    pub truth: Matrix,
+    /// Number of classes.
+    pub n_classes: usize,
+}
+
+impl Scenario {
+    /// Builds a scenario for one paper dataset.
+    ///
+    /// * `scale` — sample-count scale vs. Table II;
+    /// * `target_fraction` — the swept `d_target / d`;
+    /// * `prediction_fraction` — `n / |D|` for the prediction set
+    ///   (`None` = the paper's default 50%);
+    /// * `seed` — drives generation, splitting and the feature split.
+    pub fn build(
+        dataset: PaperDataset,
+        scale: f64,
+        target_fraction: f64,
+        prediction_fraction: Option<f64>,
+        seed: u64,
+    ) -> Self {
+        let ds = dataset.generate(scale, seed);
+        let spec = match prediction_fraction {
+            Some(f) => SplitSpec::paper_default().with_prediction_fraction(f),
+            None => SplitSpec::paper_default(),
+        };
+        let split = ds.split(&spec, seed ^ 0xA11CE);
+        let partition =
+            VerticalPartition::two_block_random(ds.n_features(), target_fraction, seed ^ 0xBEEF);
+        let adv_indices = partition.features_of(fia_vfl::PartyId(0)).to_vec();
+        let target_indices = partition.features_of(fia_vfl::PartyId(1)).to_vec();
+
+        let x_adv = split
+            .prediction
+            .features
+            .select_columns(&adv_indices)
+            .expect("indices valid");
+        let truth = split
+            .prediction
+            .features
+            .select_columns(&target_indices)
+            .expect("indices valid");
+
+        Scenario {
+            name: dataset.name().to_string(),
+            train: split.train,
+            prediction: split.prediction,
+            adv_indices,
+            target_indices,
+            x_adv,
+            truth,
+            n_classes: ds.n_classes,
+        }
+    }
+
+    /// Confidence scores the protocol reveals for the prediction set.
+    pub fn confidences<M: PredictProba>(&self, model: &M) -> Matrix {
+        model.predict_proba(&self.prediction.features)
+    }
+
+    /// Reassembles full global samples from the adversary's (true)
+    /// columns and inferred target columns — the input for
+    /// branch-consistency evaluation on tree models.
+    pub fn assemble_with_inferred(&self, inferred: &Matrix) -> Matrix {
+        assert_eq!(inferred.rows(), self.x_adv.rows(), "row mismatch");
+        assert_eq!(inferred.cols(), self.target_indices.len(), "col mismatch");
+        let d = self.adv_indices.len() + self.target_indices.len();
+        let mut full = Matrix::zeros(inferred.rows(), d);
+        for i in 0..full.rows() {
+            for (k, &f) in self.adv_indices.iter().enumerate() {
+                full[(i, f)] = self.x_adv[(i, k)];
+            }
+            for (k, &f) in self.target_indices.iter().enumerate() {
+                full[(i, f)] = inferred[(i, k)];
+            }
+        }
+        full
+    }
+
+    /// `d_target` for this scenario.
+    pub fn d_target(&self) -> usize {
+        self.target_indices.len()
+    }
+
+    /// Number of accumulated predictions `n`.
+    pub fn n_predictions(&self) -> usize {
+        self.prediction.n_samples()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_shapes_consistent() {
+        let s = Scenario::build(PaperDataset::CreditCard, 0.01, 0.3, None, 7);
+        assert_eq!(s.adv_indices.len() + s.target_indices.len(), 23);
+        assert_eq!(s.d_target(), 7); // 30% of 23 ≈ 7
+        assert_eq!(s.x_adv.cols(), 16);
+        assert_eq!(s.truth.cols(), 7);
+        assert_eq!(s.x_adv.rows(), s.prediction.n_samples());
+        assert_eq!(s.n_classes, 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Scenario::build(PaperDataset::BankMarketing, 0.01, 0.4, None, 3);
+        let b = Scenario::build(PaperDataset::BankMarketing, 0.01, 0.4, None, 3);
+        assert_eq!(a.adv_indices, b.adv_indices);
+        assert_eq!(a.x_adv, b.x_adv);
+    }
+
+    #[test]
+    fn prediction_fraction_controls_n() {
+        let small = Scenario::build(PaperDataset::Synthetic1, 0.005, 0.3, Some(0.1), 5);
+        let large = Scenario::build(PaperDataset::Synthetic1, 0.005, 0.3, Some(0.5), 5);
+        assert!(large.n_predictions() > 3 * small.n_predictions());
+    }
+
+    #[test]
+    fn assemble_restores_global_layout() {
+        let s = Scenario::build(PaperDataset::CreditCard, 0.01, 0.3, None, 7);
+        // Assembling with the ground truth reproduces the prediction set.
+        let full = s.assemble_with_inferred(&s.truth);
+        assert!(full.max_abs_diff(&s.prediction.features).unwrap() < 1e-12);
+    }
+}

@@ -1,0 +1,291 @@
+//! One-call leakage audits.
+//!
+//! The library's "defender-facing" entry point: given a trained model, a
+//! feature split and the prediction-phase observations, run every
+//! applicable attack and summarize how much the target party's features
+//! leak. This is the workflow the paper's pre/post-processing
+//! countermeasures (Section VII) need — quantify before deploying.
+
+use crate::baseline::random_guess_uniform;
+use crate::esa::EqualitySolvingAttack;
+use crate::grna::{Grna, GrnaConfig};
+use crate::metrics::{esa_upper_bound, mse_per_feature};
+use crate::pra::PathRestrictionAttack;
+use fia_linalg::Matrix;
+use fia_models::{DecisionTree, DifferentiableModel, LogisticRegression};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Severity grading of a leakage finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Attack does not beat random guessing.
+    Negligible,
+    /// Attack beats random guessing by a clear margin.
+    Significant,
+    /// Attack reconstructs features (near-)exactly.
+    Critical,
+}
+
+/// One attack's audited outcome.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Attack name (`"ESA"`, `"GRNA"`, `"PRA"`).
+    pub attack: &'static str,
+    /// Attack MSE per feature against the ground truth.
+    pub mse: f64,
+    /// Uniform random-guess baseline MSE on the same truth.
+    pub baseline_mse: f64,
+    /// Graded severity.
+    pub severity: Severity,
+}
+
+impl Finding {
+    fn grade(attack: &'static str, mse: f64, baseline_mse: f64) -> Finding {
+        let severity = if mse < 1e-6 {
+            Severity::Critical
+        } else if mse < 0.75 * baseline_mse {
+            Severity::Significant
+        } else {
+            Severity::Negligible
+        };
+        Finding {
+            attack,
+            mse,
+            baseline_mse,
+            severity,
+        }
+    }
+}
+
+/// Aggregated audit result.
+#[derive(Debug, Clone)]
+pub struct AuditReport {
+    /// Individual attack findings.
+    pub findings: Vec<Finding>,
+    /// Eqn (15) upper bound on ESA error for this data.
+    pub esa_upper_bound: f64,
+    /// Whether the `d_target ≤ c − 1` exact-recovery condition holds.
+    pub exact_recovery_condition: bool,
+}
+
+impl AuditReport {
+    /// Highest severity across findings.
+    pub fn worst(&self) -> Severity {
+        self.findings
+            .iter()
+            .map(|f| f.severity)
+            .max()
+            .unwrap_or(Severity::Negligible)
+    }
+}
+
+/// Audits a logistic-regression deployment with both applicable attacks
+/// (ESA on individual outputs, GRNA on the accumulated set).
+///
+/// `truth` is the target party's real feature block — available to the
+/// *defender* running the audit before data release, exactly like the
+/// paper's enclave-verification setting.
+pub fn audit_logistic_regression(
+    model: &LogisticRegression,
+    adv_indices: &[usize],
+    target_indices: &[usize],
+    x_adv: &Matrix,
+    confidences: &Matrix,
+    truth: &Matrix,
+    grna_config: GrnaConfig,
+) -> AuditReport {
+    let baseline = mse_per_feature(
+        &random_guess_uniform(truth.rows(), truth.cols(), 0xA0D1),
+        truth,
+    );
+    let mut findings = Vec::new();
+
+    let esa = EqualitySolvingAttack::new(model, adv_indices, target_indices);
+    let esa_est = esa
+        .infer_batch(x_adv, confidences)
+        .map(|v| v.clamp(0.0, 1.0));
+    findings.push(Finding::grade(
+        "ESA",
+        mse_per_feature(&esa_est, truth),
+        baseline,
+    ));
+
+    let grna = Grna::new(model, adv_indices, target_indices, grna_config);
+    let generator = grna.train(x_adv, confidences);
+    let grna_est = generator.infer(x_adv, 0xA0D2);
+    findings.push(Finding::grade(
+        "GRNA",
+        mse_per_feature(&grna_est, truth),
+        baseline,
+    ));
+
+    AuditReport {
+        exact_recovery_condition: esa.exact_recovery_expected(),
+        esa_upper_bound: esa_upper_bound(truth),
+        findings,
+    }
+}
+
+/// Audits a decision-tree deployment with PRA point estimates.
+///
+/// `x_full` rows are complete ground-truth samples (global feature
+/// order); the predicted classes are recomputed from the tree exactly as
+/// the protocol would reveal them.
+pub fn audit_decision_tree(
+    tree: &DecisionTree,
+    adv_indices: &[usize],
+    target_indices: &[usize],
+    x_full: &Matrix,
+    seed: u64,
+) -> AuditReport {
+    let mut sorted_targets = target_indices.to_vec();
+    sorted_targets.sort_unstable();
+    let truth = x_full
+        .select_columns(&sorted_targets)
+        .expect("target indices valid");
+    let baseline = mse_per_feature(
+        &random_guess_uniform(truth.rows(), truth.cols(), 0xA0D3),
+        &truth,
+    );
+
+    let attack = PathRestrictionAttack::new(tree, adv_indices, target_indices);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sorted_adv = adv_indices.to_vec();
+    sorted_adv.sort_unstable();
+    let mut estimates = Matrix::zeros(truth.rows(), sorted_targets.len());
+    for i in 0..x_full.rows() {
+        let sample = x_full.row(i);
+        let class = tree.predict_one(sample);
+        let x_adv: Vec<f64> = sorted_adv.iter().map(|&f| sample[f]).collect();
+        let est = attack.infer_values(&x_adv, class, 0.0, 1.0, &mut rng);
+        estimates.row_mut(i).copy_from_slice(&est);
+    }
+    let finding = Finding::grade("PRA", mse_per_feature(&estimates, &truth), baseline);
+
+    AuditReport {
+        exact_recovery_condition: false,
+        esa_upper_bound: esa_upper_bound(&truth),
+        findings: vec![finding],
+    }
+}
+
+/// Audits any differentiable model (e.g. an MLP or a distilled forest
+/// surrogate) with GRNA only.
+pub fn audit_differentiable<M: DifferentiableModel>(
+    model: &M,
+    adv_indices: &[usize],
+    target_indices: &[usize],
+    x_adv: &Matrix,
+    confidences: &Matrix,
+    truth: &Matrix,
+    grna_config: GrnaConfig,
+) -> AuditReport {
+    let baseline = mse_per_feature(
+        &random_guess_uniform(truth.rows(), truth.cols(), 0xA0D4),
+        truth,
+    );
+    let grna = Grna::new(model, adv_indices, target_indices, grna_config);
+    let generator = grna.train(x_adv, confidences);
+    let est = generator.infer(x_adv, 0xA0D5);
+    AuditReport {
+        exact_recovery_condition: false,
+        esa_upper_bound: esa_upper_bound(truth),
+        findings: vec![Finding::grade(
+            "GRNA",
+            mse_per_feature(&est, truth),
+            baseline,
+        )],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fia_data::{make_classification, normalize_dataset, SynthConfig};
+    use fia_models::{LrConfig, PredictProba, TreeConfig};
+
+    fn dataset(c: usize, seed: u64) -> fia_data::Dataset {
+        let cfg = SynthConfig {
+            n_samples: 300,
+            n_features: 8,
+            n_informative: 5,
+            n_redundant: 3,
+            n_classes: c,
+            class_sep: 2.0,
+            redundant_noise: 0.1,
+            flip_y: 0.0,
+            shuffle_features: false,
+            seed,
+        };
+        normalize_dataset(&make_classification(&cfg)).0
+    }
+
+    fn small_grna() -> GrnaConfig {
+        GrnaConfig {
+            hidden: vec![32, 16],
+            epochs: 30,
+            lr: 3e-3,
+            ..GrnaConfig::fast()
+        }
+    }
+
+    #[test]
+    fn lr_audit_flags_exact_recovery_as_critical() {
+        // 6 classes, 3 target features ≤ c − 1 → ESA critical.
+        let ds = dataset(6, 1);
+        let model = LogisticRegression::fit(&ds, &LrConfig { epochs: 10, ..Default::default() });
+        let adv: Vec<usize> = (0..5).collect();
+        let target: Vec<usize> = (5..8).collect();
+        let x_adv = ds.features.select_columns(&adv).unwrap();
+        let truth = ds.features.select_columns(&target).unwrap();
+        let conf = model.predict_proba(&ds.features);
+        let report = audit_logistic_regression(
+            &model, &adv, &target, &x_adv, &conf, &truth, small_grna(),
+        );
+        assert!(report.exact_recovery_condition);
+        let esa = report.findings.iter().find(|f| f.attack == "ESA").unwrap();
+        assert_eq!(esa.severity, Severity::Critical);
+        assert_eq!(report.worst(), Severity::Critical);
+    }
+
+    #[test]
+    fn grna_flagged_significant_on_correlated_data() {
+        let ds = dataset(2, 2);
+        let model = LogisticRegression::fit(&ds, &LrConfig { epochs: 15, ..Default::default() });
+        let adv: Vec<usize> = (0..5).collect();
+        let target: Vec<usize> = (5..8).collect(); // the redundant block
+        let x_adv = ds.features.select_columns(&adv).unwrap();
+        let truth = ds.features.select_columns(&target).unwrap();
+        let conf = model.predict_proba(&ds.features);
+        let report = audit_logistic_regression(
+            &model, &adv, &target, &x_adv, &conf, &truth, small_grna(),
+        );
+        let grna = report.findings.iter().find(|f| f.attack == "GRNA").unwrap();
+        assert!(
+            grna.severity >= Severity::Significant,
+            "grna finding {grna:?}"
+        );
+    }
+
+    #[test]
+    fn tree_audit_produces_pra_finding() {
+        let ds = dataset(3, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+        let adv: Vec<usize> = (0..4).collect();
+        let target: Vec<usize> = (4..8).collect();
+        let report = audit_decision_tree(&tree, &adv, &target, &ds.features, 7);
+        assert_eq!(report.findings.len(), 1);
+        let f = &report.findings[0];
+        assert_eq!(f.attack, "PRA");
+        assert!(f.mse.is_finite());
+        // PRA midpoint estimates should not be worse than random guessing.
+        assert!(f.mse <= f.baseline_mse * 1.2, "{f:?}");
+    }
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Critical > Severity::Significant);
+        assert!(Severity::Significant > Severity::Negligible);
+    }
+}

@@ -1,0 +1,131 @@
+//! Random-guess baselines (Section VI-A).
+//!
+//! "For ESA and GRNA, we use two baselines that randomly generate samples
+//! from (0, 1) according to a Uniform distribution U(0,1) and a Gaussian
+//! distribution N(0.5, 0.25²)." For PRA, the baseline picks a prediction
+//! path uniformly at random from all root-to-leaf paths.
+
+use crate::metrics::CbrTally;
+use fia_linalg::Matrix;
+use fia_models::{DecisionTree, TreeNode};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Uniform `U(0, 1)` guesses for `n × d_target` unknown feature values.
+pub fn random_guess_uniform(n: usize, d_target: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, d_target, |_, _| rng.gen::<f64>())
+}
+
+/// Gaussian `N(0.5, 0.25²)` guesses; "this Gaussian distribution can
+/// ensure that at least 95% samples are within (0, 1)".
+pub fn random_guess_gaussian(n: usize, d_target: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, d_target, |_, _| {
+        0.5 + 0.25 * fia_tensor::standard_normal(&mut rng)
+    })
+}
+
+/// PRA baseline: picks one root-to-leaf path uniformly at random and
+/// tallies branch correctness on target-feature nodes against the true
+/// sample (`x_full` in global feature order).
+pub fn random_path_cbr(
+    tree: &DecisionTree,
+    x_full: &[f64],
+    target_indices: &[usize],
+    rng: &mut StdRng,
+) -> CbrTally {
+    let paths = tree.prediction_paths();
+    let path = &paths[rng.gen_range(0..paths.len())];
+    branch_tally_along_path(tree, path, x_full, target_indices)
+}
+
+/// Tallies, along `path`, how many target-feature branch decisions agree
+/// with what the ground-truth feature values would have chosen.
+pub fn branch_tally_along_path(
+    tree: &DecisionTree,
+    path: &[usize],
+    x_full: &[f64],
+    target_indices: &[usize],
+) -> CbrTally {
+    let mut tally = CbrTally::default();
+    for w in path.windows(2) {
+        let (node, child) = (w[0], w[1]);
+        if let TreeNode::Internal { feature, threshold } = &tree.nodes()[node] {
+            if target_indices.binary_search(feature).is_ok() {
+                let path_went_left = child == 2 * node + 1;
+                let truth_goes_left = x_full[*feature] <= *threshold;
+                tally.total += 1;
+                if path_went_left == truth_goes_left {
+                    tally.correct += 1;
+                }
+            }
+        }
+    }
+    tally
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_in_range_and_deterministic() {
+        let a = random_guess_uniform(50, 4, 9);
+        assert!(a.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+        let b = random_guess_uniform(50, 4, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gaussian_mostly_in_unit_interval() {
+        let g = random_guess_gaussian(2000, 1, 3);
+        let inside = g
+            .as_slice()
+            .iter()
+            .filter(|&&v| (0.0..1.0).contains(&v))
+            .count();
+        let frac = inside as f64 / 2000.0;
+        assert!(frac > 0.93, "fraction inside (0,1): {frac}");
+        let mean: f64 = g.as_slice().iter().sum::<f64>() / 2000.0;
+        assert!((mean - 0.5).abs() < 0.03);
+    }
+
+    #[test]
+    fn branch_tally_counts_only_target_nodes() {
+        use fia_models::TreeNode::*;
+        // Root on feature 0 (adversary), child on feature 1 (target).
+        let nodes = vec![
+            Internal { feature: 0, threshold: 0.5 },
+            Internal { feature: 1, threshold: 0.5 },
+            Leaf { label: 1 },
+            Leaf { label: 0 },
+            Leaf { label: 1 },
+            Absent,
+            Absent,
+        ];
+        let tree = DecisionTree::from_nodes(nodes, 2, 2);
+        // Path root → left → left; truth x = (0.2, 0.8): target node says
+        // left (x1 ≤ 0.5) but truth goes right → incorrect.
+        let tally = branch_tally_along_path(&tree, &[0, 1, 3], &[0.2, 0.8], &[1]);
+        assert_eq!(tally.total, 1);
+        assert_eq!(tally.correct, 0);
+        // Same path, truth x1 = 0.3 → correct.
+        let tally = branch_tally_along_path(&tree, &[0, 1, 3], &[0.2, 0.3], &[1]);
+        assert_eq!(tally.correct, 1);
+    }
+
+    #[test]
+    fn random_path_cbr_runs() {
+        use fia_models::TreeNode::*;
+        let nodes = vec![
+            Internal { feature: 0, threshold: 0.5 },
+            Leaf { label: 0 },
+            Leaf { label: 1 },
+        ];
+        let tree = DecisionTree::from_nodes(nodes, 1, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let tally = random_path_cbr(&tree, &[0.3], &[0], &mut rng);
+        // Root is a target node on either path.
+        assert_eq!(tally.total, 1);
+    }
+}

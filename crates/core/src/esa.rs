@@ -1,0 +1,399 @@
+//! Equality Solving Attack (ESA) — Section IV-A.
+//!
+//! Binary LR: `σ(x_adv·θ_adv + x_target·θ_target + b) = v₁` gives one
+//! linear equation in `x_target` once the adversary applies `σ⁻¹`.
+//!
+//! Multi-class LR: the softmax hides the raw scores `z_k`, but
+//! `ln v_k − ln v_{k+1} = z_k − z_{k+1}` (Eqn 7) yields `c − 1` linear
+//! equations (Eqn 8). Stacked as `Θ_target · x_target = a`, the adversary
+//! solves `x̂_target = Θ⁺_target · a`:
+//!
+//! * exact recovery when `d_target ≤ c − 1` and `Θ_target` has full
+//!   column rank;
+//! * otherwise the minimum-norm least-squares estimate whose error obeys
+//!   the Eqn (15) upper bound.
+
+use fia_linalg::vecops::logit;
+use fia_linalg::{pinv, Matrix};
+use fia_models::{LogisticRegression, PredictProba};
+
+/// The equality solving attack against a (binary or multi-class)
+/// logistic regression model.
+///
+/// Construction precomputes the pseudo-inverse of the target coefficient
+/// matrix, so per-sample inference is a single matrix–vector product —
+/// the attack runs on *individual* predictions.
+pub struct EqualitySolvingAttack<'a> {
+    model: &'a LogisticRegression,
+    adv_indices: Vec<usize>,
+    target_indices: Vec<usize>,
+    /// Adversary-block coefficient rows (`(c−1) × d_adv` or `1 × d_adv`).
+    theta_adv: Matrix,
+    /// Target-block coefficient rows `Θ_target` (`n_eq × d_target`).
+    theta_target: Matrix,
+    /// Precomputed `Θ⁺_target` (`d_target × n_eq`).
+    pinv_target: Matrix,
+    /// Per-equation bias offsets folded into the right-hand side.
+    bias_delta: Vec<f64>,
+}
+
+impl<'a> EqualitySolvingAttack<'a> {
+    /// Prepares the attack for the given feature split.
+    ///
+    /// `adv_indices`/`target_indices` are sorted global feature indices
+    /// owned by the adversary coalition and the target respectively; they
+    /// must partition `0..d`.
+    ///
+    /// # Panics
+    /// Panics if the indices do not partition the model's feature space.
+    pub fn new(
+        model: &'a LogisticRegression,
+        adv_indices: &[usize],
+        target_indices: &[usize],
+    ) -> Self {
+        let d = model.n_features();
+        validate_partition(adv_indices, target_indices, d);
+
+        // Build the equation system's coefficient blocks.
+        let w = model.weights(); // d × cols
+        let bias = model.bias();
+        let (theta_adv, theta_target, bias_delta) = if model.is_binary() {
+            // One equation: θᵀ·x = logit(v₁) − b.
+            let adv = Matrix::from_fn(1, adv_indices.len(), |_, k| w[(adv_indices[k], 0)]);
+            let tgt = Matrix::from_fn(1, target_indices.len(), |_, k| {
+                w[(target_indices[k], 0)]
+            });
+            (adv, tgt, vec![bias[0]])
+        } else {
+            // c − 1 difference equations between adjacent classes.
+            let c = w.cols();
+            let adv = Matrix::from_fn(c - 1, adv_indices.len(), |e, k| {
+                w[(adv_indices[k], e)] - w[(adv_indices[k], e + 1)]
+            });
+            let tgt = Matrix::from_fn(c - 1, target_indices.len(), |e, k| {
+                w[(target_indices[k], e)] - w[(target_indices[k], e + 1)]
+            });
+            let delta = (0..c - 1).map(|e| bias[e] - bias[e + 1]).collect();
+            (adv, tgt, delta)
+        };
+
+        let pinv_target = pinv(&theta_target).expect("pseudo-inverse of finite matrix");
+
+        EqualitySolvingAttack {
+            model,
+            adv_indices: adv_indices.to_vec(),
+            target_indices: target_indices.to_vec(),
+            theta_adv,
+            theta_target,
+            pinv_target,
+            bias_delta,
+        }
+    }
+
+    /// The target-block coefficient matrix `Θ_target` (`n_eq × d_target`)
+    /// of the linear system — exposed so alternative solvers (e.g. the
+    /// ridge ablation bench) can reuse the attack's equation construction.
+    pub fn theta_target(&self) -> &Matrix {
+        &self.theta_target
+    }
+
+    /// The right-hand side `a` of `Θ_target · x_target = a` for one
+    /// sample. Public for the same reason as
+    /// [`EqualitySolvingAttack::theta_target`].
+    pub fn rhs(&self, x_adv: &[f64], v: &[f64]) -> Vec<f64> {
+        self.right_hand_side(x_adv, v)
+    }
+
+    /// Number of linear equations the adversary can construct
+    /// (`1` for binary, `c − 1` for multi-class).
+    pub fn n_equations(&self) -> usize {
+        self.bias_delta.len()
+    }
+
+    /// `true` when exact recovery is guaranteed by the paper's threshold
+    /// condition `d_target ≤ c − 1` (assuming full column rank).
+    pub fn exact_recovery_expected(&self) -> bool {
+        self.target_indices.len() <= self.n_equations()
+    }
+
+    /// Infers the target feature values for one sample from the
+    /// adversary's own values (`x_adv`, ordered per `adv_indices`) and the
+    /// revealed confidence vector `v`.
+    ///
+    /// Equations whose confidence scores were truncated to zero (by the
+    /// rounding defense of Section VII) carry no usable log-ratio and are
+    /// dropped; the remaining equations are solved by a fresh
+    /// pseudo-inverse. With no usable equation the minimum-norm solution
+    /// of an empty system — the zero vector — is returned.
+    pub fn infer(&self, x_adv: &[f64], v: &[f64]) -> Vec<f64> {
+        assert_eq!(x_adv.len(), self.adv_indices.len(), "x_adv width mismatch");
+        assert_eq!(v.len(), self.model.n_classes(), "confidence width mismatch");
+        let usable = self.usable_equations(v);
+        let rhs = self.right_hand_side(x_adv, v);
+        if usable.len() == self.n_equations() {
+            return self
+                .pinv_target
+                .matvec(&rhs)
+                .expect("precomputed shape consistent");
+        }
+        if usable.is_empty() {
+            return vec![0.0; self.target_indices.len()];
+        }
+        let theta_sub = self
+            .theta_target
+            .select_rows(&usable)
+            .expect("equation indices valid");
+        let rhs_sub: Vec<f64> = usable.iter().map(|&e| rhs[e]).collect();
+        match pinv(&theta_sub) {
+            Ok(p) => p.matvec(&rhs_sub).expect("shape consistent"),
+            Err(_) => vec![0.0; self.target_indices.len()],
+        }
+    }
+
+    /// Indices of equations whose confidence inputs are strictly positive
+    /// (a zeroed score makes the log-ratio meaningless).
+    fn usable_equations(&self, v: &[f64]) -> Vec<usize> {
+        if self.model.is_binary() {
+            // The single equation needs v₁ strictly inside (0, 1).
+            if v[0] > 0.0 && v[0] < 1.0 {
+                vec![0]
+            } else {
+                Vec::new()
+            }
+        } else {
+            (0..self.n_equations())
+                .filter(|&e| v[e] > 0.0 && v[e + 1] > 0.0)
+                .collect()
+        }
+    }
+
+    /// Batch inference: one row per sample. Rows of `x_adv` follow
+    /// `adv_indices` order; rows of `confidences` are full score vectors.
+    pub fn infer_batch(&self, x_adv: &Matrix, confidences: &Matrix) -> Matrix {
+        assert_eq!(x_adv.rows(), confidences.rows(), "row count mismatch");
+        let mut out = Matrix::zeros(x_adv.rows(), self.target_indices.len());
+        for i in 0..x_adv.rows() {
+            let est = self.infer(x_adv.row(i), confidences.row(i));
+            out.row_mut(i).copy_from_slice(&est);
+        }
+        out
+    }
+
+    /// Builds the right-hand side `a` of `Θ_target · x_target = a`.
+    fn right_hand_side(&self, x_adv: &[f64], v: &[f64]) -> Vec<f64> {
+        let adv_contrib = self
+            .theta_adv
+            .matvec(x_adv)
+            .expect("adv block shape consistent");
+        if self.model.is_binary() {
+            // a = σ⁻¹(v₁) − x_adv·θ_adv − b.
+            vec![logit(v[0]) - adv_contrib[0] - self.bias_delta[0]]
+        } else {
+            // a'_e = ln v_e − ln v_{e+1} − x_adv·Δθ_adv − Δb.
+            (0..self.n_equations())
+                .map(|e| {
+                    let lv = v[e].max(1e-12).ln() - v[e + 1].max(1e-12).ln();
+                    lv - adv_contrib[e] - self.bias_delta[e]
+                })
+                .collect()
+        }
+    }
+
+    /// The target feature indices this attack reconstructs.
+    pub fn target_indices(&self) -> &[usize] {
+        &self.target_indices
+    }
+}
+
+fn validate_partition(adv: &[usize], target: &[usize], d: usize) {
+    assert!(!target.is_empty(), "target side must own features");
+    let mut seen = vec![false; d];
+    for &f in adv.iter().chain(target.iter()) {
+        assert!(f < d, "feature index {f} out of range");
+        assert!(!seen[f], "feature {f} appears twice");
+        seen[f] = true;
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "adv ∪ target must cover all {d} features"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{esa_upper_bound, mse_per_feature};
+    use fia_linalg::vecops::softmax;
+    use fia_models::PredictProba;
+
+    /// Builds a multi-class LR with pseudo-random weights. A simple LCG
+    /// keeps the fixture deterministic while producing a full-rank
+    /// class-difference matrix (a smooth phase pattern such as
+    /// `sin(a + b·j)` would make the adjacent-class differences
+    /// rank-2 and defeat exact recovery).
+    fn softmax_model(d: usize, c: usize) -> LogisticRegression {
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let w = Matrix::from_fn(d, c, |_, _| next());
+        let bias = (0..c).map(|j| 0.05 * j as f64).collect();
+        LogisticRegression::from_parameters(w, bias, c)
+    }
+
+    #[test]
+    fn exact_recovery_when_dtarget_le_c_minus_1() {
+        // d = 6, c = 4 → up to 3 unknowns are exactly recoverable.
+        let model = softmax_model(6, 4);
+        let adv = [0usize, 2, 4];
+        let target = [1usize, 3, 5];
+        let attack = EqualitySolvingAttack::new(&model, &adv, &target);
+        assert!(attack.exact_recovery_expected());
+
+        let x = [0.31, 0.72, 0.05, 0.48, 0.93, 0.17];
+        let v = model.predict_proba(&Matrix::row_vector(&x));
+        let x_adv: Vec<f64> = adv.iter().map(|&f| x[f]).collect();
+        let est = attack.infer(&x_adv, v.row(0));
+        for (k, &f) in target.iter().enumerate() {
+            assert!(
+                (est[k] - x[f]).abs() < 1e-8,
+                "feature {f}: est {} vs true {}",
+                est[k],
+                x[f]
+            );
+        }
+    }
+
+    #[test]
+    fn binary_single_unknown_exact() {
+        // Binary LR, d_target = 1 = c − 1 → exact.
+        let w = Matrix::from_rows(&[vec![0.9], vec![-0.4], vec![0.7]]).unwrap();
+        let model = LogisticRegression::from_parameters(w, vec![0.2], 2);
+        let attack = EqualitySolvingAttack::new(&model, &[0, 2], &[1]);
+        assert!(attack.exact_recovery_expected());
+        let x = [0.25, 0.66, 0.81];
+        let v = model.predict_proba(&Matrix::row_vector(&x));
+        let est = attack.infer(&[x[0], x[2]], v.row(0));
+        assert!((est[0] - x[1]).abs() < 1e-8, "est {}", est[0]);
+    }
+
+    #[test]
+    fn underdetermined_estimate_obeys_upper_bound() {
+        // Binary LR with 3 unknowns (> c − 1 = 1): estimate is
+        // minimum-norm, so the Eqn 15 bound must hold on average.
+        let w = Matrix::from_fn(5, 1, |i, _| 0.5 + 0.2 * i as f64);
+        let model = LogisticRegression::from_parameters(w, vec![0.0], 2);
+        let adv = [0usize, 1];
+        let target = [2usize, 3, 4];
+        let attack = EqualitySolvingAttack::new(&model, &adv, &target);
+        assert!(!attack.exact_recovery_expected());
+
+        let n = 50;
+        let mut x_adv = Matrix::zeros(n, 2);
+        let mut truth = Matrix::zeros(n, 3);
+        let mut conf = Matrix::zeros(n, 2);
+        for i in 0..n {
+            let x: Vec<f64> = (0..5)
+                .map(|j| ((i * 5 + j) as f64 * 0.618).fract())
+                .collect();
+            let v = model.predict_proba(&Matrix::row_vector(&x));
+            x_adv.row_mut(i).copy_from_slice(&[x[0], x[1]]);
+            truth.row_mut(i).copy_from_slice(&[x[2], x[3], x[4]]);
+            conf.row_mut(i).copy_from_slice(v.row(0));
+        }
+        let est = attack.infer_batch(&x_adv, &conf);
+        let mse = mse_per_feature(&est, &truth);
+        let bound = esa_upper_bound(&truth);
+        assert!(mse <= bound + 1e-9, "mse {mse} exceeds bound {bound}");
+        // And the estimate still interpolates the observed equation:
+        // predictions on the reconstruction match the observed v.
+        for i in 0..n {
+            let mut full = vec![0.0; 5];
+            full[0] = x_adv[(i, 0)];
+            full[1] = x_adv[(i, 1)];
+            for (k, &f) in target.iter().enumerate() {
+                full[f] = est[(i, k)];
+            }
+            let v2 = model.predict_proba(&Matrix::row_vector(&full));
+            assert!((v2[(0, 0)] - conf[(i, 0)]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn paper_example_one() {
+        // Example 1 of the paper: 3 classes, Θ as given, x = (25, 2K, 8K, 3),
+        // v = softmax(z). The adversary holds (age, income) and infers
+        // (deposit, #shopping) ≈ (8011.8, 3.046) — we recover the *exact*
+        // values because we compute v at full precision rather than from
+        // the paper's 3-digit rounding.
+        let theta = Matrix::from_rows(&[
+            // rows = features (transposed from the paper's per-class rows)
+            vec![0.08, 0.06, 0.01],
+            vec![0.0002, 0.0005, 0.0001],
+            vec![0.0005, 0.0002, 0.0004],
+            vec![0.09, 0.08, 0.05],
+        ])
+        .unwrap();
+        let model = LogisticRegression::from_parameters(theta, vec![0.0; 3], 3);
+        let x = [25.0, 2000.0, 8000.0, 3.0];
+        let v = model.predict_proba(&Matrix::row_vector(&x));
+        // Sanity: confidence ordering matches the paper's (0.867, 0.084, 0.049).
+        assert!(v[(0, 0)] > v[(0, 1)] && v[(0, 1)] > v[(0, 2)]);
+
+        let attack = EqualitySolvingAttack::new(&model, &[0, 1], &[2, 3]);
+        assert!(attack.exact_recovery_expected()); // d_target = 2 = c − 1
+        let est = attack.infer(&[25.0, 2000.0], v.row(0));
+        assert!((est[0] - 8000.0).abs() < 1e-3, "deposit {}", est[0]);
+        assert!((est[1] - 3.0).abs() < 1e-6, "shopping {}", est[1]);
+    }
+
+    #[test]
+    fn paper_example_one_with_rounded_confidences() {
+        // Reproduces the paper's reported estimate: feeding the *rounded*
+        // v = (0.867, 0.084, 0.049) yields (≈8011.8, ≈3.05) — "the loss is
+        // from the precision truncation during the computations".
+        let theta = Matrix::from_rows(&[
+            vec![0.08, 0.06, 0.01],
+            vec![0.0002, 0.0005, 0.0001],
+            vec![0.0005, 0.0002, 0.0004],
+            vec![0.09, 0.08, 0.05],
+        ])
+        .unwrap();
+        let model = LogisticRegression::from_parameters(theta, vec![0.0; 3], 3);
+        let attack = EqualitySolvingAttack::new(&model, &[0, 1], &[2, 3]);
+        let est = attack.infer(&[25.0, 2000.0], &[0.867, 0.084, 0.049]);
+        assert!((est[0] - 8011.8).abs() < 5.0, "deposit {}", est[0]);
+        assert!((est[1] - 3.046).abs() < 0.15, "shopping {}", est[1]);
+    }
+
+    #[test]
+    fn rhs_uses_log_ratios() {
+        // Verify Eqn (7): the constructed RHS equals z_k − z_{k+1}.
+        let model = softmax_model(4, 3);
+        let attack = EqualitySolvingAttack::new(&model, &[0, 1], &[2, 3]);
+        let x = [0.2, 0.9, 0.4, 0.6];
+        let z = model.decision_function(&Matrix::row_vector(&x));
+        let v = softmax(z.row(0));
+        let est = attack.infer(&[0.2, 0.9], &v);
+        // Exact recovery (d_target = 2 = c − 1).
+        assert!((est[0] - 0.4).abs() < 1e-8);
+        assert!((est[1] - 0.6).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all")]
+    fn partition_must_cover() {
+        let model = softmax_model(4, 3);
+        EqualitySolvingAttack::new(&model, &[0], &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target side must own")]
+    fn empty_target_rejected() {
+        let model = softmax_model(2, 3);
+        EqualitySolvingAttack::new(&model, &[0, 1], &[]);
+    }
+}

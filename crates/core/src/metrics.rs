@@ -1,0 +1,142 @@
+//! Attack-quality metrics.
+
+use fia_linalg::Matrix;
+
+/// MSE per feature (Eqn 10):
+/// `1/(n · d_target) Σ_t Σ_i (x̂_t,i − x_t,i)²`.
+///
+/// # Panics
+/// Panics when the shapes disagree or the matrices are empty.
+pub fn mse_per_feature(inferred: &Matrix, truth: &Matrix) -> f64 {
+    assert_eq!(inferred.shape(), truth.shape(), "shape mismatch");
+    let n = inferred.as_slice().len();
+    assert!(n > 0, "empty matrices");
+    inferred
+        .as_slice()
+        .iter()
+        .zip(truth.as_slice().iter())
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f64>()
+        / n as f64
+}
+
+/// Per-column MSE, the quantity Fig. 10 plots against feature
+/// correlations.
+pub fn per_feature_mse(inferred: &Matrix, truth: &Matrix) -> Vec<f64> {
+    assert_eq!(inferred.shape(), truth.shape(), "shape mismatch");
+    let (n, d) = inferred.shape();
+    assert!(n > 0, "empty matrices");
+    let mut out = vec![0.0; d];
+    for i in 0..n {
+        for j in 0..d {
+            let e = inferred[(i, j)] - truth[(i, j)];
+            out[j] += e * e;
+        }
+    }
+    for v in &mut out {
+        *v /= n as f64;
+    }
+    out
+}
+
+/// The ESA error upper bound of Eqn (15):
+/// `MSE ≤ (1/d_target) Σ_i 2·x_target,i²`, averaged over the prediction
+/// set. Features must already be normalized into `(0, 1)` for the bound's
+/// derivation (Eqn 14) to apply.
+pub fn esa_upper_bound(truth: &Matrix) -> f64 {
+    let (n, d) = truth.shape();
+    assert!(n > 0 && d > 0, "empty matrix");
+    let mut total = 0.0;
+    for i in 0..n {
+        let row_sum: f64 = truth.row(i).iter().map(|&x| 2.0 * x * x).sum();
+        total += row_sum / d as f64;
+    }
+    total / n as f64
+}
+
+/// Outcome of a branch-consistency evaluation (the CBR metric).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CbrTally {
+    /// Branch decisions on target features that matched the ground truth.
+    pub correct: usize,
+    /// Total branch decisions on target features evaluated.
+    pub total: usize,
+}
+
+impl CbrTally {
+    /// Adds another tally.
+    pub fn merge(&mut self, other: CbrTally) {
+        self.correct += other.correct;
+        self.total += other.total;
+    }
+
+    /// Correct branching rate; `None` when nothing was evaluated.
+    pub fn rate(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.correct as f64 / self.total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let a = Matrix::from_fn(3, 2, |i, j| (i + j) as f64);
+        assert_eq!(mse_per_feature(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let truth = Matrix::zeros(2, 2);
+        let inferred = Matrix::filled(2, 2, 0.5);
+        assert!((mse_per_feature(&inferred, &truth) - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn per_feature_mse_separates_columns() {
+        let truth = Matrix::zeros(4, 2);
+        let mut inferred = Matrix::zeros(4, 2);
+        for i in 0..4 {
+            inferred[(i, 1)] = 1.0;
+        }
+        let v = per_feature_mse(&inferred, &truth);
+        assert_eq!(v, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn upper_bound_formula() {
+        // Single sample (0.5, 0.5): bound = (2·0.25 + 2·0.25)/2 = 0.5.
+        let truth = Matrix::filled(1, 2, 0.5);
+        assert!((esa_upper_bound(&truth) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn upper_bound_dominates_min_norm_error() {
+        // For any x̂ with ‖x̂‖ ≤ ‖x‖ and x ∈ (0,1)^d, MSE(x̂, x) ≤ bound.
+        let truth = Matrix::from_rows(&[vec![0.3, 0.8, 0.1]]).unwrap();
+        let inferred = Matrix::from_rows(&[vec![0.1, 0.2, 0.05]]).unwrap(); // smaller norm
+        assert!(mse_per_feature(&inferred, &truth) <= esa_upper_bound(&truth));
+    }
+
+    #[test]
+    fn cbr_tally_rate() {
+        let mut t = CbrTally::default();
+        assert!(t.rate().is_none());
+        t.merge(CbrTally {
+            correct: 3,
+            total: 4,
+        });
+        t.merge(CbrTally {
+            correct: 1,
+            total: 4,
+        });
+        assert_eq!(t.rate(), Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn mse_shape_checked() {
+        mse_per_feature(&Matrix::zeros(1, 2), &Matrix::zeros(2, 1));
+    }
+}

@@ -1,0 +1,448 @@
+//! Path Restriction Attack (PRA) — Section IV-B, Algorithm 1.
+//!
+//! Given one decision-tree prediction (the predicted class only — DT
+//! confidences are one-hot), the adversary:
+//!
+//! 1. walks the full binary tree maintaining an indicator vector `β`:
+//!    nodes testing the adversary's own features kill the branch the true
+//!    value cannot take; nodes testing unknown target features keep both
+//!    children alive;
+//! 2. intersects with the indicator `α` of leaves labelled with the
+//!    predicted class;
+//! 3. picks one surviving path uniformly at random and reads off the
+//!    branch constraints it implies for the target's features.
+
+use crate::metrics::CbrTally;
+use fia_models::{DecisionTree, TreeNode};
+use rand::{rngs::StdRng, Rng};
+use std::collections::VecDeque;
+
+/// One inferred inequality on a target feature: `x[feature] ≤ threshold`
+/// when `le` is true, `x[feature] > threshold` otherwise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchConstraint {
+    /// Global feature index (owned by the target party).
+    pub feature: usize,
+    /// Branching threshold at the tree node.
+    pub threshold: f64,
+    /// Direction: `true` = "≤ threshold" (left branch).
+    pub le: bool,
+}
+
+impl BranchConstraint {
+    /// Whether the ground-truth value satisfies this constraint.
+    pub fn satisfied_by(&self, value: f64) -> bool {
+        if self.le {
+            value <= self.threshold
+        } else {
+            value > self.threshold
+        }
+    }
+
+    /// A point estimate for the constrained feature given the known value
+    /// range `(lo, hi)`: the midpoint of the feasible half-interval. The
+    /// threat model grants the adversary feature ranges (Section III-B).
+    pub fn point_estimate(&self, lo: f64, hi: f64) -> f64 {
+        if self.le {
+            0.5 * (lo + self.threshold.min(hi))
+        } else {
+            0.5 * (self.threshold.max(lo) + hi)
+        }
+    }
+}
+
+/// The path restriction attack against one decision tree.
+pub struct PathRestrictionAttack<'a> {
+    tree: &'a DecisionTree,
+    /// Sorted global indices of the adversary's features.
+    adv_indices: Vec<usize>,
+    /// Sorted global indices of the target's features.
+    target_indices: Vec<usize>,
+}
+
+impl<'a> PathRestrictionAttack<'a> {
+    /// Prepares the attack. Indices are global feature ids; they need not
+    /// cover the whole feature space (the tree may also ignore features).
+    pub fn new(tree: &'a DecisionTree, adv_indices: &[usize], target_indices: &[usize]) -> Self {
+        let mut adv = adv_indices.to_vec();
+        adv.sort_unstable();
+        let mut target = target_indices.to_vec();
+        target.sort_unstable();
+        PathRestrictionAttack {
+            tree,
+            adv_indices: adv,
+            target_indices: target,
+        }
+    }
+
+    /// Algorithm 1: computes the indicator vector `β` over the node array
+    /// and returns the surviving leaf indices whose label is
+    /// `predicted_class` and which are reachable given the adversary's
+    /// feature values.
+    ///
+    /// `x_adv` is ordered per the (sorted) adversary indices passed at
+    /// construction.
+    pub fn restricted_leaves(&self, x_adv: &[f64], predicted_class: usize) -> Vec<usize> {
+        assert_eq!(x_adv.len(), self.adv_indices.len(), "x_adv width mismatch");
+        let nodes = self.tree.nodes();
+        let nf = nodes.len();
+        // β = 0 everywhere; β₀ = 1 (lines 1–3).
+        let mut beta = vec![0u8; nf];
+        beta[0] = 1;
+        let mut queue = VecDeque::from([0usize]);
+        // Lines 4–14: propagate reachability.
+        while let Some(i) = queue.pop_front() {
+            match &nodes[i] {
+                TreeNode::Internal { feature, threshold } => {
+                    let (l, r) = (2 * i + 1, 2 * i + 2);
+                    match self.adv_value(x_adv, *feature) {
+                        Some(value) => {
+                            // Adversary knows this comparison's outcome.
+                            if value <= *threshold {
+                                beta[l] = beta[i];
+                                beta[r] = 0;
+                            } else {
+                                beta[l] = 0;
+                                beta[r] = beta[i];
+                            }
+                        }
+                        None => {
+                            // Unknown (target) feature: both branches stay.
+                            beta[l] = beta[i];
+                            beta[r] = beta[i];
+                        }
+                    }
+                    queue.push_back(l);
+                    queue.push_back(r);
+                }
+                TreeNode::Leaf { .. } | TreeNode::Absent => {}
+            }
+        }
+        // Lines 15–17: α masks leaves of the predicted class.
+        (0..nf)
+            .filter(|&i| {
+                beta[i] == 1
+                    && matches!(nodes[i], TreeNode::Leaf { label } if label == predicted_class)
+            })
+            .collect()
+    }
+
+    /// Full root-to-leaf paths surviving the restriction (the paper's
+    /// `n_r` is the length of this vector).
+    pub fn restricted_paths(&self, x_adv: &[f64], predicted_class: usize) -> Vec<Vec<usize>> {
+        self.restricted_leaves(x_adv, predicted_class)
+            .into_iter()
+            .map(path_to_root)
+            .collect()
+    }
+
+    /// Runs the full attack for one sample: restrict, sample one path
+    /// uniformly (the paper's tie-break), and extract the target-feature
+    /// constraints along it. Returns `None` when no path survives (can
+    /// only happen if the observed class is inconsistent with `x_adv`,
+    /// e.g. under a defense that perturbs predictions).
+    pub fn infer(
+        &self,
+        x_adv: &[f64],
+        predicted_class: usize,
+        rng: &mut StdRng,
+    ) -> Option<InferredPath> {
+        let leaves = self.restricted_leaves(x_adv, predicted_class);
+        if leaves.is_empty() {
+            return None;
+        }
+        let leaf = leaves[rng.gen_range(0..leaves.len())];
+        let path = path_to_root(leaf);
+        let constraints = self.constraints_along(&path);
+        Some(InferredPath {
+            path,
+            constraints,
+            n_restricted: leaves.len(),
+        })
+    }
+
+    /// Branch constraints on *target* features along a path.
+    pub fn constraints_along(&self, path: &[usize]) -> Vec<BranchConstraint> {
+        let nodes = self.tree.nodes();
+        let mut out = Vec::new();
+        for w in path.windows(2) {
+            if let TreeNode::Internal { feature, threshold } = &nodes[w[0]] {
+                if self.target_indices.binary_search(feature).is_ok() {
+                    out.push(BranchConstraint {
+                        feature: *feature,
+                        threshold: *threshold,
+                        le: w[1] == 2 * w[0] + 1,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Point-estimate inference: runs the path restriction and converts
+    /// the selected path's constraints into per-feature value estimates
+    /// (feasible-interval midpoints; unconstrained target features fall
+    /// back to the range midpoint). Returns values ordered per the
+    /// (sorted) target indices.
+    ///
+    /// This extends the paper's PRA — which reports only branch
+    /// directions — into an estimator comparable with ESA/GRNA on the
+    /// MSE-per-feature metric. The value range `(lo, hi)` is threat-model
+    /// knowledge (Section III-B).
+    pub fn infer_values(
+        &self,
+        x_adv: &[f64],
+        predicted_class: usize,
+        lo: f64,
+        hi: f64,
+        rng: &mut StdRng,
+    ) -> Vec<f64> {
+        let mid = 0.5 * (lo + hi);
+        let mut estimates = vec![mid; self.target_indices.len()];
+        if let Some(inferred) = self.infer(x_adv, predicted_class, rng) {
+            // Later constraints on the same feature are deeper in the
+            // tree and therefore tighter; intersect by folding intervals.
+            let mut intervals = vec![(lo, hi); self.target_indices.len()];
+            for c in &inferred.constraints {
+                let k = self
+                    .target_indices
+                    .binary_search(&c.feature)
+                    .expect("constraint is on a target feature");
+                let (clo, chi) = &mut intervals[k];
+                if c.le {
+                    *chi = chi.min(c.threshold);
+                } else {
+                    *clo = clo.max(c.threshold);
+                }
+                if *clo > *chi {
+                    // Contradictory constraints can only arise from a
+                    // degenerate tree; fall back to the midpoint.
+                    *clo = lo;
+                    *chi = hi;
+                }
+            }
+            for (e, (clo, chi)) in estimates.iter_mut().zip(intervals) {
+                *e = 0.5 * (clo + chi);
+            }
+        }
+        estimates
+    }
+
+    /// Evaluates the CBR of one inference against the ground-truth full
+    /// sample (global feature order).
+    pub fn evaluate_cbr(&self, inferred: &InferredPath, x_full: &[f64]) -> CbrTally {
+        let mut tally = CbrTally::default();
+        for c in &inferred.constraints {
+            tally.total += 1;
+            if c.satisfied_by(x_full[c.feature]) {
+                tally.correct += 1;
+            }
+        }
+        tally
+    }
+
+    fn adv_value(&self, x_adv: &[f64], feature: usize) -> Option<f64> {
+        self.adv_indices
+            .binary_search(&feature)
+            .ok()
+            .map(|k| x_adv[k])
+    }
+}
+
+/// Result of one PRA inference.
+#[derive(Debug, Clone)]
+pub struct InferredPath {
+    /// Node indices from root to the selected leaf.
+    pub path: Vec<usize>,
+    /// Constraints implied for target features along the path.
+    pub constraints: Vec<BranchConstraint>,
+    /// Number of candidate paths after restriction (`n_r`).
+    pub n_restricted: usize,
+}
+
+/// Recovers the root-to-leaf node index path of a full-binary-array leaf.
+fn path_to_root(leaf: usize) -> Vec<usize> {
+    let mut path = vec![leaf];
+    let mut i = leaf;
+    while i > 0 {
+        i = (i - 1) / 2;
+        path.push(i);
+    }
+    path.reverse();
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fia_models::TreeNode::*;
+    use rand::SeedableRng;
+
+    /// The Fig. 2 tree: features 0 = age, 1 = income (adversary);
+    /// 2 = deposit, 3 = #shopping (target). Labels follow the example.
+    fn figure2_tree() -> DecisionTree {
+        let nodes = vec![
+            Internal { feature: 0, threshold: 30.0 }, // 0
+            Internal { feature: 2, threshold: 5.0 },  // 1
+            Internal { feature: 3, threshold: 6.0 },  // 2
+            Internal { feature: 1, threshold: 3.0 },  // 3
+            Leaf { label: 1 },                         // 4
+            Leaf { label: 1 },                         // 5
+            Internal { feature: 1, threshold: 2.0 },  // 6
+            Leaf { label: 2 },                         // 7
+            Leaf { label: 2 },                         // 8
+            Absent,
+            Absent,
+            Absent,
+            Absent,
+            Leaf { label: 2 },                         // 13
+            Leaf { label: 1 },                         // 14
+        ];
+        DecisionTree::from_nodes(nodes, 4, 3)
+    }
+
+    #[test]
+    fn figure2_beta_restriction() {
+        // Example 2: age = 25, income = 2K restricts 5 paths to 2; the
+        // observed class 1 then identifies the single real path.
+        let tree = figure2_tree();
+        let attack = PathRestrictionAttack::new(&tree, &[0, 1], &[2, 3]);
+        let x_adv = [25.0, 2.0]; // ordered by sorted indices (0, 1)
+
+        // Without the class filter: leaves reachable given x_adv. age ≤ 30
+        // goes left at the root; node 3 (income ≤ 3) goes left → leaf 7;
+        // node 1's deposit test is unknown → both children alive.
+        // Candidates: leaf 7 (class 2) and leaf 4 (class 1) → 2 paths.
+        let class1 = attack.restricted_leaves(&x_adv, 1);
+        assert_eq!(class1, vec![4], "class 1 pins the real path");
+        let class2 = attack.restricted_leaves(&x_adv, 2);
+        assert_eq!(class2, vec![7]);
+    }
+
+    #[test]
+    fn figure2_inferred_constraint_is_deposit_gt_5k() {
+        let tree = figure2_tree();
+        let attack = PathRestrictionAttack::new(&tree, &[0, 1], &[2, 3]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let inferred = attack.infer(&[25.0, 2.0], 1, &mut rng).unwrap();
+        assert_eq!(inferred.path, vec![0, 1, 4]);
+        assert_eq!(inferred.n_restricted, 1);
+        // The paper's conclusion: "P_target's deposit feature value of
+        // this sample is larger than 5K".
+        assert_eq!(
+            inferred.constraints,
+            vec![BranchConstraint {
+                feature: 2,
+                threshold: 5.0,
+                le: false
+            }]
+        );
+        // Ground truth deposit = 8K satisfies it → CBR 1.
+        let tally = attack.evaluate_cbr(&inferred, &[25.0, 2.0, 8.0, 3.0]);
+        assert_eq!(tally.rate(), Some(1.0));
+    }
+
+    #[test]
+    fn restriction_never_loses_true_path() {
+        // Property: the true decision path always survives restriction
+        // when the true class is supplied.
+        let tree = figure2_tree();
+        let attack = PathRestrictionAttack::new(&tree, &[0, 1], &[2, 3]);
+        for &(age, income, deposit, shopping) in &[
+            (25.0, 2.0, 8.0, 3.0),
+            (25.0, 2.0, 3.0, 1.0),
+            (40.0, 1.5, 2.0, 7.0),
+            (40.0, 2.5, 9.0, 2.0),
+            (31.0, 3.5, 1.0, 5.0),
+        ] {
+            let x = [age, income, deposit, shopping];
+            let true_path = tree.decision_path(&x);
+            let true_leaf = *true_path.last().unwrap();
+            let class = tree.predict_one(&x);
+            let leaves = attack.restricted_leaves(&[age, income], class);
+            assert!(
+                leaves.contains(&true_leaf),
+                "true leaf {true_leaf} lost for x = {x:?} (got {leaves:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_everything_keeps_all_class_paths() {
+        // Adversary owns nothing → restriction = all leaves of the class.
+        let tree = figure2_tree();
+        let attack = PathRestrictionAttack::new(&tree, &[], &[0, 1, 2, 3]);
+        let leaves = attack.restricted_leaves(&[], 1);
+        assert_eq!(leaves, vec![4, 5, 14]);
+    }
+
+    #[test]
+    fn know_everything_leaves_single_path() {
+        let tree = figure2_tree();
+        let attack = PathRestrictionAttack::new(&tree, &[0, 1, 2, 3], &[]);
+        let x = [25.0, 2.0, 8.0, 3.0];
+        let class = tree.predict_one(&x);
+        let leaves = attack.restricted_leaves(&x, class);
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(leaves[0], *tree.decision_path(&x).last().unwrap());
+    }
+
+    #[test]
+    fn inconsistent_class_yields_none() {
+        let tree = figure2_tree();
+        let attack = PathRestrictionAttack::new(&tree, &[0, 1, 2, 3], &[]);
+        let x = [25.0, 2.0, 8.0, 3.0]; // true class 1
+        let mut rng = StdRng::seed_from_u64(0);
+        // Class 0 has no leaves at all in this tree.
+        assert!(attack.infer(&x, 0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn point_estimate_falls_in_feasible_half() {
+        let c = BranchConstraint {
+            feature: 2,
+            threshold: 0.4,
+            le: false,
+        };
+        let est = c.point_estimate(0.0, 1.0);
+        assert!((est - 0.7).abs() < 1e-12);
+        let c2 = BranchConstraint {
+            feature: 2,
+            threshold: 0.4,
+            le: true,
+        };
+        assert!((c2.point_estimate(0.0, 1.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infer_values_respects_constraints() {
+        // Fig. 2 case: deposit (feature 2) constrained to > 5 within a
+        // known range of (0, 10); #shopping (feature 3) unconstrained.
+        let tree = figure2_tree();
+        let attack = PathRestrictionAttack::new(&tree, &[0, 1], &[2, 3]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let est = attack.infer_values(&[25.0, 2.0], 1, 0.0, 10.0, &mut rng);
+        assert_eq!(est.len(), 2);
+        // deposit estimate: midpoint of (5, 10) = 7.5.
+        assert!((est[0] - 7.5).abs() < 1e-12, "deposit {}", est[0]);
+        // shopping unconstrained on this path → range midpoint 5.
+        assert!((est[1] - 5.0).abs() < 1e-12, "shopping {}", est[1]);
+    }
+
+    #[test]
+    fn infer_values_falls_back_on_inconsistent_class() {
+        let tree = figure2_tree();
+        let attack = PathRestrictionAttack::new(&tree, &[0, 1, 2, 3], &[]);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Class 0 has no leaves; no target features → empty estimate.
+        let est = attack.infer_values(&[25.0, 2.0, 8.0, 3.0], 0, 0.0, 1.0, &mut rng);
+        assert!(est.is_empty());
+    }
+
+    #[test]
+    fn path_to_root_indexing() {
+        assert_eq!(path_to_root(0), vec![0]);
+        assert_eq!(path_to_root(4), vec![0, 1, 4]);
+        assert_eq!(path_to_root(13), vec![0, 2, 6, 13]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Correlation diagnostics — Eqns (16) and (17) of the paper.
+//!
+//! The paper explains per-feature GRN accuracy through two quantities:
+//! the mean absolute Pearson correlation between a target feature and
+//! (a) the adversary's features, and (b) the prediction confidence
+//! scores. Weakly correlated target features reconstruct poorly (Fig. 10).
+
+use fia_linalg::vecops::pearson;
+use fia_linalg::Matrix;
+
+/// Mean absolute Pearson correlation between one target column and every
+/// adversary column — Eqn (16):
+/// `corr(x_adv, x_target,i) = (1/d_adv) Σ_j |r(x_adv,j, x_target,i)|`.
+pub fn corr_features(adv: &Matrix, target_col: &[f64]) -> f64 {
+    assert_eq!(adv.rows(), target_col.len(), "sample count mismatch");
+    if adv.cols() == 0 {
+        return 0.0;
+    }
+    let sum: f64 = (0..adv.cols())
+        .map(|j| pearson(&adv.col(j), target_col).abs())
+        .sum();
+    sum / adv.cols() as f64
+}
+
+/// Mean absolute Pearson correlation between one target column and every
+/// confidence-score column — Eqn (17):
+/// `corr(v, x_target,i) = (1/c) Σ_j |r(v_j, x_target,i)|`.
+pub fn corr_predictions(confidences: &Matrix, target_col: &[f64]) -> f64 {
+    corr_features(confidences, target_col)
+}
+
+/// Full pairwise feature-correlation matrix (`d × d`, symmetric, unit
+/// diagonal); used by the pre-processing defense to screen out features
+/// that are too predictable from another party's data.
+pub fn correlation_matrix(features: &Matrix) -> Matrix {
+    let d = features.cols();
+    let cols: Vec<Vec<f64>> = (0..d).map(|j| features.col(j)).collect();
+    let mut m = Matrix::identity(d);
+    for i in 0..d {
+        for j in (i + 1)..d {
+            let r = pearson(&cols[i], &cols[j]);
+            m[(i, j)] = r;
+            m[(j, i)] = r;
+        }
+    }
+    m
+}
+
+/// Per-target-feature correlation report backing Fig. 10.
+#[derive(Debug, Clone)]
+pub struct CorrelationReport {
+    /// Eqn (16) value per target feature.
+    pub with_adversary: Vec<f64>,
+    /// Eqn (17) value per target feature.
+    pub with_predictions: Vec<f64>,
+}
+
+/// Computes both diagnostics for every column of `target`.
+pub fn correlation_report(
+    adv: &Matrix,
+    target: &Matrix,
+    confidences: &Matrix,
+) -> CorrelationReport {
+    let with_adversary = (0..target.cols())
+        .map(|j| corr_features(adv, &target.col(j)))
+        .collect();
+    let with_predictions = (0..target.cols())
+        .map(|j| corr_predictions(confidences, &target.col(j)))
+        .collect();
+    CorrelationReport {
+        with_adversary,
+        with_predictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corr_features_detects_copy() {
+        // Target column equals adversary column 0 → mean |corr| ≥ 1/d_adv.
+        let adv = Matrix::from_rows(&[
+            vec![1.0, 9.0],
+            vec![2.0, 3.0],
+            vec![3.0, 7.0],
+            vec![4.0, 1.0],
+        ])
+        .unwrap();
+        let target = adv.col(0);
+        let c = corr_features(&adv, &target);
+        assert!(c >= 0.5, "corr = {c}");
+    }
+
+    #[test]
+    fn corr_features_zero_for_constant_target() {
+        let adv = Matrix::from_fn(10, 2, |i, j| (i * 2 + j) as f64);
+        let target = vec![3.3; 10];
+        assert_eq!(corr_features(&adv, &target), 0.0);
+    }
+
+    #[test]
+    fn correlation_matrix_properties() {
+        let f = Matrix::from_fn(20, 3, |i, j| ((i + 1) * (j + 1)) as f64 + ((i * j) as f64).sin());
+        let m = correlation_matrix(&f);
+        assert_eq!(m.shape(), (3, 3));
+        for i in 0..3 {
+            assert!((m[(i, i)] - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert!((m[(i, j)] - m[(j, i)]).abs() < 1e-12);
+                assert!(m[(i, j)].abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn report_lengths_match_target_width() {
+        let adv = Matrix::from_fn(15, 4, |i, j| (i + j) as f64);
+        let target = Matrix::from_fn(15, 2, |i, j| (i * (j + 1)) as f64);
+        let conf = Matrix::from_fn(15, 3, |i, j| (i % (j + 2)) as f64);
+        let r = correlation_report(&adv, &target, &conf);
+        assert_eq!(r.with_adversary.len(), 2);
+        assert_eq!(r.with_predictions.len(), 2);
+        assert!(r.with_adversary.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn empty_adversary_block_gives_zero() {
+        let adv = Matrix::zeros(5, 0);
+        assert_eq!(corr_features(&adv, &[1.0, 2.0, 3.0, 4.0, 5.0]), 0.0);
+    }
+}

@@ -1,0 +1,323 @@
+//! The in-memory dataset container and deterministic splitting.
+
+use fia_linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// A supervised classification dataset: an `n × d` feature matrix, one
+/// integer label per row, and human-readable feature names.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Feature matrix, one sample per row.
+    pub features: Matrix,
+    /// Class label per sample, in `0..n_classes`.
+    pub labels: Vec<usize>,
+    /// Number of classes `c`.
+    pub n_classes: usize,
+    /// Feature names (length = `d`).
+    pub feature_names: Vec<String>,
+    /// Short identifier, e.g. `"bank-marketing"`.
+    pub name: String,
+}
+
+impl Dataset {
+    /// Builds a dataset, synthesizing `f0, f1, …` names when none given.
+    ///
+    /// # Panics
+    /// Panics if row/label counts disagree or a label is out of range.
+    pub fn new(
+        name: impl Into<String>,
+        features: Matrix,
+        labels: Vec<usize>,
+        n_classes: usize,
+    ) -> Self {
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "feature rows and label count must match"
+        );
+        assert!(
+            labels.iter().all(|&y| y < n_classes),
+            "labels must lie in 0..n_classes"
+        );
+        let feature_names = (0..features.cols()).map(|j| format!("f{j}")).collect();
+        Dataset {
+            features,
+            labels,
+            n_classes,
+            feature_names,
+            name: name.into(),
+        }
+    }
+
+    /// Number of samples `n`.
+    pub fn n_samples(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Number of features `d`.
+    pub fn n_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Returns the sample in row `i`.
+    pub fn sample(&self, i: usize) -> &[f64] {
+        self.features.row(i)
+    }
+
+    /// A new dataset containing only the given rows (in order).
+    pub fn subset(&self, rows: &[usize]) -> Dataset {
+        let features = self
+            .features
+            .select_rows(rows)
+            .expect("subset rows in range");
+        let labels = rows.iter().map(|&r| self.labels[r]).collect();
+        Dataset {
+            features,
+            labels,
+            n_classes: self.n_classes,
+            feature_names: self.feature_names.clone(),
+            name: self.name.clone(),
+        }
+    }
+
+    /// Splits into train/test/prediction partitions per `spec`,
+    /// shuffling deterministically with `seed`.
+    ///
+    /// The paper's protocol (Section VI-C): half of each dataset is used
+    /// for model training and testing; the prediction set — the samples
+    /// the adversary observes and attacks — is drawn from the remainder.
+    pub fn split(&self, spec: &SplitSpec, seed: u64) -> ThreeWaySplit {
+        let n = self.n_samples();
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+
+        let n_train = ((n as f64) * spec.train_fraction).round() as usize;
+        let n_test = ((n as f64) * spec.test_fraction).round() as usize;
+        let n_train = n_train.min(n);
+        let n_test = n_test.min(n - n_train);
+        let rest = n - n_train - n_test;
+        let n_pred = (((n as f64) * spec.prediction_fraction).round() as usize).min(rest);
+
+        let train = self.subset(&idx[..n_train]);
+        let test = self.subset(&idx[n_train..n_train + n_test]);
+        let prediction = self.subset(&idx[n_train + n_test..n_train + n_test + n_pred]);
+        ThreeWaySplit {
+            train,
+            test,
+            prediction,
+        }
+    }
+
+    /// Per-class sample counts (length `n_classes`).
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes];
+        for &y in &self.labels {
+            counts[y] += 1;
+        }
+        counts
+    }
+
+    /// Stratified three-way split: class proportions are preserved in
+    /// every partition (up to rounding). Preferable at small sample
+    /// counts, where a plain random split can starve a partition of a
+    /// rare class entirely.
+    pub fn split_stratified(&self, spec: &SplitSpec, seed: u64) -> ThreeWaySplit {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Shuffle indices within each class, then deal each class's rows
+        // proportionally into the three partitions.
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.n_classes];
+        for (i, &y) in self.labels.iter().enumerate() {
+            per_class[y].push(i);
+        }
+        let mut train_rows = Vec::new();
+        let mut test_rows = Vec::new();
+        let mut pred_rows = Vec::new();
+        for rows in per_class.iter_mut() {
+            rows.shuffle(&mut rng);
+            let n = rows.len();
+            let n_train = ((n as f64) * spec.train_fraction).round() as usize;
+            let n_test = (((n as f64) * spec.test_fraction).round() as usize)
+                .min(n.saturating_sub(n_train));
+            let rest = n - n_train - n_test;
+            let n_pred = (((n as f64) * spec.prediction_fraction).round() as usize).min(rest);
+            train_rows.extend_from_slice(&rows[..n_train]);
+            test_rows.extend_from_slice(&rows[n_train..n_train + n_test]);
+            pred_rows.extend_from_slice(&rows[n_train + n_test..n_train + n_test + n_pred]);
+        }
+        // Shuffle the merged partitions so classes are interleaved.
+        train_rows.shuffle(&mut rng);
+        test_rows.shuffle(&mut rng);
+        pred_rows.shuffle(&mut rng);
+        ThreeWaySplit {
+            train: self.subset(&train_rows),
+            test: self.subset(&test_rows),
+            prediction: self.subset(&pred_rows),
+        }
+    }
+}
+
+/// Fractions for a three-way split; they must sum to at most 1.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitSpec {
+    /// Fraction used to train the vertical FL model.
+    pub train_fraction: f64,
+    /// Fraction used to evaluate model quality.
+    pub test_fraction: f64,
+    /// Fraction forming the prediction dataset the adversary attacks.
+    pub prediction_fraction: f64,
+}
+
+impl SplitSpec {
+    /// The paper's split: 40% train, 10% test, and the prediction set
+    /// drawn from the other half.
+    pub fn paper_default() -> Self {
+        SplitSpec {
+            train_fraction: 0.4,
+            test_fraction: 0.1,
+            prediction_fraction: 0.5,
+        }
+    }
+
+    /// A split with a custom prediction fraction (Fig. 9 varies the
+    /// number of accumulated predictions as 10/30/50% of |D|).
+    pub fn with_prediction_fraction(mut self, f: f64) -> Self {
+        self.prediction_fraction = f;
+        self
+    }
+}
+
+/// Result of [`Dataset::split`].
+#[derive(Debug, Clone)]
+pub struct ThreeWaySplit {
+    /// Model-training partition.
+    pub train: Dataset,
+    /// Model-testing partition.
+    pub test: Dataset,
+    /// Prediction partition (what the adversary sees predictions for).
+    pub prediction: Dataset,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        let features = Matrix::from_fn(n, 3, |i, j| (i * 3 + j) as f64);
+        let labels = (0..n).map(|i| i % 2).collect();
+        Dataset::new("toy", features, labels, 2)
+    }
+
+    #[test]
+    fn new_checks_shapes() {
+        let d = toy(10);
+        assert_eq!(d.n_samples(), 10);
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.feature_names.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn mismatched_labels_panic() {
+        Dataset::new("bad", Matrix::zeros(3, 2), vec![0, 1], 2);
+    }
+
+    #[test]
+    fn subset_picks_rows() {
+        let d = toy(5);
+        let s = d.subset(&[4, 0]);
+        assert_eq!(s.n_samples(), 2);
+        assert_eq!(s.sample(0), &[12.0, 13.0, 14.0]);
+        assert_eq!(s.labels, vec![0, 0]);
+    }
+
+    #[test]
+    fn split_fractions_respected() {
+        let d = toy(100);
+        let s = d.split(&SplitSpec::paper_default(), 7);
+        assert_eq!(s.train.n_samples(), 40);
+        assert_eq!(s.test.n_samples(), 10);
+        assert_eq!(s.prediction.n_samples(), 50);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = toy(50);
+        let a = d.split(&SplitSpec::paper_default(), 3);
+        let b = d.split(&SplitSpec::paper_default(), 3);
+        assert_eq!(a.train.labels, b.train.labels);
+        assert_eq!(a.train.features, b.train.features);
+        let c = d.split(&SplitSpec::paper_default(), 4);
+        assert_ne!(a.train.features, c.train.features);
+    }
+
+    #[test]
+    fn split_partitions_are_disjoint() {
+        let d = toy(60);
+        let s = d.split(&SplitSpec::paper_default(), 1);
+        // Every original row appears at most once across partitions:
+        // collect the first feature value, which uniquely identifies rows.
+        let mut seen = std::collections::HashSet::new();
+        for part in [&s.train, &s.test, &s.prediction] {
+            for i in 0..part.n_samples() {
+                let key = part.sample(i)[0] as i64;
+                assert!(seen.insert(key), "row duplicated across partitions");
+            }
+        }
+    }
+
+    #[test]
+    fn class_counts_sum_to_n() {
+        let d = toy(11);
+        let counts = d.class_counts();
+        assert_eq!(counts.iter().sum::<usize>(), 11);
+        assert_eq!(counts, vec![6, 5]);
+    }
+
+    #[test]
+    fn prediction_fraction_override() {
+        let d = toy(100);
+        let spec = SplitSpec::paper_default().with_prediction_fraction(0.1);
+        let s = d.split(&spec, 2);
+        assert_eq!(s.prediction.n_samples(), 10);
+    }
+
+    #[test]
+    fn stratified_split_preserves_class_ratios() {
+        // 90/10 imbalanced dataset: a stratified split must keep the
+        // minority class in every partition.
+        let n = 200;
+        let features = Matrix::from_fn(n, 2, |i, j| (i * 2 + j) as f64);
+        let labels: Vec<usize> = (0..n).map(|i| usize::from(i % 10 == 0)).collect();
+        let d = Dataset::new("imbalanced", features, labels, 2);
+        let s = d.split_stratified(&SplitSpec::paper_default(), 5);
+        for (name, part) in [
+            ("train", &s.train),
+            ("test", &s.test),
+            ("prediction", &s.prediction),
+        ] {
+            let counts = part.class_counts();
+            assert!(counts[1] > 0, "{name} lost the minority class");
+            let ratio = counts[1] as f64 / part.n_samples() as f64;
+            assert!(
+                (ratio - 0.1).abs() < 0.06,
+                "{name} minority ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn stratified_split_deterministic_and_disjoint() {
+        let d = toy(60);
+        let a = d.split_stratified(&SplitSpec::paper_default(), 9);
+        let b = d.split_stratified(&SplitSpec::paper_default(), 9);
+        assert_eq!(a.train.features, b.train.features);
+        let mut seen = std::collections::HashSet::new();
+        for part in [&a.train, &a.test, &a.prediction] {
+            for i in 0..part.n_samples() {
+                assert!(seen.insert(part.sample(i)[0] as i64), "row duplicated");
+            }
+        }
+    }
+}

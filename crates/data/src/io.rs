@@ -1,0 +1,252 @@
+//! CSV import/export for datasets.
+//!
+//! Lets downstream users run the attack suite on their own tables: a
+//! plain CSV with a header row, numeric feature columns and one label
+//! column. No quoting/escaping dialects — values must be plain numbers
+//! (the attack pipeline operates on numeric, normalized features anyway).
+
+use crate::dataset::Dataset;
+use fia_linalg::Matrix;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Errors from CSV parsing.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header is missing or the label column was not found.
+    BadHeader(String),
+    /// A data row failed to parse; carries the 1-based line number.
+    BadRow {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The file contained no data rows.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::BadHeader(msg) => write!(f, "bad header: {msg}"),
+            CsvError::BadRow { line, message } => write!(f, "line {line}: {message}"),
+            CsvError::Empty => write!(f, "no data rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+/// Reads a dataset from CSV. The column named `label_column` holds the
+/// class as a non-negative integer; every other column is a feature.
+///
+/// Labels may be any non-negative integers; they are compacted to
+/// `0..n_classes` in first-appearance order (the mapping is returned in
+/// the dataset's `name` — no, see `label_values` on the result).
+pub fn read_csv<R: BufRead>(
+    reader: R,
+    name: &str,
+    label_column: &str,
+) -> Result<CsvImport, CsvError> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CsvError::BadHeader("empty input".into()))??;
+    let columns: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let label_idx = columns
+        .iter()
+        .position(|c| c == label_column)
+        .ok_or_else(|| {
+            CsvError::BadHeader(format!(
+                "label column {label_column:?} not in header {columns:?}"
+            ))
+        })?;
+    let feature_names: Vec<String> = columns
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != label_idx)
+        .map(|(_, c)| c.clone())
+        .collect();
+
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut raw_labels: Vec<u64> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split(',').map(str::trim).collect();
+        if cells.len() != columns.len() {
+            return Err(CsvError::BadRow {
+                line: lineno + 2,
+                message: format!("{} cells, expected {}", cells.len(), columns.len()),
+            });
+        }
+        let mut features = Vec::with_capacity(columns.len() - 1);
+        for (i, cell) in cells.iter().enumerate() {
+            if i == label_idx {
+                let label: u64 = cell.parse().map_err(|_| CsvError::BadRow {
+                    line: lineno + 2,
+                    message: format!("label {cell:?} is not a non-negative integer"),
+                })?;
+                raw_labels.push(label);
+            } else {
+                let v: f64 = cell.parse().map_err(|_| CsvError::BadRow {
+                    line: lineno + 2,
+                    message: format!("value {cell:?} is not numeric"),
+                })?;
+                features.push(v);
+            }
+        }
+        rows.push(features);
+    }
+    if rows.is_empty() {
+        return Err(CsvError::Empty);
+    }
+
+    // Compact labels to 0..c in first-appearance order.
+    let mut label_values: Vec<u64> = Vec::new();
+    let labels: Vec<usize> = raw_labels
+        .iter()
+        .map(|&raw| {
+            if let Some(pos) = label_values.iter().position(|&v| v == raw) {
+                pos
+            } else {
+                label_values.push(raw);
+                label_values.len() - 1
+            }
+        })
+        .collect();
+
+    let features = Matrix::from_rows(&rows).map_err(|e| CsvError::BadRow {
+        line: 0,
+        message: format!("inconsistent rows: {e}"),
+    })?;
+    let n_classes = label_values.len().max(2);
+    let mut dataset = Dataset::new(name, features, labels, n_classes);
+    dataset.feature_names = feature_names;
+    Ok(CsvImport {
+        dataset,
+        label_values,
+    })
+}
+
+/// Result of [`read_csv`]: the dataset plus the original label values in
+/// compacted order (`label_values[k]` is the raw value of class `k`).
+#[derive(Debug, Clone)]
+pub struct CsvImport {
+    /// The parsed dataset.
+    pub dataset: Dataset,
+    /// Raw label value per compacted class index.
+    pub label_values: Vec<u64>,
+}
+
+/// Writes a dataset as CSV (features + a final `label` column).
+pub fn write_csv<W: Write>(dataset: &Dataset, mut writer: W) -> std::io::Result<()> {
+    let mut header: Vec<String> = dataset.feature_names.clone();
+    header.push("label".to_string());
+    writeln!(writer, "{}", header.join(","))?;
+    for i in 0..dataset.n_samples() {
+        let mut cells: Vec<String> = dataset
+            .sample(i)
+            .iter()
+            .map(|v| format!("{v}"))
+            .collect();
+        cells.push(dataset.labels[i].to_string());
+        writeln!(writer, "{}", cells.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+age,income,deposit,loan
+0.3,0.5,0.9,1
+0.1,0.2,0.4,0
+0.6,0.7,0.8,1
+";
+
+    #[test]
+    fn read_basic_csv() {
+        let imported = read_csv(SAMPLE.as_bytes(), "bank", "loan").unwrap();
+        let ds = &imported.dataset;
+        assert_eq!(ds.n_samples(), 3);
+        assert_eq!(ds.n_features(), 3);
+        assert_eq!(ds.feature_names, vec!["age", "income", "deposit"]);
+        // Labels compacted in first-appearance order: 1 → 0, 0 → 1.
+        assert_eq!(ds.labels, vec![0, 1, 0]);
+        assert_eq!(imported.label_values, vec![1, 0]);
+        assert_eq!(ds.sample(1), &[0.1, 0.2, 0.4]);
+    }
+
+    #[test]
+    fn label_column_in_the_middle() {
+        let csv = "a,y,b\n1.0,3,2.0\n4.0,5,6.0\n";
+        let imported = read_csv(csv.as_bytes(), "t", "y").unwrap();
+        assert_eq!(imported.dataset.sample(0), &[1.0, 2.0]);
+        assert_eq!(imported.dataset.sample(1), &[4.0, 6.0]);
+        assert_eq!(imported.label_values, vec![3, 5]);
+    }
+
+    #[test]
+    fn missing_label_column_rejected() {
+        let err = read_csv(SAMPLE.as_bytes(), "bank", "nope").unwrap_err();
+        assert!(matches!(err, CsvError::BadHeader(_)));
+    }
+
+    #[test]
+    fn ragged_row_rejected_with_line_number() {
+        let csv = "a,b,y\n1,2,0\n1,0\n";
+        let err = read_csv(csv.as_bytes(), "t", "y").unwrap_err();
+        match err {
+            CsvError::BadRow { line, .. } => assert_eq!(line, 3),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_numeric_value_rejected() {
+        let csv = "a,y\nfoo,0\n";
+        assert!(matches!(
+            read_csv(csv.as_bytes(), "t", "y"),
+            Err(CsvError::BadRow { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_data_rejected() {
+        let csv = "a,y\n";
+        assert!(matches!(read_csv(csv.as_bytes(), "t", "y"), Err(CsvError::Empty)));
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let csv = "a,y\n1,0\n\n2,1\n";
+        let imported = read_csv(csv.as_bytes(), "t", "y").unwrap();
+        assert_eq!(imported.dataset.n_samples(), 2);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let imported = read_csv(SAMPLE.as_bytes(), "bank", "loan").unwrap();
+        let mut buf = Vec::new();
+        write_csv(&imported.dataset, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice(), "bank2", "label").unwrap();
+        assert_eq!(back.dataset.n_samples(), 3);
+        assert_eq!(back.dataset.features, imported.dataset.features);
+        assert_eq!(back.dataset.labels, imported.dataset.labels);
+    }
+}

@@ -1,0 +1,64 @@
+#![warn(missing_docs)]
+
+//! # fia-data — datasets for the feature-inference experiments
+//!
+//! Provides:
+//!
+//! * [`Dataset`] — the in-memory table (features, labels, names) that
+//!   every model and attack consumes, plus deterministic splitting.
+//! * [`SynthConfig`]/[`make_classification`] — a synthetic classification
+//!   generator modelled on scikit-learn's `make_classification` (the same
+//!   tool the paper uses for its two synthetic datasets): Gaussian class
+//!   clusters on informative dimensions, redundant features as noisy
+//!   linear combinations, and pure-noise filler features.
+//! * [`MinMaxNormalizer`] — per-feature scaling into `(0, 1)`, matching
+//!   the paper's preprocessing ("we normalize the ranges of all feature
+//!   values in each dataset into (0,1)").
+//! * [`correlation`] — the Eqn (16)/(17) diagnostics relating attack
+//!   accuracy to feature correlation.
+//! * [`registry`] — shape-matched stand-ins for the six evaluated
+//!   datasets (Table II), with a global scale knob so benches can run in
+//!   seconds instead of hours.
+
+pub mod correlation;
+mod dataset;
+pub mod io;
+mod normalize;
+pub mod registry;
+mod synth;
+
+pub use dataset::{Dataset, SplitSpec, ThreeWaySplit};
+pub use normalize::{normalize_dataset, MinMaxNormalizer};
+pub use registry::{PaperDataset, TableTwoRow};
+pub use synth::{make_classification, SynthConfig};
+
+/// One-hot encodes integer labels into an `n × n_classes` matrix.
+pub fn one_hot(labels: &[usize], n_classes: usize) -> fia_linalg::Matrix {
+    let mut m = fia_linalg::Matrix::zeros(labels.len(), n_classes);
+    for (i, &y) in labels.iter().enumerate() {
+        assert!(y < n_classes, "label {y} out of range (c = {n_classes})");
+        m[(i, y)] = 1.0;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_hot_rows_sum_to_one() {
+        let m = one_hot(&[0, 2, 1], 3);
+        assert_eq!(m.shape(), (3, 3));
+        for i in 0..3 {
+            assert_eq!(m.row(i).iter().sum::<f64>(), 1.0);
+        }
+        assert_eq!(m[(1, 2)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn one_hot_rejects_bad_label() {
+        one_hot(&[3], 3);
+    }
+}

@@ -1,0 +1,180 @@
+//! Min-max normalization into `(0, 1)`.
+//!
+//! The paper normalizes every feature into `(0, 1)` before training
+//! (Section VI-A). The ESA upper-bound analysis (Eqn 14–15) explicitly
+//! relies on this. We map to the *open* interval by padding the observed
+//! range slightly, so logits and logs downstream never see exact 0/1.
+
+use crate::dataset::Dataset;
+use fia_linalg::Matrix;
+
+/// Per-feature affine scaler fit on one dataset and applicable to others
+/// (fit on train, apply to prediction — no leakage).
+#[derive(Debug, Clone)]
+pub struct MinMaxNormalizer {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    /// Fractional padding applied to each side of the range.
+    pad: f64,
+}
+
+impl MinMaxNormalizer {
+    /// Fits the scaler on a feature matrix.
+    ///
+    /// # Panics
+    /// Panics on an empty matrix.
+    pub fn fit(features: &Matrix) -> Self {
+        assert!(features.rows() > 0, "cannot fit on empty data");
+        let d = features.cols();
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for i in 0..features.rows() {
+            for (j, &v) in features.row(i).iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        MinMaxNormalizer {
+            mins,
+            maxs,
+            pad: 0.01,
+        }
+    }
+
+    /// Fits on the dataset's features.
+    pub fn fit_dataset(ds: &Dataset) -> Self {
+        Self::fit(&ds.features)
+    }
+
+    /// Transforms a feature matrix into `(0, 1)` (values outside the
+    /// fitted range are clamped).
+    pub fn transform(&self, features: &Matrix) -> Matrix {
+        assert_eq!(
+            features.cols(),
+            self.mins.len(),
+            "feature count mismatch with fitted scaler"
+        );
+        let mut out = features.clone();
+        for i in 0..out.rows() {
+            for (j, v) in out.row_mut(i).iter_mut().enumerate() {
+                *v = self.transform_value(j, *v);
+            }
+        }
+        out
+    }
+
+    /// Transforms one scalar of feature `j`.
+    pub fn transform_value(&self, j: usize, v: f64) -> f64 {
+        let (lo, hi) = self.padded_range(j);
+        let t = (v - lo) / (hi - lo);
+        t.clamp(0.0, 1.0)
+    }
+
+    /// Inverse-transforms one scalar of feature `j` back to raw units.
+    pub fn inverse_value(&self, j: usize, t: f64) -> f64 {
+        let (lo, hi) = self.padded_range(j);
+        lo + t * (hi - lo)
+    }
+
+    /// Inverse-transforms a whole matrix.
+    pub fn inverse(&self, features: &Matrix) -> Matrix {
+        let mut out = features.clone();
+        for i in 0..out.rows() {
+            for (j, v) in out.row_mut(i).iter_mut().enumerate() {
+                *v = self.inverse_value(j, *v);
+            }
+        }
+        out
+    }
+
+    /// Returns a normalized copy of a dataset (same labels/names).
+    pub fn transform_dataset(&self, ds: &Dataset) -> Dataset {
+        let mut out = ds.clone();
+        out.features = self.transform(&ds.features);
+        out
+    }
+
+    fn padded_range(&self, j: usize) -> (f64, f64) {
+        let (lo, hi) = (self.mins[j], self.maxs[j]);
+        if hi > lo {
+            let span = hi - lo;
+            (lo - self.pad * span, hi + self.pad * span)
+        } else {
+            // Constant feature: map everything to 0.5 via a unit window.
+            (lo - 0.5, lo + 0.5)
+        }
+    }
+}
+
+/// Convenience: fit on `ds` and return the normalized dataset plus the
+/// fitted scaler (for inverse-mapping inferred features back to raw
+/// units).
+pub fn normalize_dataset(ds: &Dataset) -> (Dataset, MinMaxNormalizer) {
+    let scaler = MinMaxNormalizer::fit_dataset(ds);
+    (scaler.transform_dataset(ds), scaler)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_matrix() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 100.0],
+            vec![5.0, 200.0],
+            vec![10.0, 150.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn transform_lands_in_open_unit_interval() {
+        let m = toy_matrix();
+        let s = MinMaxNormalizer::fit(&m);
+        let t = s.transform(&m);
+        for &v in t.as_slice() {
+            assert!(v > 0.0 && v < 1.0, "value {v} not in (0,1)");
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let m = toy_matrix();
+        let s = MinMaxNormalizer::fit(&m);
+        let t = s.transform(&m);
+        let back = s.inverse(&t);
+        assert!(back.max_abs_diff(&m).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn out_of_range_values_clamped() {
+        let m = toy_matrix();
+        let s = MinMaxNormalizer::fit(&m);
+        assert_eq!(s.transform_value(0, -100.0), 0.0);
+        assert_eq!(s.transform_value(0, 1000.0), 1.0);
+    }
+
+    #[test]
+    fn constant_feature_maps_to_half() {
+        let m = Matrix::from_rows(&[vec![7.0], vec![7.0]]).unwrap();
+        let s = MinMaxNormalizer::fit(&m);
+        let t = s.transform(&m);
+        assert!((t[(0, 0)] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transform_dataset_keeps_metadata() {
+        let ds = Dataset::new("t", toy_matrix(), vec![0, 1, 0], 2);
+        let (norm, _) = normalize_dataset(&ds);
+        assert_eq!(norm.labels, ds.labels);
+        assert_eq!(norm.name, ds.name);
+        assert!(norm.features.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn mismatched_width_panics() {
+        let s = MinMaxNormalizer::fit(&toy_matrix());
+        s.transform(&Matrix::zeros(1, 3));
+    }
+}

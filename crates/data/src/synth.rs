@@ -1,0 +1,363 @@
+//! Synthetic classification data, modelled on scikit-learn's
+//! `make_classification`.
+//!
+//! The generator places one Gaussian cluster per class at a random vertex
+//! of a hypercube (side `2 · class_sep`) in an `n_informative`-dimensional
+//! subspace, then appends:
+//!
+//! * `n_redundant` features — random linear combinations of the
+//!   informative ones plus `redundant_noise`-scaled Gaussian noise. These
+//!   are what make the *inter-feature correlations* the GRN attack learns
+//!   (Section VI-C, Fig. 10): a redundant feature on the target side is
+//!   predictable from informative features on the adversary side.
+//! * noise features — i.i.d. Gaussians carrying no signal, giving every
+//!   dataset some irreducibly hard-to-infer columns.
+//!
+//! Feature order is optionally shuffled (seeded) so adversary/target
+//! splits get a mix of feature kinds, mimicking real tables.
+
+use crate::dataset::Dataset;
+use fia_linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Configuration for [`make_classification`].
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of samples to generate.
+    pub n_samples: usize,
+    /// Total number of features `d`.
+    pub n_features: usize,
+    /// Number of informative (cluster-separating) features.
+    pub n_informative: usize,
+    /// Number of redundant features (linear combos of informative ones).
+    pub n_redundant: usize,
+    /// Number of classes `c`.
+    pub n_classes: usize,
+    /// Hypercube half-side controlling class separation.
+    pub class_sep: f64,
+    /// Std-dev of the noise added to redundant features. Smaller values →
+    /// stronger inter-feature correlation → easier GRN inference.
+    pub redundant_noise: f64,
+    /// Fraction of labels flipped uniformly at random (label noise).
+    pub flip_y: f64,
+    /// Shuffle the column order (seeded) when `true`.
+    pub shuffle_features: bool,
+    /// RNG seed; every byte of output is a pure function of the config.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// A reasonable default: 60% informative, 30% redundant, 10% noise.
+    pub fn new(n_samples: usize, n_features: usize, n_classes: usize, seed: u64) -> Self {
+        let n_informative = ((n_features as f64) * 0.6).ceil() as usize;
+        let n_informative = n_informative.clamp(1, n_features);
+        let n_redundant =
+            (((n_features - n_informative) as f64) * 0.75).round() as usize;
+        SynthConfig {
+            n_samples,
+            n_features,
+            n_informative,
+            n_redundant,
+            n_classes,
+            class_sep: 1.0,
+            redundant_noise: 0.3,
+            flip_y: 0.01,
+            shuffle_features: true,
+            seed,
+        }
+    }
+
+    /// Overrides the informative/redundant split.
+    pub fn with_composition(mut self, informative: usize, redundant: usize) -> Self {
+        assert!(informative + redundant <= self.n_features);
+        assert!(informative >= 1);
+        self.n_informative = informative;
+        self.n_redundant = redundant;
+        self
+    }
+
+    /// Overrides class separation.
+    pub fn with_class_sep(mut self, sep: f64) -> Self {
+        self.class_sep = sep;
+        self
+    }
+
+    /// Overrides the redundant-feature noise level (correlation knob).
+    pub fn with_redundant_noise(mut self, noise: f64) -> Self {
+        self.redundant_noise = noise;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.n_samples > 0, "n_samples must be positive");
+        assert!(self.n_features > 0, "n_features must be positive");
+        assert!(self.n_classes >= 2, "need at least two classes");
+        assert!(
+            self.n_informative >= 1 && self.n_informative <= self.n_features,
+            "n_informative out of range"
+        );
+        assert!(
+            self.n_informative + self.n_redundant <= self.n_features,
+            "informative + redundant exceeds n_features"
+        );
+        assert!((0.0..=1.0).contains(&self.flip_y), "flip_y out of range");
+    }
+}
+
+/// Draws a standard-normal variate (Box–Muller; local copy to keep this
+/// crate independent of `fia-tensor`).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Generates a synthetic classification dataset per `config`.
+///
+/// Features are *not* normalized here; compose with
+/// [`crate::MinMaxNormalizer`] to land in `(0, 1)` as the paper requires.
+pub fn make_classification(config: &SynthConfig) -> Dataset {
+    config.validate();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = config.n_samples;
+    let d = config.n_features;
+    let di = config.n_informative;
+    let dr = config.n_redundant;
+    let dn = d - di - dr;
+    let c = config.n_classes;
+
+    // Class centroids: random hypercube vertices (±class_sep per axis),
+    // jittered slightly so no two classes collide even for tiny di.
+    let centroids: Vec<Vec<f64>> = (0..c)
+        .map(|_| {
+            (0..di)
+                .map(|_| {
+                    let vertex = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                    vertex * config.class_sep + 0.2 * standard_normal(&mut rng)
+                })
+                .collect()
+        })
+        .collect();
+
+    // Mixing matrix for redundant features: each redundant column is a
+    // random (unit-norm) combination of informative columns.
+    let mixing: Vec<Vec<f64>> = (0..dr)
+        .map(|_| {
+            let mut w: Vec<f64> = (0..di).map(|_| standard_normal(&mut rng)).collect();
+            let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt().max(1e-12);
+            for x in &mut w {
+                *x /= norm;
+            }
+            w
+        })
+        .collect();
+
+    let mut features = Matrix::zeros(n, d);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let y = rng.gen_range(0..c);
+        // Informative block: centroid + unit Gaussian.
+        let mut informative = vec![0.0; di];
+        for (inf, center) in informative.iter_mut().zip(&centroids[y]) {
+            *inf = center + standard_normal(&mut rng);
+        }
+        // Redundant block: mix + noise.
+        let row = features.row_mut(i);
+        row[..di].copy_from_slice(&informative);
+        for r in 0..dr {
+            let mut v = 0.0;
+            for k in 0..di {
+                v += mixing[r][k] * informative[k];
+            }
+            row[di + r] = v + config.redundant_noise * standard_normal(&mut rng);
+        }
+        // Noise block.
+        for nn in 0..dn {
+            row[di + dr + nn] = standard_normal(&mut rng);
+        }
+        labels.push(y);
+    }
+
+    // Label noise.
+    if config.flip_y > 0.0 {
+        for y in labels.iter_mut() {
+            if rng.gen::<f64>() < config.flip_y {
+                *y = rng.gen_range(0..c);
+            }
+        }
+    }
+
+    // Optional feature shuffle with descriptive names preserved.
+    let mut names: Vec<String> = (0..di)
+        .map(|k| format!("informative_{k}"))
+        .chain((0..dr).map(|k| format!("redundant_{k}")))
+        .chain((0..dn).map(|k| format!("noise_{k}")))
+        .collect();
+    if config.shuffle_features {
+        let mut perm: Vec<usize> = (0..d).collect();
+        perm.shuffle(&mut rng);
+        features = features.select_columns(&perm).expect("perm valid");
+        names = perm.iter().map(|&p| names[p].clone()).collect();
+    }
+
+    let mut ds = Dataset::new(format!("synthetic-{}x{}x{}", n, d, c), features, labels, c);
+    ds.feature_names = names;
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fia_linalg::vecops::pearson;
+
+    fn small_config() -> SynthConfig {
+        SynthConfig {
+            n_samples: 400,
+            n_features: 10,
+            n_informative: 5,
+            n_redundant: 3,
+            n_classes: 3,
+            class_sep: 2.0,
+            redundant_noise: 0.1,
+            flip_y: 0.0,
+            shuffle_features: false,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn shapes_and_labels() {
+        let ds = make_classification(&small_config());
+        assert_eq!(ds.n_samples(), 400);
+        assert_eq!(ds.n_features(), 10);
+        assert_eq!(ds.n_classes, 3);
+        assert!(ds.labels.iter().all(|&y| y < 3));
+        assert!(ds.features.is_finite());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = make_classification(&small_config());
+        let b = make_classification(&small_config());
+        assert_eq!(a.features, b.features);
+        assert_eq!(a.labels, b.labels);
+        let mut cfg = small_config();
+        cfg.seed = 43;
+        let c = make_classification(&cfg);
+        assert_ne!(a.features, c.features);
+    }
+
+    #[test]
+    fn redundant_features_are_correlated_with_informative() {
+        let ds = make_classification(&small_config());
+        // Without shuffling, columns 5..8 are redundant. Max |corr| to any
+        // informative column should be high with noise = 0.1.
+        for r in 5..8 {
+            let rcol = ds.features.col(r);
+            let best = (0..5)
+                .map(|k| pearson(&ds.features.col(k), &rcol).abs())
+                .fold(0.0f64, f64::max);
+            assert!(best > 0.3, "redundant col {r} max |corr| {best}");
+        }
+    }
+
+    #[test]
+    fn noise_features_are_uncorrelated() {
+        let ds = make_classification(&small_config());
+        // Columns 8..10 are pure noise.
+        for nn in 8..10 {
+            let ncol = ds.features.col(nn);
+            for k in 0..5 {
+                let r = pearson(&ds.features.col(k), &ncol).abs();
+                assert!(r < 0.2, "noise col {nn} vs informative {k}: corr {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn classes_are_separable_by_centroid_distance() {
+        let ds = make_classification(&small_config());
+        // Nearest-centroid classification on informative block should beat
+        // chance by a wide margin when class_sep = 2.
+        let mut centroids = vec![vec![0.0; 5]; 3];
+        let mut counts = [0usize; 3];
+        for i in 0..ds.n_samples() {
+            let y = ds.labels[i];
+            counts[y] += 1;
+            for (cent, &v) in centroids[y].iter_mut().zip(ds.sample(i)) {
+                *cent += v;
+            }
+        }
+        for (cent, &cnt) in centroids.iter_mut().zip(counts.iter()) {
+            for v in cent.iter_mut() {
+                *v /= cnt.max(1) as f64;
+            }
+        }
+        let mut correct = 0;
+        for i in 0..ds.n_samples() {
+            let x = &ds.sample(i)[..5];
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (cls, cent) in centroids.iter().enumerate() {
+                let dist: f64 = x
+                    .iter()
+                    .zip(cent.iter())
+                    .map(|(&a, &b)| (a - b) * (a - b))
+                    .sum();
+                if dist < best_d {
+                    best_d = dist;
+                    best = cls;
+                }
+            }
+            if best == ds.labels[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / ds.n_samples() as f64;
+        assert!(acc > 0.7, "nearest-centroid accuracy {acc}");
+    }
+
+    #[test]
+    fn shuffle_permutes_names_consistently() {
+        let mut cfg = small_config();
+        cfg.shuffle_features = true;
+        let ds = make_classification(&cfg);
+        // All original names still present exactly once.
+        let mut names = ds.feature_names.clone();
+        names.sort();
+        let mut expected: Vec<String> = (0..5)
+            .map(|k| format!("informative_{k}"))
+            .chain((0..3).map(|k| format!("redundant_{k}")))
+            .chain((0..2).map(|k| format!("noise_{k}")))
+            .collect();
+        expected.sort();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn flip_y_changes_some_labels() {
+        let mut cfg = small_config();
+        cfg.flip_y = 0.5;
+        let flipped = make_classification(&cfg);
+        cfg.flip_y = 0.0;
+        let clean = make_classification(&cfg);
+        let differing = flipped
+            .labels
+            .iter()
+            .zip(clean.labels.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        // 50% flips land on a random class (1/3 chance of no-op) → expect
+        // roughly n/3 changes; accept a broad band.
+        assert!(differing > 50, "only {differing} labels changed");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds n_features")]
+    fn invalid_composition_panics() {
+        let mut cfg = small_config();
+        cfg.n_redundant = 20;
+        make_classification(&cfg);
+    }
+}

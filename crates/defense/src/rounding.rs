@@ -1,0 +1,121 @@
+//! Confidence-score rounding (Fig. 11a–d).
+//!
+//! "A possible defense to ESA is to coarsen the confidence scores v
+//! returned to the active party, for example, round v down to b floating
+//! point digits before revealing it."
+
+use fia_linalg::Matrix;
+use fia_models::PredictProba;
+
+/// Rounds confidence scores *down* to `b` floating-point digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundingDefense {
+    /// Number of retained decimal digits `b` (paper evaluates 1 and 3).
+    pub digits: u32,
+}
+
+impl RoundingDefense {
+    /// Rounding to one digit (`0.1` granularity) — the setting that
+    /// defeats ESA in Fig. 11a–b.
+    pub fn coarse() -> Self {
+        RoundingDefense { digits: 1 }
+    }
+
+    /// Rounding to three digits (`0.001`) — barely affects the attacks.
+    pub fn fine() -> Self {
+        RoundingDefense { digits: 3 }
+    }
+
+    /// Rounds one score down to the retained precision.
+    pub fn round_value(&self, v: f64) -> f64 {
+        let scale = 10f64.powi(self.digits as i32);
+        (v * scale).floor() / scale
+    }
+
+    /// Rounds a whole confidence matrix.
+    pub fn round_matrix(&self, scores: &Matrix) -> Matrix {
+        scores.map(|v| self.round_value(v))
+    }
+}
+
+/// A model wrapper applying the rounding defense at the protocol
+/// boundary; implements [`PredictProba`] so every attack consumes the
+/// defended scores transparently.
+pub struct RoundedModel<M: PredictProba> {
+    inner: M,
+    defense: RoundingDefense,
+}
+
+impl<M: PredictProba> RoundedModel<M> {
+    /// Wraps `inner` with the given rounding policy.
+    pub fn new(inner: M, defense: RoundingDefense) -> Self {
+        RoundedModel { inner, defense }
+    }
+
+    /// The undefended model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// The active rounding policy.
+    pub fn defense(&self) -> RoundingDefense {
+        self.defense
+    }
+}
+
+impl<M: PredictProba> PredictProba for RoundedModel<M> {
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        self.defense.round_matrix(&self.inner.predict_proba(x))
+    }
+
+    fn n_features(&self) -> usize {
+        self.inner.n_features()
+    }
+
+    fn n_classes(&self) -> usize {
+        self.inner.n_classes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fia_linalg::Matrix;
+    use fia_models::LogisticRegression;
+
+    #[test]
+    fn rounds_down_not_nearest() {
+        let d = RoundingDefense { digits: 1 };
+        assert_eq!(d.round_value(0.19), 0.1);
+        assert_eq!(d.round_value(0.99), 0.9);
+        assert_eq!(d.round_value(0.10), 0.1);
+    }
+
+    #[test]
+    fn three_digits_small_perturbation() {
+        let d = RoundingDefense::fine();
+        let v = 0.123456;
+        assert!((d.round_value(v) - 0.123).abs() < 1e-12);
+        assert!((d.round_value(v) - v).abs() < 1e-3);
+    }
+
+    #[test]
+    fn wrapped_model_rounds_scores() {
+        let w = Matrix::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+        let model = LogisticRegression::from_parameters(w, vec![0.0], 2);
+        let defended = RoundedModel::new(model, RoundingDefense::coarse());
+        let p = defended.predict_proba(&Matrix::from_rows(&[vec![0.3, 0.4]]).unwrap());
+        // Every score has at most one decimal digit.
+        for &v in p.as_slice() {
+            assert!(((v * 10.0) - (v * 10.0).round()).abs() < 1e-12, "score {v}");
+        }
+        assert_eq!(defended.n_classes(), 2);
+        assert_eq!(defended.n_features(), 2);
+    }
+
+    #[test]
+    fn coarse_rounding_may_zero_scores() {
+        let d = RoundingDefense::coarse();
+        assert_eq!(d.round_value(0.049), 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Pre-processing before collaboration (Section VII).
+//!
+//! Two checks the parties run *before* agreeing to train together:
+//!
+//! 1. **Class-count exposure** — if a party would contribute
+//!    `d_i ≤ c − 1` features, ESA recovers them exactly from a single
+//!    prediction; the parties should renegotiate the feature split.
+//! 2. **Correlation screening** — features that are strongly correlated
+//!    with another party's features are easy GRNA targets; the parties
+//!    jointly compute feature correlations (via MPC in the paper; plainly
+//!    here) and drop the worst offenders.
+
+use fia_data::correlation::correlation_matrix;
+use fia_linalg::Matrix;
+
+/// Outcome of the pre-collaboration exposure check for one party.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExposureRisk {
+    /// `d_i ≤ c − 1`: exact ESA recovery possible. Contains the margin
+    /// `c − 1 − d_i`.
+    ExactRecovery(usize),
+    /// More unknowns than equations, but close; contains `d_i − (c − 1)`.
+    Marginal(usize),
+    /// Comfortable margin.
+    Low,
+}
+
+/// Evaluates the ESA exposure condition for a party contributing
+/// `d_party` features to a `c`-class collaboration.
+pub fn exposure_risk(d_party: usize, n_classes: usize) -> ExposureRisk {
+    let equations = n_classes.saturating_sub(1);
+    if d_party <= equations {
+        ExposureRisk::ExactRecovery(equations - d_party)
+    } else if d_party <= 2 * equations {
+        ExposureRisk::Marginal(d_party - equations)
+    } else {
+        ExposureRisk::Low
+    }
+}
+
+/// Report from the joint correlation screen.
+#[derive(Debug, Clone)]
+pub struct ScreeningReport {
+    /// Feature pairs `(own, other)` crossing party boundaries whose
+    /// absolute Pearson correlation exceeds the threshold.
+    pub risky_pairs: Vec<(usize, usize, f64)>,
+    /// Features recommended for removal (greedy cover of risky pairs).
+    pub drop_candidates: Vec<usize>,
+}
+
+/// Screens cross-party feature correlations: any pair with
+/// `|r| > threshold` where the two features belong to *different* parties
+/// is flagged, and a greedy minimum set of features covering all flagged
+/// pairs is proposed for removal.
+pub fn correlation_screen(
+    features: &Matrix,
+    party_of: &[usize],
+    threshold: f64,
+) -> ScreeningReport {
+    assert_eq!(
+        features.cols(),
+        party_of.len(),
+        "party assignment per feature required"
+    );
+    let corr = correlation_matrix(features);
+    let d = features.cols();
+    let mut risky = Vec::new();
+    for i in 0..d {
+        for j in (i + 1)..d {
+            if party_of[i] != party_of[j] && corr[(i, j)].abs() > threshold {
+                risky.push((i, j, corr[(i, j)]));
+            }
+        }
+    }
+    // Greedy cover: repeatedly drop the feature participating in the most
+    // uncovered risky pairs.
+    let mut uncovered: Vec<(usize, usize)> = risky.iter().map(|&(i, j, _)| (i, j)).collect();
+    let mut drops = Vec::new();
+    while !uncovered.is_empty() {
+        let mut counts = vec![0usize; d];
+        for &(i, j) in &uncovered {
+            counts[i] += 1;
+            counts[j] += 1;
+        }
+        let worst = fia_linalg::vecops::argmax(
+            &counts.iter().map(|&k| k as f64).collect::<Vec<_>>(),
+        );
+        drops.push(worst);
+        uncovered.retain(|&(i, j)| i != worst && j != worst);
+    }
+    drops.sort_unstable();
+    ScreeningReport {
+        risky_pairs: risky,
+        drop_candidates: drops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exposure_thresholds() {
+        // 11 classes → 10 equations.
+        assert_eq!(exposure_risk(10, 11), ExposureRisk::ExactRecovery(0));
+        assert_eq!(exposure_risk(4, 11), ExposureRisk::ExactRecovery(6));
+        assert_eq!(exposure_risk(15, 11), ExposureRisk::Marginal(5));
+        assert_eq!(exposure_risk(40, 11), ExposureRisk::Low);
+        // Binary: a single-feature party is exactly recoverable.
+        assert_eq!(exposure_risk(1, 2), ExposureRisk::ExactRecovery(0));
+        assert_eq!(exposure_risk(2, 2), ExposureRisk::Marginal(1));
+    }
+
+    #[test]
+    fn screen_flags_cross_party_copies() {
+        // Feature 2 (party 1) is a copy of feature 0 (party 0).
+        let features = Matrix::from_fn(50, 3, |i, j| match j {
+            0 => (i as f64 * 0.618).fract(),
+            1 => ((i * i) as f64 * 0.271).fract(),
+            _ => (i as f64 * 0.618).fract(),
+        });
+        let report = correlation_screen(&features, &[0, 0, 1], 0.9);
+        assert_eq!(report.risky_pairs.len(), 1);
+        let (i, j, r) = report.risky_pairs[0];
+        assert_eq!((i, j), (0, 2));
+        assert!(r.abs() > 0.99);
+        assert_eq!(report.drop_candidates.len(), 1);
+        assert!(report.drop_candidates[0] == 0 || report.drop_candidates[0] == 2);
+    }
+
+    #[test]
+    fn same_party_correlation_not_flagged() {
+        // Features 0 and 1 are identical but both belong to party 0.
+        let features = Matrix::from_fn(30, 2, |i, _| i as f64 / 30.0);
+        let report = correlation_screen(&features, &[0, 0], 0.5);
+        assert!(report.risky_pairs.is_empty());
+        assert!(report.drop_candidates.is_empty());
+    }
+
+    #[test]
+    fn greedy_cover_prefers_hub_feature() {
+        // Feature 0 (party 0) correlates with features 2 and 3 (party 1);
+        // dropping 0 covers both pairs.
+        let base: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).fract()).collect();
+        let features = Matrix::from_fn(40, 4, |i, j| match j {
+            0 | 2 | 3 => base[i],
+            _ => ((i * 7) as f64 * 0.53).fract(),
+        });
+        let report = correlation_screen(&features, &[0, 0, 1, 1], 0.9);
+        assert_eq!(report.risky_pairs.len(), 2);
+        assert_eq!(report.drop_candidates, vec![0]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by all linear algebra routines.
+
+use std::fmt;
+
+/// Errors produced by `fia-linalg` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinAlgError {
+    /// Two operands had incompatible shapes. The payload carries the
+    /// offending `(rows, cols)` pairs for diagnostics.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+        /// Operation that was attempted, e.g. `"matmul"`.
+        op: &'static str,
+    },
+    /// The matrix was singular (or numerically singular) where an
+    /// invertible matrix was required.
+    Singular,
+    /// An iterative algorithm failed to converge within its iteration cap.
+    NoConvergence {
+        /// Algorithm that failed, e.g. `"jacobi-svd"`.
+        algorithm: &'static str,
+        /// Number of sweeps/iterations performed before giving up.
+        iterations: usize,
+    },
+    /// An argument was out of the routine's domain (e.g. empty matrix).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinAlgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinAlgError::ShapeMismatch { left, right, op } => write!(
+                f,
+                "shape mismatch in {op}: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            LinAlgError::Singular => write!(f, "matrix is singular"),
+            LinAlgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            LinAlgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinAlgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch() {
+        let e = LinAlgError::ShapeMismatch {
+            left: (2, 3),
+            right: (4, 5),
+            op: "matmul",
+        };
+        assert_eq!(
+            e.to_string(),
+            "shape mismatch in matmul: left is 2x3, right is 4x5"
+        );
+    }
+
+    #[test]
+    fn display_singular() {
+        assert_eq!(LinAlgError::Singular.to_string(), "matrix is singular");
+    }
+
+    #[test]
+    fn display_no_convergence() {
+        let e = LinAlgError::NoConvergence {
+            algorithm: "jacobi-svd",
+            iterations: 64,
+        };
+        assert_eq!(e.to_string(), "jacobi-svd did not converge after 64 iterations");
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&LinAlgError::Singular);
+    }
+}

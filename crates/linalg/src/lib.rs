@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # fia-linalg — dense linear algebra substrate
+//!
+//! Small, dependency-free dense linear algebra library sized for the needs
+//! of the feature-inference attack suite:
+//!
+//! * [`Matrix`] — row-major dense `f64` matrix with the usual arithmetic.
+//! * [`svd`] — one-sided Jacobi singular value decomposition.
+//! * [`qr`] — Householder QR decomposition.
+//! * [`lu_decompose`]/[`solve`] — LU with partial pivoting, linear solving.
+//! * [`pinv`] — Moore–Penrose pseudo-inverse (the workhorse of the
+//!   equality solving attack, Section IV-A of the paper).
+//! * [`lstsq`] — minimum-norm least-squares solve `argmin ‖Ax − b‖₂`.
+//!
+//! All routines are written for clarity and numerical robustness on the
+//! small/medium systems the attacks produce (`(c−1) × d_target` matrices),
+//! not for BLAS-level throughput; matrix multiplication is nonetheless
+//! cache-friendly (ikj loop order over row-major storage).
+
+mod cholesky;
+mod error;
+mod lstsq;
+mod lu;
+mod matrix;
+mod pinv;
+mod qr;
+mod svd;
+pub mod vecops;
+
+pub use cholesky::{cholesky, cholesky_solve, Cholesky};
+pub use error::LinAlgError;
+pub use lstsq::lstsq;
+pub use lu::{inverse, lu_decompose, lu_solve, solve, LuDecomposition};
+pub use matrix::Matrix;
+pub use pinv::{pinv, pinv_with_tolerance};
+pub use qr::{qr, QrDecomposition};
+pub use svd::{svd, Svd};
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, LinAlgError>;

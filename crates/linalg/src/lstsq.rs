@@ -1,0 +1,99 @@
+//! Minimum-norm least-squares solve via SVD.
+
+use crate::{svd, LinAlgError, Matrix, Result};
+
+/// Solves `argmin_x ‖A x − b‖₂`, returning the minimum-norm minimizer.
+///
+/// This is precisely the estimator the equality solving attack uses when
+/// the adversary faces more unknown features than equations
+/// (`d_target ≥ c`): among the infinitely many interpolating solutions it
+/// returns the one with `‖x̂‖₂ ≤ ‖x‖₂` (see Eqn (11) in the paper), which
+/// underlies the attack's MSE upper bound.
+///
+/// # Errors
+/// Propagates SVD failures and rejects a right-hand side whose length
+/// differs from `A`'s row count.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if b.len() != a.rows() {
+        return Err(LinAlgError::ShapeMismatch {
+            left: a.shape(),
+            right: (b.len(), 1),
+            op: "lstsq",
+        });
+    }
+    let f = svd(a)?;
+    let tol = f.default_tolerance(a.rows(), a.cols());
+    // x = V · Σ⁺ · Uᵀ b
+    let utb = f.u.transpose().matvec(b)?;
+    let scaled: Vec<f64> = utb
+        .iter()
+        .zip(f.sigma.iter())
+        .map(|(&y, &s)| if s > tol { y / s } else { 0.0 })
+        .collect();
+    f.v.matvec(&scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_square_solution() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 4.0]]).unwrap();
+        let x = lstsq(&a, &[2.0, 8.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_regression() {
+        // Fit y = a·t with observations (1,2), (2,4), (3,6.3).
+        let a = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let x = lstsq(&a, &[2.0, 4.0, 6.3]).unwrap();
+        // Closed form: Σtᵢyᵢ / Σtᵢ² = (2 + 8 + 18.9) / 14
+        assert!((x[0] - 28.9 / 14.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn underdetermined_minimum_norm() {
+        // x + y + z = 3 → minimum-norm solution (1, 1, 1).
+        let a = Matrix::from_rows(&[vec![1.0, 1.0, 1.0]]).unwrap();
+        let x = lstsq(&a, &[3.0]).unwrap();
+        for v in &x {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn minimum_norm_property_against_alternatives() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, -1.0], vec![0.0, 1.0, 1.0]]).unwrap();
+        let b = [4.0, 2.0];
+        let x = lstsq(&a, &b).unwrap();
+        // Verify interpolation.
+        let r = a.matvec(&x).unwrap();
+        assert!((r[0] - b[0]).abs() < 1e-10 && (r[1] - b[1]).abs() < 1e-10);
+        // Any particular solution has norm ≥ the lstsq one. Construct one
+        // by fixing z = 1: then y = 1, x = 4 - 2 + 1 = 3.
+        let alt = [3.0, 1.0, 1.0];
+        let alt_norm: f64 = alt.iter().map(|v| v * v).sum();
+        let x_norm: f64 = x.iter().map(|v| v * v).sum();
+        assert!(x_norm <= alt_norm + 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Matrix::zeros(2, 2);
+        assert!(lstsq(&a, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_is_handled() {
+        // Columns identical → rank 1; solution should still interpolate
+        // the projection and split weight evenly.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0]]).unwrap();
+        let x = lstsq(&a, &[2.0, 4.0]).unwrap();
+        assert!((x[0] - x[1]).abs() < 1e-10);
+        let r = a.matvec(&x).unwrap();
+        assert!((r[0] - 2.0).abs() < 1e-10 && (r[1] - 4.0).abs() < 1e-10);
+    }
+}

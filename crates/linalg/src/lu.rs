@@ -1,0 +1,225 @@
+//! LU decomposition with partial pivoting, plus a convenience solver.
+
+use crate::{LinAlgError, Matrix, Result};
+
+/// A packed LU decomposition `P · A = L · U` of a square matrix.
+///
+/// `lu` stores `L` (unit diagonal, strictly lower part) and `U` (upper
+/// part including diagonal) in one matrix; `perm[i]` gives the original
+/// row index that was swapped into position `i`.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    lu: Matrix,
+    perm: Vec<usize>,
+    /// Number of row swaps — the sign of the permutation, used by
+    /// [`LuDecomposition::determinant`].
+    swaps: usize,
+}
+
+impl LuDecomposition {
+    /// Solves `A x = b` using the factorization.
+    // Triangular substitution is clearest with explicit indices.
+    #[allow(clippy::needless_range_loop)]
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinAlgError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+                op: "lu-solve",
+            });
+        }
+        // Forward substitution on the permuted right-hand side.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[self.perm[i]];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * y[j];
+            }
+            y[i] = s;
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn determinant(&self) -> f64 {
+        let sign = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        (0..self.lu.rows()).fold(sign, |acc, i| acc * self.lu[(i, i)])
+    }
+}
+
+/// Factors a square matrix with partial pivoting.
+///
+/// # Errors
+/// * [`LinAlgError::InvalidArgument`] if the matrix is not square.
+/// * [`LinAlgError::Singular`] if a pivot underflows the tolerance.
+pub fn lu_decompose(a: &Matrix) -> Result<LuDecomposition> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(LinAlgError::InvalidArgument(format!(
+            "lu: matrix must be square, got {m}x{n}"
+        )));
+    }
+    if n == 0 {
+        return Err(LinAlgError::InvalidArgument("lu: empty matrix".into()));
+    }
+    let mut lu = a.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    let mut swaps = 0;
+    let tol = n as f64 * f64::EPSILON * a.max_abs();
+
+    for k in 0..n {
+        // Partial pivot: find the largest |entry| in column k at/below row k.
+        let mut piv = k;
+        for i in (k + 1)..n {
+            if lu[(i, k)].abs() > lu[(piv, k)].abs() {
+                piv = i;
+            }
+        }
+        if lu[(piv, k)].abs() <= tol {
+            return Err(LinAlgError::Singular);
+        }
+        if piv != k {
+            for j in 0..n {
+                let tmp = lu[(k, j)];
+                lu[(k, j)] = lu[(piv, j)];
+                lu[(piv, j)] = tmp;
+            }
+            perm.swap(k, piv);
+            swaps += 1;
+        }
+        for i in (k + 1)..n {
+            let factor = lu[(i, k)] / lu[(k, k)];
+            lu[(i, k)] = factor;
+            for j in (k + 1)..n {
+                let delta = factor * lu[(k, j)];
+                lu[(i, j)] -= delta;
+            }
+        }
+    }
+    Ok(LuDecomposition { lu, perm, swaps })
+}
+
+/// Re-exported convenience: solves `A x = b` via a fresh factorization.
+pub fn lu_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    lu_decompose(a)?.solve(b)
+}
+
+/// Alias for [`lu_solve`]; the workspace's generic "solve a square linear
+/// system" entry point.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    lu_solve(a, b)
+}
+
+/// Computes the inverse of a square matrix by solving against the
+/// identity columns (one LU factorization, `n` substitutions).
+///
+/// Prefer [`solve`]/[`LuDecomposition::solve`] when only `A⁻¹b` is
+/// needed — forming the inverse explicitly is both slower and less
+/// accurate.
+pub fn inverse(a: &Matrix) -> Result<Matrix> {
+    let n = a.rows();
+    let f = lu_decompose(a)?;
+    let mut inv = Matrix::zeros(n, n);
+    let mut e = vec![0.0; n];
+    for j in 0..n {
+        e[j] = 1.0;
+        let col = f.solve(&e)?;
+        for (i, &v) in col.iter().enumerate() {
+            inv[(i, j)] = v;
+        }
+        e[j] = 0.0;
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = Matrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]).unwrap();
+        let inv = inverse(&a).unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(2)).unwrap() < 1e-12);
+        // Known closed form: (1/10)·[[6,−7],[−2,4]].
+        assert!((inv[(0, 0)] - 0.6).abs() < 1e-12);
+        assert!((inv[(0, 1)] + 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_of_singular_errors() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(inverse(&a), Err(LinAlgError::Singular)));
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[vec![3.0, 2.0], vec![1.0, 4.0]]).unwrap();
+        // 3x + 2y = 7 ; x + 4y = 9 → x = 1, y = 2
+        let x = solve(&a, &[7.0, 9.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(solve(&a, &[1.0, 2.0]), Err(LinAlgError::Singular)));
+    }
+
+    #[test]
+    fn determinant_known() {
+        let a = Matrix::from_rows(&[vec![4.0, 3.0], vec![6.0, 3.0]]).unwrap();
+        let d = lu_decompose(&a).unwrap().determinant();
+        assert!((d - (-6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_with_swap_keeps_sign() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let d = lu_decompose(&a).unwrap().determinant();
+        assert!((d - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert!(lu_decompose(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn solve_larger_system_residual_small() {
+        let n = 8;
+        let a = Matrix::from_fn(n, n, |i, j| {
+            if i == j {
+                10.0 + i as f64
+            } else {
+                1.0 / (1.0 + (i + j) as f64)
+            }
+        });
+        let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let x = solve(&a, &b).unwrap();
+        let r = a.matvec(&x).unwrap();
+        for i in 0..n {
+            assert!((r[i] - b[i]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Moore–Penrose pseudo-inverse.
+//!
+//! Section IV-A of the paper solves `Θ_target · x_target = a` by
+//! `x̂_target = Θ⁺_target · a`. The pseudo-inverse both (i) recovers the
+//! unique exact solution when `d_target ≤ c − 1` and the system has full
+//! column rank, and (ii) yields the *minimum-norm least-squares* solution
+//! otherwise — the property the paper leans on for its Eqn (15) MSE upper
+//! bound (`‖x̂‖₂ ≤ ‖x‖₂`).
+
+use crate::{svd, Matrix, Result};
+
+/// Computes the Moore–Penrose pseudo-inverse `A⁺` with the default
+/// LAPACK-style tolerance `max(m, n) · eps · σ_max`.
+pub fn pinv(a: &Matrix) -> Result<Matrix> {
+    let f = svd(a)?;
+    let tol = f.default_tolerance(a.rows(), a.cols());
+    pinv_from_svd(&f, tol)
+}
+
+/// Computes `A⁺` treating singular values `σ ≤ tol` as zero.
+///
+/// Exposing the tolerance lets the defense-evaluation benches study how
+/// confidence-score rounding interacts with the attack's effective rank.
+pub fn pinv_with_tolerance(a: &Matrix, tol: f64) -> Result<Matrix> {
+    let f = svd(a)?;
+    pinv_from_svd(&f, tol)
+}
+
+fn pinv_from_svd(f: &crate::Svd, tol: f64) -> Result<Matrix> {
+    // A⁺ = V · diag(1/σᵢ for σᵢ > tol) · Uᵀ
+    let k = f.sigma.len();
+    let mut v_scaled = f.v.clone();
+    for j in 0..k {
+        let inv = if f.sigma[j] > tol { 1.0 / f.sigma[j] } else { 0.0 };
+        for i in 0..v_scaled.rows() {
+            v_scaled[(i, j)] *= inv;
+        }
+    }
+    v_scaled.matmul(&f.u.transpose())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Matrix;
+
+    fn assert_matrix_close(a: &Matrix, b: &Matrix, tol: f64) {
+        assert!(
+            a.max_abs_diff(b).unwrap() < tol,
+            "matrices differ:\n{a:?}\n{b:?}"
+        );
+    }
+
+    #[test]
+    fn pinv_of_invertible_is_inverse() {
+        let a = Matrix::from_rows(&[vec![4.0, 7.0], vec![2.0, 6.0]]).unwrap();
+        let p = pinv(&a).unwrap();
+        let prod = a.matmul(&p).unwrap();
+        assert_matrix_close(&prod, &Matrix::identity(2), 1e-10);
+    }
+
+    #[test]
+    fn penrose_conditions_hold_for_rank_deficient() {
+        // Rank-1 matrix.
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
+        let p = pinv(&a).unwrap();
+        // (1) A A⁺ A = A
+        let c1 = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert_matrix_close(&c1, &a, 1e-10);
+        // (2) A⁺ A A⁺ = A⁺
+        let c2 = p.matmul(&a).unwrap().matmul(&p).unwrap();
+        assert_matrix_close(&c2, &p, 1e-10);
+        // (3) (A A⁺)ᵀ = A A⁺
+        let aap = a.matmul(&p).unwrap();
+        assert_matrix_close(&aap.transpose(), &aap, 1e-10);
+        // (4) (A⁺ A)ᵀ = A⁺ A
+        let pa = p.matmul(&a).unwrap();
+        assert_matrix_close(&pa.transpose(), &pa, 1e-10);
+    }
+
+    #[test]
+    fn pinv_shape_is_transposed() {
+        let a = Matrix::from_fn(2, 5, |i, j| (i + j) as f64);
+        let p = pinv(&a).unwrap();
+        assert_eq!(p.shape(), (5, 2));
+    }
+
+    #[test]
+    fn underdetermined_solution_has_minimum_norm() {
+        // One equation, two unknowns: x + y = 2. Minimum-norm solution is
+        // (1, 1); any other solution (e.g. (2, 0)) has a larger norm.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap();
+        let p = pinv(&a).unwrap();
+        let x = p.matvec(&[2.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_solution_is_least_squares() {
+        // x = 1, x = 3 → least squares x = 2.
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+        let p = pinv(&a).unwrap();
+        let x = p.matvec(&[1.0, 3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pinv_of_zero_matrix_is_zero() {
+        let a = Matrix::zeros(3, 4);
+        let p = pinv(&a).unwrap();
+        assert_eq!(p.shape(), (4, 3));
+        assert!(p.max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn custom_tolerance_truncates_small_singular_values() {
+        // diag(1, 1e-8): with a huge tolerance the tiny direction is cut.
+        let a = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1e-8]]).unwrap();
+        let p = pinv_with_tolerance(&a, 1e-4).unwrap();
+        assert!((p[(0, 0)] - 1.0).abs() < 1e-12);
+        assert_eq!(p[(1, 1)], 0.0);
+    }
+}

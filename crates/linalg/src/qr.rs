@@ -1,0 +1,194 @@
+//! Householder QR decomposition.
+//!
+//! Used by the ablation bench comparing the SVD-based pseudo-inverse with
+//! a QR least-squares path, and generally useful for downstream users of
+//! the library.
+
+use crate::{LinAlgError, Matrix, Result};
+
+/// A thin QR decomposition `A = Q · R` of an `m × n` matrix with `m ≥ n`:
+/// `q` is `m × n` with orthonormal columns, `r` is `n × n` upper
+/// triangular.
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Orthonormal factor (`m × n`).
+    pub q: Matrix,
+    /// Upper-triangular factor (`n × n`).
+    pub r: Matrix,
+}
+
+impl QrDecomposition {
+    /// Solves `A x = b` in the least-squares sense via
+    /// `R x = Qᵀ b` back-substitution.
+    ///
+    /// # Errors
+    /// [`LinAlgError::Singular`] if `R` has a (numerically) zero diagonal
+    /// entry, i.e. `A` was column-rank-deficient.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        if b.len() != self.q.rows() {
+            return Err(LinAlgError::ShapeMismatch {
+                left: self.q.shape(),
+                right: (b.len(), 1),
+                op: "qr-solve",
+            });
+        }
+        let qtb = self.q.transpose().matvec(b)?;
+        back_substitute(&self.r, &qtb)
+    }
+}
+
+/// Solves upper-triangular `R x = y`.
+fn back_substitute(r: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
+    let n = r.cols();
+    let tol = n as f64 * f64::EPSILON * r.max_abs();
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for j in (i + 1)..n {
+            s -= r[(i, j)] * x[j];
+        }
+        let d = r[(i, i)];
+        if d.abs() <= tol {
+            return Err(LinAlgError::Singular);
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Computes the thin QR decomposition of `a` (requires `rows ≥ cols`).
+///
+/// # Errors
+/// [`LinAlgError::InvalidArgument`] when `rows < cols` or the matrix is
+/// empty.
+pub fn qr(a: &Matrix) -> Result<QrDecomposition> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinAlgError::InvalidArgument(
+            "qr: matrix must be non-empty".into(),
+        ));
+    }
+    if m < n {
+        return Err(LinAlgError::InvalidArgument(format!(
+            "qr: need rows >= cols, got {m}x{n}"
+        )));
+    }
+
+    // Work on a copy; accumulate Householder reflectors into Q explicitly.
+    let mut r = a.clone();
+    let mut q = Matrix::identity(m);
+
+    for k in 0..n {
+        // Build the Householder vector for column k below the diagonal.
+        let mut norm2 = 0.0;
+        for i in k..m {
+            norm2 += r[(i, k)] * r[(i, k)];
+        }
+        let norm = norm2.sqrt();
+        if norm == 0.0 {
+            continue; // column already zero below the diagonal
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; m];
+        v[k] = r[(k, k)] - alpha;
+        for i in (k + 1)..m {
+            v[i] = r[(i, k)];
+        }
+        let vtv: f64 = v[k..].iter().map(|&x| x * x).sum();
+        if vtv == 0.0 {
+            continue;
+        }
+        // Apply H = I − 2 v vᵀ / (vᵀ v) to R (from the left).
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i] * r[(i, j)];
+            }
+            let f = 2.0 * dot / vtv;
+            for i in k..m {
+                r[(i, j)] -= f * v[i];
+            }
+        }
+        // Accumulate into Q: Q ← Q · H.
+        for i in 0..m {
+            let mut dot = 0.0;
+            for l in k..m {
+                dot += q[(i, l)] * v[l];
+            }
+            let f = 2.0 * dot / vtv;
+            for l in k..m {
+                q[(i, l)] -= f * v[l];
+            }
+        }
+    }
+
+    // Extract the thin factors.
+    let q_thin = Matrix::from_fn(m, n, |i, j| q[(i, j)]);
+    let r_thin = Matrix::from_fn(n, n, |i, j| if j >= i { r[(i, j)] } else { 0.0 });
+    Ok(QrDecomposition {
+        q: q_thin,
+        r: r_thin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = Matrix::from_fn(5, 3, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let f = qr(&a).unwrap();
+        let rec = f.q.matmul(&f.r).unwrap();
+        assert!(rec.max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i + 1) * (j + 2)) as f64 + (i as f64).cos());
+        let f = qr(&a).unwrap();
+        let gram = f.q.transpose().matmul(&f.q).unwrap();
+        assert!(gram.max_abs_diff(&Matrix::identity(4)).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(4, 4, |i, j| (1 + i * 4 + j) as f64 + ((i * j) as f64).sin());
+        let f = qr(&a).unwrap();
+        for i in 0..4 {
+            for j in 0..i {
+                assert!(f.r[(i, j)].abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_solve_square_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let f = qr(&a).unwrap();
+        let x = f.solve(&[5.0, 10.0]).unwrap();
+        // 2x + y = 5, x + 3y = 10 → x = 1, y = 3
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn qr_solve_least_squares() {
+        // Fit y = c to observations 1, 3 → c = 2.
+        let a = Matrix::from_rows(&[vec![1.0], vec![1.0]]).unwrap();
+        let x = qr(&a).unwrap().solve(&[1.0, 3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_rejects_wide() {
+        assert!(qr(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn qr_solve_singular_errors() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        let f = qr(&a).unwrap();
+        assert!(matches!(f.solve(&[1.0, 2.0]), Err(LinAlgError::Singular)));
+    }
+}

@@ -1,0 +1,269 @@
+//! One-sided Jacobi singular value decomposition.
+//!
+//! The attacks only ever factor small matrices — the equality solving
+//! attack builds a `(c−1) × d_target` system — so the quadratically
+//! convergent, numerically robust one-sided Jacobi method is a good fit:
+//! it computes all singular values to high relative accuracy and needs no
+//! bidiagonalization machinery.
+
+use crate::{LinAlgError, Matrix, Result};
+
+/// A thin singular value decomposition `A = U · diag(σ) · Vᵀ`.
+///
+/// For an `m × n` input with `k = min(m, n)`:
+/// * `u` is `m × k` with orthonormal columns,
+/// * `sigma` holds the `k` singular values in non-increasing order,
+/// * `v` is `n × k` with orthonormal columns.
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (`m × k`).
+    pub u: Matrix,
+    /// Singular values, non-increasing.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors (`n × k`).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Reconstructs `U · diag(σ) · Vᵀ` (useful for testing).
+    pub fn reconstruct(&self) -> Result<Matrix> {
+        let k = self.sigma.len();
+        let mut us = self.u.clone();
+        for j in 0..k {
+            for i in 0..us.rows() {
+                us[(i, j)] *= self.sigma[j];
+            }
+        }
+        us.matmul(&self.v.transpose())
+    }
+
+    /// Numerical rank with tolerance `tol` (`σᵢ > tol` counted).
+    pub fn rank(&self, tol: f64) -> usize {
+        self.sigma.iter().filter(|&&s| s > tol).count()
+    }
+
+    /// The default tolerance used for rank/pseudo-inverse decisions:
+    /// `max(m, n) · eps · σ_max`, following LAPACK's convention.
+    pub fn default_tolerance(&self, m: usize, n: usize) -> f64 {
+        let smax = self.sigma.first().copied().unwrap_or(0.0);
+        m.max(n) as f64 * f64::EPSILON * smax
+    }
+}
+
+/// Maximum number of Jacobi sweeps before declaring failure. One-sided
+/// Jacobi converges quadratically; well-conditioned inputs finish in < 10
+/// sweeps, and 60 leaves enormous head-room.
+const MAX_SWEEPS: usize = 60;
+
+/// Computes the thin SVD of `a` by one-sided Jacobi rotations.
+///
+/// Works for any shape; internally transposes when `m < n` so the
+/// rotation loop always runs over the narrow dimension.
+///
+/// # Errors
+/// * [`LinAlgError::InvalidArgument`] for empty matrices or non-finite input.
+/// * [`LinAlgError::NoConvergence`] if the sweep cap is exhausted
+///   (practically unreachable for finite input).
+pub fn svd(a: &Matrix) -> Result<Svd> {
+    if a.rows() == 0 || a.cols() == 0 {
+        return Err(LinAlgError::InvalidArgument(
+            "svd: matrix must be non-empty".into(),
+        ));
+    }
+    if !a.is_finite() {
+        return Err(LinAlgError::InvalidArgument(
+            "svd: matrix contains non-finite values".into(),
+        ));
+    }
+    if a.rows() < a.cols() {
+        // Factor the transpose and swap the roles of U and V.
+        let t = svd(&a.transpose())?;
+        return Ok(Svd {
+            u: t.v,
+            sigma: t.sigma,
+            v: t.u,
+        });
+    }
+
+    let m = a.rows();
+    let n = a.cols();
+    // `u` starts as a copy of A; Jacobi rotations orthogonalize its columns.
+    let mut u = a.clone();
+    let mut v = Matrix::identity(n);
+
+    // Scale-aware convergence threshold on the normalized off-diagonal
+    // inner products |⟨u_p, u_q⟩| / (‖u_p‖‖u_q‖).
+    let tol = 1e-14;
+
+    let mut converged = false;
+    let mut sweeps = 0;
+    while !converged && sweeps < MAX_SWEEPS {
+        converged = true;
+        sweeps += 1;
+        for p in 0..n.saturating_sub(1) {
+            for q in (p + 1)..n {
+                let mut alpha = 0.0; // ⟨u_p, u_p⟩
+                let mut beta = 0.0; // ⟨u_q, u_q⟩
+                let mut gamma = 0.0; // ⟨u_p, u_q⟩
+                for i in 0..m {
+                    let up = u[(i, p)];
+                    let uq = u[(i, q)];
+                    alpha += up * up;
+                    beta += uq * uq;
+                    gamma += up * uq;
+                }
+                if alpha == 0.0 || beta == 0.0 {
+                    continue; // a zero column is already orthogonal to everything
+                }
+                if gamma.abs() <= tol * (alpha * beta).sqrt() {
+                    continue;
+                }
+                converged = false;
+                // Classic Jacobi rotation computation (Golub & Van Loan §8.6).
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                for i in 0..m {
+                    let up = u[(i, p)];
+                    let uq = u[(i, q)];
+                    u[(i, p)] = c * up - s * uq;
+                    u[(i, q)] = s * up + c * uq;
+                }
+                for i in 0..n {
+                    let vp = v[(i, p)];
+                    let vq = v[(i, q)];
+                    v[(i, p)] = c * vp - s * vq;
+                    v[(i, q)] = s * vp + c * vq;
+                }
+            }
+        }
+    }
+    if !converged {
+        return Err(LinAlgError::NoConvergence {
+            algorithm: "jacobi-svd",
+            iterations: sweeps,
+        });
+    }
+
+    // Column norms are the singular values; normalize the columns of U.
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut sigma: Vec<f64> = (0..n)
+        .map(|j| (0..m).map(|i| u[(i, j)] * u[(i, j)]).sum::<f64>().sqrt())
+        .collect();
+    order.sort_by(|&x, &y| sigma[y].partial_cmp(&sigma[x]).expect("finite sigma"));
+
+    let mut u_sorted = Matrix::zeros(m, n);
+    let mut v_sorted = Matrix::zeros(n, n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        let s = sigma[old_j];
+        for i in 0..m {
+            u_sorted[(i, new_j)] = if s > 0.0 { u[(i, old_j)] / s } else { 0.0 };
+        }
+        for i in 0..n {
+            v_sorted[(i, new_j)] = v[(i, old_j)];
+        }
+    }
+    sigma.sort_by(|x, y| y.partial_cmp(x).expect("finite sigma"));
+
+    Ok(Svd {
+        u: u_sorted,
+        sigma,
+        v: v_sorted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    fn assert_orthonormal_columns(m: &Matrix, tol: f64) {
+        let gram = m.transpose().matmul(m).unwrap();
+        let eye = Matrix::identity(m.cols());
+        assert!(
+            gram.max_abs_diff(&eye).unwrap() < tol,
+            "columns not orthonormal: {gram:?}"
+        );
+    }
+
+    #[test]
+    fn svd_of_diagonal() {
+        let a = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 2.0]]).unwrap();
+        let f = svd(&a).unwrap();
+        assert_close(f.sigma[0], 3.0, 1e-12);
+        assert_close(f.sigma[1], 2.0, 1e-12);
+    }
+
+    #[test]
+    fn svd_reconstructs_random_tall() {
+        let a = Matrix::from_fn(7, 4, |i, j| ((i * 31 + j * 17) % 13) as f64 - 6.0);
+        let f = svd(&a).unwrap();
+        let r = f.reconstruct().unwrap();
+        assert!(r.max_abs_diff(&a).unwrap() < 1e-10);
+        assert_orthonormal_columns(&f.u, 1e-10);
+        assert_orthonormal_columns(&f.v, 1e-10);
+    }
+
+    #[test]
+    fn svd_reconstructs_wide() {
+        let a = Matrix::from_fn(3, 6, |i, j| (i as f64 + 1.0) * (j as f64 - 2.5));
+        let f = svd(&a).unwrap();
+        assert_eq!(f.u.shape(), (3, 3));
+        assert_eq!(f.v.shape(), (6, 3));
+        let r = f.reconstruct().unwrap();
+        assert!(r.max_abs_diff(&a).unwrap() < 1e-10);
+    }
+
+    #[test]
+    fn singular_values_sorted_descending() {
+        let a = Matrix::from_fn(5, 5, |i, j| 1.0 / (1.0 + i as f64 + j as f64));
+        let f = svd(&a).unwrap();
+        for w in f.sigma.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Second column = 2 × first column → rank 1.
+        let a = Matrix::from_rows(&[
+            vec![1.0, 2.0],
+            vec![2.0, 4.0],
+            vec![3.0, 6.0],
+        ])
+        .unwrap();
+        let f = svd(&a).unwrap();
+        let tol = f.default_tolerance(3, 2);
+        assert_eq!(f.rank(tol), 1);
+    }
+
+    #[test]
+    fn svd_of_zero_matrix() {
+        let a = Matrix::zeros(3, 2);
+        let f = svd(&a).unwrap();
+        assert!(f.sigma.iter().all(|&s| s == 0.0));
+        assert!(f.reconstruct().unwrap().max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn svd_rejects_empty_and_nan() {
+        assert!(svd(&Matrix::zeros(0, 3)).is_err());
+        let mut a = Matrix::zeros(2, 2);
+        a[(0, 0)] = f64::NAN;
+        assert!(svd(&a).is_err());
+    }
+
+    #[test]
+    fn svd_matches_known_frobenius_identity() {
+        // ‖A‖_F² = Σ σᵢ².
+        let a = Matrix::from_fn(6, 3, |i, j| ((i + 2 * j) as f64).sin());
+        let f = svd(&a).unwrap();
+        let fro2: f64 = a.frobenius_norm().powi(2);
+        let sum2: f64 = f.sigma.iter().map(|s| s * s).sum();
+        assert_close(fro2, sum2, 1e-10);
+    }
+}

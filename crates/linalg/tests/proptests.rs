@@ -1,0 +1,150 @@
+//! Property-based tests for the linear algebra kernels.
+
+use fia_linalg::{lstsq, pinv, qr, svd, vecops, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with entries in [-10, 10] and bounded dimensions.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f64..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("shape matches"))
+    })
+}
+
+/// Strategy: a square matrix.
+fn square_matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim).prop_flat_map(|n| {
+        prop::collection::vec(-10.0f64..10.0, n * n)
+            .prop_map(move |data| Matrix::from_vec(n, n, data).expect("shape matches"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_involution(a in matrix_strategy(8)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_identity_right(a in matrix_strategy(8)) {
+        let i = Matrix::identity(a.cols());
+        let prod = a.matmul(&i).unwrap();
+        prop_assert!(prod.max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix_strategy(6), b in matrix_strategy(6)) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ whenever the shapes are compatible.
+        if a.cols() == b.rows() {
+            let lhs = a.matmul(&b).unwrap().transpose();
+            let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+            prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn svd_reconstruction(a in matrix_strategy(7)) {
+        let f = svd(&a).unwrap();
+        let rec = f.reconstruct().unwrap();
+        prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-8,
+            "reconstruction error too large");
+        // Singular values sorted and non-negative.
+        for w in f.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+        prop_assert!(f.sigma.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn svd_frobenius_identity(a in matrix_strategy(7)) {
+        let f = svd(&a).unwrap();
+        let fro2 = a.frobenius_norm().powi(2);
+        let sum2: f64 = f.sigma.iter().map(|s| s * s).sum();
+        prop_assert!((fro2 - sum2).abs() < 1e-7 * (1.0 + fro2));
+    }
+
+    #[test]
+    fn pinv_penrose_one(a in matrix_strategy(6)) {
+        // A · A⁺ · A = A for every matrix.
+        let p = pinv(&a).unwrap();
+        let c = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        prop_assert!(c.max_abs_diff(&a).unwrap() < 1e-7 * (1.0 + a.max_abs()));
+    }
+
+    #[test]
+    fn pinv_penrose_two(a in matrix_strategy(6)) {
+        // A⁺ · A · A⁺ = A⁺.
+        let p = pinv(&a).unwrap();
+        let c = p.matmul(&a).unwrap().matmul(&p).unwrap();
+        prop_assert!(c.max_abs_diff(&p).unwrap() < 1e-7 * (1.0 + p.max_abs()));
+    }
+
+    #[test]
+    fn lstsq_residual_is_orthogonal_to_range(a in matrix_strategy(6), seed in 0u64..1000) {
+        // The least-squares residual r = b − A x̂ satisfies Aᵀ r = 0.
+        let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
+        let b: Vec<f64> = (0..a.rows()).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        }).collect();
+        let x = lstsq(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let r = vecops::sub(&b, &ax);
+        let atr = a.transpose().matvec(&r).unwrap();
+        let scale = 1.0 + a.max_abs() * vecops::norm2(&b);
+        prop_assert!(vecops::norm2(&atr) < 1e-7 * scale);
+    }
+
+    #[test]
+    fn qr_reconstruction_tall(a in matrix_strategy(7)) {
+        if a.rows() >= a.cols() {
+            let f = qr(&a).unwrap();
+            let rec = f.q.matmul(&f.r).unwrap();
+            prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-9 * (1.0 + a.max_abs()));
+        }
+    }
+
+    #[test]
+    fn lu_solve_residual(a in square_matrix_strategy(6)) {
+        // Diagonally dominate to avoid near-singular draws.
+        let n = a.rows();
+        let mut ad = a.clone();
+        for i in 0..n {
+            ad[(i, i)] += 50.0;
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+        let x = fia_linalg::solve(&ad, &b).unwrap();
+        let r = ad.matvec(&x).unwrap();
+        for i in 0..n {
+            prop_assert!((r[i] - b[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn softmax_is_distribution(z in prop::collection::vec(-50.0f64..50.0, 1..10)) {
+        let s = vecops::softmax(&z);
+        prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        prop_assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn logit_sigmoid_roundtrip(x in -15.0f64..15.0) {
+        // Beyond |x| ≈ 15, 1 − σ(x) loses enough f64 precision that the
+        // roundtrip error dominates; the attack only ever sees confidence
+        // scores well inside this band.
+        let p = vecops::sigmoid(x);
+        prop_assert!((vecops::logit(p) - x).abs() < 1e-6 * (1.0 + x.abs()));
+    }
+
+    #[test]
+    fn pearson_bounded(
+        a in prop::collection::vec(-5.0f64..5.0, 3..40),
+        b in prop::collection::vec(-5.0f64..5.0, 3..40),
+    ) {
+        let n = a.len().min(b.len());
+        let r = vecops::pearson(&a[..n], &b[..n]);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+    }
+}

@@ -1,0 +1,219 @@
+//! Random-forest distillation into a differentiable MLP (Section V-B).
+//!
+//! "The adversary first generates a number of dummy samples from the whole
+//! data space, then predicts each dummy sample by the RF model. … the
+//! adversary could train an NN model θ_A based on (D_dummy, V_dummy)" —
+//! after which the surrogate replaces the forest inside Algorithm 2.
+//!
+//! Dummy inputs are uniform over `(0, 1)^d`, which *is* the whole data
+//! space because every dataset is min-max normalized first. Targets are
+//! the forest's soft vote fractions, matched with MSE on probabilities.
+
+use crate::forest::RandomForest;
+use crate::mlp::{Activation, Mlp, MlpConfig};
+use crate::traits::PredictProba;
+use fia_linalg::Matrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Configuration for [`distill_forest`].
+#[derive(Debug, Clone)]
+pub struct DistillConfig {
+    /// Number of dummy samples to label with the forest.
+    pub n_dummy: usize,
+    /// Surrogate hidden-layer widths (paper: `[2000, 200]`).
+    pub hidden: Vec<usize>,
+    /// Training epochs for the surrogate.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// RNG seed for dummy sampling and surrogate init.
+    pub seed: u64,
+    /// Jitter added to pool-sampled dummy values in
+    /// [`distill_forest_with_pool`] (uniform in `±jitter/2`), so the
+    /// surrogate sees a neighbourhood of each pooled value rather than
+    /// exact repeats.
+    pub marginal_jitter: f64,
+}
+
+impl DistillConfig {
+    /// The paper's surrogate: two hidden layers, 2000 and 200 neurons.
+    pub fn paper() -> Self {
+        DistillConfig {
+            n_dummy: 10_000,
+            hidden: vec![2000, 200],
+            epochs: 30,
+            batch_size: 64,
+            lr: 1e-3,
+            seed: 0,
+            marginal_jitter: 0.02,
+        }
+    }
+
+    /// Scaled-down profile for fast experiment runs.
+    pub fn fast() -> Self {
+        DistillConfig {
+            n_dummy: 2_000,
+            hidden: vec![128, 64],
+            epochs: 25,
+            batch_size: 64,
+            lr: 2e-3,
+            seed: 0,
+            marginal_jitter: 0.02,
+        }
+    }
+}
+
+/// Trains an MLP surrogate that imitates `forest` on uniform dummy
+/// samples over `(0,1)^d` — the paper's "whole data space" strategy.
+///
+/// The returned [`Mlp`] implements [`crate::DifferentiableModel`], so the
+/// GRN attack can backpropagate through it where the forest itself is
+/// non-differentiable.
+pub fn distill_forest(forest: &RandomForest, config: &DistillConfig) -> Mlp {
+    let d = forest.n_features();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let dummy = Matrix::from_fn(config.n_dummy, d, |_, _| rng.gen::<f64>());
+    fit_surrogate(forest, config, dummy)
+}
+
+/// Distillation with dummy values bootstrapped from an empirical value
+/// pool — typically the adversary's *own* observed feature values, which
+/// the threat model grants it.
+///
+/// Uniform dummies waste surrogate capacity when the real data
+/// concentrates in a small region of `(0,1)^d` (e.g. skewed monetary
+/// features): the forest's fine-grained cells near the data get almost no
+/// dummy coverage, and the surrogate misfits exactly where GRNA needs
+/// gradients. Sampling each dummy coordinate from the pool (plus a small
+/// jitter) concentrates coverage where it matters, without assuming
+/// anything about the *target party's* distribution.
+pub fn distill_forest_with_pool(
+    forest: &RandomForest,
+    config: &DistillConfig,
+    pool: &[f64],
+) -> Mlp {
+    assert!(!pool.is_empty(), "value pool must be non-empty");
+    let d = forest.n_features();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let j = config.marginal_jitter;
+    let dummy = Matrix::from_fn(config.n_dummy, d, |_, _| {
+        let v = pool[rng.gen_range(0..pool.len())] + j * (rng.gen::<f64>() - 0.5);
+        v.clamp(0.0, 1.0)
+    });
+    fit_surrogate(forest, config, dummy)
+}
+
+fn fit_surrogate(forest: &RandomForest, config: &DistillConfig, dummy: Matrix) -> Mlp {
+    let targets = forest.predict_proba(&dummy);
+    let mlp_cfg = MlpConfig {
+        hidden: config.hidden.clone(),
+        activation: Activation::Relu,
+        layer_norm: false,
+        dropout: None,
+        epochs: config.epochs,
+        batch_size: config.batch_size,
+        lr: config.lr,
+        seed: config.seed.wrapping_add(1),
+    };
+    let mut surrogate = Mlp::new(forest.n_features(), forest.n_classes(), &mlp_cfg);
+    surrogate.train_soft_targets(
+        &dummy,
+        &targets,
+        config.epochs,
+        config.batch_size,
+        config.lr,
+        config.seed.wrapping_add(2),
+    );
+    surrogate
+}
+
+/// Mean absolute deviation between surrogate and forest confidences on a
+/// fresh uniform sample — a fidelity diagnostic for the distillation.
+pub fn distillation_fidelity(forest: &RandomForest, surrogate: &Mlp, n: usize, seed: u64) -> f64 {
+    let d = forest.n_features();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let probe = Matrix::from_fn(n, d, |_, _| rng.gen::<f64>());
+    let pf = forest.predict_proba(&probe);
+    let ps = surrogate.predict_proba(&probe);
+    pf.as_slice()
+        .iter()
+        .zip(ps.as_slice().iter())
+        .map(|(&a, &b)| (a - b).abs())
+        .sum::<f64>()
+        / pf.as_slice().len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ForestConfig;
+    use fia_data::{make_classification, normalize_dataset, SynthConfig};
+
+    fn toy_forest(seed: u64) -> RandomForest {
+        let cfg = SynthConfig {
+            n_samples: 300,
+            n_features: 6,
+            n_informative: 4,
+            n_redundant: 1,
+            n_classes: 2,
+            class_sep: 2.0,
+            redundant_noise: 0.2,
+            flip_y: 0.0,
+            shuffle_features: false,
+            seed,
+        };
+        let ds = normalize_dataset(&make_classification(&cfg)).0;
+        RandomForest::fit(
+            &ds,
+            &ForestConfig {
+                n_trees: 15,
+                seed,
+                ..ForestConfig::default()
+            },
+        )
+    }
+
+    fn small_distill(seed: u64) -> DistillConfig {
+        DistillConfig {
+            n_dummy: 800,
+            hidden: vec![48, 24],
+            epochs: 30,
+            batch_size: 32,
+            lr: 3e-3,
+            seed,
+            marginal_jitter: 0.02,
+        }
+    }
+
+    #[test]
+    fn surrogate_tracks_forest() {
+        let forest = toy_forest(1);
+        let surrogate = distill_forest(&forest, &small_distill(1));
+        let fidelity = distillation_fidelity(&forest, &surrogate, 400, 99);
+        // Mean absolute confidence gap well under chance level (0.5).
+        assert!(fidelity < 0.15, "fidelity {fidelity}");
+    }
+
+    #[test]
+    fn surrogate_agrees_on_hard_labels() {
+        let forest = toy_forest(2);
+        let surrogate = distill_forest(&forest, &small_distill(2));
+        let mut rng = StdRng::seed_from_u64(7);
+        let probe = Matrix::from_fn(300, forest.n_features(), |_, _| rng.gen::<f64>());
+        let lf = forest.predict_labels(&probe);
+        let ls = surrogate.predict_labels(&probe);
+        let agree = lf.iter().zip(ls.iter()).filter(|(a, b)| a == b).count();
+        let rate = agree as f64 / lf.len() as f64;
+        assert!(rate > 0.8, "label agreement {rate}");
+    }
+
+    #[test]
+    fn surrogate_shapes_match_forest() {
+        let forest = toy_forest(3);
+        let surrogate = distill_forest(&forest, &small_distill(3));
+        assert_eq!(surrogate.n_features(), forest.n_features());
+        assert_eq!(surrogate.n_classes(), forest.n_classes());
+    }
+}

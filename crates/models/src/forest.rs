@@ -1,0 +1,267 @@
+//! Random forest: bagged CART trees with per-split feature subsampling.
+//!
+//! Prediction output follows Section II-A: "each element v_k of class k is
+//! the fraction of trees that predict k" — majority voting with the vote
+//! shares exposed as confidence scores.
+
+use crate::traits::PredictProba;
+use crate::tree::{DecisionTree, TreeConfig};
+use fia_data::Dataset;
+use fia_linalg::Matrix;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Configuration for [`RandomForest::fit`].
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    /// Number of trees `W` (paper default 100).
+    pub n_trees: usize,
+    /// Per-tree configuration (paper: depth 3).
+    pub tree: TreeConfig,
+    /// Bootstrap sample size as a fraction of `n` (1.0 = classic bagging).
+    pub bootstrap_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of worker threads for parallel tree fitting (`1` = serial).
+    pub n_threads: usize,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 100,
+            tree: TreeConfig::paper_rf_member(),
+            bootstrap_fraction: 1.0,
+            seed: 0,
+            n_threads: 4,
+        }
+    }
+}
+
+impl ForestConfig {
+    /// The paper's forest: 100 trees of depth 3.
+    pub fn paper_rf() -> Self {
+        ForestConfig::default()
+    }
+
+    /// A smaller forest for fast experiment profiles.
+    pub fn fast() -> Self {
+        ForestConfig {
+            n_trees: 30,
+            ..ForestConfig::default()
+        }
+    }
+}
+
+/// A trained random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Fits `config.n_trees` trees on bootstrap resamples, subsampling
+    /// `√d` features per split. Trees are trained in parallel with scoped
+    /// threads; the result is deterministic for a fixed seed regardless of
+    /// thread count (each tree derives its own RNG from `seed` and its
+    /// index).
+    pub fn fit(train: &Dataset, config: &ForestConfig) -> Self {
+        assert!(config.n_trees > 0, "need at least one tree");
+        let d = train.n_features();
+        let mtry = (d as f64).sqrt().ceil() as usize;
+        let tree_cfg = TreeConfig {
+            max_features: Some(mtry.max(1)),
+            ..config.tree.clone()
+        };
+        let n_boot = ((train.n_samples() as f64) * config.bootstrap_fraction).round() as usize;
+        let n_boot = n_boot.max(1);
+
+        let fit_one = |t: usize| -> DecisionTree {
+            let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(t as u64 * 0x9e37));
+            let rows: Vec<usize> = (0..n_boot)
+                .map(|_| rng.gen_range(0..train.n_samples()))
+                .collect();
+            let sample = train.subset(&rows);
+            DecisionTree::fit(&sample, &tree_cfg, &mut rng)
+        };
+
+        let trees: Vec<DecisionTree> = if config.n_threads <= 1 || config.n_trees == 1 {
+            (0..config.n_trees).map(fit_one).collect()
+        } else {
+            let threads = config.n_threads.min(config.n_trees);
+            let mut slots: Vec<Option<DecisionTree>> = vec![None; config.n_trees];
+            crossbeam::thread::scope(|scope| {
+                for (w, chunk) in slots.chunks_mut(config.n_trees.div_ceil(threads)).enumerate() {
+                    let fit_one = &fit_one;
+                    let base = w * config.n_trees.div_ceil(threads);
+                    scope.spawn(move |_| {
+                        for (off, slot) in chunk.iter_mut().enumerate() {
+                            *slot = Some(fit_one(base + off));
+                        }
+                    });
+                }
+            })
+            .expect("forest worker panicked");
+            slots.into_iter().map(|s| s.expect("tree fitted")).collect()
+        };
+
+        RandomForest {
+            trees,
+            n_features: d,
+            n_classes: train.n_classes,
+        }
+    }
+
+    /// Builds a forest from pre-trained trees (deserialization,
+    /// ensembling experiments).
+    ///
+    /// # Panics
+    /// Panics on an empty tree list.
+    pub fn from_trees(trees: Vec<DecisionTree>, n_features: usize, n_classes: usize) -> Self {
+        assert!(!trees.is_empty(), "forest needs at least one tree");
+        RandomForest {
+            trees,
+            n_features,
+            n_classes,
+        }
+    }
+
+    /// The member trees (the GRNA-on-RF CBR metric walks them directly).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+
+    /// Number of trees `W`.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+impl PredictProba for RandomForest {
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        let w = self.trees.len() as f64;
+        for i in 0..x.rows() {
+            let row = x.row(i);
+            for tree in &self.trees {
+                out[(i, tree.predict_one(row))] += 1.0;
+            }
+            for j in 0..self.n_classes {
+                out[(i, j)] /= w;
+            }
+        }
+        out
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::accuracy;
+    use fia_data::{make_classification, normalize_dataset, SynthConfig};
+
+    fn toy_dataset(c: usize, seed: u64) -> Dataset {
+        let cfg = SynthConfig {
+            n_samples: 400,
+            n_features: 9,
+            n_informative: 6,
+            n_redundant: 2,
+            n_classes: c,
+            class_sep: 2.0,
+            redundant_noise: 0.2,
+            flip_y: 0.0,
+            shuffle_features: false,
+            seed,
+        };
+        normalize_dataset(&make_classification(&cfg)).0
+    }
+
+    #[test]
+    fn forest_beats_single_tree_or_matches() {
+        let ds = toy_dataset(3, 1);
+        let forest = RandomForest::fit(
+            &ds,
+            &ForestConfig {
+                n_trees: 25,
+                seed: 3,
+                ..ForestConfig::default()
+            },
+        );
+        let acc = accuracy(&forest, &ds.features, &ds.labels);
+        assert!(acc > 0.65, "forest accuracy {acc}");
+    }
+
+    #[test]
+    fn confidences_are_vote_fractions() {
+        let ds = toy_dataset(2, 2);
+        let forest = RandomForest::fit(
+            &ds,
+            &ForestConfig {
+                n_trees: 10,
+                seed: 1,
+                ..ForestConfig::default()
+            },
+        );
+        let p = forest.predict_proba(&ds.features.select_rows(&[0, 1]).unwrap());
+        for i in 0..2 {
+            let row = p.row(i);
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+            // Every entry is k/10 for integer k.
+            for &v in row {
+                let k = v * 10.0;
+                assert!((k - k.round()).abs() < 1e-9, "vote fraction {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed_and_thread_count() {
+        let ds = toy_dataset(2, 3);
+        let base = ForestConfig {
+            n_trees: 8,
+            seed: 42,
+            n_threads: 1,
+            ..ForestConfig::default()
+        };
+        let serial = RandomForest::fit(&ds, &base);
+        let parallel = RandomForest::fit(
+            &ds,
+            &ForestConfig {
+                n_threads: 4,
+                ..base
+            },
+        );
+        let x = ds.features.select_rows(&(0..50).collect::<Vec<_>>()).unwrap();
+        assert_eq!(
+            serial.predict_proba(&x),
+            parallel.predict_proba(&x),
+            "thread count changed forest output"
+        );
+    }
+
+    #[test]
+    fn trees_have_paper_depth() {
+        let ds = toy_dataset(2, 4);
+        let forest = RandomForest::fit(
+            &ds,
+            &ForestConfig {
+                n_trees: 5,
+                seed: 7,
+                ..ForestConfig::paper_rf()
+            },
+        );
+        for tree in forest.trees() {
+            assert_eq!(tree.max_depth(), 3);
+        }
+        assert_eq!(forest.n_trees(), 5);
+    }
+}

@@ -1,0 +1,98 @@
+//! Model traits shared by the attack suite.
+
+use fia_linalg::vecops::argmax;
+use fia_linalg::Matrix;
+use fia_tensor::{Tape, VarId};
+
+/// Black-box probabilistic classifier: maps a batch of samples to a
+/// confidence-score matrix (`n × c`, rows sum to 1).
+///
+/// This is exactly the interface the vertical FL prediction protocol
+/// exposes to the active party — a vector `v = (v₁, …, v_c)` per sample.
+pub trait PredictProba {
+    /// Confidence scores for each row of `x`.
+    fn predict_proba(&self, x: &Matrix) -> Matrix;
+
+    /// Number of input features `d`.
+    fn n_features(&self) -> usize;
+
+    /// Number of classes `c`.
+    fn n_classes(&self) -> usize;
+
+    /// Hard labels via arg-max over confidence scores.
+    fn predict_labels(&self, x: &Matrix) -> Vec<usize> {
+        let p = self.predict_proba(x);
+        (0..p.rows()).map(|i| argmax(p.row(i))).collect()
+    }
+}
+
+/// A model whose forward pass can be replayed *frozen* on an autograd
+/// tape: weights enter as constant inputs, so gradients flow through the
+/// model to its input but no parameter gradient is collected. This is the
+/// requirement Algorithm 2 places on the vertical FL model: "the loss is
+/// back-propagated to the generator" through `f(·; θ)` with `θ` fixed.
+pub trait DifferentiableModel: PredictProba {
+    /// Builds the forward pass on `tape` from the input variable `x`
+    /// (`batch × d`), returning confidence scores (`batch × c`).
+    fn forward_frozen(&self, tape: &mut Tape, x: VarId) -> VarId;
+}
+
+/// Fraction of samples whose arg-max prediction matches `labels`.
+pub fn accuracy<M: PredictProba + ?Sized>(model: &M, x: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(x.rows(), labels.len(), "sample/label count mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let predicted = model.predict_labels(x);
+    let correct = predicted
+        .iter()
+        .zip(labels.iter())
+        .filter(|(a, b)| a == b)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Trivial classifier: class = sign of the first feature.
+    struct SignModel;
+
+    impl PredictProba for SignModel {
+        fn predict_proba(&self, x: &Matrix) -> Matrix {
+            Matrix::from_fn(x.rows(), 2, |i, j| {
+                let pos = x.row(i)[0] > 0.0;
+                match (pos, j) {
+                    (true, 1) | (false, 0) => 0.9,
+                    _ => 0.1,
+                }
+            })
+        }
+        fn n_features(&self) -> usize {
+            1
+        }
+        fn n_classes(&self) -> usize {
+            2
+        }
+    }
+
+    #[test]
+    fn predict_labels_argmax() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![-1.0]]).unwrap();
+        assert_eq!(SignModel.predict_labels(&x), vec![1, 0]);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![-1.0], vec![2.0]]).unwrap();
+        let acc = accuracy(&SignModel, &x, &[1, 0, 0]);
+        assert!((acc - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_empty_is_zero() {
+        let x = Matrix::zeros(0, 1);
+        assert_eq!(accuracy(&SignModel, &x, &[]), 0.0);
+    }
+}

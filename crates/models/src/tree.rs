@@ -1,0 +1,516 @@
+//! CART decision tree stored as a full binary array.
+//!
+//! The path restriction attack (Algorithm 1) indexes tree nodes as a
+//! *full binary tree*: node `i`'s children live at `2i + 1` and `2i + 2`.
+//! We therefore store the tree exactly that way — a `Vec<TreeNode>` of
+//! length `2^(max_depth+1) − 1` — so the attack operates on the model's
+//! native representation with no conversion step.
+//!
+//! Splits are found by exact Gini-impurity minimization over quantile
+//! candidate thresholds; branching is `x[feature] ≤ threshold → left`.
+
+use crate::traits::PredictProba;
+use fia_data::Dataset;
+use fia_linalg::Matrix;
+use rand::Rng;
+
+/// A node of the full binary tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    /// Branching node: `x[feature] ≤ threshold` goes left (index `2i+1`),
+    /// otherwise right (index `2i+2`).
+    Internal {
+        /// Global feature index tested at this node.
+        feature: usize,
+        /// Branching threshold.
+        threshold: f64,
+    },
+    /// Terminal node carrying the predicted class.
+    Leaf {
+        /// Majority class of the training samples that reached this node.
+        label: usize,
+    },
+    /// Position not used by this tree (the array is sized for the full
+    /// binary tree of `max_depth`, but branches may terminate early).
+    Absent,
+}
+
+/// Training configuration for [`DecisionTree::fit`].
+#[derive(Debug, Clone)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root = depth 0). The paper's DT uses 5, the
+    /// forest trees use 3.
+    pub max_depth: usize,
+    /// Minimum samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Number of quantile threshold candidates evaluated per feature.
+    pub n_thresholds: usize,
+    /// When `Some(k)`, only `k` randomly chosen features are considered
+    /// per split (random-forest mode); `None` considers all features.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 5,
+            min_samples_split: 2,
+            n_thresholds: 16,
+            max_features: None,
+        }
+    }
+}
+
+impl TreeConfig {
+    /// The paper's standalone DT configuration (depth 5).
+    pub fn paper_dt() -> Self {
+        TreeConfig::default()
+    }
+
+    /// The paper's random-forest member configuration (depth 3).
+    pub fn paper_rf_member() -> Self {
+        TreeConfig {
+            max_depth: 3,
+            ..TreeConfig::default()
+        }
+    }
+}
+
+/// A trained CART decision tree over the full binary array layout.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<TreeNode>,
+    n_features: usize,
+    n_classes: usize,
+    max_depth: usize,
+}
+
+impl DecisionTree {
+    /// Trains a tree on the dataset with a deterministic greedy CART
+    /// procedure (plus optional per-split feature subsampling driven by
+    /// `rng` when `config.max_features` is set).
+    pub fn fit<R: Rng + ?Sized>(train: &Dataset, config: &TreeConfig, rng: &mut R) -> Self {
+        assert!(train.n_samples() > 0, "cannot fit on empty dataset");
+        let nf = (1usize << (config.max_depth + 1)) - 1;
+        let mut nodes = vec![TreeNode::Absent; nf];
+        let all_rows: Vec<usize> = (0..train.n_samples()).collect();
+        Self::build(train, config, rng, &mut nodes, 0, 0, &all_rows);
+        DecisionTree {
+            nodes,
+            n_features: train.n_features(),
+            n_classes: train.n_classes,
+            max_depth: config.max_depth,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build<R: Rng + ?Sized>(
+        train: &Dataset,
+        config: &TreeConfig,
+        rng: &mut R,
+        nodes: &mut Vec<TreeNode>,
+        index: usize,
+        depth: usize,
+        rows: &[usize],
+    ) {
+        let majority = Self::majority_label(train, rows);
+        let is_pure = rows
+            .iter()
+            .all(|&r| train.labels[r] == train.labels[rows[0]]);
+        if depth >= config.max_depth || rows.len() < config.min_samples_split || is_pure {
+            nodes[index] = TreeNode::Leaf { label: majority };
+            return;
+        }
+
+        let candidates: Vec<usize> = match config.max_features {
+            Some(k) => {
+                // Sample k distinct features via partial Fisher-Yates.
+                let d = train.n_features();
+                let k = k.min(d);
+                let mut pool: Vec<usize> = (0..d).collect();
+                for i in 0..k {
+                    let j = rng.gen_range(i..d);
+                    pool.swap(i, j);
+                }
+                pool.truncate(k);
+                pool
+            }
+            None => (0..train.n_features()).collect(),
+        };
+
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gini)
+        for &f in &candidates {
+            for threshold in Self::threshold_candidates(train, rows, f, config.n_thresholds) {
+                let gini = Self::weighted_gini(train, rows, f, threshold);
+                if let Some(g) = gini {
+                    if best.is_none_or(|(_, _, bg)| g < bg) {
+                        best = Some((f, threshold, g));
+                    }
+                }
+            }
+        }
+
+        let Some((feature, threshold, _)) = best else {
+            nodes[index] = TreeNode::Leaf { label: majority };
+            return;
+        };
+
+        let (left, right): (Vec<usize>, Vec<usize>) = rows
+            .iter()
+            .partition(|&&r| train.features[(r, feature)] <= threshold);
+        if left.is_empty() || right.is_empty() {
+            nodes[index] = TreeNode::Leaf { label: majority };
+            return;
+        }
+        nodes[index] = TreeNode::Internal { feature, threshold };
+        Self::build(train, config, rng, nodes, 2 * index + 1, depth + 1, &left);
+        Self::build(train, config, rng, nodes, 2 * index + 2, depth + 1, &right);
+    }
+
+    /// Quantile threshold candidates for feature `f` over `rows`.
+    fn threshold_candidates(
+        train: &Dataset,
+        rows: &[usize],
+        f: usize,
+        n_thresholds: usize,
+    ) -> Vec<f64> {
+        let mut values: Vec<f64> = rows.iter().map(|&r| train.features[(r, f)]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        values.dedup();
+        if values.len() < 2 {
+            return Vec::new();
+        }
+        if values.len() <= n_thresholds + 1 {
+            // Midpoints between consecutive distinct values.
+            return values.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect();
+        }
+        (1..=n_thresholds)
+            .map(|q| {
+                let pos = q * (values.len() - 1) / (n_thresholds + 1);
+                0.5 * (values[pos] + values[pos + 1])
+            })
+            .collect()
+    }
+
+    /// Weighted Gini impurity of the split, `None` if degenerate.
+    fn weighted_gini(train: &Dataset, rows: &[usize], f: usize, threshold: f64) -> Option<f64> {
+        let c = train.n_classes;
+        let mut left = vec![0usize; c];
+        let mut right = vec![0usize; c];
+        for &r in rows {
+            if train.features[(r, f)] <= threshold {
+                left[train.labels[r]] += 1;
+            } else {
+                right[train.labels[r]] += 1;
+            }
+        }
+        let nl: usize = left.iter().sum();
+        let nr: usize = right.iter().sum();
+        if nl == 0 || nr == 0 {
+            return None;
+        }
+        let gini = |counts: &[usize], n: usize| -> f64 {
+            1.0 - counts
+                .iter()
+                .map(|&k| {
+                    let p = k as f64 / n as f64;
+                    p * p
+                })
+                .sum::<f64>()
+        };
+        let total = (nl + nr) as f64;
+        Some(nl as f64 / total * gini(&left, nl) + nr as f64 / total * gini(&right, nr))
+    }
+
+    fn majority_label(train: &Dataset, rows: &[usize]) -> usize {
+        let mut counts = vec![0usize; train.n_classes];
+        for &r in rows {
+            counts[train.labels[r]] += 1;
+        }
+        fia_linalg::vecops::argmax(&counts.iter().map(|&k| k as f64).collect::<Vec<_>>())
+    }
+
+    /// The full binary node array (length `2^(max_depth+1) − 1`).
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Maximum depth the tree was built with.
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Predicts one sample, returning the leaf label.
+    pub fn predict_one(&self, x: &[f64]) -> usize {
+        self.decision_path(x)
+            .last()
+            .map(|&i| match &self.nodes[i] {
+                TreeNode::Leaf { label } => *label,
+                _ => unreachable!("path ends at a leaf"),
+            })
+            .expect("non-empty path")
+    }
+
+    /// The sequence of node indices visited when predicting `x`
+    /// (root … leaf). Deterministic — the property PRA exploits.
+    pub fn decision_path(&self, x: &[f64]) -> Vec<usize> {
+        assert_eq!(x.len(), self.n_features, "feature width mismatch");
+        let mut path = Vec::with_capacity(self.max_depth + 1);
+        let mut i = 0;
+        loop {
+            path.push(i);
+            match &self.nodes[i] {
+                TreeNode::Internal { feature, threshold } => {
+                    i = if x[*feature] <= *threshold {
+                        2 * i + 1
+                    } else {
+                        2 * i + 2
+                    };
+                }
+                TreeNode::Leaf { .. } => return path,
+                TreeNode::Absent => unreachable!("prediction reached an absent node"),
+            }
+        }
+    }
+
+    /// All root-to-leaf paths (each a vector of node indices); `np` in the
+    /// paper's notation is `self.prediction_paths().len()`.
+    pub fn prediction_paths(&self) -> Vec<Vec<usize>> {
+        let mut paths = Vec::new();
+        let mut stack = vec![vec![0usize]];
+        while let Some(path) = stack.pop() {
+            let i = *path.last().expect("non-empty");
+            match &self.nodes[i] {
+                TreeNode::Leaf { .. } => paths.push(path),
+                TreeNode::Internal { .. } => {
+                    for child in [2 * i + 1, 2 * i + 2] {
+                        let mut p = path.clone();
+                        p.push(child);
+                        stack.push(p);
+                    }
+                }
+                TreeNode::Absent => {}
+            }
+        }
+        paths
+    }
+
+    /// Number of leaves (= number of prediction paths).
+    pub fn n_leaves(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, TreeNode::Leaf { .. }))
+            .count()
+    }
+
+    /// Builds a tree directly from a node array (tests, worked examples).
+    ///
+    /// # Panics
+    /// Panics if the array length is not `2^k − 1`, or the root is absent.
+    pub fn from_nodes(nodes: Vec<TreeNode>, n_features: usize, n_classes: usize) -> Self {
+        let nf = nodes.len();
+        assert!((nf + 1).is_power_of_two(), "length must be 2^k − 1");
+        assert!(
+            !matches!(nodes[0], TreeNode::Absent),
+            "root must be present"
+        );
+        let max_depth = (nf + 1).trailing_zeros() as usize - 1;
+        DecisionTree {
+            nodes,
+            n_features,
+            n_classes,
+            max_depth,
+        }
+    }
+}
+
+impl PredictProba for DecisionTree {
+    /// DT confidence scores are degenerate: 1 for the predicted class and
+    /// 0 elsewhere (Section II-A — "the branching operations are
+    /// deterministic in the DT model").
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        for i in 0..x.rows() {
+            let label = self.predict_one(x.row(i));
+            out[(i, label)] = 1.0;
+        }
+        out
+    }
+
+    fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::accuracy;
+    use fia_data::{make_classification, normalize_dataset, SynthConfig};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn toy_dataset(c: usize, seed: u64) -> Dataset {
+        let cfg = SynthConfig {
+            n_samples: 500,
+            n_features: 8,
+            n_informative: 6,
+            n_redundant: 2,
+            n_classes: c,
+            class_sep: 2.0,
+            redundant_noise: 0.2,
+            flip_y: 0.0,
+            shuffle_features: false,
+            seed,
+        };
+        normalize_dataset(&make_classification(&cfg)).0
+    }
+
+    /// The Fig. 2 toy tree: age/income on the adversary side,
+    /// deposit/#shopping on the target side.
+    pub(crate) fn figure2_tree() -> DecisionTree {
+        use TreeNode::*;
+        // Depth 3 full array (15 slots). Feature ids:
+        // 0 = age, 1 = income, 2 = deposit, 3 = #shopping.
+        let nodes = vec![
+            Internal { feature: 0, threshold: 30.0 },  // 0: age ≤ 30
+            Internal { feature: 2, threshold: 5.0 },   // 1: deposit ≤ 5K
+            Internal { feature: 3, threshold: 6.0 },   // 2: #shopping ≤ 6
+            Internal { feature: 1, threshold: 3.0 },   // 3: income ≤ 3K
+            Leaf { label: 1 },                          // 4
+            Leaf { label: 1 },                          // 5
+            Internal { feature: 1, threshold: 2.0 },   // 6: income ≤ 2K
+            Leaf { label: 2 },                          // 7
+            Leaf { label: 1 },                          // 8  (unused by Fig2 walk)
+            Absent, Absent, Absent, Absent,
+            Leaf { label: 2 },                          // 13
+            Leaf { label: 1 },                          // 14
+        ];
+        DecisionTree::from_nodes(nodes, 4, 3)
+    }
+
+    #[test]
+    fn fit_beats_chance() {
+        let ds = toy_dataset(3, 1);
+        let mut rng = StdRng::seed_from_u64(0);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+        let acc = accuracy(&tree, &ds.features, &ds.labels);
+        assert!(acc > 0.6, "tree accuracy {acc}");
+    }
+
+    #[test]
+    fn node_array_is_full_binary_layout() {
+        let ds = toy_dataset(2, 2);
+        let mut rng = StdRng::seed_from_u64(0);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+        assert_eq!(tree.nodes().len(), (1 << 6) - 1);
+        // Every internal node has both children present.
+        for (i, n) in tree.nodes().iter().enumerate() {
+            if matches!(n, TreeNode::Internal { .. }) {
+                assert!(!matches!(tree.nodes()[2 * i + 1], TreeNode::Absent));
+                assert!(!matches!(tree.nodes()[2 * i + 2], TreeNode::Absent));
+            }
+        }
+    }
+
+    #[test]
+    fn decision_path_is_consistent_with_prediction() {
+        let ds = toy_dataset(3, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+        for i in 0..20 {
+            let x = ds.sample(i);
+            let path = tree.decision_path(x);
+            assert_eq!(path[0], 0, "path starts at root");
+            // Consecutive indices follow the child rule.
+            for w in path.windows(2) {
+                assert!(w[1] == 2 * w[0] + 1 || w[1] == 2 * w[0] + 2);
+            }
+            let leaf = *path.last().unwrap();
+            match &tree.nodes()[leaf] {
+                TreeNode::Leaf { label } => assert_eq!(*label, tree.predict_one(x)),
+                _ => panic!("path must end at leaf"),
+            }
+        }
+    }
+
+    #[test]
+    fn prediction_paths_count_equals_leaves() {
+        let ds = toy_dataset(2, 4);
+        let mut rng = StdRng::seed_from_u64(2);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+        assert_eq!(tree.prediction_paths().len(), tree.n_leaves());
+        assert!(tree.n_leaves() >= 2);
+    }
+
+    #[test]
+    fn proba_is_one_hot() {
+        let ds = toy_dataset(3, 5);
+        let mut rng = StdRng::seed_from_u64(3);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+        let p = tree.predict_proba(&ds.features.select_rows(&[0, 1, 2]).unwrap());
+        for i in 0..3 {
+            let row = p.row(i);
+            assert_eq!(row.iter().filter(|&&v| v == 1.0).count(), 1);
+            assert_eq!(row.iter().sum::<f64>(), 1.0);
+        }
+    }
+
+    #[test]
+    fn figure2_walkthrough() {
+        // Example 2: age=25, income=2K, deposit=8K(>5K), shopping=3(≤6)
+        // → root left (age≤30), node 1 right (deposit>5K) → node 4, class 1.
+        let tree = figure2_tree();
+        let x = [25.0, 2.0, 8.0, 3.0];
+        assert_eq!(tree.decision_path(&x), vec![0, 1, 4]);
+        assert_eq!(tree.predict_one(&x), 1);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let ds = toy_dataset(2, 6);
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = TreeConfig {
+            max_depth: 2,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&ds, &cfg, &mut rng);
+        assert_eq!(tree.nodes().len(), 7);
+        for path in tree.prediction_paths() {
+            assert!(path.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn max_features_subsampling_still_works() {
+        let ds = toy_dataset(2, 7);
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = TreeConfig {
+            max_features: Some(3),
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&ds, &cfg, &mut rng);
+        let acc = accuracy(&tree, &ds.features, &ds.labels);
+        assert!(acc > 0.55, "subsampled tree accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k − 1")]
+    fn from_nodes_rejects_bad_length() {
+        DecisionTree::from_nodes(vec![TreeNode::Leaf { label: 0 }; 6], 1, 2);
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        // All labels identical → a single-leaf tree.
+        let features = Matrix::from_fn(20, 3, |i, j| (i * 3 + j) as f64);
+        let ds = Dataset::new("const", features, vec![1; 20], 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+        assert_eq!(tree.n_leaves(), 1);
+        assert_eq!(tree.predict_one(ds.sample(3)), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Property tests on model invariants.
+
+use fia_data::{make_classification, normalize_dataset, Dataset, SynthConfig};
+use fia_linalg::Matrix;
+use fia_models::{
+    DecisionTree, ForestConfig, LogisticRegression, PredictProba, RandomForest, TreeConfig,
+    TreeNode,
+};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn dataset(seed: u64, n_classes: usize, n_features: usize) -> Dataset {
+    let n_informative = (n_features * 2 / 3).max(1);
+    let n_redundant = (n_features - n_informative) / 2;
+    let cfg = SynthConfig {
+        n_samples: 150,
+        n_features,
+        n_informative,
+        n_redundant,
+        n_classes,
+        class_sep: 1.5,
+        redundant_noise: 0.3,
+        flip_y: 0.02,
+        shuffle_features: true,
+        seed,
+    };
+    normalize_dataset(&make_classification(&cfg)).0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Trees always store a structurally valid full binary array: the
+    /// root exists, every internal node has two present children, every
+    /// absent node has absent children, and labels are in range.
+    #[test]
+    fn tree_structure_invariants(
+        seed in 1u64..50_000,
+        c in 2usize..5,
+        d in 2usize..10,
+        depth in 1usize..6,
+    ) {
+        let ds = dataset(seed, c, d);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = TreeConfig { max_depth: depth, ..TreeConfig::default() };
+        let tree = DecisionTree::fit(&ds, &cfg, &mut rng);
+        let nodes = tree.nodes();
+        prop_assert_eq!(nodes.len(), (1usize << (depth + 1)) - 1);
+        prop_assert!(!matches!(nodes[0], TreeNode::Absent));
+        for (i, node) in nodes.iter().enumerate() {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            match node {
+                TreeNode::Internal { feature, .. } => {
+                    prop_assert!(*feature < d);
+                    prop_assert!(l < nodes.len() && r < nodes.len(),
+                        "internal node {i} at max depth");
+                    prop_assert!(!matches!(nodes[l], TreeNode::Absent));
+                    prop_assert!(!matches!(nodes[r], TreeNode::Absent));
+                }
+                TreeNode::Leaf { label } => prop_assert!(*label < c),
+                TreeNode::Absent => {
+                    if l < nodes.len() {
+                        prop_assert!(matches!(nodes[l], TreeNode::Absent));
+                        prop_assert!(matches!(nodes[r], TreeNode::Absent));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tree predictions equal the label of the leaf the decision path
+    /// reaches, and training-set accuracy is at least majority-class.
+    #[test]
+    fn tree_prediction_consistency(seed in 1u64..50_000) {
+        let ds = dataset(seed, 3, 6);
+        let mut rng = StdRng::seed_from_u64(seed ^ 5);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+        let counts = ds.class_counts();
+        let majority = *counts.iter().max().unwrap() as f64 / ds.n_samples() as f64;
+        let acc = fia_models::accuracy(&tree, &ds.features, &ds.labels);
+        prop_assert!(acc + 1e-9 >= majority, "acc {acc} < majority {majority}");
+        for i in 0..10 {
+            let path = tree.decision_path(ds.sample(i));
+            let leaf = *path.last().unwrap();
+            match tree.nodes()[leaf] {
+                TreeNode::Leaf { label } => {
+                    prop_assert_eq!(label, tree.predict_one(ds.sample(i)));
+                }
+                _ => prop_assert!(false, "path ended on non-leaf"),
+            }
+        }
+    }
+
+    /// Forest confidences are valid vote distributions with denominators
+    /// equal to the tree count.
+    #[test]
+    fn forest_confidence_invariants(seed in 1u64..50_000, w in 1usize..12) {
+        let ds = dataset(seed, 2, 5);
+        let forest = RandomForest::fit(
+            &ds,
+            &ForestConfig { n_trees: w, seed, n_threads: 2, ..ForestConfig::default() },
+        );
+        let p = forest.predict_proba(&ds.features.select_rows(&[0, 1, 2]).unwrap());
+        for i in 0..3 {
+            let row = p.row(i);
+            prop_assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for &v in row {
+                let k = v * w as f64;
+                prop_assert!((k - k.round()).abs() < 1e-9, "vote {v} not a /{w} fraction");
+            }
+        }
+    }
+
+    /// LR persistence round-trips bit-exactly for arbitrary parameters.
+    #[test]
+    fn lr_persist_roundtrip(
+        seed in 1u64..100_000,
+        d in 1usize..8,
+        c in 2usize..6,
+    ) {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let w = Matrix::from_fn(d, c, |_, _| next());
+        let bias: Vec<f64> = (0..c).map(|_| next()).collect();
+        let model = LogisticRegression::from_parameters(w, bias, c);
+        let restored = LogisticRegression::from_bytes(&model.to_bytes()).unwrap();
+        prop_assert_eq!(restored.weights(), model.weights());
+        prop_assert_eq!(restored.bias(), model.bias());
+        prop_assert_eq!(restored.n_classes(), model.n_classes());
+    }
+
+    /// Tree persistence round-trips the full node array for arbitrary
+    /// trained trees.
+    #[test]
+    fn tree_persist_roundtrip(seed in 1u64..50_000, depth in 1usize..6) {
+        let ds = dataset(seed, 3, 6);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = TreeConfig { max_depth: depth, ..TreeConfig::default() };
+        let tree = DecisionTree::fit(&ds, &cfg, &mut rng);
+        let restored = DecisionTree::from_bytes(&tree.to_bytes()).unwrap();
+        prop_assert_eq!(restored.nodes(), tree.nodes());
+    }
+
+    /// Corrupting any single byte of a serialized tree either fails to
+    /// decode or still decodes into a *structurally valid* tree — never a
+    /// panic or an out-of-range label.
+    #[test]
+    fn tree_decode_never_panics_on_corruption(seed in 1u64..20_000, victim in 5usize..60) {
+        let ds = dataset(seed, 2, 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cfg = TreeConfig { max_depth: 2, ..TreeConfig::default() };
+        let tree = DecisionTree::fit(&ds, &cfg, &mut rng);
+        let mut bytes = tree.to_bytes();
+        let idx = victim % bytes.len();
+        bytes[idx] ^= 0xFF;
+        // Must not panic; success or a DecodeError are both acceptable,
+        // and a success must still be in-range everywhere.
+        if let Ok(t) = DecisionTree::from_bytes(&bytes) {
+            for node in t.nodes() {
+                if let TreeNode::Leaf { label } = node {
+                    prop_assert!(*label < t.n_classes());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! First-order optimizers over a [`Params`] store.
+
+use crate::params::{ParamId, Params};
+use fia_linalg::Matrix;
+
+/// A gradient-based optimizer. `step` consumes one `(id, gradient)` batch
+/// produced by a backward pass and updates the parameter store in place.
+pub trait Optimizer {
+    /// Applies one update step.
+    fn step(&mut self, params: &mut Params, grads: &[(ParamId, Matrix)]);
+}
+
+/// Stochastic gradient descent with optional momentum and L2 weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient (`0.0` disables momentum).
+    pub momentum: f64,
+    /// L2 weight-decay coefficient (`0.0` disables decay).
+    pub weight_decay: f64,
+    velocity: Vec<Option<Matrix>>,
+}
+
+impl Sgd {
+    /// Plain SGD with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Adds L2 weight decay.
+    pub fn with_weight_decay(mut self, wd: f64) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    fn slot(&mut self, idx: usize) -> &mut Option<Matrix> {
+        if self.velocity.len() <= idx {
+            self.velocity.resize(idx + 1, None);
+        }
+        &mut self.velocity[idx]
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut Params, grads: &[(ParamId, Matrix)]) {
+        for (id, grad) in grads {
+            let wd = self.weight_decay;
+            let lr = self.lr;
+            let mom = self.momentum;
+            // Effective gradient with weight decay folded in.
+            let value_snapshot = params.get(*id).clone();
+            let eff = if wd > 0.0 {
+                grad.add(&value_snapshot.scale(wd)).expect("shape stable")
+            } else {
+                grad.clone()
+            };
+            let update = if mom > 0.0 {
+                let slot = self.slot(id.index());
+                let v_new = match slot {
+                    Some(v) => v.scale(mom).add(&eff).expect("shape stable"),
+                    None => eff,
+                };
+                *slot = Some(v_new.clone());
+                v_new
+            } else {
+                eff
+            };
+            let p = params.get_mut(*id);
+            let stepped = p.sub(&update.scale(lr)).expect("shape stable");
+            *p = stepped;
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (paper default 1e-3).
+    pub lr: f64,
+    /// Exponential decay for the first moment.
+    pub beta1: f64,
+    /// Exponential decay for the second moment.
+    pub beta2: f64,
+    /// Numerical fuzz.
+    pub eps: f64,
+    t: u64,
+    m: Vec<Option<Matrix>>,
+    v: Vec<Option<Matrix>>,
+}
+
+impl Adam {
+    /// Adam with standard hyper-parameters `β₁ = 0.9, β₂ = 0.999`.
+    pub fn new(lr: f64) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, idx: usize) {
+        if self.m.len() <= idx {
+            self.m.resize(idx + 1, None);
+            self.v.resize(idx + 1, None);
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut Params, grads: &[(ParamId, Matrix)]) {
+        self.t += 1;
+        let t = self.t as f64;
+        let bc1 = 1.0 - self.beta1.powf(t);
+        let bc2 = 1.0 - self.beta2.powf(t);
+        for (id, grad) in grads {
+            let idx = id.index();
+            self.ensure(idx);
+            let m_new = match &self.m[idx] {
+                Some(m) => m
+                    .scale(self.beta1)
+                    .add(&grad.scale(1.0 - self.beta1))
+                    .expect("shape stable"),
+                None => grad.scale(1.0 - self.beta1),
+            };
+            let g2 = grad.hadamard(grad).expect("same shape");
+            let v_new = match &self.v[idx] {
+                Some(v) => v
+                    .scale(self.beta2)
+                    .add(&g2.scale(1.0 - self.beta2))
+                    .expect("shape stable"),
+                None => g2.scale(1.0 - self.beta2),
+            };
+            let p = params.get_mut(*id);
+            let (rows, cols) = p.shape();
+            for i in 0..rows {
+                for j in 0..cols {
+                    let mhat = m_new[(i, j)] / bc1;
+                    let vhat = v_new[(i, j)] / bc2;
+                    p[(i, j)] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                }
+            }
+            self.m[idx] = Some(m_new);
+            self.v[idx] = Some(v_new);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimizes f(w) = (w − 3)² with the given optimizer; returns final w.
+    fn run_quadratic(opt: &mut dyn Optimizer, steps: usize) -> f64 {
+        let mut params = Params::new();
+        let w = params.insert(Matrix::filled(1, 1, 0.0));
+        for _ in 0..steps {
+            let mut tape = Tape::new();
+            let wv = tape.param(&params, w);
+            let target = tape.input(Matrix::filled(1, 1, 3.0));
+            let loss = tape.mse_loss(wv, target);
+            tape.backward(loss);
+            let g = tape.grad(wv).unwrap().clone();
+            opt.step(&mut params, &[(w, g)]);
+        }
+        params.get(w)[(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.2);
+        let w = run_quadratic(&mut opt, 100);
+        assert!((w - 3.0).abs() < 1e-6, "w = {w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9);
+        let w = run_quadratic(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-4, "w = {w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let w = run_quadratic(&mut opt, 300);
+        assert!((w - 3.0).abs() < 1e-3, "w = {w}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        // With zero gradient and weight decay, weights decay toward 0.
+        let mut params = Params::new();
+        let w = params.insert(Matrix::filled(1, 1, 1.0));
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        for _ in 0..10 {
+            opt.step(&mut params, &[(w, Matrix::zeros(1, 1))]);
+        }
+        let val = params.get(w)[(0, 0)];
+        assert!(val < 1.0 && val > 0.0);
+        assert!((val - 0.95f64.powi(10)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adam_is_scale_invariant_early() {
+        // Adam's first step is ±lr regardless of gradient magnitude.
+        let mut params = Params::new();
+        let w = params.insert(Matrix::filled(1, 1, 0.0));
+        let mut opt = Adam::new(0.01);
+        opt.step(&mut params, &[(w, Matrix::filled(1, 1, 1e6))]);
+        let val = params.get(w)[(0, 0)];
+        assert!((val + 0.01).abs() < 1e-6, "val = {val}");
+    }
+}

@@ -1,0 +1,107 @@
+//! Parameter storage that outlives individual tapes.
+
+use fia_linalg::Matrix;
+
+/// Handle to a parameter inside a [`Params`] store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Raw index (stable for the lifetime of the store).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A flat store of trainable parameter matrices.
+///
+/// Tapes are rebuilt every optimization step; parameters persist here and
+/// are bound into each new tape with [`crate::Tape::param`]. Optimizers
+/// mutate the store in place via [`Params::get_mut`].
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    entries: Vec<Matrix>,
+}
+
+impl Params {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Params {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Inserts a parameter matrix, returning its handle.
+    pub fn insert(&mut self, value: Matrix) -> ParamId {
+        self.entries.push(value);
+        ParamId(self.entries.len() - 1)
+    }
+
+    /// Immutable access to a parameter.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.entries[id.0]
+    }
+
+    /// Mutable access to a parameter (used by optimizers).
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.entries[id.0]
+    }
+
+    /// Number of parameter matrices.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total scalar count across all parameters.
+    pub fn scalar_count(&self) -> usize {
+        self.entries.iter().map(|m| m.as_slice().len()).sum()
+    }
+
+    /// Iterates over all `(id, matrix)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
+        self.entries.iter().enumerate().map(|(i, m)| (ParamId(i), m))
+    }
+
+    /// All parameter ids in insertion order.
+    pub fn ids(&self) -> Vec<ParamId> {
+        (0..self.entries.len()).map(ParamId).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = Params::new();
+        let a = p.insert(Matrix::filled(2, 3, 1.5));
+        let b = p.insert(Matrix::identity(2));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.get(a).shape(), (2, 3));
+        assert_eq!(p.get(b).shape(), (2, 2));
+        assert_eq!(p.scalar_count(), 10);
+    }
+
+    #[test]
+    fn get_mut_updates() {
+        let mut p = Params::new();
+        let a = p.insert(Matrix::zeros(1, 1));
+        p.get_mut(a)[(0, 0)] = 42.0;
+        assert_eq!(p.get(a)[(0, 0)], 42.0);
+    }
+
+    #[test]
+    fn ids_in_insertion_order() {
+        let mut p = Params::new();
+        let a = p.insert(Matrix::zeros(1, 1));
+        let b = p.insert(Matrix::zeros(1, 1));
+        assert_eq!(p.ids(), vec![a, b]);
+        assert!(!p.is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Learning-rate schedules and gradient clipping.
+//!
+//! Small utilities that stabilize the GRN generator's training at larger
+//! scales: long runs of Adam on the paper-size generator (600/200/100)
+//! benefit from a decaying rate, and the free-variable ablation (Table
+//! III case 4) can produce huge early gradients worth clipping.
+
+use crate::params::ParamId;
+use fia_linalg::Matrix;
+
+/// A learning-rate schedule: maps a 0-based epoch index to a multiplier
+/// applied to the optimizer's base rate.
+pub trait LrSchedule {
+    /// Multiplier for `epoch` (1.0 = base rate).
+    fn factor(&self, epoch: usize) -> f64;
+}
+
+/// Constant rate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Constant;
+
+impl LrSchedule for Constant {
+    fn factor(&self, _epoch: usize) -> f64 {
+        1.0
+    }
+}
+
+/// Multiplies the rate by `gamma` every `step` epochs.
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    /// Epochs between decays.
+    pub step: usize,
+    /// Per-step multiplier (e.g. 0.5).
+    pub gamma: f64,
+}
+
+impl LrSchedule for StepDecay {
+    fn factor(&self, epoch: usize) -> f64 {
+        self.gamma.powi((epoch / self.step.max(1)) as i32)
+    }
+}
+
+/// Cosine annealing from 1.0 down to `floor` over `total_epochs`.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineAnnealing {
+    /// Schedule horizon.
+    pub total_epochs: usize,
+    /// Final multiplier (≥ 0).
+    pub floor: f64,
+}
+
+impl LrSchedule for CosineAnnealing {
+    fn factor(&self, epoch: usize) -> f64 {
+        let t = (epoch as f64 / self.total_epochs.max(1) as f64).min(1.0);
+        let cos = 0.5 * (1.0 + (std::f64::consts::PI * t).cos());
+        self.floor + (1.0 - self.floor) * cos
+    }
+}
+
+/// Scales a gradient batch so its global L2 norm is at most `max_norm`;
+/// returns the pre-clipping norm.
+pub fn clip_grad_norm(grads: &mut [(ParamId, Matrix)], max_norm: f64) -> f64 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let total: f64 = grads
+        .iter()
+        .map(|(_, g)| g.as_slice().iter().map(|&x| x * x).sum::<f64>())
+        .sum::<f64>()
+        .sqrt();
+    if total > max_norm && total > 0.0 {
+        let scale = max_norm / total;
+        for (_, g) in grads.iter_mut() {
+            *g = g.scale(scale);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+
+    #[test]
+    fn constant_is_one() {
+        assert_eq!(Constant.factor(0), 1.0);
+        assert_eq!(Constant.factor(100), 1.0);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = StepDecay { step: 10, gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_endpoints() {
+        let s = CosineAnnealing { total_epochs: 100, floor: 0.1 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-12);
+        assert!((s.factor(100) - 0.1).abs() < 1e-12);
+        // Past the horizon it stays at the floor.
+        assert!((s.factor(500) - 0.1).abs() < 1e-12);
+        // Midpoint is the average of the endpoints.
+        assert!((s.factor(50) - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipping_preserves_direction() {
+        let mut params = Params::new();
+        let id = params.insert(Matrix::zeros(1, 2));
+        let mut grads = vec![(id, Matrix::from_rows(&[vec![3.0, 4.0]]).unwrap())];
+        let norm = clip_grad_norm(&mut grads, 1.0);
+        assert!((norm - 5.0).abs() < 1e-12);
+        let g = &grads[0].1;
+        // Same direction, unit norm.
+        assert!((g[(0, 0)] - 0.6).abs() < 1e-12);
+        assert!((g[(0, 1)] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipping_noop_below_threshold() {
+        let mut params = Params::new();
+        let id = params.insert(Matrix::zeros(1, 1));
+        let mut grads = vec![(id, Matrix::filled(1, 1, 0.5))];
+        clip_grad_norm(&mut grads, 10.0);
+        assert_eq!(grads[0].1[(0, 0)], 0.5);
+    }
+}

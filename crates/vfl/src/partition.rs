@@ -1,0 +1,199 @@
+//! Vertical feature partitions.
+
+use crate::party::PartyId;
+use fia_linalg::Matrix;
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Assignment of every global feature column to exactly one party.
+#[derive(Debug, Clone)]
+pub struct VerticalPartition {
+    /// `assignments[p]` = sorted global feature indices owned by party `p`.
+    assignments: Vec<Vec<usize>>,
+    n_features: usize,
+}
+
+impl VerticalPartition {
+    /// Builds a partition from explicit per-party index lists.
+    ///
+    /// # Panics
+    /// Panics unless the lists are disjoint and cover `0..n_features`.
+    pub fn from_assignments(assignments: Vec<Vec<usize>>, n_features: usize) -> Self {
+        let mut seen = vec![false; n_features];
+        for a in &assignments {
+            for &f in a {
+                assert!(f < n_features, "feature index {f} out of range");
+                assert!(!seen[f], "feature {f} assigned twice");
+                seen[f] = true;
+            }
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every feature must be assigned to a party"
+        );
+        let mut assignments = assignments;
+        for a in &mut assignments {
+            a.sort_unstable();
+        }
+        VerticalPartition {
+            assignments,
+            n_features,
+        }
+    }
+
+    /// Contiguous split: party `p` gets the next `sizes[p]` columns.
+    pub fn contiguous(sizes: &[usize]) -> Self {
+        let n_features = sizes.iter().sum();
+        let mut assignments = Vec::with_capacity(sizes.len());
+        let mut next = 0;
+        for &s in sizes {
+            assignments.push((next..next + s).collect());
+            next += s;
+        }
+        VerticalPartition::from_assignments(assignments, n_features)
+    }
+
+    /// The paper's two-party experimental setup: a random
+    /// `target_fraction` of features goes to the (single) passive target
+    /// party; the rest belongs to the adversary side. Party 0 is the
+    /// adversary block, party 1 the target block.
+    pub fn two_block_random(n_features: usize, target_fraction: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&target_fraction),
+            "target fraction must be in [0, 1)"
+        );
+        let d_target = ((n_features as f64) * target_fraction).round() as usize;
+        let d_target = d_target.clamp(1, n_features.saturating_sub(1));
+        let mut idx: Vec<usize> = (0..n_features).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let target: Vec<usize> = idx[..d_target].to_vec();
+        let adv: Vec<usize> = idx[d_target..].to_vec();
+        VerticalPartition::from_assignments(vec![adv, target], n_features)
+    }
+
+    /// Number of parties `m`.
+    pub fn n_parties(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Total feature count `d`.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Feature indices owned by `party`.
+    pub fn features_of(&self, party: PartyId) -> &[usize] {
+        &self.assignments[party.0]
+    }
+
+    /// Owner of global feature `f`.
+    pub fn owner_of(&self, f: usize) -> PartyId {
+        for (p, a) in self.assignments.iter().enumerate() {
+            if a.binary_search(&f).is_ok() {
+                return PartyId(p);
+            }
+        }
+        unreachable!("partition covers all features")
+    }
+
+    /// Splits a global feature matrix into per-party column blocks.
+    pub fn split_matrix(&self, global: &Matrix) -> Vec<Matrix> {
+        assert_eq!(global.cols(), self.n_features, "width mismatch");
+        self.assignments
+            .iter()
+            .map(|a| global.select_columns(a).expect("indices in range"))
+            .collect()
+    }
+
+    /// Union of the feature indices of `parties`, sorted.
+    pub fn union_features(&self, parties: &[PartyId]) -> Vec<usize> {
+        let mut out: Vec<usize> = parties
+            .iter()
+            .flat_map(|p| self.assignments[p.0].iter().copied())
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Reassembles a full sample from per-party slices (the step the
+    /// secure protocol performs obliviously).
+    pub fn assemble(&self, parts: &[&[f64]]) -> Vec<f64> {
+        assert_eq!(parts.len(), self.n_parties(), "one slice per party");
+        let mut full = vec![0.0; self.n_features];
+        for (a, part) in self.assignments.iter().zip(parts.iter()) {
+            assert_eq!(a.len(), part.len(), "slice width mismatch");
+            for (&f, &v) in a.iter().zip(part.iter()) {
+                full[f] = v;
+            }
+        }
+        full
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_covers_all() {
+        let p = VerticalPartition::contiguous(&[2, 3]);
+        assert_eq!(p.n_parties(), 2);
+        assert_eq!(p.n_features(), 5);
+        assert_eq!(p.features_of(PartyId(0)), &[0, 1]);
+        assert_eq!(p.features_of(PartyId(1)), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn owner_lookup() {
+        let p = VerticalPartition::contiguous(&[2, 2]);
+        assert_eq!(p.owner_of(0), PartyId(0));
+        assert_eq!(p.owner_of(3), PartyId(1));
+    }
+
+    #[test]
+    fn two_block_random_fraction() {
+        let p = VerticalPartition::two_block_random(20, 0.4, 7);
+        assert_eq!(p.features_of(PartyId(1)).len(), 8);
+        assert_eq!(p.features_of(PartyId(0)).len(), 12);
+        // Deterministic per seed.
+        let q = VerticalPartition::two_block_random(20, 0.4, 7);
+        assert_eq!(p.features_of(PartyId(1)), q.features_of(PartyId(1)));
+    }
+
+    #[test]
+    fn two_block_clamps_to_leave_adversary_something() {
+        let p = VerticalPartition::two_block_random(5, 0.99, 1);
+        assert!(!p.features_of(PartyId(0)).is_empty());
+        assert!(!p.features_of(PartyId(1)).is_empty());
+    }
+
+    #[test]
+    fn split_and_assemble_roundtrip() {
+        let p = VerticalPartition::from_assignments(vec![vec![0, 3], vec![1, 2]], 4);
+        let global = Matrix::from_rows(&[vec![10.0, 11.0, 12.0, 13.0]]).unwrap();
+        let blocks = p.split_matrix(&global);
+        assert_eq!(blocks[0].row(0), &[10.0, 13.0]);
+        assert_eq!(blocks[1].row(0), &[11.0, 12.0]);
+        let full = p.assemble(&[blocks[0].row(0), blocks[1].row(0)]);
+        assert_eq!(full, vec![10.0, 11.0, 12.0, 13.0]);
+    }
+
+    #[test]
+    fn union_features_sorted() {
+        let p = VerticalPartition::from_assignments(vec![vec![4], vec![0, 2], vec![1, 3]], 5);
+        assert_eq!(p.union_features(&[PartyId(0), PartyId(2)]), vec![1, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned twice")]
+    fn duplicate_assignment_rejected() {
+        VerticalPartition::from_assignments(vec![vec![0, 1], vec![1]], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be assigned")]
+    fn uncovered_feature_rejected() {
+        VerticalPartition::from_assignments(vec![vec![0]], 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Parties and their private feature columns.
+
+use fia_linalg::Matrix;
+
+/// Identifier of a participating party (`P₁ … P_m` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PartyId(pub usize);
+
+impl std::fmt::Display for PartyId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0 + 1)
+    }
+}
+
+/// One participant holding a private vertical slice of the dataset.
+///
+/// The *active* party additionally owns the labels and initiates
+/// prediction requests; *passive* parties only contribute features.
+#[derive(Debug, Clone)]
+pub struct Party {
+    /// This party's identifier.
+    pub id: PartyId,
+    /// Global feature indices this party owns.
+    pub feature_indices: Vec<usize>,
+    /// Local data: one column per owned feature, rows aligned with the
+    /// global sample order (post-PSI).
+    pub local_data: Matrix,
+    /// Sample identifiers this party knows (pre-alignment).
+    pub sample_ids: Vec<u64>,
+    /// `true` for the label-owning active party.
+    pub is_active: bool,
+}
+
+impl Party {
+    /// Creates a party from the global feature matrix by extracting its
+    /// columns.
+    pub fn from_global(
+        id: PartyId,
+        global: &Matrix,
+        feature_indices: Vec<usize>,
+        sample_ids: Vec<u64>,
+        is_active: bool,
+    ) -> Self {
+        assert_eq!(global.rows(), sample_ids.len(), "sample id count mismatch");
+        let local_data = global
+            .select_columns(&feature_indices)
+            .expect("feature indices in range");
+        Party {
+            id,
+            feature_indices,
+            local_data,
+            sample_ids,
+            is_active,
+        }
+    }
+
+    /// Number of features `d_i` this party contributes.
+    pub fn n_features(&self) -> usize {
+        self.feature_indices.len()
+    }
+
+    /// This party's feature values for the local row `row` (the slice the
+    /// prediction protocol feeds into the joint computation).
+    pub fn features_for_row(&self, row: usize) -> &[f64] {
+        self.local_data.row(row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_global_extracts_columns() {
+        let global = Matrix::from_fn(3, 4, |i, j| (i * 4 + j) as f64);
+        let p = Party::from_global(PartyId(1), &global, vec![3, 0], vec![10, 11, 12], false);
+        assert_eq!(p.n_features(), 2);
+        assert_eq!(p.features_for_row(1), &[7.0, 4.0]);
+        assert!(!p.is_active);
+    }
+
+    #[test]
+    fn display_is_one_based() {
+        assert_eq!(PartyId(0).to_string(), "P1");
+        assert_eq!(PartyId(2).to_string(), "P3");
+    }
+
+    #[test]
+    #[should_panic(expected = "sample id count")]
+    fn mismatched_ids_panic() {
+        let global = Matrix::zeros(3, 2);
+        Party::from_global(PartyId(0), &global, vec![0], vec![1, 2], true);
+    }
+}

@@ -1,0 +1,222 @@
+//! The joint prediction protocol.
+//!
+//! `VflSystem` wires the trained model, the feature partition and the
+//! parties together and enforces the paper's information interface: a
+//! prediction request reveals to the active party exactly the confidence
+//! vector `v` — nothing else crosses party boundaries in the clear. The
+//! audit trail records every revelation so tests can assert the protocol
+//! leaked nothing beyond `(sample id, v)` pairs.
+
+use crate::partition::VerticalPartition;
+use crate::party::{Party, PartyId};
+use fia_linalg::Matrix;
+use fia_models::PredictProba;
+
+/// One entry of the active party's accumulated observation log — exactly
+/// the training data GRNA uses (Section V: "the active party can easily
+/// collect this information by observing model predictions … in the long
+/// term").
+#[derive(Debug, Clone)]
+pub struct PredictionRecord {
+    /// Joint sample index (into the aligned prediction dataset).
+    pub sample_index: usize,
+    /// The adversary's own feature values for this sample.
+    pub x_adv: Vec<f64>,
+    /// The revealed confidence-score vector `v`.
+    pub confidence: Vec<f64>,
+}
+
+/// A deployed vertical FL system holding a trained model.
+pub struct VflSystem<M: PredictProba> {
+    model: M,
+    partition: VerticalPartition,
+    parties: Vec<Party>,
+}
+
+impl<M: PredictProba> VflSystem<M> {
+    /// Assembles a system. The parties' local tables must already be
+    /// PSI-aligned (same row ↔ same sample).
+    ///
+    /// # Panics
+    /// Panics if the party count, feature assignment or model width are
+    /// inconsistent.
+    pub fn new(model: M, partition: VerticalPartition, parties: Vec<Party>) -> Self {
+        assert_eq!(
+            parties.len(),
+            partition.n_parties(),
+            "party count mismatch"
+        );
+        assert_eq!(
+            model.n_features(),
+            partition.n_features(),
+            "model width mismatch"
+        );
+        let n = parties
+            .first()
+            .map(|p| p.local_data.rows())
+            .unwrap_or_default();
+        for p in &parties {
+            assert_eq!(p.local_data.rows(), n, "parties must be row-aligned");
+            assert_eq!(
+                p.feature_indices,
+                partition.features_of(p.id),
+                "party features disagree with partition"
+            );
+        }
+        assert_eq!(
+            parties.iter().filter(|p| p.is_active).count(),
+            1,
+            "exactly one active party"
+        );
+        VflSystem {
+            model,
+            partition,
+            parties,
+        }
+    }
+
+    /// Convenience constructor: splits a global prediction matrix into
+    /// parties per `partition`, with party 0 active.
+    pub fn from_global(model: M, partition: VerticalPartition, global: &Matrix) -> Self {
+        let ids: Vec<u64> = (0..global.rows() as u64).collect();
+        let parties = (0..partition.n_parties())
+            .map(|p| {
+                Party::from_global(
+                    PartyId(p),
+                    global,
+                    partition.features_of(PartyId(p)).to_vec(),
+                    ids.clone(),
+                    p == 0,
+                )
+            })
+            .collect();
+        VflSystem::new(model, partition, parties)
+    }
+
+    /// Number of aligned samples available for prediction.
+    pub fn n_samples(&self) -> usize {
+        self.parties
+            .first()
+            .map(|p| p.local_data.rows())
+            .unwrap_or_default()
+    }
+
+    /// The trained model (released to all parties in the threat model).
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// The feature partition (public metadata: the active party knows the
+    /// passive parties' feature names/count — Section III-B).
+    pub fn partition(&self) -> &VerticalPartition {
+        &self.partition
+    }
+
+    /// All parties in id order (crate-internal: the threat-model module
+    /// uses this to let colluding parties contribute their columns).
+    pub(crate) fn parties(&self) -> &[Party] {
+        &self.parties
+    }
+
+    /// The active party.
+    pub fn active_party(&self) -> &Party {
+        self.parties
+            .iter()
+            .find(|p| p.is_active)
+            .expect("constructor guarantees one active party")
+    }
+
+    /// Runs the joint prediction protocol for one sample: every party
+    /// contributes its slice, the model is evaluated "securely" and only
+    /// `v` is returned.
+    pub fn predict(&self, sample_index: usize) -> Vec<f64> {
+        assert!(sample_index < self.n_samples(), "sample index out of range");
+        let slices: Vec<&[f64]> = self
+            .parties
+            .iter()
+            .map(|p| p.features_for_row(sample_index))
+            .collect();
+        let full = self.partition.assemble(&slices);
+        let x = Matrix::row_vector(&full);
+        self.model.predict_proba(&x).row(0).to_vec()
+    }
+
+    /// Runs the protocol over every sample, returning the active party's
+    /// observation log: its own feature slices paired with the revealed
+    /// confidence vectors. This is the *complete* adversary-visible
+    /// output of the prediction phase.
+    pub fn predict_all(&self) -> Vec<PredictionRecord> {
+        let active = self.active_party();
+        (0..self.n_samples())
+            .map(|i| PredictionRecord {
+                sample_index: i,
+                x_adv: active.features_for_row(i).to_vec(),
+                confidence: self.predict(i),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fia_models::LogisticRegression;
+
+    fn toy_system() -> VflSystem<LogisticRegression> {
+        // 4 features, 3 classes, weights chosen arbitrarily.
+        let w = Matrix::from_fn(4, 3, |i, j| 0.1 * (i as f64 + 1.0) - 0.05 * j as f64);
+        let model = LogisticRegression::from_parameters(w, vec![0.0, 0.1, -0.1], 3);
+        let partition = VerticalPartition::contiguous(&[2, 2]);
+        let global = Matrix::from_fn(5, 4, |i, j| ((i + j) % 3) as f64 * 0.3);
+        VflSystem::from_global(model, partition, &global)
+    }
+
+    #[test]
+    fn predict_matches_centralized_model() {
+        let sys = toy_system();
+        let global = Matrix::from_fn(5, 4, |i, j| ((i + j) % 3) as f64 * 0.3);
+        let central = sys.model().predict_proba(&global);
+        for i in 0..5 {
+            let v = sys.predict(i);
+            for (j, &vj) in v.iter().enumerate() {
+                assert!((vj - central[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn records_contain_only_adv_features_and_v() {
+        let sys = toy_system();
+        let records = sys.predict_all();
+        assert_eq!(records.len(), 5);
+        for r in &records {
+            // Active party owns features {0, 1} → x_adv has width 2.
+            assert_eq!(r.x_adv.len(), 2);
+            assert_eq!(r.confidence.len(), 3);
+            let s: f64 = r.confidence.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn active_party_is_party_zero_by_convention() {
+        let sys = toy_system();
+        assert_eq!(sys.active_party().id, PartyId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_sample_panics() {
+        toy_system().predict(99);
+    }
+
+    #[test]
+    #[should_panic(expected = "model width mismatch")]
+    fn inconsistent_model_width_rejected() {
+        let w = Matrix::zeros(3, 1);
+        let model = LogisticRegression::from_parameters(w, vec![0.0], 2);
+        let partition = VerticalPartition::contiguous(&[2, 2]);
+        let global = Matrix::zeros(2, 4);
+        VflSystem::from_global(model, partition, &global);
+    }
+}

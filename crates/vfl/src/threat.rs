@@ -1,0 +1,219 @@
+//! Threat-model configuration (Section III-B).
+//!
+//! Semi-honest parties; the active party, possibly colluding with a
+//! subset of passive parties, forms the adversary `P_adv`; the remaining
+//! passive parties form the attack target `P_target`. The strongest
+//! configuration is `m − 1` colluding parties against one target — which
+//! is also the two-party case.
+
+use crate::partition::VerticalPartition;
+use crate::party::PartyId;
+use crate::system::{PredictionRecord, VflSystem};
+use fia_linalg::Matrix;
+use fia_models::PredictProba;
+
+/// Which parties are on the adversary's side.
+#[derive(Debug, Clone)]
+pub struct ThreatModel {
+    /// The adversary coalition (must include the active party).
+    pub adversary_parties: Vec<PartyId>,
+}
+
+impl ThreatModel {
+    /// The standard setting: the active party (P1) attacks alone — in the
+    /// two-party deployment this is already the strongest adversary.
+    pub fn active_only() -> Self {
+        ThreatModel {
+            adversary_parties: vec![PartyId(0)],
+        }
+    }
+
+    /// The active party plus the given colluding passive parties.
+    pub fn with_colluders(colluders: &[PartyId]) -> Self {
+        let mut parties = vec![PartyId(0)];
+        parties.extend_from_slice(colluders);
+        parties.sort_unstable();
+        parties.dedup();
+        ThreatModel {
+            adversary_parties: parties,
+        }
+    }
+
+    /// Splits the global feature indices into `(adversary, target)` under
+    /// this coalition.
+    pub fn feature_split(&self, partition: &VerticalPartition) -> (Vec<usize>, Vec<usize>) {
+        let adv = partition.union_features(&self.adversary_parties);
+        let target: Vec<usize> = (0..partition.n_features())
+            .filter(|f| adv.binary_search(f).is_err())
+            .collect();
+        (adv, target)
+    }
+}
+
+/// Everything the adversary controls at attack time — the inputs of
+/// Eqn (2): `x̂_target = A(x_adv, v, θ)`, accumulated over the whole
+/// prediction dataset.
+#[derive(Debug, Clone)]
+pub struct AdversaryView {
+    /// Global feature indices owned by the adversary coalition.
+    pub adv_indices: Vec<usize>,
+    /// Global feature indices owned by the attack target.
+    pub target_indices: Vec<usize>,
+    /// The adversary's feature values, one row per predicted sample
+    /// (`n × d_adv`).
+    pub x_adv: Matrix,
+    /// The revealed confidence scores (`n × c`).
+    pub confidences: Matrix,
+}
+
+impl AdversaryView {
+    /// Collects the view by running the prediction protocol on every
+    /// sample of `system` under `threat`.
+    pub fn collect<M: PredictProba>(system: &VflSystem<M>, threat: &ThreatModel) -> Self {
+        let (adv_indices, target_indices) = threat.feature_split(system.partition());
+        let records: Vec<PredictionRecord> = system.predict_all();
+        Self::from_records(system, threat, &records, adv_indices, target_indices)
+    }
+
+    fn from_records<M: PredictProba>(
+        system: &VflSystem<M>,
+        threat: &ThreatModel,
+        records: &[PredictionRecord],
+        adv_indices: Vec<usize>,
+        target_indices: Vec<usize>,
+    ) -> Self {
+        let n = records.len();
+        let c = system.model().n_classes();
+        // The coalition's feature values: concatenate each member party's
+        // slice in global-index order. The active party's records carry
+        // only its own slice, so colluders re-contribute theirs here.
+        let partition = system.partition();
+        let mut x_adv = Matrix::zeros(n, adv_indices.len());
+        let mut confidences = Matrix::zeros(n, c);
+        for (i, r) in records.iter().enumerate() {
+            confidences.row_mut(i).copy_from_slice(&r.confidence);
+            // Build a sparse view of the coalition's global values.
+            let mut global: Vec<Option<f64>> = vec![None; partition.n_features()];
+            // Active party slice.
+            let active_feats = partition.features_of(system.active_party().id);
+            for (&f, &v) in active_feats.iter().zip(r.x_adv.iter()) {
+                global[f] = Some(v);
+            }
+            // Colluding passive parties contribute their local rows.
+            for &pid in &threat.adversary_parties {
+                if pid == system.active_party().id {
+                    continue;
+                }
+                let feats = partition.features_of(pid);
+                // Safe: system rows are aligned.
+                let slice = system_party_row(system, pid, r.sample_index);
+                for (&f, &v) in feats.iter().zip(slice.iter()) {
+                    global[f] = Some(v);
+                }
+            }
+            for (k, &f) in adv_indices.iter().enumerate() {
+                x_adv[(i, k)] = global[f].expect("coalition owns this feature");
+            }
+        }
+        AdversaryView {
+            adv_indices,
+            target_indices,
+            x_adv,
+            confidences,
+        }
+    }
+
+    /// Number of accumulated predictions `n`.
+    pub fn n_samples(&self) -> usize {
+        self.x_adv.rows()
+    }
+
+    /// `d_target` — the unknowns the attack must reconstruct per sample.
+    pub fn d_target(&self) -> usize {
+        self.target_indices.len()
+    }
+}
+
+fn system_party_row<M: PredictProba>(
+    system: &VflSystem<M>,
+    pid: PartyId,
+    row: usize,
+) -> &[f64] {
+    // The partition guarantees pid is valid; VflSystem keeps parties in
+    // id order by construction.
+    system.parties()[pid.0].features_for_row(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fia_models::LogisticRegression;
+
+    fn toy_system(m_sizes: &[usize]) -> VflSystem<LogisticRegression> {
+        let d: usize = m_sizes.iter().sum();
+        let w = Matrix::from_fn(d, 1, |i, _| 0.2 + 0.1 * i as f64);
+        let model = LogisticRegression::from_parameters(w, vec![0.0], 2);
+        let partition = VerticalPartition::contiguous(m_sizes);
+        let global = Matrix::from_fn(6, d, |i, j| ((i * d + j) % 7) as f64 / 7.0);
+        VflSystem::from_global(model, partition, &global)
+    }
+
+    #[test]
+    fn feature_split_active_only() {
+        let sys = toy_system(&[2, 3]);
+        let tm = ThreatModel::active_only();
+        let (adv, target) = tm.feature_split(sys.partition());
+        assert_eq!(adv, vec![0, 1]);
+        assert_eq!(target, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn feature_split_with_colluders() {
+        let sys = toy_system(&[2, 2, 2]);
+        let tm = ThreatModel::with_colluders(&[PartyId(2)]);
+        let (adv, target) = tm.feature_split(sys.partition());
+        assert_eq!(adv, vec![0, 1, 4, 5]);
+        assert_eq!(target, vec![2, 3]);
+    }
+
+    #[test]
+    fn adversary_view_collects_correct_columns() {
+        let sys = toy_system(&[2, 3]);
+        let tm = ThreatModel::active_only();
+        let view = AdversaryView::collect(&sys, &tm);
+        assert_eq!(view.n_samples(), 6);
+        assert_eq!(view.d_target(), 3);
+        assert_eq!(view.x_adv.cols(), 2);
+        assert_eq!(view.confidences.cols(), 2);
+        // x_adv matches the global columns 0..2.
+        let global = Matrix::from_fn(6, 5, |i, j| ((i * 5 + j) % 7) as f64 / 7.0);
+        for i in 0..6 {
+            assert_eq!(view.x_adv[(i, 0)], global[(i, 0)]);
+            assert_eq!(view.x_adv[(i, 1)], global[(i, 1)]);
+        }
+    }
+
+    #[test]
+    fn colluding_view_includes_passive_columns() {
+        let sys = toy_system(&[2, 2, 2]);
+        let tm = ThreatModel::with_colluders(&[PartyId(1)]);
+        let view = AdversaryView::collect(&sys, &tm);
+        assert_eq!(view.adv_indices, vec![0, 1, 2, 3]);
+        assert_eq!(view.d_target(), 2);
+        let global = Matrix::from_fn(6, 6, |i, j| ((i * 6 + j) % 7) as f64 / 7.0);
+        for i in 0..6 {
+            for k in 0..4 {
+                assert_eq!(view.x_adv[(i, k)], global[(i, k)]);
+            }
+        }
+    }
+
+    #[test]
+    fn dedups_and_sorts_coalition() {
+        let tm = ThreatModel::with_colluders(&[PartyId(2), PartyId(2), PartyId(1)]);
+        assert_eq!(
+            tm.adversary_parties,
+            vec![PartyId(0), PartyId(1), PartyId(2)]
+        );
+    }
+}

@@ -1,0 +1,302 @@
+//! Simulated privacy-preserving federated training for logistic
+//! regression.
+//!
+//! The paper assumes model training is protected by MPC/PHE so that "no
+//! intermediate information during the computation is disclosed" and only
+//! the final model is released (Sections II-B, VI-A — the evaluation then
+//! trains centrally and hands the model to the adversary). This module
+//! reproduces the *interface* of such a protocol over the party
+//! abstraction:
+//!
+//! * each party keeps its feature slice and its weight block locally;
+//! * per-sample partial scores `z_p = x_p · W_p` are combined by a
+//!   simulated secure aggregation (the only cross-party operation);
+//! * the active party holds the labels and computes the residuals
+//!   `softmax(z) − y`, which are returned to each party for its local
+//!   gradient `x_pᵀ · residual` — the standard VFL-SGD decomposition;
+//! * an [`TrainingAudit`] records exactly which aggregate quantities
+//!   crossed party boundaries, so tests can assert nothing else did.
+//!
+//! Compared to centralized training the produced model is the same
+//! *family* (multinomial LR trained by mini-batch gradient descent); the
+//! attacks are agnostic to which path produced `θ`.
+
+use crate::partition::VerticalPartition;
+use crate::party::PartyId;
+use fia_linalg::vecops::softmax;
+use fia_linalg::Matrix;
+use fia_models::LogisticRegression;
+use rand::seq::SliceRandom;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Configuration for [`train_federated_lr`].
+#[derive(Debug, Clone)]
+pub struct FederatedLrConfig {
+    /// Epochs of mini-batch gradient descent.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 regularization coefficient.
+    pub l2: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for FederatedLrConfig {
+    fn default() -> Self {
+        FederatedLrConfig {
+            epochs: 60,
+            batch_size: 64,
+            lr: 0.5,
+            l2: 1e-4,
+            seed: 0,
+        }
+    }
+}
+
+/// What crossed party boundaries during training — the simulated
+/// protocol's disclosure ledger.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingAudit {
+    /// Number of secure score aggregations performed (one per batch).
+    pub secure_aggregations: usize,
+    /// Number of residual vectors broadcast back to passive parties.
+    pub residual_broadcasts: usize,
+    /// `true` — structurally guaranteed by the implementation — when no
+    /// raw feature value was ever exposed to another party.
+    pub raw_features_disclosed: bool,
+}
+
+/// Trains multinomial (or binary, as 2-column softmax) logistic
+/// regression over vertically partitioned data without any party seeing
+/// another's raw features.
+///
+/// `features_per_party[p]` is party `p`'s local column block (aligned
+/// rows); `labels` lives with the active party (party 0 by convention).
+/// Returns the assembled global model — which the protocol releases to
+/// every party, exactly the artifact the paper's adversary starts from —
+/// plus the disclosure audit.
+pub fn train_federated_lr(
+    partition: &VerticalPartition,
+    features_per_party: &[Matrix],
+    labels: &[usize],
+    n_classes: usize,
+    config: &FederatedLrConfig,
+) -> (LogisticRegression, TrainingAudit) {
+    assert_eq!(
+        features_per_party.len(),
+        partition.n_parties(),
+        "one feature block per party"
+    );
+    let n = labels.len();
+    for (p, block) in features_per_party.iter().enumerate() {
+        assert_eq!(block.rows(), n, "party {p} row count mismatch");
+        assert_eq!(
+            block.cols(),
+            partition.features_of(PartyId(p)).len(),
+            "party {p} width disagrees with partition"
+        );
+    }
+    assert!(n_classes >= 2, "need at least two classes");
+
+    // Local state: one weight block per party (d_p × c), bias with the
+    // active party.
+    let c = n_classes;
+    let mut blocks: Vec<Matrix> = features_per_party
+        .iter()
+        .map(|b| Matrix::zeros(b.cols(), c))
+        .collect();
+    let mut bias = vec![0.0; c];
+    let mut audit = TrainingAudit::default();
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        for chunk in order.chunks(config.batch_size.max(1)) {
+            // Phase 1: each party computes partial scores on its slice.
+            // (Locally; only the SUM is revealed, via "secure" addition.)
+            let partials: Vec<Matrix> = blocks
+                .iter()
+                .zip(features_per_party.iter())
+                .map(|(w, x)| {
+                    let xb = x.select_rows(chunk).expect("rows in range");
+                    xb.matmul(w).expect("block shapes agree")
+                })
+                .collect();
+            let mut z = partials[0].clone();
+            for p in &partials[1..] {
+                z = z.add(p).expect("same batch shape");
+            }
+            audit.secure_aggregations += 1;
+
+            // Phase 2: the active party turns aggregated scores into
+            // residuals using its private labels.
+            let mut residual = Matrix::zeros(chunk.len(), c);
+            for (bi, &row) in chunk.iter().enumerate() {
+                let mut logits = z.row(bi).to_vec();
+                for (k, l) in logits.iter_mut().enumerate() {
+                    *l += bias[k];
+                }
+                let probs = softmax(&logits);
+                for k in 0..c {
+                    let y = if labels[row] == k { 1.0 } else { 0.0 };
+                    residual[(bi, k)] = (probs[k] - y) / chunk.len() as f64;
+                }
+            }
+            audit.residual_broadcasts += 1;
+
+            // Phase 3: each party updates its block from the broadcast
+            // residual and its own features; the active party updates the
+            // bias.
+            for (w, x) in blocks.iter_mut().zip(features_per_party.iter()) {
+                let xb = x.select_rows(chunk).expect("rows in range");
+                let grad = xb.transpose().matmul(&residual).expect("shapes agree");
+                let reg = w.scale(config.l2);
+                let step = grad.add(&reg).expect("same shape").scale(config.lr);
+                *w = w.sub(&step).expect("same shape");
+            }
+            for k in 0..c {
+                let g: f64 = (0..chunk.len()).map(|bi| residual[(bi, k)]).sum();
+                bias[k] -= config.lr * g;
+            }
+        }
+    }
+
+    // Model release: assemble the global weight matrix in global feature
+    // order (this is the step that ends the training privacy boundary).
+    let d = partition.n_features();
+    let mut weights = Matrix::zeros(d, c);
+    for (p, block) in blocks.iter().enumerate() {
+        for (local, &global) in partition.features_of(PartyId(p)).iter().enumerate() {
+            for k in 0..c {
+                weights[(global, k)] = block[(local, k)];
+            }
+        }
+    }
+    let model = LogisticRegression::from_parameters(weights, bias, c);
+    (model, audit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fia_data::{PaperDataset, SplitSpec};
+    use fia_models::{accuracy, PredictProba};
+
+    fn setup() -> (
+        VerticalPartition,
+        Vec<Matrix>,
+        fia_data::Dataset,
+        fia_data::Dataset,
+    ) {
+        let ds = PaperDataset::CreditCard.generate(0.01, 19);
+        let split = ds.split(&SplitSpec::paper_default(), 19);
+        let partition = VerticalPartition::two_block_random(ds.n_features(), 0.4, 19);
+        let blocks = partition.split_matrix(&split.train.features);
+        (partition, blocks, split.train, split.test)
+    }
+
+    #[test]
+    fn federated_training_learns() {
+        let (partition, blocks, train, test) = setup();
+        let (model, _) = train_federated_lr(
+            &partition,
+            &blocks,
+            &train.labels,
+            train.n_classes,
+            &FederatedLrConfig::default(),
+        );
+        let acc = accuracy(&model, &test.features, &test.labels);
+        assert!(acc > 0.7, "federated LR test accuracy {acc}");
+    }
+
+    #[test]
+    fn audit_counts_protocol_rounds() {
+        let (partition, blocks, train, _) = setup();
+        let cfg = FederatedLrConfig {
+            epochs: 2,
+            batch_size: 32,
+            ..Default::default()
+        };
+        let (_, audit) = train_federated_lr(
+            &partition,
+            &blocks,
+            &train.labels,
+            train.n_classes,
+            &cfg,
+        );
+        let batches_per_epoch = train.n_samples().div_ceil(32);
+        assert_eq!(audit.secure_aggregations, 2 * batches_per_epoch);
+        assert_eq!(audit.residual_broadcasts, audit.secure_aggregations);
+        assert!(!audit.raw_features_disclosed);
+    }
+
+    #[test]
+    fn released_model_matches_assembled_blocks() {
+        // The global model's prediction equals the sum of per-party
+        // partial scores — i.e. assembly preserved the block structure.
+        let (partition, blocks, train, _) = setup();
+        let cfg = FederatedLrConfig {
+            epochs: 3,
+            ..Default::default()
+        };
+        let (model, _) =
+            train_federated_lr(&partition, &blocks, &train.labels, train.n_classes, &cfg);
+        // Pick a row; compute the score via the released model and via
+        // manual per-party recomposition.
+        let x = train.features.select_rows(&[0]).unwrap();
+        let z_model = model.decision_function(&x);
+        let mut z_manual = [0.0; 2];
+        for (p, block) in partition.split_matrix(&x).iter().enumerate() {
+            let w = model
+                .weights()
+                .select_rows(partition.features_of(PartyId(p)))
+                .unwrap();
+            let part = block.matmul(&w).unwrap();
+            for k in 0..2 {
+                z_manual[k] += part[(0, k)];
+            }
+        }
+        for k in 0..2 {
+            z_manual[k] += model.bias()[k];
+            assert!((z_manual[k] - z_model[(0, k)]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn three_party_training_works() {
+        let ds = PaperDataset::BankMarketing.generate(0.01, 23);
+        let split = ds.split(&SplitSpec::paper_default(), 23);
+        let partition = VerticalPartition::contiguous(&[8, 6, 6]);
+        let blocks = partition.split_matrix(&split.train.features);
+        let (model, audit) = train_federated_lr(
+            &partition,
+            &blocks,
+            &split.train.labels,
+            split.train.n_classes,
+            &FederatedLrConfig::default(),
+        );
+        assert_eq!(model.n_features(), 20);
+        assert!(audit.secure_aggregations > 0);
+        let acc = accuracy(&model, &split.test.features, &split.test.labels);
+        assert!(acc > 0.6, "3-party accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn misaligned_blocks_rejected() {
+        let (partition, mut blocks, train, _) = setup();
+        blocks[0] = Matrix::zeros(3, blocks[0].cols());
+        train_federated_lr(
+            &partition,
+            &blocks,
+            &train.labels,
+            train.n_classes,
+            &FederatedLrConfig::default(),
+        );
+    }
+}

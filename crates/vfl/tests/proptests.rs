@@ -1,0 +1,98 @@
+//! Property tests on the VFL substrate's structural invariants.
+
+use fia_linalg::Matrix;
+use fia_vfl::{align_samples, PartyId, VerticalPartition};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A two-block random partition always covers every feature exactly
+    /// once, with both sides non-empty and the requested target share (up
+    /// to rounding and the non-empty clamp).
+    #[test]
+    fn two_block_partition_invariants(
+        d in 2usize..60,
+        frac in 0.01f64..0.95,
+        seed in 0u64..10_000,
+    ) {
+        let p = VerticalPartition::two_block_random(d, frac, seed);
+        let adv = p.features_of(PartyId(0));
+        let tgt = p.features_of(PartyId(1));
+        prop_assert!(!adv.is_empty() && !tgt.is_empty());
+        prop_assert_eq!(adv.len() + tgt.len(), d);
+        // Disjoint and sorted.
+        let mut all: Vec<usize> = adv.iter().chain(tgt.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), d);
+        // owner_of agrees with the lists.
+        for &f in adv {
+            prop_assert_eq!(p.owner_of(f), PartyId(0));
+        }
+        // Requested share respected up to rounding + clamp.
+        let requested = ((d as f64) * frac).round() as usize;
+        let clamped = requested.clamp(1, d - 1);
+        prop_assert_eq!(tgt.len(), clamped);
+    }
+
+    /// split_matrix ∘ assemble is the identity on every row.
+    #[test]
+    fn split_assemble_roundtrip(
+        d in 2usize..20,
+        frac in 0.1f64..0.9,
+        seed in 0u64..10_000,
+    ) {
+        let p = VerticalPartition::two_block_random(d, frac, seed);
+        let global = Matrix::from_fn(4, d, |i, j| (i * d + j) as f64 * 0.01);
+        let blocks = p.split_matrix(&global);
+        for i in 0..4 {
+            let parts: Vec<&[f64]> = blocks.iter().map(|b| b.row(i)).collect();
+            let full = p.assemble(&parts);
+            prop_assert_eq!(full.as_slice(), global.row(i));
+        }
+    }
+
+    /// PSI alignment returns exactly the set intersection, in ascending
+    /// order, with row maps pointing at the right local rows.
+    #[test]
+    fn alignment_is_set_intersection(
+        a in prop::collection::hash_set(0u64..200, 1..40),
+        b in prop::collection::hash_set(0u64..200, 1..40),
+    ) {
+        let av: Vec<u64> = a.iter().copied().collect();
+        let bv: Vec<u64> = b.iter().copied().collect();
+        let r = align_samples(&[av.clone(), bv.clone()]);
+        // Matches the mathematical intersection.
+        let mut expected: Vec<u64> = a.intersection(&b).copied().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(&r.common_ids, &expected);
+        // Row maps are correct.
+        for (k, &id) in r.common_ids.iter().enumerate() {
+            prop_assert_eq!(av[r.row_maps[0][k]], id);
+            prop_assert_eq!(bv[r.row_maps[1][k]], id);
+        }
+        // Sorted ascending.
+        for w in r.common_ids.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    /// Contiguous partitions hand each party the expected width and keep
+    /// union_features sorted regardless of coalition order.
+    #[test]
+    fn contiguous_union_sorted(sizes in prop::collection::vec(1usize..6, 2..5)) {
+        let p = VerticalPartition::contiguous(&sizes);
+        prop_assert_eq!(p.n_parties(), sizes.len());
+        for (i, &s) in sizes.iter().enumerate() {
+            prop_assert_eq!(p.features_of(PartyId(i)).len(), s);
+        }
+        // Reverse-order coalition still yields sorted union.
+        let coalition: Vec<PartyId> = (0..sizes.len()).rev().map(PartyId).collect();
+        let u = p.union_features(&coalition);
+        prop_assert_eq!(u.len(), sizes.iter().sum::<usize>());
+        for w in u.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+}

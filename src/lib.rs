@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # fia — Feature Inference Attacks on Vertical Federated Learning
+//!
+//! Umbrella crate for the reference implementation of
+//! *"Feature Inference Attack on Model Predictions in Vertical Federated
+//! Learning"* (Luo, Wu, Xiao, Ooi — ICDE 2021).
+//!
+//! Re-exports the whole public API of the workspace:
+//!
+//! * [`linalg`] — dense matrices, SVD, Moore–Penrose pseudo-inverse.
+//! * [`tensor`] — tape-based reverse-mode autograd engine.
+//! * [`data`] — synthetic dataset generators and the paper dataset registry.
+//! * [`models`] — logistic regression, MLP, decision tree, random forest.
+//! * [`vfl`] — vertical federated learning substrate (parties, partitions,
+//!   joint-prediction protocol).
+//! * [`attacks`] — the paper's contribution: ESA, PRA and GRNA plus metrics.
+//! * [`defense`] — countermeasures (rounding, dropout, screening, verification).
+//!
+//! See `examples/quickstart.rs` for an end-to-end walk-through.
+
+pub use fia_core as attacks;
+pub use fia_data as data;
+pub use fia_defense as defense;
+pub use fia_linalg as linalg;
+pub use fia_models as models;
+pub use fia_tensor as tensor;
+pub use fia_vfl as vfl;

@@ -1,0 +1,187 @@
+//! Property-based tests on the attacks' core guarantees, spanning crates.
+
+use fia::attacks::{metrics, EqualitySolvingAttack, PathRestrictionAttack};
+use fia::data::{make_classification, normalize_dataset, SynthConfig};
+use fia::linalg::Matrix;
+use fia::models::{DecisionTree, LogisticRegression, PredictProba, TreeConfig};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Random full-rank-ish LR model via an LCG keyed on `seed`.
+fn random_lr(d: usize, c: usize, seed: u64) -> LogisticRegression {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let w = Matrix::from_fn(d, c, |_, _| next());
+    let b = (0..c).map(|_| 0.1 * next()).collect();
+    LogisticRegression::from_parameters(w, b, c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// ESA exactness: whenever `d_target ≤ c − 1`, any sample is
+    /// recovered to machine precision from a single prediction output —
+    /// regardless of model weights, feature values or the index split.
+    #[test]
+    fn esa_exact_below_threshold(
+        seed in 1u64..10_000,
+        c in 3usize..8,
+        d in 4usize..12,
+        x in prop::collection::vec(0.01f64..0.99, 12),
+    ) {
+        let d_target = (c - 1).min(d / 2).max(1);
+        let model = random_lr(d, c, seed);
+        // Interleave adv/target indices deterministically from the seed.
+        let mut idx: Vec<usize> = (0..d).collect();
+        let rot = (seed as usize) % d;
+        idx.rotate_left(rot);
+        let mut target: Vec<usize> = idx[..d_target].to_vec();
+        let mut adv: Vec<usize> = idx[d_target..].to_vec();
+        target.sort_unstable();
+        adv.sort_unstable();
+
+        let attack = EqualitySolvingAttack::new(&model, &adv, &target);
+        prop_assume!(attack.exact_recovery_expected());
+
+        let sample = &x[..d];
+        let v = model.predict_proba(&Matrix::row_vector(sample));
+        let x_adv: Vec<f64> = adv.iter().map(|&f| sample[f]).collect();
+        let est = attack.infer(&x_adv, v.row(0));
+        for (k, &f) in target.iter().enumerate() {
+            // Exactness holds unless the random Θ happens to be
+            // near-singular; tolerate tiny conditioning noise.
+            prop_assert!(
+                (est[k] - sample[f]).abs() < 1e-5,
+                "feature {f}: est {} vs true {}", est[k], sample[f]
+            );
+        }
+    }
+
+    /// ESA minimum-norm property: the estimate never has a larger L2 norm
+    /// than the ground truth (Eqn 11) when the system is underdetermined,
+    /// and consequently the Eqn 15 MSE bound holds.
+    #[test]
+    fn esa_min_norm_bound(
+        seed in 1u64..10_000,
+        x in prop::collection::vec(0.01f64..0.99, 10),
+    ) {
+        let d = 10;
+        let c = 2; // 1 equation, 5 unknowns → underdetermined
+        let model = random_lr(d, c, seed);
+        let adv: Vec<usize> = (0..5).collect();
+        let target: Vec<usize> = (5..10).collect();
+        let attack = EqualitySolvingAttack::new(&model, &adv, &target);
+
+        let v = model.predict_proba(&Matrix::row_vector(&x));
+        let x_adv = &x[..5];
+        let est = attack.infer(x_adv, v.row(0));
+        let est_norm: f64 = est.iter().map(|e| e * e).sum();
+        let true_norm: f64 = x[5..].iter().map(|e| e * e).sum();
+        prop_assert!(est_norm <= true_norm + 1e-9,
+            "min-norm violated: {est_norm} > {true_norm}");
+
+        let est_m = Matrix::row_vector(&est);
+        let truth_m = Matrix::row_vector(&x[5..]);
+        prop_assert!(
+            metrics::mse_per_feature(&est_m, &truth_m)
+                <= metrics::esa_upper_bound(&truth_m) + 1e-9
+        );
+    }
+
+    /// PRA soundness: the true decision path always survives restriction
+    /// when the attack is given the true predicted class, for arbitrary
+    /// trained trees and samples.
+    #[test]
+    fn pra_never_loses_true_path(seed in 1u64..5_000, frac in 0.2f64..0.7) {
+        let cfg = SynthConfig {
+            n_samples: 120,
+            n_features: 8,
+            n_informative: 5,
+            n_redundant: 2,
+            n_classes: 3,
+            class_sep: 1.5,
+            redundant_noise: 0.3,
+            flip_y: 0.05,
+            shuffle_features: true,
+            seed,
+        };
+        let ds = normalize_dataset(&make_classification(&cfg)).0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+
+        let d_target = ((8.0 * frac) as usize).clamp(1, 7);
+        let target: Vec<usize> = (0..d_target).collect();
+        let adv: Vec<usize> = (d_target..8).collect();
+        let attack = PathRestrictionAttack::new(&tree, &adv, &target);
+
+        for i in 0..10 {
+            let x = ds.sample(i);
+            let class = tree.predict_one(x);
+            let true_leaf = *tree.decision_path(x).last().unwrap();
+            let x_adv: Vec<f64> = adv.iter().map(|&f| x[f]).collect();
+            let leaves = attack.restricted_leaves(&x_adv, class);
+            prop_assert!(
+                leaves.contains(&true_leaf),
+                "true leaf {true_leaf} lost (candidates {leaves:?})"
+            );
+        }
+    }
+
+    /// PRA constraints along the *true* path are always satisfied by the
+    /// ground truth — a correctness invariant of the constraint
+    /// extraction.
+    #[test]
+    fn pra_true_path_constraints_hold(seed in 1u64..5_000) {
+        let cfg = SynthConfig {
+            n_samples: 100,
+            n_features: 6,
+            n_informative: 4,
+            n_redundant: 1,
+            n_classes: 2,
+            class_sep: 1.5,
+            redundant_noise: 0.3,
+            flip_y: 0.0,
+            shuffle_features: false,
+            seed,
+        };
+        let ds = normalize_dataset(&make_classification(&cfg)).0;
+        let mut rng = StdRng::seed_from_u64(seed ^ 1);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+        let target: Vec<usize> = vec![1, 3, 5];
+        let adv: Vec<usize> = vec![0, 2, 4];
+        let attack = PathRestrictionAttack::new(&tree, &adv, &target);
+        for i in 0..10 {
+            let x = ds.sample(i);
+            let path = tree.decision_path(x);
+            for c in attack.constraints_along(&path) {
+                prop_assert!(c.satisfied_by(x[c.feature]),
+                    "constraint {c:?} violated by true value {}", x[c.feature]);
+            }
+        }
+    }
+
+    /// Metric invariants: MSE is symmetric, non-negative, and zero iff
+    /// the matrices coincide.
+    #[test]
+    fn mse_metric_invariants(
+        a in prop::collection::vec(0.0f64..1.0, 12),
+        b in prop::collection::vec(0.0f64..1.0, 12),
+    ) {
+        let ma = Matrix::from_vec(3, 4, a).unwrap();
+        let mb = Matrix::from_vec(3, 4, b).unwrap();
+        let ab = metrics::mse_per_feature(&ma, &mb);
+        let ba = metrics::mse_per_feature(&mb, &ma);
+        prop_assert!((ab - ba).abs() < 1e-15);
+        prop_assert!(ab >= 0.0);
+        prop_assert_eq!(metrics::mse_per_feature(&ma, &ma), 0.0);
+        // Per-feature MSE averages to the scalar MSE.
+        let per = metrics::per_feature_mse(&ma, &mb);
+        let avg: f64 = per.iter().sum::<f64>() / per.len() as f64;
+        prop_assert!((avg - ab).abs() < 1e-12);
+    }
+}

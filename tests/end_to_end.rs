@@ -1,0 +1,182 @@
+//! Cross-crate integration tests: the full pipeline from dataset
+//! generation through the VFL prediction protocol to each attack and the
+//! defenses — everything wired through the public `fia` facade.
+
+use fia::attacks::{baseline, metrics, EqualitySolvingAttack, Grna, GrnaConfig};
+use fia::data::{PaperDataset, SplitSpec};
+use fia::defense::RoundingDefense;
+use fia::models::{
+    accuracy, DecisionTree, LogisticRegression, LrConfig, Mlp, MlpConfig,
+    RandomForest, TreeConfig,
+};
+use fia::vfl::{AdversaryView, PartyId, ThreatModel, VerticalPartition, VflSystem};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Shared fixture: dataset + split + partition at tiny scale.
+fn fixture(
+    dataset: PaperDataset,
+    target_fraction: f64,
+    seed: u64,
+) -> (fia::data::ThreeWaySplit, VerticalPartition) {
+    let ds = dataset.generate(0.008, seed);
+    let split = ds.split(&SplitSpec::paper_default(), seed);
+    let partition = VerticalPartition::two_block_random(ds.n_features(), target_fraction, seed);
+    (split, partition)
+}
+
+#[test]
+fn protocol_collected_view_feeds_esa() {
+    // Drive has 11 classes: with d_target ≤ 10 the attack run entirely
+    // through the protocol-collected adversary view must be exact.
+    let (split, partition) = fixture(PaperDataset::DriveDiagnosis, 0.2, 11);
+    let model = LogisticRegression::fit(&split.train, &LrConfig::default());
+    let system = VflSystem::from_global(model, partition, &split.prediction.features);
+    let view = AdversaryView::collect(&system, &ThreatModel::active_only());
+    assert!(view.d_target() <= 10);
+
+    let attack =
+        EqualitySolvingAttack::new(system.model(), &view.adv_indices, &view.target_indices);
+    assert!(attack.exact_recovery_expected());
+    let inferred = attack.infer_batch(&view.x_adv, &view.confidences);
+    let truth = split
+        .prediction
+        .features
+        .select_columns(&view.target_indices)
+        .unwrap();
+    let mse = metrics::mse_per_feature(&inferred, &truth);
+    assert!(mse < 1e-8, "protocol-fed ESA should be exact, mse = {mse}");
+}
+
+#[test]
+fn colluding_coalition_shrinks_target() {
+    // Three parties; the active party colluding with P3 leaves only P2's
+    // features unknown, and the attack view reflects that.
+    let ds = PaperDataset::CreditCard.generate(0.008, 3);
+    let split = ds.split(&SplitSpec::paper_default(), 3);
+    let d = ds.n_features();
+    let partition = VerticalPartition::contiguous(&[d - 14, 7, 7]);
+    let model = LogisticRegression::fit(&split.train, &LrConfig::default());
+    let system = VflSystem::from_global(model, partition, &split.prediction.features);
+
+    let solo = AdversaryView::collect(&system, &ThreatModel::active_only());
+    let coalition =
+        AdversaryView::collect(&system, &ThreatModel::with_colluders(&[PartyId(2)]));
+    assert_eq!(solo.d_target(), 14);
+    assert_eq!(coalition.d_target(), 7);
+    // More colluders → more known features → strictly easier GRNA task.
+    assert!(coalition.x_adv.cols() > solo.x_adv.cols());
+}
+
+#[test]
+fn grna_through_protocol_beats_random_guess() {
+    let (split, partition) = fixture(PaperDataset::CreditCard, 0.3, 5);
+    let model = LogisticRegression::fit(&split.train, &LrConfig::default());
+    let system = VflSystem::from_global(model, partition, &split.prediction.features);
+    let view = AdversaryView::collect(&system, &ThreatModel::active_only());
+
+    let mut cfg = GrnaConfig::fast().with_seed(5);
+    cfg.hidden = vec![48, 24];
+    cfg.epochs = 40;
+    cfg.lr = 3e-3;
+    let grna = Grna::new(system.model(), &view.adv_indices, &view.target_indices, cfg);
+    let generator = grna.train(&view.x_adv, &view.confidences);
+    let inferred = generator.infer(&view.x_adv, 1);
+
+    let truth = split
+        .prediction
+        .features
+        .select_columns(&view.target_indices)
+        .unwrap();
+    let grna_mse = metrics::mse_per_feature(&inferred, &truth);
+    let rg = baseline::random_guess_uniform(truth.rows(), truth.cols(), 2);
+    let rg_mse = metrics::mse_per_feature(&rg, &truth);
+    assert!(
+        grna_mse < 0.8 * rg_mse,
+        "grna {grna_mse} vs random {rg_mse}"
+    );
+}
+
+#[test]
+fn rounding_defense_breaks_esa_but_not_structure() {
+    let (split, partition) = fixture(PaperDataset::DriveDiagnosis, 0.2, 13);
+    let model = LogisticRegression::fit(&split.train, &LrConfig::default());
+    let attack_model = model.clone();
+    let system = VflSystem::from_global(model, partition, &split.prediction.features);
+    let view = AdversaryView::collect(&system, &ThreatModel::active_only());
+    let truth = split
+        .prediction
+        .features
+        .select_columns(&view.target_indices)
+        .unwrap();
+
+    let attack =
+        EqualitySolvingAttack::new(&attack_model, &view.adv_indices, &view.target_indices);
+    let clean = attack.infer_batch(&view.x_adv, &view.confidences);
+    let clean_mse = metrics::mse_per_feature(&clean, &truth);
+
+    let rounded = RoundingDefense::coarse().round_matrix(&view.confidences);
+    let defended = attack
+        .infer_batch(&view.x_adv, &rounded)
+        .map(|v| v.clamp(0.0, 1.0));
+    let defended_mse = metrics::mse_per_feature(&defended, &truth);
+    assert!(clean_mse < 1e-6, "undefended exact, got {clean_mse}");
+    assert!(
+        defended_mse > 100.0 * (clean_mse + 1e-6),
+        "rounding should destroy exactness: {defended_mse}"
+    );
+}
+
+#[test]
+fn all_four_model_families_run_through_the_protocol() {
+    let ds = PaperDataset::CreditCard.generate(0.008, 21);
+    let split = ds.split(&SplitSpec::paper_default(), 21);
+    let partition = VerticalPartition::two_block_random(ds.n_features(), 0.3, 21);
+
+    // LR
+    let lr = LogisticRegression::fit(&split.train, &LrConfig { epochs: 10, ..Default::default() });
+    let sys = VflSystem::from_global(lr, partition.clone(), &split.prediction.features);
+    assert_eq!(sys.predict(0).len(), 2);
+
+    // NN
+    let mlp = Mlp::fit(&split.train, &MlpConfig { epochs: 3, ..MlpConfig::fast() });
+    let sys = VflSystem::from_global(mlp, partition.clone(), &split.prediction.features);
+    assert!((sys.predict(1).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+
+    // DT — one-hot confidences.
+    let mut rng = StdRng::seed_from_u64(21);
+    let tree = DecisionTree::fit(&split.train, &TreeConfig::paper_dt(), &mut rng);
+    let sys = VflSystem::from_global(tree, partition.clone(), &split.prediction.features);
+    let v = sys.predict(2);
+    assert_eq!(v.iter().filter(|&&x| x == 1.0).count(), 1);
+
+    // RF — vote fractions.
+    let forest = RandomForest::fit(
+        &split.train,
+        &fia::models::ForestConfig {
+            n_trees: 8,
+            ..fia::models::ForestConfig::default()
+        },
+    );
+    let sys = VflSystem::from_global(forest, partition, &split.prediction.features);
+    let v = sys.predict(3);
+    assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    for x in v {
+        assert!((x * 8.0 - (x * 8.0).round()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn trained_models_generalize_to_test_split() {
+    // End-to-end sanity that the substrate models actually learn the
+    // synthetic tasks (guards against silently broken training loops).
+    let ds = PaperDataset::CreditCard.generate(0.01, 31);
+    let split = ds.split(&SplitSpec::paper_default(), 31);
+    let lr = LogisticRegression::fit(&split.train, &LrConfig::default());
+    let acc = accuracy(&lr, &split.test.features, &split.test.labels);
+    assert!(acc > 0.7, "LR test accuracy {acc}");
+
+    let mut rng = StdRng::seed_from_u64(31);
+    let tree = DecisionTree::fit(&split.train, &TreeConfig::paper_dt(), &mut rng);
+    let acc = accuracy(&tree, &split.test.features, &split.test.labels);
+    assert!(acc > 0.6, "DT test accuracy {acc}");
+}
