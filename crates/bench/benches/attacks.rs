@@ -1,11 +1,14 @@
-//! Criterion benches for the attack experiments — one group per
-//! table/figure (smoke-sized workloads; the repro binary regenerates the
-//! full tables).
+//! Attack-layer benches — the headline measurement is batched ESA vs
+//! looping the single-record API over 1,000 accumulated queries, plus
+//! smoke-sized runs of the per-figure experiments. Results (including
+//! the `esa_batch_speedup` ratio) land in `BENCH_attacks.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use fia_bench::experiments::{fig10, fig11, fig5, fig6, fig7, fig8, fig9, table3};
+use fia_bench::experiments::{fig5, fig6, table3};
+use fia_bench::harness::Harness;
 use fia_bench::profiles::ExperimentConfig;
-use fia_data::PaperDataset;
+use fia_core::{Attack, AttackEngine, EqualitySolvingAttack, QueryBatch};
+use fia_linalg::Matrix;
+use fia_models::{LogisticRegression, PredictProba};
 
 fn bench_cfg() -> ExperimentConfig {
     let mut cfg = ExperimentConfig::smoke();
@@ -13,104 +16,136 @@ fn bench_cfg() -> ExperimentConfig {
     cfg
 }
 
-fn fig5_esa(c: &mut Criterion) {
-    let cfg = bench_cfg();
-    c.bench_function("fig5_esa_sweep", |b| {
-        b.iter(|| std::hint::black_box(fig5::run(&cfg)))
-    });
-}
+/// An ESA deployment with `n` accumulated queries. `c == 2` builds the
+/// credit-card-shaped binary model (the paper's primary dataset), larger
+/// `c` the drive-diagnosis-shaped multiclass one.
+fn esa_fixture(
+    n: usize,
+    d: usize,
+    c: usize,
+) -> (LogisticRegression, Vec<usize>, Vec<usize>, QueryBatch) {
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let w_cols = if c == 2 { 1 } else { c };
+    let w = Matrix::from_fn(d, w_cols, |_, _| next());
+    let model = LogisticRegression::from_parameters(w, vec![0.0; w_cols], c);
+    let adv: Vec<usize> = (0..d).filter(|f| f % 3 != 0).collect();
+    let target: Vec<usize> = (0..d).filter(|f| f % 3 == 0).collect();
 
-fn fig6_pra(c: &mut Criterion) {
-    let cfg = bench_cfg();
-    c.bench_function("fig6_pra_sweep", |b| {
-        b.iter(|| std::hint::black_box(fig6::run(&cfg)))
-    });
-}
-
-fn table3_ablation(c: &mut Criterion) {
-    let cfg = bench_cfg();
-    c.bench_function("table3_ablation", |b| {
-        b.iter(|| std::hint::black_box(table3::run(&cfg)))
-    });
-}
-
-fn fig7_grna(c: &mut Criterion) {
-    let cfg = bench_cfg();
-    let mut g = c.benchmark_group("fig7_grna");
-    g.sample_size(10);
-    for model in fig7::TargetModel::all() {
-        g.bench_function(model.label(), |b| {
-            b.iter(|| {
-                std::hint::black_box(fig7::measure_point(
-                    &cfg,
-                    PaperDataset::CreditCard,
-                    model,
-                    0.3,
-                ))
-            })
-        });
+    let mut x_adv = Matrix::zeros(n, adv.len());
+    let mut x_full = Matrix::zeros(n, d);
+    for i in 0..n {
+        for j in 0..d {
+            x_full[(i, j)] = 0.5 + 0.49 * next();
+        }
+        for (k, &f) in adv.iter().enumerate() {
+            x_adv[(i, k)] = x_full[(i, f)];
+        }
     }
-    g.finish();
+    let confidences = model.predict_proba(&x_full);
+    (model, adv, target, QueryBatch::new(x_adv, confidences))
 }
 
-fn fig8_grna_rf(c: &mut Criterion) {
-    let cfg = bench_cfg();
-    let mut g = c.benchmark_group("fig8_grna_rf");
-    g.sample_size(10);
-    g.bench_function("credit_card_cbr", |b| {
-        b.iter(|| {
-            std::hint::black_box(fig8::measure_point(&cfg, PaperDataset::CreditCard, 0.3))
-        })
-    });
-    g.finish();
-}
-
-fn fig9_npred(c: &mut Criterion) {
-    let cfg = bench_cfg();
-    let mut g = c.benchmark_group("fig9_npred");
-    g.sample_size(10);
-    for nf in [0.1, 0.5] {
-        g.bench_function(format!("n={:.0}%", nf * 100.0), |b| {
-            b.iter(|| {
-                std::hint::black_box(fig9::measure_point(
-                    &cfg,
-                    PaperDataset::Synthetic1,
-                    nf,
-                    0.3,
-                ))
-            })
-        });
+/// Asserts the batched estimates agree with the per-record wrapper.
+fn check_consistency(attack: &EqualitySolvingAttack<'_>, batch: &QueryBatch) {
+    let batched = attack.infer_batch(batch);
+    for i in 0..batch.len() {
+        let single = attack.infer(batch.x_adv.row(i), batch.confidences.row(i));
+        for (k, &s) in single.iter().enumerate() {
+            assert!(
+                (batched.estimates[(i, k)] - s).abs() < 1e-9,
+                "batched/looped mismatch at ({i}, {k})"
+            );
+        }
     }
-    g.finish();
 }
 
-fn fig10_corr(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::new("attacks", 30, 5);
+    let n = 1_000;
+    let engine = AttackEngine::new();
+
+    // ---- Headline: batched vs looping the single-record API over the
+    // paper's primary (credit-card-shaped, binary) deployment. This is
+    // the acceptance bench of the engine refactor: the batched path must
+    // be ≥ 4× faster than 1,000 calls through `Attack::infer_one`.
+    let (model, adv, target, batch) = esa_fixture(n, 23, 2);
+    let attack = EqualitySolvingAttack::new(&model, &adv, &target);
+    check_consistency(&attack, &batch);
+
+    let looped = h.bench("esa_looped_single_record_1000", || {
+        let mut out = Matrix::zeros(n, target.len());
+        for i in 0..n {
+            let est = attack.infer_one(batch.x_adv.row(i), batch.confidences.row(i));
+            out.row_mut(i).copy_from_slice(&est);
+        }
+        out
+    });
+    let legacy = h.bench("esa_looped_legacy_infer_1000", || {
+        let mut out = Matrix::zeros(n, target.len());
+        for i in 0..n {
+            let est = attack.infer(batch.x_adv.row(i), batch.confidences.row(i));
+            out.row_mut(i).copy_from_slice(&est);
+        }
+        out
+    });
+    let engine_run = h.bench("esa_infer_batch_1000", || engine.run(&attack, &batch));
+    let speedup = looped.median_ns / engine_run.median_ns;
+    h.metric("esa_batch_speedup", speedup);
+    h.metric(
+        "esa_batch_vs_legacy_infer",
+        legacy.median_ns / engine_run.median_ns,
+    );
+    // Wall-clock ratios are noisy on shared CI runners; setting
+    // FIA_BENCH_NO_ASSERT turns the acceptance bar into a report-only
+    // metric there while keeping it enforced for local/dev runs.
+    if std::env::var_os("FIA_BENCH_NO_ASSERT").is_none() {
+        assert!(
+            speedup >= 4.0,
+            "batched ESA speedup {speedup:.2}x below the 4x acceptance bar"
+        );
+    }
+
+    // ---- Secondary shape: drive-diagnosis-like multiclass (11 classes,
+    // 48 features) — flop-bound, so the single-core gap is smaller; on a
+    // multi-core runner the engine additionally stripes rows.
+    let (model_mc, adv_mc, target_mc, batch_mc) = esa_fixture(n, 48, 11);
+    let attack_mc = EqualitySolvingAttack::new(&model_mc, &adv_mc, &target_mc);
+    check_consistency(&attack_mc, &batch_mc);
+    let looped_mc = h.bench("esa_multiclass_looped_1000", || {
+        let mut out = Matrix::zeros(n, target_mc.len());
+        for i in 0..n {
+            let est = attack_mc.infer_one(batch_mc.x_adv.row(i), batch_mc.confidences.row(i));
+            out.row_mut(i).copy_from_slice(&est);
+        }
+        out
+    });
+    let batch_run_mc = h.bench("esa_multiclass_infer_batch_1000", || {
+        engine.run(&attack_mc, &batch_mc)
+    });
+    h.metric(
+        "esa_multiclass_batch_speedup",
+        looped_mc.median_ns / batch_run_mc.median_ns,
+    );
+
+    // ---- Smoke-sized experiment sweeps (shape-preserving workloads).
     let cfg = bench_cfg();
-    let mut g = c.benchmark_group("fig10_corr");
-    g.sample_size(10);
-    g.bench_function("bank_lr_panel", |b| {
-        b.iter(|| std::hint::black_box(fig10::panel_lr(&cfg)))
-    });
-    g.finish();
-}
+    let mut smoke = Harness::new("experiments", 5, 1);
+    smoke.bench("fig5_esa_sweep", || fig5::run(&cfg));
+    smoke.bench("fig6_pra_sweep", || fig6::run(&cfg));
+    smoke.bench("table3_ablation", || table3::run(&cfg));
 
-fn fig11_defenses(c: &mut Criterion) {
-    let cfg = bench_cfg();
-    let mut g = c.benchmark_group("fig11_defenses");
-    g.sample_size(10);
-    g.bench_function("round_esa", |b| {
-        b.iter(|| std::hint::black_box(fig11::run_rounding_esa(&cfg)))
-    });
-    g.bench_function("dropout_grna", |b| {
-        b.iter(|| std::hint::black_box(fig11::run_dropout(&cfg)))
-    });
-    g.finish();
+    for r in smoke.results() {
+        // Fold the experiment rows into the same JSON document.
+        h.metric(
+            &format!("{}_median_ms", r.name.replace('/', "_")),
+            r.median_ms(),
+        );
+    }
+    h.write_json("BENCH_attacks.json");
 }
-
-criterion_group! {
-    name = attacks;
-    config = Criterion::default().sample_size(10);
-    targets = fig5_esa, fig6_pra, table3_ablation, fig7_grna, fig8_grna_rf,
-              fig9_npred, fig10_corr, fig11_defenses
-}
-criterion_main!(attacks);

@@ -1,31 +1,39 @@
-//! Criterion benches for the substrate layers: linear algebra kernels,
-//! autograd throughput, model training/prediction, and the design-choice
-//! ablations from DESIGN.md §6 (pinv-vs-ridge, distillation capacity).
+//! Substrate benches: linear algebra kernels (including the blocked and
+//! parallel multiplies), autograd throughput, model training/prediction,
+//! and the design-choice ablations from DESIGN.md §6.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use fia_bench::experiments::ablation;
+use fia_bench::harness::Harness;
 use fia_bench::profiles::ExperimentConfig;
-use fia_linalg::{lstsq, pinv, svd, Matrix};
+use fia_linalg::{lstsq, par_matmul, pinv, svd, Matrix};
 use fia_models::{DecisionTree, LogisticRegression, LrConfig, PredictProba, TreeConfig};
 use fia_tensor::{Params, Tape};
 use rand::{rngs::StdRng, SeedableRng};
 
-fn linalg_kernels(c: &mut Criterion) {
-    let mut g = c.benchmark_group("linalg");
+fn linalg_kernels(h: &mut Harness) {
     let a = Matrix::from_fn(40, 12, |i, j| ((i * 13 + j * 7) % 17) as f64 - 8.0);
-    g.bench_function("svd_40x12", |b| b.iter(|| svd(std::hint::black_box(&a))));
-    g.bench_function("pinv_40x12", |b| b.iter(|| pinv(std::hint::black_box(&a))));
+    h.bench("svd_40x12", || svd(std::hint::black_box(&a)));
+    h.bench("pinv_40x12", || pinv(std::hint::black_box(&a)));
     let rhs: Vec<f64> = (0..40).map(|i| (i as f64 * 0.37).sin()).collect();
-    g.bench_function("lstsq_40x12", |b| {
-        b.iter(|| lstsq(std::hint::black_box(&a), std::hint::black_box(&rhs)))
+    h.bench("lstsq_40x12", || {
+        lstsq(std::hint::black_box(&a), std::hint::black_box(&rhs))
     });
     let m = Matrix::from_fn(128, 128, |i, j| ((i + j) % 9) as f64 * 0.1);
-    g.bench_function("matmul_128", |b| b.iter(|| m.matmul(std::hint::black_box(&m))));
-    g.finish();
+    h.bench("matmul_128", || m.matmul(std::hint::black_box(&m)));
+    let big = Matrix::from_fn(384, 384, |i, j| ((i * 7 + j) % 11) as f64 * 0.1);
+    h.bench("matmul_blocked_384", || {
+        big.matmul_blocked(std::hint::black_box(&big), 64)
+    });
+    h.bench("par_matmul_384", || {
+        par_matmul(std::hint::black_box(&big), std::hint::black_box(&big))
+    });
+    let bt = big.transpose();
+    h.bench("matmul_transposed_384", || {
+        big.matmul_transposed(std::hint::black_box(&bt))
+    });
 }
 
-fn autograd_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("autograd");
+fn autograd_throughput(h: &mut Harness) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut params = Params::new();
     let w1 = params.insert(fia_tensor::he_normal(32, 64, &mut rng));
@@ -34,31 +42,26 @@ fn autograd_throughput(c: &mut Criterion) {
     let b2 = params.insert(Matrix::zeros(1, 8));
     let x = fia_tensor::uniform_matrix(64, 32, 0.0, 1.0, &mut rng);
     let t = fia_tensor::uniform_matrix(64, 8, 0.0, 1.0, &mut rng);
-    g.bench_function("mlp_fwd_bwd_64x32", |b| {
-        b.iter(|| {
-            let mut tape = Tape::new();
-            let xv = tape.input(x.clone());
-            let w1v = tape.param(&params, w1);
-            let b1v = tape.param(&params, b1);
-            let h = tape.matmul(xv, w1v);
-            let h = tape.add_row_broadcast(h, b1v);
-            let h = tape.relu(h);
-            let w2v = tape.param(&params, w2);
-            let b2v = tape.param(&params, b2);
-            let z = tape.matmul(h, w2v);
-            let z = tape.add_row_broadcast(z, b2v);
-            let tv = tape.input(t.clone());
-            let loss = tape.mse_loss(z, tv);
-            tape.backward(loss);
-            std::hint::black_box(tape.param_grads())
-        })
+    h.bench("mlp_fwd_bwd_64x32", || {
+        let mut tape = Tape::new();
+        let xv = tape.input(x.clone());
+        let w1v = tape.param(&params, w1);
+        let b1v = tape.param(&params, b1);
+        let hid = tape.matmul(xv, w1v);
+        let hid = tape.add_row_broadcast(hid, b1v);
+        let hid = tape.relu(hid);
+        let w2v = tape.param(&params, w2);
+        let b2v = tape.param(&params, b2);
+        let z = tape.matmul(hid, w2v);
+        let z = tape.add_row_broadcast(z, b2v);
+        let tv = tape.input(t.clone());
+        let loss = tape.mse_loss(z, tv);
+        tape.backward(loss);
+        std::hint::black_box(tape.param_grads())
     });
-    g.finish();
 }
 
-fn model_training(c: &mut Criterion) {
-    let mut g = c.benchmark_group("models");
-    g.sample_size(10);
+fn model_training(h: &mut Harness) {
     let cfg = fia_data::SynthConfig {
         n_samples: 300,
         n_features: 12,
@@ -72,47 +75,40 @@ fn model_training(c: &mut Criterion) {
         seed: 3,
     };
     let ds = fia_data::normalize_dataset(&fia_data::make_classification(&cfg)).0;
-    g.bench_function("lr_fit_300x12", |b| {
-        b.iter(|| {
-            LogisticRegression::fit(
-                std::hint::black_box(&ds),
-                &LrConfig {
-                    epochs: 5,
-                    ..LrConfig::default()
-                },
-            )
-        })
+    h.bench("lr_fit_300x12", || {
+        LogisticRegression::fit(
+            std::hint::black_box(&ds),
+            &LrConfig {
+                epochs: 5,
+                ..LrConfig::default()
+            },
+        )
     });
-    g.bench_function("tree_fit_300x12_depth5", |b| {
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(9);
-            DecisionTree::fit(std::hint::black_box(&ds), &TreeConfig::paper_dt(), &mut rng)
-        })
+    h.bench("tree_fit_300x12_depth5", || {
+        let mut rng = StdRng::seed_from_u64(9);
+        DecisionTree::fit(std::hint::black_box(&ds), &TreeConfig::paper_dt(), &mut rng)
     });
     let model = LogisticRegression::fit(&ds, &LrConfig::default());
-    g.bench_function("lr_predict_300", |b| {
-        b.iter(|| model.predict_proba(std::hint::black_box(&ds.features)))
+    h.bench("lr_predict_300", || {
+        model.predict_proba(std::hint::black_box(&ds.features))
     });
-    g.finish();
 }
 
-fn design_ablations(c: &mut Criterion) {
+fn design_ablations(h: &mut Harness) {
     let mut cfg = ExperimentConfig::smoke();
     cfg.dtarget_grid = vec![0.3];
-    let mut g = c.benchmark_group("design_ablations");
-    g.sample_size(10);
-    g.bench_function("ablation_pinv_vs_ridge", |b| {
-        b.iter(|| std::hint::black_box(ablation::run_pinv_vs_ridge(&cfg, 1e-6)))
+    h.bench("ablation_pinv_vs_ridge", || {
+        ablation::run_pinv_vs_ridge(&cfg, 1e-6)
     });
-    g.bench_function("ablation_distill_sweep", |b| {
-        b.iter(|| std::hint::black_box(ablation::run_distill_sweep(&cfg)))
+    h.bench("ablation_distill_sweep", || {
+        ablation::run_distill_sweep(&cfg)
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = substrates;
-    config = Criterion::default().sample_size(20);
-    targets = linalg_kernels, autograd_throughput, model_training, design_ablations
+fn main() {
+    let mut h = Harness::new("substrates", 10, 2);
+    linalg_kernels(&mut h);
+    autograd_throughput(&mut h);
+    model_training(&mut h);
+    design_ablations(&mut h);
 }
-criterion_main!(substrates);

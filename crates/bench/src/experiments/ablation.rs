@@ -41,13 +41,10 @@ pub fn run_pinv_vs_ridge(cfg: &ExperimentConfig, ridge_lambda: f64) -> Vec<PinvR
             let scenario =
                 Scenario::build(PaperDataset::CreditCard, cfg.scale, fraction, None, seed);
             let model = common::train_lr(&scenario, cfg, seed ^ 0xA1);
-            let attack = EqualitySolvingAttack::new(
-                &model,
-                &scenario.adv_indices,
-                &scenario.target_indices,
-            );
+            let attack =
+                EqualitySolvingAttack::new(&model, &scenario.adv_indices, &scenario.target_indices);
             let conf = scenario.confidences(&model);
-            let pinv_est = attack.infer_batch(&scenario.x_adv, &conf);
+            let pinv_est = common::run_attack(&attack, &scenario.x_adv, &conf);
             let ridge_est = ridge_solve_batch(&attack, &scenario, &conf, ridge_lambda);
             PinvRow {
                 dtarget_fraction: fraction,
@@ -114,8 +111,7 @@ pub fn run_distill_sweep(cfg: &ExperimentConfig) -> Vec<DistillRow> {
             ..cfg.distill.clone()
         };
         let surrogate = distill_forest_with_pool(&forest, &distill_cfg, scenario.x_adv.as_slice());
-        let fidelity_gap =
-            fia_models::distillation_fidelity(&forest, &surrogate, 200, seed ^ 0xB3);
+        let fidelity_gap = fia_models::distillation_fidelity(&forest, &surrogate, 200, seed ^ 0xB3);
         let (_, inferred) = common::run_grna(
             &scenario,
             &surrogate,
@@ -159,9 +155,7 @@ pub fn run_noise_sweep(cfg: &ExperimentConfig) -> Vec<NoiseRow> {
         } else {
             clean_conf.clone()
         };
-        let esa_est = esa
-            .infer_batch(&scenario.x_adv, &conf)
-            .map(|v| v.clamp(0.0, 1.0));
+        let esa_est = common::run_attack(&esa, &scenario.x_adv, &conf).map(|v| v.clamp(0.0, 1.0));
         let (_, grna_est) = common::run_grna(
             &scenario,
             &model,

@@ -2,7 +2,9 @@
 
 use crate::profiles::ExperimentConfig;
 use crate::scenario::Scenario;
-use fia_core::{baseline, metrics, Grna, GrnaConfig, TrainedGenerator};
+use fia_core::{
+    baseline, metrics, Attack, AttackEngine, Grna, GrnaConfig, QueryBatch, TrainedGenerator,
+};
 use fia_linalg::Matrix;
 use fia_models::{
     distill_forest_with_pool, DifferentiableModel, ForestConfig, LogisticRegression, Mlp,
@@ -29,6 +31,15 @@ pub fn train_forest(scenario: &Scenario, cfg: &ExperimentConfig, seed: u64) -> R
         ..cfg.forest.clone()
     };
     RandomForest::fit(&scenario.train, &forest_cfg)
+}
+
+/// Dispatches one batch-first attack over a scenario's accumulated
+/// `(x_adv, v)` stream through the [`AttackEngine`] and returns the
+/// estimates.
+pub fn run_attack(attack: &dyn Attack, x_adv: &Matrix, confidences: &Matrix) -> Matrix {
+    AttackEngine::new()
+        .run(attack, &QueryBatch::new(x_adv.clone(), confidences.clone()))
+        .estimates
 }
 
 /// Runs GRNA end-to-end against any differentiable model: trains the
@@ -105,15 +116,14 @@ pub fn average_over_trials(
 /// Keeps the repro binary's wall-clock reasonable when sweeping datasets.
 pub fn parallel_map<T: Send, R: Send>(inputs: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
     let mut slots: Vec<Option<R>> = inputs.iter().map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, input) in slots.iter_mut().zip(inputs) {
             let f = &f;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(f(input));
             });
         }
-    })
-    .expect("experiment worker panicked");
+    });
     slots.into_iter().map(|s| s.expect("filled")).collect()
 }
 

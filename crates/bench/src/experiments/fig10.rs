@@ -63,7 +63,13 @@ pub fn panel_lr(cfg: &ExperimentConfig) -> Vec<Fig10Row> {
     // The feature split stays fixed across repetitions (the panel is
     // *about* specific features); only training/attack seeds vary.
     let split_seed = cfg.seed_for("fig10/lr", 0);
-    let scenario = Scenario::build(PaperDataset::BankMarketing, cfg.scale, 0.4, None, split_seed);
+    let scenario = Scenario::build(
+        PaperDataset::BankMarketing,
+        cfg.scale,
+        0.4,
+        None,
+        split_seed,
+    );
     let mut rows: Option<Vec<Fig10Row>> = None;
     for rep in 0..PANEL_REPS {
         let seed = cfg.seed_for("fig10/lr", rep) ^ 0x71;
@@ -71,7 +77,13 @@ pub fn panel_lr(cfg: &ExperimentConfig) -> Vec<Fig10Row> {
         let conf = scenario.confidences(&model);
         let (_, inferred) =
             common::run_grna(&scenario, &model, cfg.grna.clone().with_seed(seed), &conf);
-        accumulate_rows(&mut rows, "Bank marketing (LR)", &scenario, &inferred, &conf);
+        accumulate_rows(
+            &mut rows,
+            "Bank marketing (LR)",
+            &scenario,
+            &inferred,
+            &conf,
+        );
     }
     finish_rows(rows)
 }
@@ -183,7 +195,14 @@ pub fn render(rows: &[Fig10Row]) -> String {
         .collect();
     crate::report::render_table(
         "Fig. 10: per-feature MSE vs correlations (Eqns 16-17)",
-        &["Panel", "Feature", "MSE", "MSE/Var", "corr(x_adv)", "corr(pred)"],
+        &[
+            "Panel",
+            "Feature",
+            "MSE",
+            "MSE/Var",
+            "corr(x_adv)",
+            "corr(pred)",
+        ],
         &body,
     )
 }

@@ -72,9 +72,9 @@ pub fn run_rounding_esa(cfg: &ExperimentConfig) -> Vec<RoundingRow> {
     let jobs: Vec<(PaperDataset, Rounding, f64)> = datasets
         .iter()
         .flat_map(|&d| {
-            Rounding::all().into_iter().flat_map(move |r| {
-                cfg.dtarget_grid.iter().map(move |&f| (d, r, f))
-            })
+            Rounding::all()
+                .into_iter()
+                .flat_map(move |r| cfg.dtarget_grid.iter().map(move |&f| (d, r, f)))
         })
         .collect();
     common::parallel_map(jobs, |(dataset, rounding, fraction)| {
@@ -88,13 +88,10 @@ pub fn run_rounding_esa(cfg: &ExperimentConfig) -> Vec<RoundingRow> {
             );
             let scenario = Scenario::build(dataset, cfg.scale, fraction, None, seed);
             let model = common::train_lr(&scenario, cfg, seed ^ 0x81);
-            let attack = EqualitySolvingAttack::new(
-                &model,
-                &scenario.adv_indices,
-                &scenario.target_indices,
-            );
+            let attack =
+                EqualitySolvingAttack::new(&model, &scenario.adv_indices, &scenario.target_indices);
             let conf = rounding.apply(&scenario.confidences(&model));
-            let inferred = attack.infer_batch(&scenario.x_adv, &conf);
+            let inferred = common::run_attack(&attack, &scenario.x_adv, &conf);
             // Clamp wild estimates into the known value range before
             // scoring, as any real adversary would.
             let inferred = inferred.map(|v| v.clamp(0.0, 1.0));
@@ -118,9 +115,9 @@ pub fn run_rounding_grna(cfg: &ExperimentConfig) -> Vec<RoundingRow> {
     let jobs: Vec<(PaperDataset, Rounding, f64)> = datasets
         .iter()
         .flat_map(|&d| {
-            Rounding::all().into_iter().flat_map(move |r| {
-                cfg.dtarget_grid.iter().map(move |&f| (d, r, f))
-            })
+            Rounding::all()
+                .into_iter()
+                .flat_map(move |r| cfg.dtarget_grid.iter().map(move |&f| (d, r, f)))
         })
         .collect();
     common::parallel_map(jobs, |(dataset, rounding, fraction)| {
@@ -135,12 +132,8 @@ pub fn run_rounding_grna(cfg: &ExperimentConfig) -> Vec<RoundingRow> {
             let scenario = Scenario::build(dataset, cfg.scale, fraction, None, seed);
             let model = common::train_lr(&scenario, cfg, seed ^ 0x83);
             let conf = rounding.apply(&scenario.confidences(&model));
-            let (_, inferred) = common::run_grna(
-                &scenario,
-                &model,
-                cfg.grna.clone().with_seed(seed),
-                &conf,
-            );
+            let (_, inferred) =
+                common::run_grna(&scenario, &model, cfg.grna.clone().with_seed(seed), &conf);
             mse_sum += metrics::mse_per_feature(&inferred, &scenario.truth);
             rg_sum += common::random_guess_mse(&scenario, seed ^ 0x84).0;
         }
@@ -176,9 +169,9 @@ pub fn run_dropout(cfg: &ExperimentConfig) -> Vec<DropoutRow> {
     let jobs: Vec<(PaperDataset, bool, f64)> = datasets
         .iter()
         .flat_map(|&d| {
-            [true, false].into_iter().flat_map(move |dr| {
-                cfg.dtarget_grid.iter().map(move |&f| (d, dr, f))
-            })
+            [true, false]
+                .into_iter()
+                .flat_map(move |dr| cfg.dtarget_grid.iter().map(move |&f| (d, dr, f)))
         })
         .collect();
     common::parallel_map(jobs, |(dataset, dropout, fraction)| {
@@ -198,12 +191,8 @@ pub fn run_dropout(cfg: &ExperimentConfig) -> Vec<DropoutRow> {
                 common::train_mlp(&scenario, cfg, seed ^ 0x85)
             };
             let conf = scenario.confidences(&model);
-            let (_, inferred) = common::run_grna(
-                &scenario,
-                &model,
-                cfg.grna.clone().with_seed(seed),
-                &conf,
-            );
+            let (_, inferred) =
+                common::run_grna(&scenario, &model, cfg.grna.clone().with_seed(seed), &conf);
             mse_sum += metrics::mse_per_feature(&inferred, &scenario.truth);
             rg_sum += common::random_guess_mse(&scenario, seed ^ 0x86).0;
         }
@@ -234,7 +223,14 @@ pub fn render_rounding(rows: &[RoundingRow], title: &str) -> String {
         .collect();
     crate::report::render_table(
         title,
-        &["Dataset", "Attack", "Rounding", "d_target%", "MSE", "RG(Uniform)"],
+        &[
+            "Dataset",
+            "Attack",
+            "Rounding",
+            "d_target%",
+            "MSE",
+            "RG(Uniform)",
+        ],
         &body,
     )
 }

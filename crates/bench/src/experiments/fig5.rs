@@ -59,7 +59,7 @@ pub fn measure_point(cfg: &ExperimentConfig, dataset: PaperDataset, fraction: f6
         let attack =
             EqualitySolvingAttack::new(&model, &scenario.adv_indices, &scenario.target_indices);
         let confidences = scenario.confidences(&model);
-        let inferred = attack.infer_batch(&scenario.x_adv, &confidences);
+        let inferred = common::run_attack(&attack, &scenario.x_adv, &confidences);
         esa_sum += metrics::mse_per_feature(&inferred, &scenario.truth);
         let (u, g) = common::random_guess_mse(&scenario, seed ^ 0x22);
         rgu_sum += u;
@@ -89,7 +89,11 @@ pub fn render(rows: &[Fig5Row]) -> String {
         .map(|r| {
             vec![
                 r.dataset.to_string(),
-                format!("{:.0}%{}", r.dtarget_fraction * 100.0, if r.exact { " (T)" } else { "" }),
+                format!(
+                    "{:.0}%{}",
+                    r.dtarget_fraction * 100.0,
+                    if r.exact { " (T)" } else { "" }
+                ),
                 r.d_target.to_string(),
                 crate::report::fmt_metric(r.esa_mse),
                 crate::report::fmt_metric(r.rg_uniform),

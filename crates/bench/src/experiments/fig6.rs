@@ -55,19 +55,13 @@ fn measure_point(cfg: &ExperimentConfig, dataset: PaperDataset, fraction: f64) -
         let attack =
             PathRestrictionAttack::new(&tree, &scenario.adv_indices, &scenario.target_indices);
         let mut rng = StdRng::seed_from_u64(seed ^ 0x88);
-        let mut estimates = fia_linalg::Matrix::zeros(
-            scenario.n_predictions(),
-            scenario.d_target(),
-        );
+        let mut estimates =
+            fia_linalg::Matrix::zeros(scenario.n_predictions(), scenario.d_target());
         for i in 0..scenario.n_predictions() {
             let x_full = scenario.prediction.sample(i);
             // The protocol reveals the predicted class (one-hot scores).
             let class = tree.predict_one(x_full);
-            let x_adv: Vec<f64> = scenario
-                .adv_indices
-                .iter()
-                .map(|&f| x_full[f])
-                .collect();
+            let x_adv: Vec<f64> = scenario.adv_indices.iter().map(|&f| x_full[f]).collect();
             if let Some(inferred) = attack.infer(&x_adv, class, &mut rng) {
                 pra.merge(attack.evaluate_cbr(&inferred, x_full));
                 restricted_sum += inferred.n_restricted as f64;
@@ -151,11 +145,7 @@ mod tests {
         for r in &rows {
             if let (Some(pra), Some(rg)) = (r.pra_cbr, r.rg_cbr) {
                 usable += 1;
-                assert!(
-                    pra >= rg - 0.05,
-                    "{}: pra {pra} vs random {rg}",
-                    r.dataset
-                );
+                assert!(pra >= rg - 0.05, "{}: pra {pra} vs random {rg}", r.dataset);
                 assert!(r.mean_restricted >= 1.0);
             }
         }

@@ -65,9 +65,9 @@ pub fn run_on(
     let jobs: Vec<(PaperDataset, TargetModel, f64)> = datasets
         .iter()
         .flat_map(|&d| {
-            models.iter().flat_map(move |&m| {
-                cfg.dtarget_grid.iter().map(move |&f| (d, m, f))
-            })
+            models
+                .iter()
+                .flat_map(move |&m| cfg.dtarget_grid.iter().map(move |&f| (d, m, f)))
         })
         .collect();
     common::parallel_map(jobs, |(dataset, model, fraction)| {

@@ -49,16 +49,8 @@ pub fn measure_point(cfg: &ExperimentConfig, dataset: PaperDataset, fraction: f6
         let scenario = Scenario::build(dataset, cfg.scale, fraction, None, seed);
         let forest = common::train_forest(&scenario, cfg, seed ^ 0x51);
         let inferred = common::run_grna_on_forest(&scenario, &forest, cfg, seed);
-        grna.merge(forest_branch_consistency(
-            &forest,
-            &scenario,
-            &inferred,
-        ));
-        let guesses = baseline::random_guess_uniform(
-            inferred.rows(),
-            inferred.cols(),
-            seed ^ 0x52,
-        );
+        grna.merge(forest_branch_consistency(&forest, &scenario, &inferred));
+        let guesses = baseline::random_guess_uniform(inferred.rows(), inferred.cols(), seed ^ 0x52);
         rg.merge(forest_branch_consistency(&forest, &scenario, &guesses));
     }
     Fig8Row {

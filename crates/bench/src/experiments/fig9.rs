@@ -43,9 +43,9 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Fig9Row> {
     let jobs: Vec<(PaperDataset, f64, f64)> = datasets()
         .iter()
         .flat_map(|&d| {
-            n_fractions.iter().flat_map(move |&nf| {
-                cfg.dtarget_grid.iter().map(move |&f| (d, nf, f))
-            })
+            n_fractions
+                .iter()
+                .flat_map(move |&nf| cfg.dtarget_grid.iter().map(move |&f| (d, nf, f)))
         })
         .collect();
     common::parallel_map(jobs, |(dataset, nf, fraction)| {
@@ -106,14 +106,7 @@ pub fn render(rows: &[Fig9Row]) -> String {
         .collect();
     crate::report::render_table(
         "Fig. 9: effect of the number of predictions (GRNA-NN)",
-        &[
-            "Dataset",
-            "Curve",
-            "d_target%",
-            "n",
-            "GRNA",
-            "RG(Uniform)",
-        ],
+        &["Dataset", "Curve", "d_target%", "n", "GRNA", "RG(Uniform)"],
         &body,
     )
 }

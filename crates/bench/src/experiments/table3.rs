@@ -87,11 +87,8 @@ pub fn run(cfg: &ExperimentConfig) -> Vec<Table3Row> {
     });
 
     // Case 6: random guess.
-    let rg = baseline::random_guess_uniform(
-        scenario.truth.rows(),
-        scenario.truth.cols(),
-        seed ^ 0x92,
-    );
+    let rg =
+        baseline::random_guess_uniform(scenario.truth.rows(), scenario.truth.cols(), seed ^ 0x92);
     rows.push(Table3Row {
         case: 6,
         input_adv: false,

@@ -1,0 +1,161 @@
+//! Minimal wall-clock bench harness.
+//!
+//! The offline build environment has no `criterion`, so `benches/` use
+//! this hand-rolled stand-in: warmup + repeated timed runs, a robust
+//! median summary, and a machine-readable JSON dump
+//! (`BENCH_attacks.json`) so future changes can track the perf
+//! trajectory. The JSON layout intentionally mirrors a flattened
+//! criterion summary (`name`, `median_ns`, `mean_ns`, `samples`).
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark identifier (`group/name`).
+    pub name: String,
+    /// Median of per-iteration wall-clock times, nanoseconds.
+    pub median_ns: f64,
+    /// Mean of per-iteration wall-clock times, nanoseconds.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl BenchResult {
+    /// Median time in milliseconds.
+    pub fn median_ms(&self) -> f64 {
+        self.median_ns / 1e6
+    }
+}
+
+/// A named collection of benchmarks, run sequentially.
+pub struct Harness {
+    group: &'static str,
+    samples: usize,
+    warmup: usize,
+    results: Vec<BenchResult>,
+    /// Extra scalar metrics (speedups, ratios) to embed in the JSON.
+    metrics: Vec<(String, f64)>,
+}
+
+impl Harness {
+    /// Creates a harness; `samples` timed iterations (after `warmup`
+    /// untimed ones) per benchmark.
+    pub fn new(group: &'static str, samples: usize, warmup: usize) -> Self {
+        Harness {
+            group,
+            samples: samples.max(1),
+            warmup,
+            results: Vec::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Times `f`, keeping its output alive via `std::hint::black_box`.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> BenchResult {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut times_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+        times_ns.sort_by(|a, b| a.total_cmp(b));
+        let median_ns = times_ns[times_ns.len() / 2];
+        let mean_ns = times_ns.iter().sum::<f64>() / times_ns.len() as f64;
+        let result = BenchResult {
+            name: format!("{}/{}", self.group, name),
+            median_ns,
+            mean_ns,
+            samples: self.samples,
+        };
+        println!(
+            "{:<48} median {:>10.3} ms   mean {:>10.3} ms   ({} samples)",
+            result.name,
+            result.median_ns / 1e6,
+            result.mean_ns / 1e6,
+            result.samples
+        );
+        self.results.push(result.clone());
+        result
+    }
+
+    /// Records a derived scalar metric (e.g. a speedup ratio).
+    pub fn metric(&mut self, name: &str, value: f64) {
+        println!("{:<48} {value:.4}", format!("{}/{}", self.group, name));
+        self.metrics
+            .push((format!("{}/{}", self.group, name), value));
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serializes results + metrics as a JSON document (criterion-like
+    /// flattened summary).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"samples\": {}}}",
+                r.name, r.median_ns, r.mean_ns, r.samples
+            );
+            out.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"metrics\": {\n");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            let _ = write!(out, "    \"{k}\": {v:.6}");
+            out.push_str(if i + 1 < self.metrics.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Writes the JSON summary to `path` (best-effort; benches must not
+    /// fail on a read-only filesystem).
+    pub fn write_json(&self, path: &str) {
+        match std::fs::write(path, self.to_json()) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_measures_and_records() {
+        let mut h = Harness::new("test", 3, 1);
+        let r = h.bench("busy", || (0..1000).sum::<u64>());
+        assert_eq!(r.samples, 3);
+        assert!(r.median_ns > 0.0);
+        assert_eq!(h.results().len(), 1);
+    }
+
+    #[test]
+    fn json_is_well_formed_ish() {
+        let mut h = Harness::new("g", 2, 0);
+        h.bench("a", || 1 + 1);
+        h.metric("speedup", 4.2);
+        let json = h.to_json();
+        assert!(json.contains("\"g/a\""));
+        assert!(json.contains("\"g/speedup\": 4.2"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

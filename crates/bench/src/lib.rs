@@ -6,8 +6,9 @@
 //! (see DESIGN.md §3 for the full index). The [`experiments`] module has
 //! one sub-module per table/figure, each exposing a `run(&ExperimentConfig)`
 //! returning typed rows; `src/bin/repro.rs` prints them in the paper's
-//! layout; `benches/` measures representative configurations under
-//! Criterion.
+//! layout; `benches/` measures representative configurations under the
+//! in-tree wall-clock [`harness`] (criterion is unavailable offline) and
+//! emits a machine-readable `BENCH_attacks.json` perf summary.
 //!
 //! Two profiles are provided: [`profiles::ExperimentConfig::quick`] runs
 //! every experiment in seconds on scaled-down workloads (the *shapes* of
@@ -15,6 +16,7 @@
 //! `paper()` uses the paper's full sizes.
 
 pub mod experiments;
+pub mod harness;
 pub mod profiles;
 pub mod report;
 pub mod scenario;

@@ -47,7 +47,7 @@ impl ExperimentConfig {
             forest: ForestConfig::fast(),
             tree: TreeConfig::paper_dt(),
             distill: DistillConfig::fast(),
-            }
+        }
     }
 
     /// An even smaller profile for Criterion benches and CI smoke tests.

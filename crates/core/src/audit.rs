@@ -7,13 +7,13 @@
 //! countermeasures (Section VII) need — quantify before deploying.
 
 use crate::baseline::random_guess_uniform;
+use crate::engine::{AttackEngine, QueryBatch};
 use crate::esa::EqualitySolvingAttack;
 use crate::grna::{Grna, GrnaConfig};
 use crate::metrics::{esa_upper_bound, mse_per_feature};
 use crate::pra::PathRestrictionAttack;
 use fia_linalg::Matrix;
-use fia_models::{DecisionTree, DifferentiableModel, LogisticRegression};
-use rand::{rngs::StdRng, SeedableRng};
+use fia_models::{DecisionTree, DifferentiableModel, LogisticRegression, PredictProba};
 
 /// Severity grading of a leakage finding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -99,10 +99,13 @@ pub fn audit_logistic_regression(
         truth,
     );
     let mut findings = Vec::new();
+    let engine = AttackEngine::new();
+    let batch = QueryBatch::new(x_adv.clone(), confidences.clone());
 
     let esa = EqualitySolvingAttack::new(model, adv_indices, target_indices);
-    let esa_est = esa
-        .infer_batch(x_adv, confidences)
+    let esa_est = engine
+        .run(&esa, &batch)
+        .estimates
         .map(|v| v.clamp(0.0, 1.0));
     findings.push(Finding::grade(
         "ESA",
@@ -111,8 +114,8 @@ pub fn audit_logistic_regression(
     ));
 
     let grna = Grna::new(model, adv_indices, target_indices, grna_config);
-    let generator = grna.train(x_adv, confidences);
-    let grna_est = generator.infer(x_adv, 0xA0D2);
+    let generator = grna.train(x_adv, confidences).with_infer_seed(0xA0D2);
+    let grna_est = engine.run(&generator, &batch).estimates;
     findings.push(Finding::grade(
         "GRNA",
         mse_per_feature(&grna_est, truth),
@@ -148,19 +151,16 @@ pub fn audit_decision_tree(
         &truth,
     );
 
-    let attack = PathRestrictionAttack::new(tree, adv_indices, target_indices);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let attack = PathRestrictionAttack::new(tree, adv_indices, target_indices).with_seed(seed);
     let mut sorted_adv = adv_indices.to_vec();
     sorted_adv.sort_unstable();
-    let mut estimates = Matrix::zeros(truth.rows(), sorted_targets.len());
-    for i in 0..x_full.rows() {
-        let sample = x_full.row(i);
-        let class = tree.predict_one(sample);
-        let x_adv: Vec<f64> = sorted_adv.iter().map(|&f| sample[f]).collect();
-        let est = attack.infer_values(&x_adv, class, 0.0, 1.0, &mut rng);
-        estimates.row_mut(i).copy_from_slice(&est);
-    }
-    let finding = Finding::grade("PRA", mse_per_feature(&estimates, &truth), baseline);
+    let x_adv = x_full
+        .select_columns(&sorted_adv)
+        .expect("adversary indices valid");
+    // The protocol reveals the tree's one-hot confidence rows.
+    let confidences = tree.predict_proba(x_full);
+    let result = AttackEngine::new().run(&attack, &QueryBatch::new(x_adv, confidences));
+    let finding = Finding::grade("PRA", mse_per_feature(&result.estimates, &truth), baseline);
 
     AuditReport {
         exact_recovery_condition: false,
@@ -202,7 +202,8 @@ pub fn audit_differentiable<M: DifferentiableModel>(
 mod tests {
     use super::*;
     use fia_data::{make_classification, normalize_dataset, SynthConfig};
-    use fia_models::{LrConfig, PredictProba, TreeConfig};
+    use fia_models::{LrConfig, TreeConfig};
+    use rand::{rngs::StdRng, SeedableRng};
 
     fn dataset(c: usize, seed: u64) -> fia_data::Dataset {
         let cfg = SynthConfig {
@@ -233,15 +234,20 @@ mod tests {
     fn lr_audit_flags_exact_recovery_as_critical() {
         // 6 classes, 3 target features ≤ c − 1 → ESA critical.
         let ds = dataset(6, 1);
-        let model = LogisticRegression::fit(&ds, &LrConfig { epochs: 10, ..Default::default() });
+        let model = LogisticRegression::fit(
+            &ds,
+            &LrConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
         let adv: Vec<usize> = (0..5).collect();
         let target: Vec<usize> = (5..8).collect();
         let x_adv = ds.features.select_columns(&adv).unwrap();
         let truth = ds.features.select_columns(&target).unwrap();
         let conf = model.predict_proba(&ds.features);
-        let report = audit_logistic_regression(
-            &model, &adv, &target, &x_adv, &conf, &truth, small_grna(),
-        );
+        let report =
+            audit_logistic_regression(&model, &adv, &target, &x_adv, &conf, &truth, small_grna());
         assert!(report.exact_recovery_condition);
         let esa = report.findings.iter().find(|f| f.attack == "ESA").unwrap();
         assert_eq!(esa.severity, Severity::Critical);
@@ -251,15 +257,20 @@ mod tests {
     #[test]
     fn grna_flagged_significant_on_correlated_data() {
         let ds = dataset(2, 2);
-        let model = LogisticRegression::fit(&ds, &LrConfig { epochs: 15, ..Default::default() });
+        let model = LogisticRegression::fit(
+            &ds,
+            &LrConfig {
+                epochs: 15,
+                ..Default::default()
+            },
+        );
         let adv: Vec<usize> = (0..5).collect();
         let target: Vec<usize> = (5..8).collect(); // the redundant block
         let x_adv = ds.features.select_columns(&adv).unwrap();
         let truth = ds.features.select_columns(&target).unwrap();
         let conf = model.predict_proba(&ds.features);
-        let report = audit_logistic_regression(
-            &model, &adv, &target, &x_adv, &conf, &truth, small_grna(),
-        );
+        let report =
+            audit_logistic_regression(&model, &adv, &target, &x_adv, &conf, &truth, small_grna());
         let grna = report.findings.iter().find(|f| f.attack == "GRNA").unwrap();
         assert!(
             grna.severity >= Severity::Significant,

@@ -95,8 +95,14 @@ mod tests {
         use fia_models::TreeNode::*;
         // Root on feature 0 (adversary), child on feature 1 (target).
         let nodes = vec![
-            Internal { feature: 0, threshold: 0.5 },
-            Internal { feature: 1, threshold: 0.5 },
+            Internal {
+                feature: 0,
+                threshold: 0.5,
+            },
+            Internal {
+                feature: 1,
+                threshold: 0.5,
+            },
             Leaf { label: 1 },
             Leaf { label: 0 },
             Leaf { label: 1 },
@@ -118,7 +124,10 @@ mod tests {
     fn random_path_cbr_runs() {
         use fia_models::TreeNode::*;
         let nodes = vec![
-            Internal { feature: 0, threshold: 0.5 },
+            Internal {
+                feature: 0,
+                threshold: 0.5,
+            },
             Leaf { label: 0 },
             Leaf { label: 1 },
         ];

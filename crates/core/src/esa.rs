@@ -13,6 +13,7 @@
 //! * otherwise the minimum-norm least-squares estimate whose error obeys
 //!   the Eqn (15) upper bound.
 
+use crate::engine::{Attack, AttackResult, QueryBatch};
 use fia_linalg::vecops::logit;
 use fia_linalg::{pinv, Matrix};
 use fia_models::{LogisticRegression, PredictProba};
@@ -60,9 +61,7 @@ impl<'a> EqualitySolvingAttack<'a> {
         let (theta_adv, theta_target, bias_delta) = if model.is_binary() {
             // One equation: θᵀ·x = logit(v₁) − b.
             let adv = Matrix::from_fn(1, adv_indices.len(), |_, k| w[(adv_indices[k], 0)]);
-            let tgt = Matrix::from_fn(1, target_indices.len(), |_, k| {
-                w[(target_indices[k], 0)]
-            });
+            let tgt = Matrix::from_fn(1, target_indices.len(), |_, k| w[(target_indices[k], 0)]);
             (adv, tgt, vec![bias[0]])
         } else {
             // c − 1 difference equations between adjacent classes.
@@ -167,16 +166,29 @@ impl<'a> EqualitySolvingAttack<'a> {
         }
     }
 
-    /// Batch inference: one row per sample. Rows of `x_adv` follow
-    /// `adv_indices` order; rows of `confidences` are full score vectors.
-    pub fn infer_batch(&self, x_adv: &Matrix, confidences: &Matrix) -> Matrix {
-        assert_eq!(x_adv.rows(), confidences.rows(), "row count mismatch");
-        let mut out = Matrix::zeros(x_adv.rows(), self.target_indices.len());
-        for i in 0..x_adv.rows() {
-            let est = self.infer(x_adv.row(i), confidences.row(i));
-            out.row_mut(i).copy_from_slice(&est);
+    /// Builds the right-hand side matrix (`n × n_eq`) of
+    /// `Θ_target · x_targetᵀ = aᵀ` for a whole batch in three dense ops:
+    /// the observed log-ratio (or logit) block minus the adversary
+    /// contribution `X_adv · Θ_advᵀ` minus the bias offsets.
+    fn batch_right_hand_side(&self, batch: &QueryBatch) -> Matrix {
+        let n = batch.len();
+        let n_eq = self.n_equations();
+        // Adversary contribution: X_adv (n × d_adv) · Θ_advᵀ (d_adv × n_eq).
+        let adv_contrib = batch
+            .x_adv
+            .matmul_transposed(&self.theta_adv)
+            .expect("adv block shape consistent");
+        let v = &batch.confidences;
+        if self.model.is_binary() {
+            Matrix::from_fn(n, 1, |i, _| {
+                logit(v[(i, 0)]) - adv_contrib[(i, 0)] - self.bias_delta[0]
+            })
+        } else {
+            Matrix::from_fn(n, n_eq, |i, e| {
+                let lv = v[(i, e)].max(1e-12).ln() - v[(i, e + 1)].max(1e-12).ln();
+                lv - adv_contrib[(i, e)] - self.bias_delta[e]
+            })
         }
-        out
     }
 
     /// Builds the right-hand side `a` of `Θ_target · x_target = a`.
@@ -202,6 +214,75 @@ impl<'a> EqualitySolvingAttack<'a> {
     /// The target feature indices this attack reconstructs.
     pub fn target_indices(&self) -> &[usize] {
         &self.target_indices
+    }
+}
+
+impl Attack for EqualitySolvingAttack<'_> {
+    fn name(&self) -> &'static str {
+        "esa"
+    }
+
+    fn target_indices(&self) -> &[usize] {
+        &self.target_indices
+    }
+
+    /// Batched equality solving.
+    ///
+    /// The nominal path is fully vectorized: the right-hand sides of all
+    /// `n` linear systems are assembled with two dense products and the
+    /// shared pseudo-inverse is applied as one `n × n_eq · n_eq × d_target`
+    /// multiplication (`RHS · Θ⁺ᵀ` via the transposed-factor kernel).
+    /// The kernel itself is sequential — multi-core parallelism belongs
+    /// to the [`crate::AttackEngine`]'s row striping, so engine-dispatched
+    /// batches never nest thread pools. Rows with zeroed confidence
+    /// scores — the rounding defense — drop equations and fall back to
+    /// the per-record solver; they are reported in
+    /// [`AttackResult::degraded_rows`].
+    fn infer_batch(&self, batch: &QueryBatch) -> AttackResult {
+        assert_eq!(
+            batch.x_adv.cols(),
+            self.adv_indices.len(),
+            "x_adv width mismatch"
+        );
+        assert_eq!(
+            batch.confidences.cols(),
+            self.model.n_classes(),
+            "confidence width mismatch"
+        );
+        let n = batch.len();
+        let n_eq = self.n_equations();
+
+        let rhs = self.batch_right_hand_side(batch);
+        // est[i] = Θ⁺ · rhs[i]  ⇔  est = RHS · (Θ⁺)ᵀ.
+        let mut estimates = rhs
+            .matmul_transposed(&self.pinv_target)
+            .expect("precomputed shape consistent");
+
+        // Defense-degraded rows (a zeroed score kills its equations) are
+        // re-solved individually over the surviving equations. The scan
+        // is allocation-free: a row degrades exactly when some score
+        // feeding an equation left the open unit interval.
+        let mut degraded_rows = Vec::new();
+        for i in 0..n {
+            let v = batch.confidences.row(i);
+            let degraded = if self.model.is_binary() {
+                !(v[0] > 0.0 && v[0] < 1.0)
+            } else {
+                v[..=n_eq].iter().any(|&s| s <= 0.0)
+            };
+            if degraded {
+                degraded_rows.push(i);
+                let est = self.infer(batch.x_adv.row(i), v);
+                estimates.row_mut(i).copy_from_slice(&est);
+            }
+        }
+
+        AttackResult {
+            estimates,
+            target_indices: self.target_indices.clone(),
+            attack: Attack::name(self),
+            degraded_rows,
+        }
     }
 }
 
@@ -304,7 +385,9 @@ mod tests {
             truth.row_mut(i).copy_from_slice(&[x[2], x[3], x[4]]);
             conf.row_mut(i).copy_from_slice(v.row(0));
         }
-        let est = attack.infer_batch(&x_adv, &conf);
+        let est = attack
+            .infer_batch(&QueryBatch::new(x_adv.clone(), conf.clone()))
+            .estimates;
         let mse = mse_per_feature(&est, &truth);
         let bound = esa_upper_bound(&truth);
         assert!(mse <= bound + 1e-9, "mse {mse} exceeds bound {bound}");
@@ -395,5 +478,66 @@ mod tests {
     fn empty_target_rejected() {
         let model = softmax_model(2, 3);
         EqualitySolvingAttack::new(&model, &[0, 1], &[]);
+    }
+
+    #[test]
+    fn batched_solve_matches_per_record_wrapper() {
+        let model = softmax_model(8, 5);
+        let adv = [0usize, 2, 4, 6];
+        let target = [1usize, 3, 5, 7];
+        let attack = EqualitySolvingAttack::new(&model, &adv, &target);
+
+        let n = 64;
+        let mut x_adv = Matrix::zeros(n, 4);
+        let mut conf = Matrix::zeros(n, 5);
+        for i in 0..n {
+            let x: Vec<f64> = (0..8)
+                .map(|j| ((i * 8 + j) as f64 * 0.7548776662).fract())
+                .collect();
+            let v = model.predict_proba(&Matrix::row_vector(&x));
+            for (k, &f) in adv.iter().enumerate() {
+                x_adv[(i, k)] = x[f];
+            }
+            conf.row_mut(i).copy_from_slice(v.row(0));
+        }
+
+        let batch = QueryBatch::new(x_adv.clone(), conf.clone());
+        let result = attack.infer_batch(&batch);
+        assert!(result.degraded_rows.is_empty());
+        for i in 0..n {
+            let single = attack.infer(x_adv.row(i), conf.row(i));
+            for (k, &s) in single.iter().enumerate() {
+                assert!(
+                    (result.estimates[(i, k)] - s).abs() < 1e-9,
+                    "row {i} col {k}: batch {} vs single {s}",
+                    result.estimates[(i, k)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zeroed_scores_fall_back_and_are_reported() {
+        let model = softmax_model(6, 4);
+        let attack = EqualitySolvingAttack::new(&model, &[0, 2, 4], &[1, 3, 5]);
+        let x = [0.31, 0.72, 0.05, 0.48, 0.93, 0.17];
+        let v = model.predict_proba(&Matrix::row_vector(&x));
+
+        let mut conf = Matrix::zeros(2, 4);
+        conf.row_mut(0).copy_from_slice(v.row(0));
+        // Row 1: rounding defense zeroed everything but the top class.
+        conf[(1, 0)] = 1.0;
+        let row = vec![x[0], x[2], x[4]];
+        let x_adv = Matrix::from_rows(&[row.clone(), row]).unwrap();
+
+        let result = attack.infer_batch(&QueryBatch::new(x_adv, conf));
+        assert_eq!(result.degraded_rows, vec![1]);
+        // Clean row still recovers exactly.
+        for (k, &f) in [1usize, 3, 5].iter().enumerate() {
+            assert!((result.estimates[(0, k)] - x[f]).abs() < 1e-8);
+        }
+        // Degraded row falls back to the zero (minimum-norm, no equation)
+        // estimate rather than propagating ±inf log-ratios.
+        assert!(result.estimates.row(1).iter().all(|e| e.is_finite()));
     }
 }

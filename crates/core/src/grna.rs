@@ -25,9 +25,12 @@
 //! variance constraint (case 3), or the generator itself (case 4 — a
 //! per-sample free-variable "naive regression" solved through the model).
 
+use crate::engine::{row_seed, Attack, AttackResult, QueryBatch};
 use fia_linalg::Matrix;
 use fia_models::DifferentiableModel;
-use fia_tensor::{normal_matrix, xavier_uniform, Adam, Optimizer, ParamId, Params, Tape, VarId};
+use fia_tensor::{
+    normal_matrix, standard_normal, xavier_uniform, Adam, Optimizer, ParamId, Params, Tape, VarId,
+};
 use rand::seq::SliceRandom;
 use rand::{rngs::StdRng, SeedableRng};
 
@@ -273,6 +276,7 @@ impl<'a, M: DifferentiableModel> Grna<'a, M> {
             use_adv_input: cfg.use_adv_input,
             use_noise_input: cfg.use_noise_input,
             clamp_output: cfg.clamp_output,
+            infer_seed: cfg.seed,
         }
     }
 
@@ -318,6 +322,7 @@ impl<'a, M: DifferentiableModel> Grna<'a, M> {
             use_adv_input: cfg.use_adv_input,
             use_noise_input: cfg.use_noise_input,
             clamp_output: cfg.clamp_output,
+            infer_seed: cfg.seed,
         }
     }
 
@@ -444,6 +449,9 @@ pub struct TrainedGenerator {
     use_adv_input: bool,
     use_noise_input: bool,
     clamp_output: bool,
+    /// Base seed of the batched [`Attack::infer_batch`] path's noise
+    /// draws (keyed per row content for chunk-invariance).
+    infer_seed: u64,
 }
 
 impl TrainedGenerator {
@@ -455,30 +463,46 @@ impl TrainedGenerator {
     /// (they are per-sample by construction); `x_adv` must then have the
     /// same row count as the training data.
     pub fn infer(&self, x_adv: &Matrix, seed: u64) -> Matrix {
+        let noise = self.needs_noise().then(|| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            normal_matrix(x_adv.rows(), self.target_indices.len(), 0.0, 1.0, &mut rng)
+        });
+        self.infer_with_noise(x_adv, noise.as_ref())
+    }
+
+    /// Runs the generator's batched forward pass with caller-supplied
+    /// noise (`n × d_target`, ignored when the noise pathway is disabled
+    /// or for the free-variable ablation). This is the deterministic core
+    /// both [`TrainedGenerator::infer`] (sequentially drawn noise) and the
+    /// engine's chunk-invariant [`Attack::infer_batch`] (content-keyed
+    /// noise) share.
+    pub fn infer_with_noise(&self, x_adv: &Matrix, noise: Option<&Matrix>) -> Matrix {
         assert_eq!(x_adv.cols(), self.adv_indices.len(), "x_adv width mismatch");
-        let d_target = self.target_indices.len();
+        let n = x_adv.rows();
         let out = match &self.kind {
             GeneratorKind::FreeVariables(est) => {
                 assert_eq!(
                     est.rows(),
-                    x_adv.rows(),
+                    n,
                     "free-variable ablation infers only its training samples"
                 );
                 est.clone()
             }
             GeneratorKind::Network(gen) => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let n = x_adv.rows();
                 let mut tape = Tape::new();
                 let input = match (self.use_adv_input, self.use_noise_input) {
                     (true, true) => {
+                        let r = noise.expect("noise pathway enabled");
+                        assert_eq!(r.rows(), n, "noise row mismatch");
                         let x = tape.input(x_adv.clone());
-                        let r = tape.input(normal_matrix(n, d_target, 0.0, 1.0, &mut rng));
+                        let r = tape.input(r.clone());
                         tape.concat_cols(x, r)
                     }
                     (true, false) => tape.input(x_adv.clone()),
                     (false, true) => {
-                        tape.input(normal_matrix(n, d_target, 0.0, 1.0, &mut rng))
+                        let r = noise.expect("noise pathway enabled");
+                        assert_eq!(r.rows(), n, "noise row mismatch");
+                        tape.input(r.clone())
                     }
                     (false, false) => tape.input(Matrix::filled(n, 1, 1.0)),
                 };
@@ -492,6 +516,16 @@ impl TrainedGenerator {
         } else {
             out
         }
+    }
+
+    fn needs_noise(&self) -> bool {
+        self.use_noise_input && matches!(self.kind, GeneratorKind::Network(_))
+    }
+
+    /// Overrides the base seed used by the batched [`Attack`] path.
+    pub fn with_infer_seed(mut self, seed: u64) -> Self {
+        self.infer_seed = seed;
+        self
     }
 
     /// Ensemble inference: averages `k` independent draws of the random
@@ -515,6 +549,63 @@ impl TrainedGenerator {
     /// The target feature indices reconstructed by [`TrainedGenerator::infer`].
     pub fn target_indices(&self) -> &[usize] {
         &self.target_indices
+    }
+
+    /// Snapshot of every trained parameter matrix in insertion order (the
+    /// per-sample estimate matrix for the free-variable ablation).
+    /// Primarily for reproducibility checks: two trainings from the same
+    /// `GrnaConfig` seed must produce identical snapshots.
+    pub fn parameter_snapshot(&self) -> Vec<Matrix> {
+        match &self.kind {
+            GeneratorKind::Network(gen) => gen.params.iter().map(|(_, m)| m.clone()).collect(),
+            GeneratorKind::FreeVariables(est) => vec![est.clone()],
+        }
+    }
+}
+
+impl Attack for TrainedGenerator {
+    fn name(&self) -> &'static str {
+        "grna"
+    }
+
+    fn target_indices(&self) -> &[usize] {
+        &self.target_indices
+    }
+
+    /// `false` for the free-variable ablation: its "estimates" are bound
+    /// 1:1 to the training batch, so the engine must not re-stripe it.
+    fn chunkable(&self) -> bool {
+        !matches!(self.kind, GeneratorKind::FreeVariables(_))
+    }
+
+    /// Batched generator inference over the accumulated stream: one tape
+    /// forward pass for the whole batch. The random vector `r` of each
+    /// row is keyed on the row's content ([`row_seed`]), so estimates are
+    /// independent of batch order and engine striping.
+    fn infer_batch(&self, batch: &QueryBatch) -> AttackResult {
+        let n = batch.len();
+        let d_target = self.target_indices.len();
+        let noise = self.needs_noise().then(|| {
+            let mut m = Matrix::zeros(n, d_target);
+            for i in 0..n {
+                let mut rng = StdRng::seed_from_u64(row_seed(
+                    self.infer_seed,
+                    batch.x_adv.row(i),
+                    batch.confidences.row(i),
+                ));
+                for v in m.row_mut(i).iter_mut() {
+                    *v = standard_normal(&mut rng);
+                }
+            }
+            m
+        });
+        let estimates = self.infer_with_noise(&batch.x_adv, noise.as_ref());
+        AttackResult {
+            estimates,
+            target_indices: self.target_indices.clone(),
+            attack: Attack::name(self),
+            degraded_rows: Vec::new(),
+        }
     }
 }
 
@@ -567,7 +658,13 @@ mod tests {
     /// against the redundant (target) block.
     fn run_grna(config: GrnaConfig) -> (f64, f64) {
         let ds = correlated_dataset(3);
-        let model = LogisticRegression::fit(&ds, &LrConfig { epochs: 20, ..Default::default() });
+        let model = LogisticRegression::fit(
+            &ds,
+            &LrConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        );
         // Informative features 0..5 to the adversary, redundant 5..8 to
         // the target — the correlation GRNA needs is by construction.
         let adv: Vec<usize> = (0..5).collect();
@@ -623,7 +720,13 @@ mod tests {
     #[test]
     fn generator_output_is_clamped() {
         let ds = correlated_dataset(5);
-        let model = LogisticRegression::fit(&ds, &LrConfig { epochs: 3, ..Default::default() });
+        let model = LogisticRegression::fit(
+            &ds,
+            &LrConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
         let adv: Vec<usize> = (0..5).collect();
         let target: Vec<usize> = (5..8).collect();
         let x_adv = ds.features.select_columns(&adv).unwrap();
@@ -650,7 +753,13 @@ mod tests {
         // reconstruction feeds the model consistently: train briefly and
         // check inferred width + determinism.
         let ds = correlated_dataset(8);
-        let model = LogisticRegression::fit(&ds, &LrConfig { epochs: 3, ..Default::default() });
+        let model = LogisticRegression::fit(
+            &ds,
+            &LrConfig {
+                epochs: 3,
+                ..Default::default()
+            },
+        );
         let adv = vec![0, 2, 4, 6];
         let target = vec![1, 3, 5, 7];
         let x_adv = ds.features.select_columns(&adv).unwrap();
@@ -674,7 +783,13 @@ mod tests {
     #[test]
     fn ensemble_inference_not_worse_than_single_draw() {
         let ds = correlated_dataset(12);
-        let model = LogisticRegression::fit(&ds, &LrConfig { epochs: 15, ..Default::default() });
+        let model = LogisticRegression::fit(
+            &ds,
+            &LrConfig {
+                epochs: 15,
+                ..Default::default()
+            },
+        );
         let adv: Vec<usize> = (0..5).collect();
         let target: Vec<usize> = (5..8).collect();
         let x_adv = ds.features.select_columns(&adv).unwrap();
@@ -693,10 +808,84 @@ mod tests {
     }
 
     #[test]
+    fn same_config_seed_gives_identical_generator_weights() {
+        // Determinism satellite: two full trainings from the same
+        // GrnaConfig seed must agree on every generator weight matrix
+        // after k = epochs steps, and on the resulting inferences.
+        let ds = correlated_dataset(4);
+        let model = LogisticRegression::fit(
+            &ds,
+            &LrConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
+        let adv: Vec<usize> = (0..5).collect();
+        let target: Vec<usize> = (5..8).collect();
+        let x_adv = ds.features.select_columns(&adv).unwrap();
+        let conf = model.predict_proba(&ds.features);
+
+        let cfg = GrnaConfig {
+            epochs: 5,
+            ..small_grna()
+        };
+        let g1 = Grna::new(&model, &adv, &target, cfg.clone()).train(&x_adv, &conf);
+        let g2 = Grna::new(&model, &adv, &target, cfg.clone()).train(&x_adv, &conf);
+        let (s1, s2) = (g1.parameter_snapshot(), g2.parameter_snapshot());
+        assert_eq!(s1.len(), s2.len());
+        for (a, b) in s1.iter().zip(s2.iter()) {
+            assert_eq!(a, b, "weights diverged under identical seed");
+        }
+        assert_eq!(g1.infer(&x_adv, 3), g2.infer(&x_adv, 3));
+
+        // A different seed must *not* reproduce the weights (guards
+        // against the seed being ignored).
+        let g3 = Grna::new(&model, &adv, &target, cfg.with_seed(1234)).train(&x_adv, &conf);
+        assert_ne!(s1[0], g3.parameter_snapshot()[0]);
+    }
+
+    #[test]
+    fn batched_attack_path_is_chunk_invariant() {
+        use crate::engine::AttackEngine;
+        let ds = correlated_dataset(6);
+        let model = LogisticRegression::fit(
+            &ds,
+            &LrConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
+        let adv: Vec<usize> = (0..5).collect();
+        let target: Vec<usize> = (5..8).collect();
+        let x_adv = ds.features.select_columns(&adv).unwrap();
+        let conf = model.predict_proba(&ds.features);
+        let cfg = GrnaConfig {
+            epochs: 3,
+            ..small_grna()
+        };
+        let generator = Grna::new(&model, &adv, &target, cfg).train(&x_adv, &conf);
+
+        let batch = QueryBatch::new(x_adv, conf);
+        let direct = generator.infer_batch(&batch);
+        for workers in [2, 4] {
+            let striped = AttackEngine::with_workers(workers)
+                .with_min_stripe(32)
+                .run(&generator, &batch);
+            assert_eq!(striped.estimates, direct.estimates, "workers = {workers}");
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "partition")]
     fn overlapping_indices_rejected() {
         let ds = correlated_dataset(9);
-        let model = LogisticRegression::fit(&ds, &LrConfig { epochs: 1, ..Default::default() });
+        let model = LogisticRegression::fit(
+            &ds,
+            &LrConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
         let _ = Grna::new(&model, &[0, 1, 2], &[2, 3, 4, 5, 6, 7], small_grna());
     }
 }

@@ -21,18 +21,25 @@
 //!   predictions; handles LR, NN and (through a distilled surrogate)
 //!   random forests.
 //!
+//! All three attacks implement the batch-first [`Attack`] trait
+//! (`infer_batch(&QueryBatch) → AttackResult`) and can be dispatched over
+//! accumulated query streams by the row-striping [`AttackEngine`];
+//! single-record calls are thin wrappers over 1-row batches.
+//!
 //! Plus the evaluation machinery: MSE-per-feature (Eqn 10), correct
 //! branching rate, the ESA error upper bound (Eqn 15), random-guess
 //! baselines, and the correlation diagnostics of Fig. 10.
 
 pub mod audit;
 pub mod baseline;
+pub mod engine;
 mod esa;
 mod grna;
 pub mod metrics;
 mod pra;
 
 pub use audit::{AuditReport, Finding, Severity};
+pub use engine::{row_seed, Attack, AttackEngine, AttackResult, QueryBatch};
 pub use esa::EqualitySolvingAttack;
 pub use grna::{Grna, GrnaConfig, TrainedGenerator};
 pub use pra::{BranchConstraint, InferredPath, PathRestrictionAttack};

@@ -12,9 +12,12 @@
 //! 3. picks one surviving path uniformly at random and reads off the
 //!    branch constraints it implies for the target's features.
 
+use crate::engine::{row_seed, Attack, AttackResult, QueryBatch};
 use crate::metrics::CbrTally;
+use fia_linalg::vecops::argmax;
+use fia_linalg::Matrix;
 use fia_models::{DecisionTree, TreeNode};
-use rand::{rngs::StdRng, Rng};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// One inferred inequality on a target feature: `x[feature] ≤ threshold`
@@ -58,11 +61,22 @@ pub struct PathRestrictionAttack<'a> {
     adv_indices: Vec<usize>,
     /// Sorted global indices of the target's features.
     target_indices: Vec<usize>,
+    /// Known feature value range `(lo, hi)` used by the batched value
+    /// estimator (threat-model knowledge, Section III-B).
+    value_range: (f64, f64),
+    /// Base seed for the batched path; per-row randomness is derived from
+    /// row *content* so results are chunk-invariant under the engine.
+    seed: u64,
 }
 
 impl<'a> PathRestrictionAttack<'a> {
     /// Prepares the attack. Indices are global feature ids; they need not
     /// cover the whole feature space (the tree may also ignore features).
+    ///
+    /// The batched estimator defaults to the paper's normalized `(0, 1)`
+    /// feature range and seed 0; see
+    /// [`PathRestrictionAttack::with_value_range`] and
+    /// [`PathRestrictionAttack::with_seed`].
     pub fn new(tree: &'a DecisionTree, adv_indices: &[usize], target_indices: &[usize]) -> Self {
         let mut adv = adv_indices.to_vec();
         adv.sort_unstable();
@@ -72,7 +86,23 @@ impl<'a> PathRestrictionAttack<'a> {
             tree,
             adv_indices: adv,
             target_indices: target,
+            value_range: (0.0, 1.0),
+            seed: 0,
         }
+    }
+
+    /// Overrides the known feature value range used by
+    /// [`Attack::infer_batch`]'s point estimates.
+    pub fn with_value_range(mut self, lo: f64, hi: f64) -> Self {
+        assert!(lo < hi, "value range must be non-empty");
+        self.value_range = (lo, hi);
+        self
+    }
+
+    /// Overrides the base seed of the batched path's tie-break sampling.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 
     /// Algorithm 1: computes the indicator vector `β` over the node array
@@ -197,9 +227,17 @@ impl<'a> PathRestrictionAttack<'a> {
         hi: f64,
         rng: &mut StdRng,
     ) -> Vec<f64> {
+        let inferred = self.infer(x_adv, predicted_class, rng);
+        self.values_from_path(inferred.as_ref(), lo, hi)
+    }
+
+    /// Converts an inferred path (or its absence) into per-feature point
+    /// estimates — the shared back-end of [`PathRestrictionAttack::infer_values`]
+    /// and the batched [`Attack::infer_batch`] path.
+    fn values_from_path(&self, inferred: Option<&InferredPath>, lo: f64, hi: f64) -> Vec<f64> {
         let mid = 0.5 * (lo + hi);
         let mut estimates = vec![mid; self.target_indices.len()];
-        if let Some(inferred) = self.infer(x_adv, predicted_class, rng) {
+        if let Some(inferred) = inferred {
             // Later constraints on the same feature are deeper in the
             // tree and therefore tighter; intersect by folding intervals.
             let mut intervals = vec![(lo, hi); self.target_indices.len()];
@@ -249,6 +287,55 @@ impl<'a> PathRestrictionAttack<'a> {
     }
 }
 
+impl Attack for PathRestrictionAttack<'_> {
+    fn name(&self) -> &'static str {
+        "pra"
+    }
+
+    fn target_indices(&self) -> &[usize] {
+        &self.target_indices
+    }
+
+    /// Batched path restriction with value estimation.
+    ///
+    /// The predicted class of each query is recovered from its (one-hot or
+    /// vote-fraction) confidence row by arg-max — exactly what a decision
+    /// tree reveals. Each row's uniform tie-break among surviving paths is
+    /// seeded by the row's content ([`row_seed`]), so engine striping does
+    /// not change the outcome. Rows where no path survives (a defense
+    /// perturbed the prediction) degrade to range midpoints and are
+    /// reported.
+    fn infer_batch(&self, batch: &QueryBatch) -> AttackResult {
+        assert_eq!(
+            batch.x_adv.cols(),
+            self.adv_indices.len(),
+            "x_adv width mismatch"
+        );
+        let (lo, hi) = self.value_range;
+        let n = batch.len();
+        let mut estimates = Matrix::zeros(n, self.target_indices.len());
+        let mut degraded_rows = Vec::new();
+        for i in 0..n {
+            let x_adv = batch.x_adv.row(i);
+            let conf = batch.confidences.row(i);
+            let class = argmax(conf);
+            let mut rng = StdRng::seed_from_u64(row_seed(self.seed, x_adv, conf));
+            let inferred = self.infer(x_adv, class, &mut rng);
+            if inferred.is_none() {
+                degraded_rows.push(i);
+            }
+            let est = self.values_from_path(inferred.as_ref(), lo, hi);
+            estimates.row_mut(i).copy_from_slice(&est);
+        }
+        AttackResult {
+            estimates,
+            target_indices: self.target_indices.clone(),
+            attack: Attack::name(self),
+            degraded_rows,
+        }
+    }
+}
+
 /// Result of one PRA inference.
 #[derive(Debug, Clone)]
 pub struct InferredPath {
@@ -282,21 +369,36 @@ mod tests {
     /// 2 = deposit, 3 = #shopping (target). Labels follow the example.
     fn figure2_tree() -> DecisionTree {
         let nodes = vec![
-            Internal { feature: 0, threshold: 30.0 }, // 0
-            Internal { feature: 2, threshold: 5.0 },  // 1
-            Internal { feature: 3, threshold: 6.0 },  // 2
-            Internal { feature: 1, threshold: 3.0 },  // 3
-            Leaf { label: 1 },                         // 4
-            Leaf { label: 1 },                         // 5
-            Internal { feature: 1, threshold: 2.0 },  // 6
-            Leaf { label: 2 },                         // 7
-            Leaf { label: 2 },                         // 8
+            Internal {
+                feature: 0,
+                threshold: 30.0,
+            }, // 0
+            Internal {
+                feature: 2,
+                threshold: 5.0,
+            }, // 1
+            Internal {
+                feature: 3,
+                threshold: 6.0,
+            }, // 2
+            Internal {
+                feature: 1,
+                threshold: 3.0,
+            }, // 3
+            Leaf { label: 1 }, // 4
+            Leaf { label: 1 }, // 5
+            Internal {
+                feature: 1,
+                threshold: 2.0,
+            }, // 6
+            Leaf { label: 2 }, // 7
+            Leaf { label: 2 }, // 8
             Absent,
             Absent,
             Absent,
             Absent,
-            Leaf { label: 2 },                         // 13
-            Leaf { label: 1 },                         // 14
+            Leaf { label: 2 }, // 13
+            Leaf { label: 1 }, // 14
         ];
         DecisionTree::from_nodes(nodes, 4, 3)
     }

@@ -101,7 +101,9 @@ mod tests {
 
     #[test]
     fn correlation_matrix_properties() {
-        let f = Matrix::from_fn(20, 3, |i, j| ((i + 1) * (j + 1)) as f64 + ((i * j) as f64).sin());
+        let f = Matrix::from_fn(20, 3, |i, j| {
+            ((i + 1) * (j + 1)) as f64 + ((i * j) as f64).sin()
+        });
         let m = correlation_matrix(&f);
         assert_eq!(m.shape(), (3, 3));
         for i in 0..3 {

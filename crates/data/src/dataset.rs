@@ -138,8 +138,8 @@ impl Dataset {
             rows.shuffle(&mut rng);
             let n = rows.len();
             let n_train = ((n as f64) * spec.train_fraction).round() as usize;
-            let n_test = (((n as f64) * spec.test_fraction).round() as usize)
-                .min(n.saturating_sub(n_train));
+            let n_test =
+                (((n as f64) * spec.test_fraction).round() as usize).min(n.saturating_sub(n_train));
             let rest = n - n_train - n_test;
             let n_pred = (((n as f64) * spec.prediction_fraction).round() as usize).min(rest);
             train_rows.extend_from_slice(&rows[..n_train]);
@@ -300,10 +300,7 @@ mod tests {
             let counts = part.class_counts();
             assert!(counts[1] > 0, "{name} lost the minority class");
             let ratio = counts[1] as f64 / part.n_samples() as f64;
-            assert!(
-                (ratio - 0.1).abs() < 0.06,
-                "{name} minority ratio {ratio}"
-            );
+            assert!((ratio - 0.1).abs() < 0.06, "{name} minority ratio {ratio}");
         }
     }
 

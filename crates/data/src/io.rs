@@ -157,11 +157,7 @@ pub fn write_csv<W: Write>(dataset: &Dataset, mut writer: W) -> std::io::Result<
     header.push("label".to_string());
     writeln!(writer, "{}", header.join(","))?;
     for i in 0..dataset.n_samples() {
-        let mut cells: Vec<String> = dataset
-            .sample(i)
-            .iter()
-            .map(|v| format!("{v}"))
-            .collect();
+        let mut cells: Vec<String> = dataset.sample(i).iter().map(|v| format!("{v}")).collect();
         cells.push(dataset.labels[i].to_string());
         writeln!(writer, "{}", cells.join(","))?;
     }
@@ -229,7 +225,10 @@ age,income,deposit,loan
     #[test]
     fn empty_data_rejected() {
         let csv = "a,y\n";
-        assert!(matches!(read_csv(csv.as_bytes(), "t", "y"), Err(CsvError::Empty)));
+        assert!(matches!(
+            read_csv(csv.as_bytes(), "t", "y"),
+            Err(CsvError::Empty)
+        ));
     }
 
     #[test]

@@ -119,12 +119,7 @@ mod tests {
     use super::*;
 
     fn toy_matrix() -> Matrix {
-        Matrix::from_rows(&[
-            vec![0.0, 100.0],
-            vec![5.0, 200.0],
-            vec![10.0, 150.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[vec![0.0, 100.0], vec![5.0, 200.0], vec![10.0, 150.0]]).unwrap()
     }
 
     #[test]
@@ -168,7 +163,11 @@ mod tests {
         let (norm, _) = normalize_dataset(&ds);
         assert_eq!(norm.labels, ds.labels);
         assert_eq!(norm.name, ds.name);
-        assert!(norm.features.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(norm
+            .features
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]

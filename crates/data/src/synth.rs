@@ -52,8 +52,7 @@ impl SynthConfig {
     pub fn new(n_samples: usize, n_features: usize, n_classes: usize, seed: u64) -> Self {
         let n_informative = ((n_features as f64) * 0.6).ceil() as usize;
         let n_informative = n_informative.clamp(1, n_features);
-        let n_redundant =
-            (((n_features - n_informative) as f64) * 0.75).round() as usize;
+        let n_redundant = (((n_features - n_informative) as f64) * 0.75).round() as usize;
         SynthConfig {
             n_samples,
             n_features,

@@ -14,13 +14,18 @@
 //! * [`verify`] — the post-processing step: a (simulated) enclave replays
 //!   the attack against each candidate prediction output and withholds
 //!   responses that would leak too much.
+//! * [`ScoreDefense`] / [`DefensePipeline`] — the batch-first hook every
+//!   score-transforming defense implements, matching the protocol's
+//!   batched release rounds.
 
 pub mod screening;
 pub mod verify;
 
+mod batch;
 mod noise;
 mod rounding;
 
+pub use batch::{DefensePipeline, ScoreDefense};
 pub use noise::{NoiseDefense, NoisyModel};
 pub use rounding::{RoundedModel, RoundingDefense};
 

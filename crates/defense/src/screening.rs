@@ -82,9 +82,8 @@ pub fn correlation_screen(
             counts[i] += 1;
             counts[j] += 1;
         }
-        let worst = fia_linalg::vecops::argmax(
-            &counts.iter().map(|&k| k as f64).collect::<Vec<_>>(),
-        );
+        let worst =
+            fia_linalg::vecops::argmax(&counts.iter().map(|&k| k as f64).collect::<Vec<_>>());
         drops.push(worst);
         uncovered.retain(|&(i, j)| i != worst && j != worst);
     }

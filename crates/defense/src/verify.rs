@@ -9,7 +9,8 @@
 //! candidate output and withhold it when the reconstruction lands too
 //! close to the true private values.
 
-use fia_core::EqualitySolvingAttack;
+use fia_core::{Attack, EqualitySolvingAttack, QueryBatch};
+use fia_linalg::Matrix;
 use fia_models::LogisticRegression;
 
 /// Verdict for one candidate prediction release.
@@ -62,6 +63,34 @@ impl<'a> LeakageVerifier<'a> {
             Verdict::Released(v.to_vec())
         }
     }
+
+    /// Replays the attack against a whole candidate release round in one
+    /// batched pass — the enclave-side mirror of the protocol's batch
+    /// prediction path. Rows of `x_adv` / `x_target_true` / `v` are
+    /// aligned; one verdict is returned per row.
+    pub fn check_batch(&self, x_adv: &Matrix, x_target_true: &Matrix, v: &Matrix) -> Vec<Verdict> {
+        assert_eq!(x_adv.rows(), v.rows(), "row count mismatch");
+        assert_eq!(x_target_true.rows(), v.rows(), "row count mismatch");
+        let result = self
+            .attack
+            .infer_batch(&QueryBatch::new(x_adv.clone(), v.clone()));
+        (0..v.rows())
+            .map(|i| {
+                let errors: Vec<f64> = result
+                    .estimates
+                    .row(i)
+                    .iter()
+                    .zip(x_target_true.row(i).iter())
+                    .map(|(&a, &b)| (a - b).abs())
+                    .collect();
+                if errors.iter().any(|&e| e < self.min_error) {
+                    Verdict::Withheld(errors)
+                } else {
+                    Verdict::Released(v.row(i).to_vec())
+                }
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -102,6 +131,37 @@ mod tests {
         // reconstruction will be far from the truth.
         let verdict = verifier.check(&[0.4, 0.9], &[0.3, 0.7], &[0.34, 0.33, 0.33]);
         assert!(matches!(verdict, Verdict::Released(_)), "{verdict:?}");
+    }
+
+    #[test]
+    fn batch_check_matches_per_record_verdicts() {
+        let m = model();
+        let verifier = LeakageVerifier::new(&m, &[0, 1], &[2, 3], 1e-3);
+        let xs = [
+            [0.4, 0.9, 0.3, 0.7],
+            [0.1, 0.2, 0.8, 0.5],
+            [0.6, 0.1, 0.2, 0.9],
+        ];
+        let mut x_adv = Matrix::zeros(3, 2);
+        let mut truth = Matrix::zeros(3, 2);
+        let mut v = Matrix::zeros(3, 3);
+        for (i, x) in xs.iter().enumerate() {
+            x_adv.row_mut(i).copy_from_slice(&x[..2]);
+            truth.row_mut(i).copy_from_slice(&x[2..]);
+            let p = m.predict_proba(&Matrix::row_vector(x));
+            v.row_mut(i).copy_from_slice(p.row(0));
+        }
+        // Garble the middle row so it is released.
+        v.row_mut(1).copy_from_slice(&[0.34, 0.33, 0.33]);
+
+        let batch = verifier.check_batch(&x_adv, &truth, &v);
+        assert_eq!(batch.len(), 3);
+        for (i, verdict) in batch.iter().enumerate() {
+            let single = verifier.check(x_adv.row(i), truth.row(i), v.row(i));
+            assert_eq!(*verdict, single, "row {i}");
+        }
+        assert!(matches!(batch[0], Verdict::Withheld(_)));
+        assert!(matches!(batch[1], Verdict::Released(_)));
     }
 
     #[test]

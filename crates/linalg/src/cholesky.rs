@@ -148,10 +148,7 @@ mod tests {
     #[test]
     fn rejects_asymmetric() {
         let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![0.0, 2.0]]).unwrap();
-        assert!(matches!(
-            cholesky(&a),
-            Err(LinAlgError::InvalidArgument(_))
-        ));
+        assert!(matches!(cholesky(&a), Err(LinAlgError::InvalidArgument(_))));
     }
 
     #[test]

@@ -41,7 +41,10 @@ impl fmt::Display for LinAlgError {
             LinAlgError::NoConvergence {
                 algorithm,
                 iterations,
-            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
             LinAlgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
@@ -77,7 +80,10 @@ mod tests {
             algorithm: "jacobi-svd",
             iterations: 64,
         };
-        assert_eq!(e.to_string(), "jacobi-svd did not converge after 64 iterations");
+        assert_eq!(
+            e.to_string(),
+            "jacobi-svd did not converge after 64 iterations"
+        );
     }
 
     #[test]

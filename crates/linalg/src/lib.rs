@@ -15,14 +15,19 @@
 //!
 //! All routines are written for clarity and numerical robustness on the
 //! small/medium systems the attacks produce (`(c−1) × d_target` matrices),
-//! not for BLAS-level throughput; matrix multiplication is nonetheless
-//! cache-friendly (ikj loop order over row-major storage).
+//! not for BLAS-level throughput. Matrix multiplication is nonetheless
+//! tuned for the batched attack path: the ikj loop order is
+//! cache-friendly over row-major storage, large products switch to a
+//! cache-blocked kernel ([`Matrix::matmul_blocked`]), transposed-factor
+//! products avoid strided reads ([`Matrix::matmul_transposed`]), and
+//! [`par_matmul`] stripes output rows across scoped threads.
 
 mod cholesky;
 mod error;
 mod lstsq;
 mod lu;
 mod matrix;
+mod parallel;
 mod pinv;
 mod qr;
 mod svd;
@@ -33,6 +38,7 @@ pub use error::LinAlgError;
 pub use lstsq::lstsq;
 pub use lu::{inverse, lu_decompose, lu_solve, solve, LuDecomposition};
 pub use matrix::Matrix;
+pub use parallel::{default_workers, par_matmul, par_matmul_with};
 pub use pinv::{pinv, pinv_with_tolerance};
 pub use qr::{qr, QrDecomposition};
 pub use svd::{svd, Svd};

@@ -52,7 +52,11 @@ impl LuDecomposition {
 
     /// Determinant of the original matrix.
     pub fn determinant(&self) -> f64 {
-        let sign = if self.swaps.is_multiple_of(2) { 1.0 } else { -1.0 };
+        let sign = if self.swaps.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         (0..self.lu.rows()).fold(sign, |acc, i| acc * self.lu[(i, i)])
     }
 }

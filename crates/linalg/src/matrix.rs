@@ -182,7 +182,12 @@ impl Matrix {
         t
     }
 
-    /// Matrix multiplication `self * rhs` (ikj order for cache locality).
+    /// Matrix multiplication `self * rhs`.
+    ///
+    /// Small products use a straight ikj loop; larger ones go through the
+    /// cache-blocked kernel ([`Matrix::matmul_blocked`]). Both orderings
+    /// accumulate in the same sequence per output element, so results are
+    /// bit-identical across the size cutover.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinAlgError::ShapeMismatch {
@@ -191,18 +196,63 @@ impl Matrix {
                 op: "matmul",
             });
         }
+        // Rough working-set heuristic: once B no longer fits in L1/L2 the
+        // blocked kernel wins; below that the plain loop has less overhead.
+        if self.rows * self.cols + rhs.rows * rhs.cols > 64 * 1024 {
+            return self.matmul_blocked(rhs, 64);
+        }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         for i in 0..self.rows {
+            matmul_row_kernel(self.row(i), rhs, out.row_mut(i), 0, self.cols);
+        }
+        Ok(out)
+    }
+
+    /// Cache-blocked matrix multiplication: tiles the reduction dimension
+    /// so each stripe of `rhs` rows stays resident while it is reused
+    /// across all output rows.
+    pub fn matmul_blocked(&self, rhs: &Matrix, block: usize) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinAlgError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "matmul_blocked",
+            });
+        }
+        let block = block.max(1);
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for k0 in (0..self.cols).step_by(block) {
+            let k1 = (k0 + block).min(self.cols);
+            for i in 0..self.rows {
+                matmul_row_kernel(self.row(i), rhs, out.row_mut(i), k0, k1);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `self · rhs_tᵀ` from an already-transposed right factor:
+    /// every output element is a dot product of two contiguous rows, the
+    /// friendliest access pattern row-major storage allows. Callers that
+    /// reuse a transposed factor across many products (the batched ESA
+    /// solve) amortize the transpose once instead of paying strided reads
+    /// per product.
+    pub fn matmul_transposed(&self, rhs_t: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs_t.cols {
+            return Err(LinAlgError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs_t.shape(),
+                op: "matmul_transposed",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs_t.rows);
+        for i in 0..self.rows {
             let a_row = self.row(i);
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                let o_row = out.row_mut(i);
-                for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b;
-                }
+            for (j, o) in out.row_mut(i).iter_mut().enumerate() {
+                *o = a_row
+                    .iter()
+                    .zip(rhs_t.row(j).iter())
+                    .map(|(&x, &y)| x * y)
+                    .sum();
             }
         }
         Ok(out)
@@ -218,13 +268,7 @@ impl Matrix {
             });
         }
         Ok((0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .zip(v.iter())
-                    .map(|(&a, &x)| a * x)
-                    .sum()
-            })
+            .map(|i| self.row(i).iter().zip(v.iter()).map(|(&a, &x)| a * x).sum())
             .collect())
     }
 
@@ -391,6 +435,28 @@ impl Matrix {
             .iter()
             .zip(rhs.data.iter())
             .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs())))
+    }
+}
+
+/// Accumulates `out[j] += Σ_{k0≤k<k1} a_row[k] · rhs[k][j]` — the shared
+/// inner kernel of the plain, blocked and parallel multiplies (same
+/// accumulation order everywhere, so all three agree bit-for-bit).
+#[inline]
+pub(crate) fn matmul_row_kernel(
+    a_row: &[f64],
+    rhs: &Matrix,
+    o_row: &mut [f64],
+    k0: usize,
+    k1: usize,
+) {
+    for (k, &a_ik) in a_row[k0..k1].iter().enumerate() {
+        if a_ik == 0.0 {
+            continue;
+        }
+        let b_row = rhs.row(k0 + k);
+        for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
+            *o += a_ik * b;
+        }
     }
 }
 

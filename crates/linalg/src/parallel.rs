@@ -1,0 +1,123 @@
+//! Multi-threaded matrix kernels.
+//!
+//! The attack layer's hot path is a handful of large `n × d` products
+//! (one row per accumulated prediction). Those parallelize trivially by
+//! output-row stripes: each worker owns a disjoint slice of the output
+//! buffer, so the kernel needs no locks and no unsafe.
+//!
+//! `rayon` is unavailable in the offline build environment, so the fan-out
+//! uses `std::thread::scope` directly; on a single-core host (or for small
+//! products) it degrades to the sequential blocked kernel, keeping results
+//! bit-identical regardless of worker count.
+
+use crate::matrix::matmul_row_kernel;
+use crate::{LinAlgError, Matrix, Result};
+
+/// Number of workers [`par_matmul`] uses by default: the host's available
+/// parallelism (1 when it cannot be queried). Cached — the underlying
+/// query is a syscall, and this sits on the per-batch hot path.
+pub fn default_workers() -> usize {
+    use std::sync::OnceLock;
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Parallel matrix multiplication `a · b` striped over output rows across
+/// [`default_workers`] scoped threads.
+pub fn par_matmul(a: &Matrix, b: &Matrix) -> Result<Matrix> {
+    par_matmul_with(a, b, default_workers())
+}
+
+/// [`par_matmul`] with an explicit worker count. `workers ≤ 1`, a tiny
+/// product, or fewer rows than workers all fall back to the sequential
+/// kernel — the parallel and sequential paths produce identical bits.
+pub fn par_matmul_with(a: &Matrix, b: &Matrix, workers: usize) -> Result<Matrix> {
+    if a.cols() != b.rows() {
+        return Err(LinAlgError::ShapeMismatch {
+            left: a.shape(),
+            right: b.shape(),
+            op: "par_matmul",
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    // Under ~1 MFLOP the spawn overhead dominates any speedup.
+    let small = m * k * n < 500_000;
+    if workers <= 1 || m < 2 * workers || small {
+        return a.matmul(b);
+    }
+
+    let mut out = Matrix::zeros(m, n);
+    let rows_per = m.div_ceil(workers);
+    {
+        let out_slice = out.as_mut_slice();
+        std::thread::scope(|scope| {
+            for (w, chunk) in out_slice.chunks_mut(rows_per * n).enumerate() {
+                let i0 = w * rows_per;
+                scope.spawn(move || {
+                    for (off, o_row) in chunk.chunks_mut(n).enumerate() {
+                        matmul_row_kernel(a.row(i0 + off), b, o_row, 0, k);
+                    }
+                });
+            }
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dense(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut s = seed | 1;
+        Matrix::from_fn(rows, cols, |_, _| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn par_matches_sequential_exactly() {
+        let a = dense(37, 19, 1);
+        let b = dense(19, 23, 2);
+        let seq = a.matmul(&b).unwrap();
+        for workers in [1, 2, 3, 8] {
+            let par = par_matmul_with(&a, &b, workers).unwrap();
+            assert_eq!(par, seq, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_large_product_correct() {
+        let a = dense(200, 64, 3);
+        let b = dense(64, 80, 4);
+        let seq = a.matmul_blocked(&b, 64).unwrap();
+        let par = par_matmul(&a, &b).unwrap();
+        assert!(par.max_abs_diff(&seq).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn par_shape_mismatch_rejected() {
+        let a = dense(4, 3, 5);
+        let b = dense(4, 3, 6);
+        assert!(matches!(
+            par_matmul(&a, &b),
+            Err(LinAlgError::ShapeMismatch {
+                op: "par_matmul",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn default_workers_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -31,7 +31,11 @@ fn pinv_from_svd(f: &crate::Svd, tol: f64) -> Result<Matrix> {
     let k = f.sigma.len();
     let mut v_scaled = f.v.clone();
     for j in 0..k {
-        let inv = if f.sigma[j] > tol { 1.0 / f.sigma[j] } else { 0.0 };
+        let inv = if f.sigma[j] > tol {
+            1.0 / f.sigma[j]
+        } else {
+            0.0
+        };
         for i in 0..v_scaled.rows() {
             v_scaled[(i, j)] *= inv;
         }

@@ -230,12 +230,7 @@ mod tests {
     #[test]
     fn rank_deficient_detected() {
         // Second column = 2 × first column → rank 1.
-        let a = Matrix::from_rows(&[
-            vec![1.0, 2.0],
-            vec![2.0, 4.0],
-            vec![3.0, 6.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0], vec![3.0, 6.0]]).unwrap();
         let f = svd(&a).unwrap();
         let tol = f.default_tolerance(3, 2);
         assert_eq!(f.rank(tol), 1);

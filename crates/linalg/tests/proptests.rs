@@ -1,150 +1,244 @@
 //! Property-based tests for the linear algebra kernels.
+//!
+//! The offline build has no `proptest`, so cases are driven by a seeded
+//! [`rand::rngs::StdRng`]: every property is checked over a sweep of
+//! random shapes and entries, deterministically reproducible from the
+//! case index.
 
-use fia_linalg::{lstsq, pinv, qr, svd, vecops, Matrix};
-use proptest::prelude::*;
+use fia_linalg::{lstsq, par_matmul_with, pinv, qr, svd, vecops, Matrix};
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
-/// Strategy: a matrix with entries in [-10, 10] and bounded dimensions.
-fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
-        prop::collection::vec(-10.0f64..10.0, r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data).expect("shape matches"))
-    })
+const CASES: u64 = 64;
+
+/// Random matrix with entries in `[-10, 10]` and dims in `1..=max_dim`.
+fn random_matrix(rng: &mut StdRng, max_dim: usize) -> Matrix {
+    let r = rng.gen_range(1..=max_dim);
+    let c = rng.gen_range(1..=max_dim);
+    Matrix::from_fn(r, c, |_, _| rng.gen_range(-10.0..10.0))
 }
 
-/// Strategy: a square matrix.
-fn square_matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
-    (1..=max_dim).prop_flat_map(|n| {
-        prop::collection::vec(-10.0f64..10.0, n * n)
-            .prop_map(move |data| Matrix::from_vec(n, n, data).expect("shape matches"))
-    })
+fn case_rng(test: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(test.wrapping_mul(0x9E3779B97F4A7C15) ^ case)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn transpose_involution(a in matrix_strategy(8)) {
-        prop_assert_eq!(a.transpose().transpose(), a);
+#[test]
+fn transpose_involution() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let a = random_matrix(&mut rng, 8);
+        assert_eq!(a.transpose().transpose(), a);
     }
+}
 
-    #[test]
-    fn matmul_identity_right(a in matrix_strategy(8)) {
+#[test]
+fn matmul_identity_right() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let a = random_matrix(&mut rng, 8);
         let i = Matrix::identity(a.cols());
         let prod = a.matmul(&i).unwrap();
-        prop_assert!(prod.max_abs_diff(&a).unwrap() < 1e-12);
+        assert!(prod.max_abs_diff(&a).unwrap() < 1e-12);
     }
+}
 
-    #[test]
-    fn matmul_transpose_identity(a in matrix_strategy(6), b in matrix_strategy(6)) {
-        // (A·B)ᵀ = Bᵀ·Aᵀ whenever the shapes are compatible.
-        if a.cols() == b.rows() {
-            let lhs = a.matmul(&b).unwrap().transpose();
-            let rhs = b.transpose().matmul(&a.transpose()).unwrap();
-            prop_assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-9);
+#[test]
+fn matmul_transpose_identity() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let a = random_matrix(&mut rng, 6);
+        let rows = a.cols();
+        let cols = rng.gen_range(1..=6);
+        let b = Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-10.0..10.0));
+        // (A·B)ᵀ = Bᵀ·Aᵀ.
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        assert!(lhs.max_abs_diff(&rhs).unwrap() < 1e-9);
+    }
+}
+
+#[test]
+fn blocked_and_parallel_matmul_match_naive() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let m = rng.gen_range(1..40);
+        let k = rng.gen_range(1..40);
+        let n = rng.gen_range(1..40);
+        let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-5.0..5.0));
+        let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-5.0..5.0));
+        let naive = a.matmul(&b).unwrap();
+        for block in [1, 3, 64] {
+            let blocked = a.matmul_blocked(&b, block).unwrap();
+            assert_eq!(blocked, naive, "block = {block}");
         }
+        let workers = rng.gen_range(1..5);
+        let par = par_matmul_with(&a, &b, workers).unwrap();
+        assert_eq!(par, naive, "workers = {workers}");
     }
+}
 
-    #[test]
-    fn svd_reconstruction(a in matrix_strategy(7)) {
+#[test]
+fn matmul_transposed_matches_naive() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let m = rng.gen_range(1..20);
+        let k = rng.gen_range(1..20);
+        let n = rng.gen_range(1..20);
+        let a = Matrix::from_fn(m, k, |_, _| rng.gen_range(-5.0..5.0));
+        let b = Matrix::from_fn(k, n, |_, _| rng.gen_range(-5.0..5.0));
+        let direct = a.matmul(&b).unwrap();
+        let via_t = a.matmul_transposed(&b.transpose()).unwrap();
+        assert!(via_t.max_abs_diff(&direct).unwrap() < 1e-12);
+    }
+}
+
+#[test]
+fn svd_reconstruction() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let a = random_matrix(&mut rng, 7);
         let f = svd(&a).unwrap();
         let rec = f.reconstruct().unwrap();
-        prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-8,
-            "reconstruction error too large");
+        assert!(
+            rec.max_abs_diff(&a).unwrap() < 1e-8,
+            "reconstruction error too large"
+        );
         // Singular values sorted and non-negative.
         for w in f.sigma.windows(2) {
-            prop_assert!(w[0] >= w[1]);
+            assert!(w[0] >= w[1]);
         }
-        prop_assert!(f.sigma.iter().all(|&s| s >= 0.0));
+        assert!(f.sigma.iter().all(|&s| s >= 0.0));
     }
+}
 
-    #[test]
-    fn svd_frobenius_identity(a in matrix_strategy(7)) {
+#[test]
+fn svd_frobenius_identity() {
+    for case in 0..CASES {
+        let mut rng = case_rng(7, case);
+        let a = random_matrix(&mut rng, 7);
         let f = svd(&a).unwrap();
         let fro2 = a.frobenius_norm().powi(2);
         let sum2: f64 = f.sigma.iter().map(|s| s * s).sum();
-        prop_assert!((fro2 - sum2).abs() < 1e-7 * (1.0 + fro2));
+        assert!((fro2 - sum2).abs() < 1e-7 * (1.0 + fro2));
     }
+}
 
-    #[test]
-    fn pinv_penrose_one(a in matrix_strategy(6)) {
-        // A · A⁺ · A = A for every matrix.
+/// The pseudo-inverse satisfies the first Penrose condition
+/// `A · A⁺ · A = A` on random *rectangular* matrices of every
+/// aspect ratio — the property the equality solving attack relies on
+/// (Section IV-A).
+#[test]
+fn pinv_penrose_one_rectangular() {
+    for case in 0..CASES {
+        let mut rng = case_rng(8, case);
+        // Force a mix of wide, tall and square shapes.
+        let r = rng.gen_range(1..=7);
+        let c = match case % 3 {
+            0 => rng.gen_range(r..=9), // wide or square
+            1 => rng.gen_range(1..=r), // tall or square
+            _ => rng.gen_range(1..=7), // anything
+        };
+        let a = Matrix::from_fn(r, c, |_, _| rng.gen_range(-10.0..10.0));
         let p = pinv(&a).unwrap();
-        let c = a.matmul(&p).unwrap().matmul(&a).unwrap();
-        prop_assert!(c.max_abs_diff(&a).unwrap() < 1e-7 * (1.0 + a.max_abs()));
+        assert_eq!(p.shape(), (c, r));
+        let c1 = a.matmul(&p).unwrap().matmul(&a).unwrap();
+        assert!(
+            c1.max_abs_diff(&a).unwrap() < 1e-7 * (1.0 + a.max_abs()),
+            "Penrose 1 failed for {r}x{c} (case {case})"
+        );
     }
+}
 
-    #[test]
-    fn pinv_penrose_two(a in matrix_strategy(6)) {
-        // A⁺ · A · A⁺ = A⁺.
+#[test]
+fn pinv_penrose_two() {
+    for case in 0..CASES {
+        let mut rng = case_rng(9, case);
+        let a = random_matrix(&mut rng, 6);
         let p = pinv(&a).unwrap();
         let c = p.matmul(&a).unwrap().matmul(&p).unwrap();
-        prop_assert!(c.max_abs_diff(&p).unwrap() < 1e-7 * (1.0 + p.max_abs()));
+        assert!(c.max_abs_diff(&p).unwrap() < 1e-7 * (1.0 + p.max_abs()));
     }
+}
 
-    #[test]
-    fn lstsq_residual_is_orthogonal_to_range(a in matrix_strategy(6), seed in 0u64..1000) {
-        // The least-squares residual r = b − A x̂ satisfies Aᵀ r = 0.
-        let mut state = seed.wrapping_mul(2654435761).wrapping_add(12345);
-        let b: Vec<f64> = (0..a.rows()).map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
-        }).collect();
+#[test]
+fn lstsq_residual_is_orthogonal_to_range() {
+    for case in 0..CASES {
+        let mut rng = case_rng(10, case);
+        let a = random_matrix(&mut rng, 6);
+        let b: Vec<f64> = (0..a.rows()).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let x = lstsq(&a, &b).unwrap();
         let ax = a.matvec(&x).unwrap();
         let r = vecops::sub(&b, &ax);
         let atr = a.transpose().matvec(&r).unwrap();
         let scale = 1.0 + a.max_abs() * vecops::norm2(&b);
-        prop_assert!(vecops::norm2(&atr) < 1e-7 * scale);
+        assert!(vecops::norm2(&atr) < 1e-7 * scale);
     }
+}
 
-    #[test]
-    fn qr_reconstruction_tall(a in matrix_strategy(7)) {
-        if a.rows() >= a.cols() {
-            let f = qr(&a).unwrap();
-            let rec = f.q.matmul(&f.r).unwrap();
-            prop_assert!(rec.max_abs_diff(&a).unwrap() < 1e-9 * (1.0 + a.max_abs()));
-        }
+#[test]
+fn qr_reconstruction_tall() {
+    for case in 0..CASES {
+        let mut rng = case_rng(11, case);
+        let c = rng.gen_range(1..=7);
+        let r = rng.gen_range(c..=9); // tall or square
+        let a = Matrix::from_fn(r, c, |_, _| rng.gen_range(-10.0..10.0));
+        let f = qr(&a).unwrap();
+        let rec = f.q.matmul(&f.r).unwrap();
+        assert!(rec.max_abs_diff(&a).unwrap() < 1e-9 * (1.0 + a.max_abs()));
     }
+}
 
-    #[test]
-    fn lu_solve_residual(a in square_matrix_strategy(6)) {
+#[test]
+fn lu_solve_residual() {
+    for case in 0..CASES {
+        let mut rng = case_rng(12, case);
+        let n = rng.gen_range(1..=6);
+        let mut a = Matrix::from_fn(n, n, |_, _| rng.gen_range(-10.0..10.0));
         // Diagonally dominate to avoid near-singular draws.
-        let n = a.rows();
-        let mut ad = a.clone();
         for i in 0..n {
-            ad[(i, i)] += 50.0;
+            a[(i, i)] += 50.0;
         }
         let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
-        let x = fia_linalg::solve(&ad, &b).unwrap();
-        let r = ad.matvec(&x).unwrap();
+        let x = fia_linalg::solve(&a, &b).unwrap();
+        let r = a.matvec(&x).unwrap();
         for i in 0..n {
-            prop_assert!((r[i] - b[i]).abs() < 1e-8);
+            assert!((r[i] - b[i]).abs() < 1e-8);
         }
     }
+}
 
-    #[test]
-    fn softmax_is_distribution(z in prop::collection::vec(-50.0f64..50.0, 1..10)) {
+#[test]
+fn softmax_is_distribution() {
+    for case in 0..CASES {
+        let mut rng = case_rng(13, case);
+        let len = rng.gen_range(1..10);
+        let z: Vec<f64> = (0..len).map(|_| rng.gen_range(-50.0..50.0)).collect();
         let s = vecops::softmax(&z);
-        prop_assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-10);
-        prop_assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+        assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
     }
+}
 
-    #[test]
-    fn logit_sigmoid_roundtrip(x in -15.0f64..15.0) {
-        // Beyond |x| ≈ 15, 1 − σ(x) loses enough f64 precision that the
-        // roundtrip error dominates; the attack only ever sees confidence
-        // scores well inside this band.
+#[test]
+fn logit_sigmoid_roundtrip() {
+    // Beyond |x| ≈ 15, 1 − σ(x) loses enough f64 precision that the
+    // roundtrip error dominates; the attack only ever sees confidence
+    // scores well inside this band.
+    for case in 0..CASES {
+        let mut rng = case_rng(14, case);
+        let x = rng.gen_range(-15.0..15.0);
         let p = vecops::sigmoid(x);
-        prop_assert!((vecops::logit(p) - x).abs() < 1e-6 * (1.0 + x.abs()));
+        assert!((vecops::logit(p) - x).abs() < 1e-6 * (1.0 + x.abs()));
     }
+}
 
-    #[test]
-    fn pearson_bounded(
-        a in prop::collection::vec(-5.0f64..5.0, 3..40),
-        b in prop::collection::vec(-5.0f64..5.0, 3..40),
-    ) {
-        let n = a.len().min(b.len());
-        let r = vecops::pearson(&a[..n], &b[..n]);
-        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+#[test]
+fn pearson_bounded() {
+    for case in 0..CASES {
+        let mut rng = case_rng(15, case);
+        let n = rng.gen_range(3..40);
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let r = vecops::pearson(&a, &b);
+        assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
     }
 }

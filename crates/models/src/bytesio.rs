@@ -193,8 +193,7 @@ impl<'a> Reader<'a> {
         for _ in 0..rows * cols {
             data.push(self.f64()?);
         }
-        Matrix::from_vec(rows, cols, data)
-            .map_err(|e| DecodeError::Corrupt(format!("matrix: {e}")))
+        Matrix::from_vec(rows, cols, data).map_err(|e| DecodeError::Corrupt(format!("matrix: {e}")))
     }
 
     /// `true` when the whole buffer was consumed.

@@ -91,18 +91,20 @@ impl RandomForest {
         } else {
             let threads = config.n_threads.min(config.n_trees);
             let mut slots: Vec<Option<DecisionTree>> = vec![None; config.n_trees];
-            crossbeam::thread::scope(|scope| {
-                for (w, chunk) in slots.chunks_mut(config.n_trees.div_ceil(threads)).enumerate() {
+            std::thread::scope(|scope| {
+                for (w, chunk) in slots
+                    .chunks_mut(config.n_trees.div_ceil(threads))
+                    .enumerate()
+                {
                     let fit_one = &fit_one;
                     let base = w * config.n_trees.div_ceil(threads);
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         for (off, slot) in chunk.iter_mut().enumerate() {
                             *slot = Some(fit_one(base + off));
                         }
                     });
                 }
-            })
-            .expect("forest worker panicked");
+            });
             slots.into_iter().map(|s| s.expect("tree fitted")).collect()
         };
 
@@ -240,7 +242,10 @@ mod tests {
                 ..base
             },
         );
-        let x = ds.features.select_rows(&(0..50).collect::<Vec<_>>()).unwrap();
+        let x = ds
+            .features
+            .select_rows(&(0..50).collect::<Vec<_>>())
+            .unwrap();
         assert_eq!(
             serial.predict_proba(&x),
             parallel.predict_proba(&x),

@@ -34,9 +34,7 @@ mod traits;
 mod tree;
 
 pub use bytesio::DecodeError;
-pub use distill::{
-    distill_forest, distill_forest_with_pool, distillation_fidelity, DistillConfig,
-};
+pub use distill::{distill_forest, distill_forest_with_pool, distillation_fidelity, DistillConfig};
 pub use forest::{ForestConfig, RandomForest};
 pub use logistic::{LogisticRegression, LrConfig};
 pub use mlp::{Activation, Mlp, MlpConfig};

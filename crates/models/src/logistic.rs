@@ -271,7 +271,13 @@ mod tests {
     #[test]
     fn proba_rows_sum_to_one() {
         let ds = toy_dataset(3, 3);
-        let model = LogisticRegression::fit(&ds, &LrConfig { epochs: 5, ..Default::default() });
+        let model = LogisticRegression::fit(
+            &ds,
+            &LrConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
         let p = model.predict_proba(&ds.features);
         assert_eq!(p.cols(), 3);
         for i in 0..p.rows() {
@@ -295,8 +301,13 @@ mod tests {
     fn frozen_forward_matches_predict_proba() {
         for c in [2usize, 4] {
             let ds = toy_dataset(c, 7);
-            let model =
-                LogisticRegression::fit(&ds, &LrConfig { epochs: 3, ..Default::default() });
+            let model = LogisticRegression::fit(
+                &ds,
+                &LrConfig {
+                    epochs: 3,
+                    ..Default::default()
+                },
+            );
             let x = ds.features.select_rows(&[0, 1, 2]).unwrap();
             let direct = model.predict_proba(&x);
             let mut tape = Tape::new();
@@ -312,7 +323,13 @@ mod tests {
     #[test]
     fn frozen_forward_collects_no_param_grads() {
         let ds = toy_dataset(2, 8);
-        let model = LogisticRegression::fit(&ds, &LrConfig { epochs: 2, ..Default::default() });
+        let model = LogisticRegression::fit(
+            &ds,
+            &LrConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         let mut tape = Tape::new();
         let x = tape.input(ds.features.select_rows(&[0]).unwrap());
         let out = model.forward_frozen(&mut tape, x);

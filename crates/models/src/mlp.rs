@@ -210,13 +210,7 @@ impl Mlp {
     /// Builds the logits sub-graph. `training = true` binds trainable
     /// parameters and applies dropout; `training = false` (or
     /// [`Mlp::frozen_logits`]) freezes the weights as constants.
-    fn logits_on_tape(
-        &self,
-        tape: &mut Tape,
-        x: VarId,
-        training: bool,
-        rng: &mut StdRng,
-    ) -> VarId {
+    fn logits_on_tape(&self, tape: &mut Tape, x: VarId, training: bool, rng: &mut StdRng) -> VarId {
         let mut h = x;
         let last = self.layers.len() - 1;
         for (li, layer) in self.layers.iter().enumerate() {
@@ -457,7 +451,13 @@ mod tests {
     #[test]
     fn proba_rows_sum_to_one() {
         let ds = toy_dataset(3, 3);
-        let model = Mlp::fit(&ds, &MlpConfig { epochs: 2, ..small_config() });
+        let model = Mlp::fit(
+            &ds,
+            &MlpConfig {
+                epochs: 2,
+                ..small_config()
+            },
+        );
         let p = model.predict_proba(&ds.features);
         for i in 0..p.rows() {
             let s: f64 = p.row(i).iter().sum();
@@ -487,7 +487,13 @@ mod tests {
     #[test]
     fn frozen_forward_matches_predict_proba() {
         let ds = toy_dataset(4, 7);
-        let model = Mlp::fit(&ds, &MlpConfig { epochs: 3, ..small_config() });
+        let model = Mlp::fit(
+            &ds,
+            &MlpConfig {
+                epochs: 3,
+                ..small_config()
+            },
+        );
         let x = ds.features.select_rows(&[0, 5, 9]).unwrap();
         let direct = model.predict_proba(&x);
         let mut tape = Tape::new();
@@ -499,7 +505,13 @@ mod tests {
     #[test]
     fn frozen_forward_collects_no_param_grads() {
         let ds = toy_dataset(2, 8);
-        let model = Mlp::fit(&ds, &MlpConfig { epochs: 1, ..small_config() });
+        let model = Mlp::fit(
+            &ds,
+            &MlpConfig {
+                epochs: 1,
+                ..small_config()
+            },
+        );
         let mut tape = Tape::new();
         let x = tape.input(ds.features.select_rows(&[0, 1]).unwrap());
         let out = model.forward_frozen(&mut tape, x);
@@ -532,7 +544,13 @@ mod tests {
     #[test]
     fn persistence_rejects_truncation() {
         let ds = toy_dataset(2, 10);
-        let model = Mlp::fit(&ds, &MlpConfig { epochs: 1, ..small_config() });
+        let model = Mlp::fit(
+            &ds,
+            &MlpConfig {
+                epochs: 1,
+                ..small_config()
+            },
+        );
         let mut bytes = model.to_bytes();
         bytes.truncate(bytes.len() / 3);
         assert!(Mlp::from_bytes(&bytes).is_err());

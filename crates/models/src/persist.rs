@@ -48,7 +48,9 @@ impl LogisticRegression {
                 weights.cols()
             )));
         }
-        Ok(LogisticRegression::from_parameters(weights, bias, n_classes))
+        Ok(LogisticRegression::from_parameters(
+            weights, bias, n_classes,
+        ))
     }
 }
 
@@ -202,7 +204,13 @@ mod tests {
     #[test]
     fn lr_roundtrip_preserves_predictions() {
         let ds = toy_dataset(1);
-        let model = LogisticRegression::fit(&ds, &LrConfig { epochs: 5, ..Default::default() });
+        let model = LogisticRegression::fit(
+            &ds,
+            &LrConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
         let restored = LogisticRegression::from_bytes(&model.to_bytes()).unwrap();
         let a = model.predict_proba(&ds.features);
         let b = restored.predict_proba(&ds.features);
@@ -243,7 +251,13 @@ mod tests {
     #[test]
     fn wrong_magic_rejected() {
         let ds = toy_dataset(4);
-        let model = LogisticRegression::fit(&ds, &LrConfig { epochs: 2, ..Default::default() });
+        let model = LogisticRegression::fit(
+            &ds,
+            &LrConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         let bytes = model.to_bytes();
         assert!(matches!(
             DecisionTree::from_bytes(&bytes),
@@ -272,7 +286,10 @@ mod tests {
         // Hand-craft a tree with an out-of-range label.
         let tree = DecisionTree::from_nodes(
             vec![
-                TreeNode::Internal { feature: 0, threshold: 0.5 },
+                TreeNode::Internal {
+                    feature: 0,
+                    threshold: 0.5,
+                },
                 TreeNode::Leaf { label: 0 },
                 TreeNode::Leaf { label: 1 },
             ],

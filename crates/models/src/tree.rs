@@ -376,18 +376,36 @@ mod tests {
         // Depth 3 full array (15 slots). Feature ids:
         // 0 = age, 1 = income, 2 = deposit, 3 = #shopping.
         let nodes = vec![
-            Internal { feature: 0, threshold: 30.0 },  // 0: age ≤ 30
-            Internal { feature: 2, threshold: 5.0 },   // 1: deposit ≤ 5K
-            Internal { feature: 3, threshold: 6.0 },   // 2: #shopping ≤ 6
-            Internal { feature: 1, threshold: 3.0 },   // 3: income ≤ 3K
-            Leaf { label: 1 },                          // 4
-            Leaf { label: 1 },                          // 5
-            Internal { feature: 1, threshold: 2.0 },   // 6: income ≤ 2K
-            Leaf { label: 2 },                          // 7
-            Leaf { label: 1 },                          // 8  (unused by Fig2 walk)
-            Absent, Absent, Absent, Absent,
-            Leaf { label: 2 },                          // 13
-            Leaf { label: 1 },                          // 14
+            Internal {
+                feature: 0,
+                threshold: 30.0,
+            }, // 0: age ≤ 30
+            Internal {
+                feature: 2,
+                threshold: 5.0,
+            }, // 1: deposit ≤ 5K
+            Internal {
+                feature: 3,
+                threshold: 6.0,
+            }, // 2: #shopping ≤ 6
+            Internal {
+                feature: 1,
+                threshold: 3.0,
+            }, // 3: income ≤ 3K
+            Leaf { label: 1 }, // 4
+            Leaf { label: 1 }, // 5
+            Internal {
+                feature: 1,
+                threshold: 2.0,
+            }, // 6: income ≤ 2K
+            Leaf { label: 2 }, // 7
+            Leaf { label: 1 }, // 8  (unused by Fig2 walk)
+            Absent,
+            Absent,
+            Absent,
+            Absent,
+            Leaf { label: 2 }, // 13
+            Leaf { label: 1 }, // 14
         ];
         DecisionTree::from_nodes(nodes, 4, 3)
     }

@@ -1,4 +1,7 @@
 //! Property tests on model invariants.
+//!
+//! Cases are driven by a seeded [`rand::rngs::StdRng`] sweep (the offline
+//! build has no `proptest`); each case is reproducible from its index.
 
 use fia_data::{make_classification, normalize_dataset, Dataset, SynthConfig};
 use fia_linalg::Matrix;
@@ -6,8 +9,13 @@ use fia_models::{
     DecisionTree, ForestConfig, LogisticRegression, PredictProba, RandomForest, TreeConfig,
     TreeNode,
 };
-use proptest::prelude::*;
-use rand::{rngs::StdRng, SeedableRng};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+const CASES: u64 = 16;
+
+fn case_rng(test: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(test.wrapping_mul(0x9E3779B97F4A7C15) ^ case)
+}
 
 fn dataset(seed: u64, n_classes: usize, n_features: usize) -> Dataset {
     let n_informative = (n_features * 2 / 3).max(1);
@@ -27,97 +35,119 @@ fn dataset(seed: u64, n_classes: usize, n_features: usize) -> Dataset {
     normalize_dataset(&make_classification(&cfg)).0
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+/// Trees always store a structurally valid full binary array: the root
+/// exists, every internal node has two present children, every absent
+/// node has absent children, and labels are in range.
+#[test]
+fn tree_structure_invariants() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let seed: u64 = rng.gen_range(1..50_000u64);
+        let c = rng.gen_range(2..5usize);
+        let d = rng.gen_range(2..10usize);
+        let depth = rng.gen_range(1..6usize);
 
-    /// Trees always store a structurally valid full binary array: the
-    /// root exists, every internal node has two present children, every
-    /// absent node has absent children, and labels are in range.
-    #[test]
-    fn tree_structure_invariants(
-        seed in 1u64..50_000,
-        c in 2usize..5,
-        d in 2usize..10,
-        depth in 1usize..6,
-    ) {
         let ds = dataset(seed, c, d);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let cfg = TreeConfig { max_depth: depth, ..TreeConfig::default() };
-        let tree = DecisionTree::fit(&ds, &cfg, &mut rng);
+        let mut tree_rng = StdRng::seed_from_u64(seed);
+        let cfg = TreeConfig {
+            max_depth: depth,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&ds, &cfg, &mut tree_rng);
         let nodes = tree.nodes();
-        prop_assert_eq!(nodes.len(), (1usize << (depth + 1)) - 1);
-        prop_assert!(!matches!(nodes[0], TreeNode::Absent));
+        assert_eq!(nodes.len(), (1usize << (depth + 1)) - 1);
+        assert!(!matches!(nodes[0], TreeNode::Absent));
         for (i, node) in nodes.iter().enumerate() {
             let (l, r) = (2 * i + 1, 2 * i + 2);
             match node {
                 TreeNode::Internal { feature, .. } => {
-                    prop_assert!(*feature < d);
-                    prop_assert!(l < nodes.len() && r < nodes.len(),
-                        "internal node {i} at max depth");
-                    prop_assert!(!matches!(nodes[l], TreeNode::Absent));
-                    prop_assert!(!matches!(nodes[r], TreeNode::Absent));
+                    assert!(*feature < d);
+                    assert!(
+                        l < nodes.len() && r < nodes.len(),
+                        "internal node {i} at max depth"
+                    );
+                    assert!(!matches!(nodes[l], TreeNode::Absent));
+                    assert!(!matches!(nodes[r], TreeNode::Absent));
                 }
-                TreeNode::Leaf { label } => prop_assert!(*label < c),
+                TreeNode::Leaf { label } => assert!(*label < c),
                 TreeNode::Absent => {
                     if l < nodes.len() {
-                        prop_assert!(matches!(nodes[l], TreeNode::Absent));
-                        prop_assert!(matches!(nodes[r], TreeNode::Absent));
+                        assert!(matches!(nodes[l], TreeNode::Absent));
+                        assert!(matches!(nodes[r], TreeNode::Absent));
                     }
                 }
             }
         }
     }
+}
 
-    /// Tree predictions equal the label of the leaf the decision path
-    /// reaches, and training-set accuracy is at least majority-class.
-    #[test]
-    fn tree_prediction_consistency(seed in 1u64..50_000) {
+/// Tree predictions equal the label of the leaf the decision path
+/// reaches, and training-set accuracy is at least majority-class.
+#[test]
+fn tree_prediction_consistency() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let seed: u64 = rng.gen_range(1..50_000u64);
         let ds = dataset(seed, 3, 6);
-        let mut rng = StdRng::seed_from_u64(seed ^ 5);
-        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+        let mut tree_rng = StdRng::seed_from_u64(seed ^ 5);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut tree_rng);
         let counts = ds.class_counts();
         let majority = *counts.iter().max().unwrap() as f64 / ds.n_samples() as f64;
         let acc = fia_models::accuracy(&tree, &ds.features, &ds.labels);
-        prop_assert!(acc + 1e-9 >= majority, "acc {acc} < majority {majority}");
+        assert!(acc + 1e-9 >= majority, "acc {acc} < majority {majority}");
         for i in 0..10 {
             let path = tree.decision_path(ds.sample(i));
             let leaf = *path.last().unwrap();
             match tree.nodes()[leaf] {
                 TreeNode::Leaf { label } => {
-                    prop_assert_eq!(label, tree.predict_one(ds.sample(i)));
+                    assert_eq!(label, tree.predict_one(ds.sample(i)));
                 }
-                _ => prop_assert!(false, "path ended on non-leaf"),
+                _ => panic!("path ended on non-leaf"),
             }
         }
     }
+}
 
-    /// Forest confidences are valid vote distributions with denominators
-    /// equal to the tree count.
-    #[test]
-    fn forest_confidence_invariants(seed in 1u64..50_000, w in 1usize..12) {
+/// Forest confidences are valid vote distributions with denominators
+/// equal to the tree count.
+#[test]
+fn forest_confidence_invariants() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let seed: u64 = rng.gen_range(1..50_000u64);
+        let w = rng.gen_range(1..12usize);
+
         let ds = dataset(seed, 2, 5);
         let forest = RandomForest::fit(
             &ds,
-            &ForestConfig { n_trees: w, seed, n_threads: 2, ..ForestConfig::default() },
+            &ForestConfig {
+                n_trees: w,
+                seed,
+                n_threads: 2,
+                ..ForestConfig::default()
+            },
         );
         let p = forest.predict_proba(&ds.features.select_rows(&[0, 1, 2]).unwrap());
         for i in 0..3 {
             let row = p.row(i);
-            prop_assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
             for &v in row {
                 let k = v * w as f64;
-                prop_assert!((k - k.round()).abs() < 1e-9, "vote {v} not a /{w} fraction");
+                assert!((k - k.round()).abs() < 1e-9, "vote {v} not a /{w} fraction");
             }
         }
     }
+}
 
-    /// LR persistence round-trips bit-exactly for arbitrary parameters.
-    #[test]
-    fn lr_persist_roundtrip(
-        seed in 1u64..100_000,
-        d in 1usize..8,
-        c in 2usize..6,
-    ) {
+/// LR persistence round-trips bit-exactly for arbitrary parameters.
+#[test]
+fn lr_persist_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let seed: u64 = rng.gen_range(1..100_000u64);
+        let d = rng.gen_range(1..8usize);
+        let c = rng.gen_range(2..6usize);
+
         let mut state = seed | 1;
         let mut next = move || {
             state = state
@@ -129,32 +159,50 @@ proptest! {
         let bias: Vec<f64> = (0..c).map(|_| next()).collect();
         let model = LogisticRegression::from_parameters(w, bias, c);
         let restored = LogisticRegression::from_bytes(&model.to_bytes()).unwrap();
-        prop_assert_eq!(restored.weights(), model.weights());
-        prop_assert_eq!(restored.bias(), model.bias());
-        prop_assert_eq!(restored.n_classes(), model.n_classes());
+        assert_eq!(restored.weights(), model.weights());
+        assert_eq!(restored.bias(), model.bias());
+        assert_eq!(restored.n_classes(), model.n_classes());
     }
+}
 
-    /// Tree persistence round-trips the full node array for arbitrary
-    /// trained trees.
-    #[test]
-    fn tree_persist_roundtrip(seed in 1u64..50_000, depth in 1usize..6) {
+/// Tree persistence round-trips the full node array for arbitrary
+/// trained trees.
+#[test]
+fn tree_persist_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let seed: u64 = rng.gen_range(1..50_000u64);
+        let depth = rng.gen_range(1..6usize);
+
         let ds = dataset(seed, 3, 6);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let cfg = TreeConfig { max_depth: depth, ..TreeConfig::default() };
-        let tree = DecisionTree::fit(&ds, &cfg, &mut rng);
+        let mut tree_rng = StdRng::seed_from_u64(seed);
+        let cfg = TreeConfig {
+            max_depth: depth,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&ds, &cfg, &mut tree_rng);
         let restored = DecisionTree::from_bytes(&tree.to_bytes()).unwrap();
-        prop_assert_eq!(restored.nodes(), tree.nodes());
+        assert_eq!(restored.nodes(), tree.nodes());
     }
+}
 
-    /// Corrupting any single byte of a serialized tree either fails to
-    /// decode or still decodes into a *structurally valid* tree — never a
-    /// panic or an out-of-range label.
-    #[test]
-    fn tree_decode_never_panics_on_corruption(seed in 1u64..20_000, victim in 5usize..60) {
+/// Corrupting any single byte of a serialized tree either fails to
+/// decode or still decodes into a *structurally valid* tree — never a
+/// panic or an out-of-range label.
+#[test]
+fn tree_decode_never_panics_on_corruption() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let seed: u64 = rng.gen_range(1..20_000u64);
+        let victim = rng.gen_range(5..60usize);
+
         let ds = dataset(seed, 2, 4);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let cfg = TreeConfig { max_depth: 2, ..TreeConfig::default() };
-        let tree = DecisionTree::fit(&ds, &cfg, &mut rng);
+        let mut tree_rng = StdRng::seed_from_u64(seed);
+        let cfg = TreeConfig {
+            max_depth: 2,
+            ..TreeConfig::default()
+        };
+        let tree = DecisionTree::fit(&ds, &cfg, &mut tree_rng);
         let mut bytes = tree.to_bytes();
         let idx = victim % bytes.len();
         bytes[idx] ^= 0xFF;
@@ -163,7 +211,7 @@ proptest! {
         if let Ok(t) = DecisionTree::from_bytes(&bytes) {
             for node in t.nodes() {
                 if let TreeNode::Leaf { label } = node {
-                    prop_assert!(*label < t.n_classes());
+                    assert!(*label < t.n_classes());
                 }
             }
         }

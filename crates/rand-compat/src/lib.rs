@@ -1,0 +1,346 @@
+//! Minimal, deterministic re-implementation of the subset of the `rand`
+//! 0.8 API this workspace consumes.
+//!
+//! The build environment is fully offline, so the real crates.io `rand`
+//! cannot be fetched; this in-tree crate presents the same import paths
+//! (`rand::Rng`, `rand::SeedableRng`, `rand::rngs::StdRng`,
+//! `rand::seq::SliceRandom`) over a xoshiro256++ generator seeded through
+//! SplitMix64. Streams are *not* bit-compatible with upstream `rand` —
+//! every consumer in this workspace only relies on determinism under a
+//! fixed seed, never on specific values.
+
+/// Low-level generator interface: a source of uniform `u64` words.
+pub trait RngCore {
+    /// Next uniform 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniform 32-bit word (upper bits of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types drawable uniformly from a generator via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end - self.start) as u64;
+                // Debiased multiply-shift (Lemire); span ≪ 2^64 in practice,
+                // so a simple widening multiply keeps bias below 2^-63.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "gen_range: empty range");
+                let span = (e - s) as u64 + 1;
+                if span == 0 {
+                    return rng.next_u64() as $t;
+                }
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                s + hi as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, u16, u8);
+
+macro_rules! signed_sample_range {
+    ($($t:ty : $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = self.end.wrapping_sub(self.start) as $u as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+signed_sample_range!(i64: u64, i32: u32, isize: usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = f64::sample_standard(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+impl SampleRange<f32> for core::ops::Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = f32::sample_standard(rng);
+        self.start + (self.end - self.start) * u
+    }
+}
+
+/// User-facing generator extension methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform draw of a [`Standard`] type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from a half-open (or inclusive integer) range.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seeding interface, mirroring `rand::SeedableRng` (only the
+/// `seed_from_u64` entry point is provided — it is the only one used).
+pub trait SeedableRng: Sized {
+    /// Builds a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++
+    /// seeded via SplitMix64. Fast, high-quality, and reproducible.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        fn from_splitmix(seed: u64) -> Self {
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng::from_splitmix(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ step.
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::Rng;
+
+    /// Slice shuffling and sampling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type of the sequence.
+        type Item;
+
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly chosen element, `None` on an empty slice.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64_pub(), b.next_u64_pub());
+        }
+    }
+
+    impl StdRng {
+        fn next_u64_pub(&mut self) -> u64 {
+            use super::RngCore;
+            self.next_u64()
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_mean_near_half() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn usize_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            let k = rng.gen_range(0..7usize);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn f64_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1_000 {
+            let x = rng.gen_range(-2.5f64..7.5);
+            assert!((-2.5..7.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should move something");
+    }
+
+    #[test]
+    fn choose_on_empty_is_none() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn works_through_mut_ref_and_unsized() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = draw(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -41,7 +41,11 @@ pub fn check_gradients(
 ) -> GradCheckReport {
     // Analytic pass.
     let mut tape = Tape::new();
-    let vars: Vec<VarId> = params.ids().iter().map(|&id| tape.param(params, id)).collect();
+    let vars: Vec<VarId> = params
+        .ids()
+        .iter()
+        .map(|&id| tape.param(params, id))
+        .collect();
     let loss = build(&mut tape, &vars);
     tape.backward(loss);
     let analytic: Vec<Matrix> = vars
@@ -126,7 +130,9 @@ mod tests {
         assert_gradients_ok(
             &params,
             |tape, vars| {
-                let x = tape.input(Matrix::from_fn(2, 3, |i, j| 0.3 * (i as f64) - 0.2 * j as f64));
+                let x = tape.input(Matrix::from_fn(2, 3, |i, j| {
+                    0.3 * (i as f64) - 0.2 * j as f64
+                }));
                 let z = tape.matmul(x, vars[0]);
                 let z = tape.add_row_broadcast(z, vars[1]);
                 let t = tape.input(Matrix::filled(2, 4, 0.25));
@@ -225,11 +231,7 @@ mod tests {
     #[test]
     fn report_counts_coordinates() {
         let params = tiny_params(&[(2, 2)], 7);
-        let r = check_gradients(
-            &params,
-            |tape, vars| tape.sum_all(vars[0]),
-            1e-5,
-        );
+        let r = check_gradients(&params, |tape, vars| tape.sum_all(vars[0]), 1e-5);
         assert_eq!(r.checked, 4);
         assert!(r.passes(1e-8));
     }

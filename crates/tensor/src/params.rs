@@ -64,7 +64,10 @@ impl Params {
 
     /// Iterates over all `(id, matrix)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ParamId, &Matrix)> {
-        self.entries.iter().enumerate().map(|(i, m)| (ParamId(i), m))
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (ParamId(i), m))
     }
 
     /// All parameter ids in insertion order.

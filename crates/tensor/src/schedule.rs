@@ -88,7 +88,10 @@ mod tests {
 
     #[test]
     fn step_decay_halves() {
-        let s = StepDecay { step: 10, gamma: 0.5 };
+        let s = StepDecay {
+            step: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.factor(0), 1.0);
         assert_eq!(s.factor(9), 1.0);
         assert_eq!(s.factor(10), 0.5);
@@ -97,7 +100,10 @@ mod tests {
 
     #[test]
     fn cosine_endpoints() {
-        let s = CosineAnnealing { total_epochs: 100, floor: 0.1 };
+        let s = CosineAnnealing {
+            total_epochs: 100,
+            floor: 0.1,
+        };
         assert!((s.factor(0) - 1.0).abs() < 1e-12);
         assert!((s.factor(100) - 0.1).abs() < 1e-12);
         // Past the horizon it stays at the floor.

@@ -67,7 +67,10 @@ enum Op {
         inv_std: Vec<f64>,
     },
     /// Inverted dropout; `mask` already contains 0 or 1/(1−p).
-    Dropout { x: VarId, mask: Matrix },
+    Dropout {
+        x: VarId,
+        mask: Matrix,
+    },
     ConcatCols(VarId, VarId),
     SliceCols {
         x: VarId,
@@ -546,7 +549,9 @@ impl Tape {
     }
 
     /// Adds `delta` into the gradient buffer of `target` if that node
-    /// participates in differentiation.
+    /// participates in differentiation. The first contribution moves the
+    /// buffer in; later ones accumulate in place — no per-contribution
+    /// allocation.
     fn accumulate(&mut self, target: VarId, delta: Matrix) {
         let node = &mut self.nodes[target.0];
         if !node.needs_grad {
@@ -554,10 +559,34 @@ impl Tape {
         }
         match &mut node.grad {
             Some(g) => {
-                let sum = g.add(&delta).expect("gradient shape stable");
-                *g = sum;
+                debug_assert_eq!(g.shape(), delta.shape(), "gradient shape stable");
+                for (o, &d) in g.as_mut_slice().iter_mut().zip(delta.as_slice()) {
+                    *o += d;
+                }
             }
             None => node.grad = Some(delta),
+        }
+    }
+
+    /// Like [`Tape::accumulate`] but borrows the upstream gradient,
+    /// cloning only when `target` has no buffer yet. This is the fast path
+    /// for pass-through ops (`Add`, `Sub`, `AddScalar`,
+    /// `AddRowBroadcast`) whose local Jacobian is the identity: fan-out
+    /// nodes accumulate in place instead of cloning the gradient per
+    /// branch.
+    fn accumulate_ref(&mut self, target: VarId, delta: &Matrix) {
+        let node = &mut self.nodes[target.0];
+        if !node.needs_grad {
+            return;
+        }
+        match &mut node.grad {
+            Some(g) => {
+                debug_assert_eq!(g.shape(), delta.shape(), "gradient shape stable");
+                for (o, &d) in g.as_mut_slice().iter_mut().zip(delta.as_slice()) {
+                    *o += d;
+                }
+            }
+            None => node.grad = Some(delta.clone()),
         }
     }
 
@@ -581,13 +610,15 @@ impl Tape {
             }
             Op::Add(a, b) => {
                 let (a, b) = (*a, *b);
-                self.accumulate(a, g.clone());
-                self.accumulate(b, g.clone());
+                self.accumulate_ref(a, g);
+                self.accumulate_ref(b, g);
             }
             Op::Sub(a, b) => {
                 let (a, b) = (*a, *b);
-                self.accumulate(a, g.clone());
-                self.accumulate(b, g.scale(-1.0));
+                self.accumulate_ref(a, g);
+                if self.needs(b) {
+                    self.accumulate(b, g.scale(-1.0));
+                }
             }
             Op::Hadamard(a, b) => {
                 let (a, b) = (*a, *b);
@@ -602,7 +633,7 @@ impl Tape {
             }
             Op::AddRowBroadcast(a, bias) => {
                 let (a, bias) = (*a, *bias);
-                self.accumulate(a, g.clone());
+                self.accumulate_ref(a, g);
                 if self.needs(bias) {
                     let mut db = Matrix::zeros(1, g.cols());
                     for i in 0..g.rows() {
@@ -619,7 +650,7 @@ impl Tape {
             }
             Op::AddScalar(a) => {
                 let a = *a;
-                self.accumulate(a, g.clone());
+                self.accumulate_ref(a, g);
             }
             Op::Relu(a) => {
                 let a = *a;
@@ -681,9 +712,8 @@ impl Tape {
             Op::Log(a) => {
                 let a = *a;
                 let x = &self.nodes[a.0].value;
-                let da = Matrix::from_fn(g.rows(), g.cols(), |i, j| {
-                    g[(i, j)] / x[(i, j)].max(1e-300)
-                });
+                let da =
+                    Matrix::from_fn(g.rows(), g.cols(), |i, j| g[(i, j)] / x[(i, j)].max(1e-300));
                 self.accumulate(a, da);
             }
             Op::ColMean(a) => {

@@ -1,13 +1,21 @@
 //! Property tests: every randomly assembled network must pass the
 //! finite-difference gradient check, and optimizers must make progress on
 //! random convex problems.
+//!
+//! Cases are driven by a seeded [`rand::rngs::StdRng`] sweep (the offline
+//! build has no `proptest`); each case is reproducible from its index.
 
 use fia_linalg::Matrix;
 use fia_tensor::{check_gradients, Adam, Optimizer, Params, Sgd, Tape};
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
 
-/// Deterministic pseudo-random matrix from a seed (keeps the proptest
-/// input space small while varying the values).
+const CASES: u64 = 24;
+
+fn case_rng(test: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(test.wrapping_mul(0x9E3779B97F4A7C15) ^ case)
+}
+
+/// Deterministic pseudo-random matrix from a seed.
 fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut state = seed | 1;
     Matrix::from_fn(rows, cols, |_, _| {
@@ -18,34 +26,30 @@ fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// A random 2-layer network with a random choice of activation and loss
+/// always passes the gradient check.
+#[test]
+fn random_mlp_gradcheck() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let seed: u64 = rng.gen_range(1..100_000u64);
+        let batch = rng.gen_range(1..5usize);
+        let d_in = rng.gen_range(1..5usize);
+        let d_hidden = rng.gen_range(1..6usize);
+        let d_out = rng.gen_range(1..4usize);
+        let act = rng.gen_range(0..3u32) as u8;
+        let use_ln: bool = rng.gen();
 
-    /// A random 2-layer network with a random choice of activation and
-    /// loss always passes the gradient check.
-    #[test]
-    fn random_mlp_gradcheck(
-        seed in 1u64..100_000,
-        batch in 1usize..5,
-        d_in in 1usize..5,
-        d_hidden in 1usize..6,
-        d_out in 1usize..4,
-        act in 0u8..3,
-        use_ln in any::<bool>(),
-    ) {
         let mut params = Params::new();
         let _w1 = params.insert(lcg_matrix(d_in, d_hidden, seed));
         let _b1 = params.insert(lcg_matrix(1, d_hidden, seed ^ 1));
         let _w2 = params.insert(lcg_matrix(d_hidden, d_out, seed ^ 2));
         let _b2 = params.insert(lcg_matrix(1, d_out, seed ^ 3));
-        let (gamma, beta) = if use_ln && d_hidden > 1 {
-            (
-                Some(params.insert(Matrix::filled(1, d_hidden, 1.0))),
-                Some(params.insert(Matrix::zeros(1, d_hidden))),
-            )
-        } else {
-            (None, None)
-        };
+        let use_ln = use_ln && d_hidden > 1;
+        if use_ln {
+            params.insert(Matrix::filled(1, d_hidden, 1.0));
+            params.insert(Matrix::zeros(1, d_hidden));
+        }
 
         let x = lcg_matrix(batch, d_in, seed ^ 4);
         let t = lcg_matrix(batch, d_out, seed ^ 5).map(|v| v.abs());
@@ -64,10 +68,9 @@ proptest! {
                     1 => tape.tanh(h),
                     _ => tape.leaky_relu(h, 0.7), // mild kink, smooth-ish
                 };
-                if let (Some(g), Some(b)) = (gamma, beta) {
+                if use_ln {
                     let gv = vars[4];
                     let bv = vars[5];
-                    let _ = (g, b);
                     h = tape.layer_norm(h, gv, bv, 1e-4);
                 }
                 let z = tape.matmul(h, vars[2]);
@@ -80,25 +83,36 @@ proptest! {
         // Leaky-ReLU kinks occasionally sit exactly at a sample point;
         // allow a slightly looser bound there.
         let tol = if act == 2 { 5e-3 } else { 1e-4 };
-        prop_assert!(
+        assert!(
             report.max_rel_error < tol,
-            "gradcheck failed: {report:?} (act = {act})"
+            "gradcheck failed: {report:?} (act = {act}, case = {case})"
         );
     }
+}
 
-    /// Softmax + cross-entropy against a random one-hot target.
-    #[test]
-    fn random_softmax_ce_gradcheck(
-        seed in 1u64..100_000,
-        batch in 1usize..4,
-        classes in 2usize..6,
-        hot in 0usize..6,
-    ) {
+/// Softmax + cross-entropy against a random one-hot target.
+#[test]
+fn random_softmax_ce_gradcheck() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let seed: u64 = rng.gen_range(1..100_000u64);
+        let batch = rng.gen_range(1..4usize);
+        let classes = rng.gen_range(2..6usize);
+        let hot = rng.gen_range(0..6usize);
+
         let mut params = Params::new();
         let _z = params.insert(lcg_matrix(batch, classes, seed));
-        let target = Matrix::from_fn(batch, classes, |_, j| {
-            if j == hot % classes { 1.0 } else { 0.0 }
-        });
+        let target = Matrix::from_fn(
+            batch,
+            classes,
+            |_, j| {
+                if j == hot % classes {
+                    1.0
+                } else {
+                    0.0
+                }
+            },
+        );
         let report = check_gradients(
             &params,
             |tape, vars| {
@@ -107,13 +121,19 @@ proptest! {
             },
             1e-5,
         );
-        prop_assert!(report.max_rel_error < 1e-5, "{report:?}");
+        assert!(report.max_rel_error < 1e-5, "{report:?} (case = {case})");
     }
+}
 
-    /// SGD strictly decreases a positive-definite quadratic at a small
-    /// enough rate.
-    #[test]
-    fn sgd_descends_quadratic(seed in 1u64..10_000, dim in 1usize..6) {
+/// SGD strictly decreases a positive-definite quadratic at a small
+/// enough rate.
+#[test]
+fn sgd_descends_quadratic() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let seed: u64 = rng.gen_range(1..10_000u64);
+        let dim = rng.gen_range(1..6usize);
+
         let target = lcg_matrix(1, dim, seed);
         let mut params = Params::new();
         let w = params.insert(Matrix::zeros(1, dim));
@@ -136,12 +156,16 @@ proptest! {
             opt.step(&mut params, &grads);
         }
         let after = loss_at(&params);
-        prop_assert!(after <= before + 1e-12, "loss rose: {before} → {after}");
+        assert!(after <= before + 1e-12, "loss rose: {before} → {after}");
     }
+}
 
-    /// Adam drives a separable quadratic near its optimum.
-    #[test]
-    fn adam_reaches_optimum(seed in 1u64..10_000) {
+/// Adam drives a separable quadratic near its optimum.
+#[test]
+fn adam_reaches_optimum() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let seed: u64 = rng.gen_range(1..10_000u64);
         let target = lcg_matrix(1, 3, seed);
         let mut params = Params::new();
         let w = params.insert(Matrix::zeros(1, 3));
@@ -156,17 +180,20 @@ proptest! {
             opt.step(&mut params, &grads);
         }
         let dist = params.get(w).max_abs_diff(&target).unwrap();
-        prop_assert!(dist < 1e-2, "distance to optimum {dist}");
+        assert!(dist < 1e-2, "distance to optimum {dist} (case = {case})");
     }
+}
 
-    /// Concat/slice round-trips values for arbitrary widths.
-    #[test]
-    fn concat_slice_roundtrip(
-        seed in 1u64..10_000,
-        rows in 1usize..5,
-        c1 in 1usize..5,
-        c2 in 1usize..5,
-    ) {
+/// Concat/slice round-trips values for arbitrary widths.
+#[test]
+fn concat_slice_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(5, case);
+        let seed: u64 = rng.gen_range(1..10_000u64);
+        let rows = rng.gen_range(1..5usize);
+        let c1 = rng.gen_range(1..5usize);
+        let c2 = rng.gen_range(1..5usize);
+
         let a = lcg_matrix(rows, c1, seed);
         let b = lcg_matrix(rows, c2, seed ^ 9);
         let mut tape = Tape::new();
@@ -175,7 +202,52 @@ proptest! {
         let cat = tape.concat_cols(av, bv);
         let left = tape.slice_cols(cat, 0, c1);
         let right = tape.slice_cols(cat, c1, c1 + c2);
-        prop_assert!(tape.value(left).max_abs_diff(&a).unwrap() < 1e-15);
-        prop_assert!(tape.value(right).max_abs_diff(&b).unwrap() < 1e-15);
+        assert!(tape.value(left).max_abs_diff(&a).unwrap() < 1e-15);
+        assert!(tape.value(right).max_abs_diff(&b).unwrap() < 1e-15);
+    }
+}
+
+/// Backward on a mini-batch equals the average of per-sample backwards:
+/// the linearity that lets GRNA train on batched tape passes instead of
+/// per-sample loops.
+#[test]
+fn batch_gradient_is_mean_of_per_sample_gradients() {
+    for case in 0..CASES {
+        let mut rng = case_rng(6, case);
+        let seed: u64 = rng.gen_range(1..10_000u64);
+        let batch = rng.gen_range(2..6usize);
+        let d_in = rng.gen_range(1..4usize);
+        let d_out = rng.gen_range(1..4usize);
+
+        let mut params = Params::new();
+        let w = params.insert(lcg_matrix(d_in, d_out, seed));
+        let x = lcg_matrix(batch, d_in, seed ^ 21);
+        let t = lcg_matrix(batch, d_out, seed ^ 22);
+
+        let grad_for = |rows: &[usize]| -> Matrix {
+            let sel: Vec<usize> = rows.to_vec();
+            let xb = x.select_rows(&sel).unwrap();
+            let tb = t.select_rows(&sel).unwrap();
+            let mut tape = Tape::new();
+            let wv = tape.param(&params, w);
+            let xv = tape.input(xb);
+            let z = tape.matmul(xv, wv);
+            let tv = tape.input(tb);
+            let l = tape.mse_loss(z, tv);
+            tape.backward(l);
+            tape.grad(wv).unwrap().clone()
+        };
+
+        let all: Vec<usize> = (0..batch).collect();
+        let batched = grad_for(&all);
+        let mut mean = Matrix::zeros(d_in, d_out);
+        for i in 0..batch {
+            mean = mean.add(&grad_for(&[i])).unwrap();
+        }
+        let mean = mean.scale(1.0 / batch as f64);
+        assert!(
+            batched.max_abs_diff(&mean).unwrap() < 1e-12,
+            "batched grad ≠ mean of per-sample grads (case = {case})"
+        );
     }
 }

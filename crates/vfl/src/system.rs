@@ -41,11 +41,7 @@ impl<M: PredictProba> VflSystem<M> {
     /// Panics if the party count, feature assignment or model width are
     /// inconsistent.
     pub fn new(model: M, partition: VerticalPartition, parties: Vec<Party>) -> Self {
-        assert_eq!(
-            parties.len(),
-            partition.n_parties(),
-            "party count mismatch"
-        );
+        assert_eq!(parties.len(), partition.n_parties(), "party count mismatch");
         assert_eq!(
             model.n_features(),
             partition.n_features(),
@@ -128,30 +124,59 @@ impl<M: PredictProba> VflSystem<M> {
 
     /// Runs the joint prediction protocol for one sample: every party
     /// contributes its slice, the model is evaluated "securely" and only
-    /// `v` is returned.
+    /// `v` is returned. Thin wrapper over a 1-query
+    /// [`VflSystem::predict_batch`] round.
     pub fn predict(&self, sample_index: usize) -> Vec<f64> {
-        assert!(sample_index < self.n_samples(), "sample index out of range");
-        let slices: Vec<&[f64]> = self
-            .parties
-            .iter()
-            .map(|p| p.features_for_row(sample_index))
-            .collect();
-        let full = self.partition.assemble(&slices);
-        let x = Matrix::row_vector(&full);
-        self.model.predict_proba(&x).row(0).to_vec()
+        self.predict_batch(&[sample_index]).row(0).to_vec()
+    }
+
+    /// Runs *one* protocol round answering `n` queries at once: every
+    /// party contributes its feature block for all requested samples, the
+    /// model is evaluated on the assembled `n × d` matrix, and the
+    /// `n × c` confidence matrix is revealed to the active party.
+    ///
+    /// This is the scale-path of the system — per-query protocol
+    /// overhead (slice assembly, model dispatch) is paid once per round
+    /// instead of once per sample — and mirrors how production serving
+    /// stacks amortize traffic.
+    ///
+    /// # Panics
+    /// Panics when any sample index is out of range.
+    pub fn predict_batch(&self, sample_indices: &[usize]) -> Matrix {
+        let n_samples = self.n_samples();
+        for &i in sample_indices {
+            assert!(i < n_samples, "sample index out of range");
+        }
+        // Each party scatters its local columns into the joint matrix —
+        // the batched analogue of `partition.assemble` on one row.
+        let mut joint = Matrix::zeros(sample_indices.len(), self.partition.n_features());
+        for party in &self.parties {
+            for (row, &sample) in sample_indices.iter().enumerate() {
+                let slice = party.features_for_row(sample);
+                let out = joint.row_mut(row);
+                for (&f, &v) in party.feature_indices.iter().zip(slice.iter()) {
+                    out[f] = v;
+                }
+            }
+        }
+        self.model.predict_proba(&joint)
     }
 
     /// Runs the protocol over every sample, returning the active party's
     /// observation log: its own feature slices paired with the revealed
     /// confidence vectors. This is the *complete* adversary-visible
-    /// output of the prediction phase.
+    /// output of the prediction phase. Internally a single batched
+    /// protocol round ([`VflSystem::predict_batch`]).
     pub fn predict_all(&self) -> Vec<PredictionRecord> {
+        let indices: Vec<usize> = (0..self.n_samples()).collect();
+        let confidences = self.predict_batch(&indices);
         let active = self.active_party();
-        (0..self.n_samples())
+        indices
+            .into_iter()
             .map(|i| PredictionRecord {
                 sample_index: i,
                 x_adv: active.features_for_row(i).to_vec(),
-                confidence: self.predict(i),
+                confidence: confidences.row(i).to_vec(),
             })
             .collect()
     }
@@ -196,6 +221,25 @@ mod tests {
             let s: f64 = r.confidence.iter().sum();
             assert!((s - 1.0).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn batch_round_matches_per_sample_protocol() {
+        let sys = toy_system();
+        let batch = sys.predict_batch(&[4, 0, 2]);
+        assert_eq!(batch.shape(), (3, 3));
+        for (row, &i) in [4usize, 0, 2].iter().enumerate() {
+            let single = sys.predict(i);
+            for (j, &v) in single.iter().enumerate() {
+                assert!((batch[(row, j)] - v).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn batch_round_checks_indices() {
+        toy_system().predict_batch(&[0, 99]);
     }
 
     #[test]

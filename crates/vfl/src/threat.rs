@@ -134,11 +134,7 @@ impl AdversaryView {
     }
 }
 
-fn system_party_row<M: PredictProba>(
-    system: &VflSystem<M>,
-    pid: PartyId,
-    row: usize,
-) -> &[f64] {
+fn system_party_row<M: PredictProba>(system: &VflSystem<M>, pid: PartyId, row: usize) -> &[f64] {
     // The partition guarantees pid is valid; VflSystem keeps parties in
     // id order by construction.
     system.parties()[pid.0].features_for_row(row)

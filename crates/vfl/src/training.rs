@@ -222,13 +222,8 @@ mod tests {
             batch_size: 32,
             ..Default::default()
         };
-        let (_, audit) = train_federated_lr(
-            &partition,
-            &blocks,
-            &train.labels,
-            train.n_classes,
-            &cfg,
-        );
+        let (_, audit) =
+            train_federated_lr(&partition, &blocks, &train.labels, train.n_classes, &cfg);
         let batches_per_epoch = train.n_samples().div_ceil(32);
         assert_eq!(audit.secure_aggregations, 2 * batches_per_epoch);
         assert_eq!(audit.residual_broadcasts, audit.secure_aggregations);

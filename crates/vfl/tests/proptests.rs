@@ -1,98 +1,131 @@
 //! Property tests on the VFL substrate's structural invariants.
+//!
+//! Cases are driven by a seeded [`rand::rngs::StdRng`] sweep (the offline
+//! build has no `proptest`); each case is reproducible from its index.
 
 use fia_linalg::Matrix;
 use fia_vfl::{align_samples, PartyId, VerticalPartition};
-use proptest::prelude::*;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::BTreeSet;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: u64 = 48;
 
-    /// A two-block random partition always covers every feature exactly
-    /// once, with both sides non-empty and the requested target share (up
-    /// to rounding and the non-empty clamp).
-    #[test]
-    fn two_block_partition_invariants(
-        d in 2usize..60,
-        frac in 0.01f64..0.95,
-        seed in 0u64..10_000,
-    ) {
+fn case_rng(test: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(test.wrapping_mul(0x9E3779B97F4A7C15) ^ case)
+}
+
+/// A two-block random partition always covers every feature exactly
+/// once, with both sides non-empty and the requested target share (up to
+/// rounding and the non-empty clamp).
+#[test]
+fn two_block_partition_invariants() {
+    for case in 0..CASES {
+        let mut rng = case_rng(1, case);
+        let d = rng.gen_range(2..60usize);
+        let frac = rng.gen_range(0.01f64..0.95);
+        let seed: u64 = rng.gen_range(0..10_000u64);
+
         let p = VerticalPartition::two_block_random(d, frac, seed);
         let adv = p.features_of(PartyId(0));
         let tgt = p.features_of(PartyId(1));
-        prop_assert!(!adv.is_empty() && !tgt.is_empty());
-        prop_assert_eq!(adv.len() + tgt.len(), d);
+        assert!(!adv.is_empty() && !tgt.is_empty());
+        assert_eq!(adv.len() + tgt.len(), d);
         // Disjoint and sorted.
         let mut all: Vec<usize> = adv.iter().chain(tgt.iter()).copied().collect();
         all.sort_unstable();
         all.dedup();
-        prop_assert_eq!(all.len(), d);
+        assert_eq!(all.len(), d);
         // owner_of agrees with the lists.
         for &f in adv {
-            prop_assert_eq!(p.owner_of(f), PartyId(0));
+            assert_eq!(p.owner_of(f), PartyId(0));
         }
         // Requested share respected up to rounding + clamp.
         let requested = ((d as f64) * frac).round() as usize;
         let clamped = requested.clamp(1, d - 1);
-        prop_assert_eq!(tgt.len(), clamped);
+        assert_eq!(tgt.len(), clamped);
     }
+}
 
-    /// split_matrix ∘ assemble is the identity on every row.
-    #[test]
-    fn split_assemble_roundtrip(
-        d in 2usize..20,
-        frac in 0.1f64..0.9,
-        seed in 0u64..10_000,
-    ) {
+/// split_matrix ∘ assemble is the identity on every row.
+#[test]
+fn split_assemble_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = case_rng(2, case);
+        let d = rng.gen_range(2..20usize);
+        let frac = rng.gen_range(0.1f64..0.9);
+        let seed: u64 = rng.gen_range(0..10_000u64);
+
         let p = VerticalPartition::two_block_random(d, frac, seed);
         let global = Matrix::from_fn(4, d, |i, j| (i * d + j) as f64 * 0.01);
         let blocks = p.split_matrix(&global);
         for i in 0..4 {
             let parts: Vec<&[f64]> = blocks.iter().map(|b| b.row(i)).collect();
             let full = p.assemble(&parts);
-            prop_assert_eq!(full.as_slice(), global.row(i));
+            assert_eq!(full.as_slice(), global.row(i));
         }
     }
+}
 
-    /// PSI alignment returns exactly the set intersection, in ascending
-    /// order, with row maps pointing at the right local rows.
-    #[test]
-    fn alignment_is_set_intersection(
-        a in prop::collection::hash_set(0u64..200, 1..40),
-        b in prop::collection::hash_set(0u64..200, 1..40),
-    ) {
-        let av: Vec<u64> = a.iter().copied().collect();
-        let bv: Vec<u64> = b.iter().copied().collect();
+/// PSI alignment returns exactly the set intersection, in ascending
+/// order, with row maps pointing at the right local rows.
+#[test]
+fn alignment_is_set_intersection() {
+    for case in 0..CASES {
+        let mut rng = case_rng(3, case);
+        let na = rng.gen_range(1..40usize);
+        let nb = rng.gen_range(1..40usize);
+        let mut a = BTreeSet::new();
+        while a.len() < na {
+            a.insert(rng.gen_range(0..200u64));
+        }
+        let mut b = BTreeSet::new();
+        while b.len() < nb {
+            b.insert(rng.gen_range(0..200u64));
+        }
+
+        // Scramble local orders so the alignment cannot rely on them.
+        let mut av: Vec<u64> = a.iter().copied().collect();
+        let mut bv: Vec<u64> = b.iter().copied().collect();
+        let rot = case as usize % av.len().max(1);
+        av.rotate_left(rot);
+        bv.reverse();
+
         let r = align_samples(&[av.clone(), bv.clone()]);
         // Matches the mathematical intersection.
-        let mut expected: Vec<u64> = a.intersection(&b).copied().collect();
-        expected.sort_unstable();
-        prop_assert_eq!(&r.common_ids, &expected);
+        let expected: Vec<u64> = a.intersection(&b).copied().collect();
+        assert_eq!(&r.common_ids, &expected);
         // Row maps are correct.
         for (k, &id) in r.common_ids.iter().enumerate() {
-            prop_assert_eq!(av[r.row_maps[0][k]], id);
-            prop_assert_eq!(bv[r.row_maps[1][k]], id);
+            assert_eq!(av[r.row_maps[0][k]], id);
+            assert_eq!(bv[r.row_maps[1][k]], id);
         }
         // Sorted ascending.
         for w in r.common_ids.windows(2) {
-            prop_assert!(w[0] < w[1]);
+            assert!(w[0] < w[1]);
         }
     }
+}
 
-    /// Contiguous partitions hand each party the expected width and keep
-    /// union_features sorted regardless of coalition order.
-    #[test]
-    fn contiguous_union_sorted(sizes in prop::collection::vec(1usize..6, 2..5)) {
+/// Contiguous partitions hand each party the expected width and keep
+/// union_features sorted regardless of coalition order.
+#[test]
+fn contiguous_union_sorted() {
+    for case in 0..CASES {
+        let mut rng = case_rng(4, case);
+        let n_parties = rng.gen_range(2..5usize);
+        let sizes: Vec<usize> = (0..n_parties).map(|_| rng.gen_range(1..6usize)).collect();
+
         let p = VerticalPartition::contiguous(&sizes);
-        prop_assert_eq!(p.n_parties(), sizes.len());
+        assert_eq!(p.n_parties(), sizes.len());
         for (i, &s) in sizes.iter().enumerate() {
-            prop_assert_eq!(p.features_of(PartyId(i)).len(), s);
+            assert_eq!(p.features_of(PartyId(i)).len(), s);
         }
         // Reverse-order coalition still yields sorted union.
         let coalition: Vec<PartyId> = (0..sizes.len()).rev().map(PartyId).collect();
         let u = p.union_features(&coalition);
-        prop_assert_eq!(u.len(), sizes.iter().sum::<usize>());
+        assert_eq!(u.len(), sizes.iter().sum::<usize>());
         for w in u.windows(2) {
-            prop_assert!(w[0] < w[1]);
+            assert!(w[0] < w[1]);
         }
     }
 }

@@ -8,7 +8,7 @@
 //! cargo run --release --example csv_attack
 //! ```
 
-use fia::attacks::{metrics, EqualitySolvingAttack};
+use fia::attacks::{metrics, AttackEngine, EqualitySolvingAttack, QueryBatch};
 use fia::data::io::{read_csv, write_csv};
 use fia::data::{normalize_dataset, PaperDataset};
 use fia::models::{LogisticRegression, LrConfig, PredictProba};
@@ -56,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let x_adv = data.features.select_columns(&adv)?;
     let truth = data.features.select_columns(&target)?;
     let conf = model.predict_proba(&data.features);
-    let inferred = attack.infer_batch(&x_adv, &conf);
+    let inferred = AttackEngine::new()
+        .run(&attack, &QueryBatch::new(x_adv.clone(), conf.clone()))
+        .estimates;
     println!(
         "reconstruction MSE per feature: {:.6} (upper bound {:.4})",
         metrics::mse_per_feature(&inferred, &truth),

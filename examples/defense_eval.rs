@@ -6,7 +6,7 @@
 //! cargo run --release --example defense_eval
 //! ```
 
-use fia::attacks::{metrics, EqualitySolvingAttack};
+use fia::attacks::{metrics, AttackEngine, EqualitySolvingAttack, QueryBatch};
 use fia::data::PaperDataset;
 use fia::defense::screening::{correlation_screen, exposure_risk};
 use fia::defense::verify::{LeakageVerifier, Verdict};
@@ -46,11 +46,21 @@ fn main() {
     let truth = split.prediction.features.select_columns(&target).unwrap();
     let conf = model.predict_proba(&split.prediction.features);
 
-    let clean = esa.infer_batch(&x_adv, &conf).map(|v| v.clamp(0.0, 1.0));
-    println!("\nESA without defense : mse = {:.4}", metrics::mse_per_feature(&clean, &truth));
+    let engine = AttackEngine::new();
+    let clean = engine
+        .run(&esa, &QueryBatch::new(x_adv.clone(), conf.clone()))
+        .estimates
+        .map(|v| v.clamp(0.0, 1.0));
+    println!(
+        "\nESA without defense : mse = {:.4}",
+        metrics::mse_per_feature(&clean, &truth)
+    );
     for defense in [RoundingDefense::fine(), RoundingDefense::coarse()] {
         let rounded = defense.round_matrix(&conf);
-        let est = esa.infer_batch(&x_adv, &rounded).map(|v| v.clamp(0.0, 1.0));
+        let est = engine
+            .run(&esa, &QueryBatch::new(x_adv.clone(), rounded))
+            .estimates
+            .map(|v| v.clamp(0.0, 1.0));
         println!(
             "ESA with rounding b={} : mse = {:.4}",
             defense.digits,

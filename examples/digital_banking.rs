@@ -19,16 +19,34 @@ fn figure2_tree() -> DecisionTree {
     use TreeNode::*;
     // Feature ids: 0 = age, 1 = income, 2 = deposit, 3 = #shopping.
     let nodes = vec![
-        Internal { feature: 0, threshold: 30.0 },
-        Internal { feature: 2, threshold: 5.0 },
-        Internal { feature: 3, threshold: 6.0 },
-        Internal { feature: 1, threshold: 3.0 },
+        Internal {
+            feature: 0,
+            threshold: 30.0,
+        },
+        Internal {
+            feature: 2,
+            threshold: 5.0,
+        },
+        Internal {
+            feature: 3,
+            threshold: 6.0,
+        },
+        Internal {
+            feature: 1,
+            threshold: 3.0,
+        },
         Leaf { label: 1 },
         Leaf { label: 1 },
-        Internal { feature: 1, threshold: 2.0 },
+        Internal {
+            feature: 1,
+            threshold: 2.0,
+        },
         Leaf { label: 2 },
         Leaf { label: 2 },
-        Absent, Absent, Absent, Absent,
+        Absent,
+        Absent,
+        Absent,
+        Absent,
         Leaf { label: 2 },
         Leaf { label: 1 },
     ];
@@ -57,7 +75,10 @@ fn main() {
     }
     // Ground truth: deposit = 8K (> 5K) — the attack's inference holds.
     let tally = attack.evaluate_cbr(&inferred, &[25.0, 2.0, 8.0, 3.0]);
-    println!("correct branching rate vs ground truth: {:?}\n", tally.rate());
+    println!(
+        "correct branching rate vs ground truth: {:?}\n",
+        tally.rate()
+    );
 
     // ---- Example 1: equality solving on the 3-class LR --------------
     // Θ from the paper, stored feature-major (rows = features).

@@ -11,12 +11,11 @@
 //! cargo run --release --example federated_training
 //! ```
 
-use fia::attacks::{metrics, EqualitySolvingAttack, Grna, GrnaConfig};
+use fia::attacks::{metrics, AttackEngine, EqualitySolvingAttack, Grna, GrnaConfig, QueryBatch};
 use fia::data::{PaperDataset, SplitSpec};
 use fia::models::accuracy;
 use fia::vfl::{
-    train_federated_lr, AdversaryView, FederatedLrConfig, ThreatModel, VerticalPartition,
-    VflSystem,
+    train_federated_lr, AdversaryView, FederatedLrConfig, ThreatModel, VerticalPartition, VflSystem,
 };
 
 fn main() {
@@ -51,8 +50,10 @@ fn main() {
         .select_columns(&view.target_indices)
         .unwrap();
 
+    let engine = AttackEngine::new();
+    let batch = QueryBatch::new(view.x_adv.clone(), view.confidences.clone());
     let esa = EqualitySolvingAttack::new(system.model(), &view.adv_indices, &view.target_indices);
-    let est = esa.infer_batch(&view.x_adv, &view.confidences);
+    let est = engine.run(&esa, &batch).estimates;
     println!(
         "\nESA on the federated-trained model: mse = {:.6} (exact expected: {})",
         metrics::mse_per_feature(&est, &truth),
@@ -65,8 +66,10 @@ fn main() {
         &view.target_indices,
         GrnaConfig::fast().with_seed(33),
     );
-    let generator = grna.train(&view.x_adv, &view.confidences);
-    let grna_est = generator.infer(&view.x_adv, 1);
+    let generator = grna
+        .train(&view.x_adv, &view.confidences)
+        .with_infer_seed(1);
+    let grna_est = engine.run(&generator, &batch).estimates;
     println!(
         "GRNA on the same model:            mse = {:.6}",
         metrics::mse_per_feature(&grna_est, &truth)

@@ -48,7 +48,10 @@ fn main() {
     let mean = |m: &Matrix| m.as_slice().iter().sum::<f64>() / m.as_slice().len() as f64;
     let var = |m: &Matrix| {
         let mu = mean(m);
-        m.as_slice().iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>()
+        m.as_slice()
+            .iter()
+            .map(|&v| (v - mu) * (v - mu))
+            .sum::<f64>()
             / m.as_slice().len() as f64
     };
     println!(
@@ -86,6 +89,10 @@ fn main() {
         }
         let avg = sum / *count as f64;
         let bar = "#".repeat((avg * 40.0) as usize);
-        println!("truth {:.1}-{:.1} | {bar} {avg:.2}", b as f64 / 10.0, (b + 1) as f64 / 10.0);
+        println!(
+            "truth {:.1}-{:.1} | {bar} {avg:.2}",
+            b as f64 / 10.0,
+            (b + 1) as f64 / 10.0
+        );
     }
 }

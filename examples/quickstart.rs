@@ -5,7 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use fia::attacks::{baseline, metrics, EqualitySolvingAttack, Grna, GrnaConfig};
+use fia::attacks::{
+    baseline, metrics, AttackEngine, EqualitySolvingAttack, Grna, GrnaConfig, QueryBatch,
+};
 use fia::data::{PaperDataset, SplitSpec};
 use fia::models::{LogisticRegression, LrConfig};
 use fia::vfl::{AdversaryView, ThreatModel, VerticalPartition, VflSystem};
@@ -50,8 +52,10 @@ fn main() {
         .unwrap();
 
     // 5a. Equality solving attack (individual predictions).
+    let engine = AttackEngine::new();
+    let batch = QueryBatch::new(view.x_adv.clone(), view.confidences.clone());
     let esa = EqualitySolvingAttack::new(system.model(), &view.adv_indices, &view.target_indices);
-    let esa_est = esa.infer_batch(&view.x_adv, &view.confidences);
+    let esa_est = engine.run(&esa, &batch).estimates;
     println!(
         "ESA   : mse = {:.4} (exact recovery expected: {})",
         metrics::mse_per_feature(&esa_est, &truth),
@@ -65,8 +69,10 @@ fn main() {
         &view.target_indices,
         GrnaConfig::fast().with_seed(7),
     );
-    let generator = grna.train(&view.x_adv, &view.confidences);
-    let grna_est = generator.infer(&view.x_adv, 99);
+    let generator = grna
+        .train(&view.x_adv, &view.confidences)
+        .with_infer_seed(99);
+    let grna_est = engine.run(&generator, &batch).estimates;
     println!(
         "GRNA  : mse = {:.4}",
         metrics::mse_per_feature(&grna_est, &truth)
@@ -74,10 +80,7 @@ fn main() {
 
     // 5c. Random-guess baselines for calibration.
     let rg = baseline::random_guess_uniform(truth.rows(), truth.cols(), 1);
-    println!(
-        "random: mse = {:.4}",
-        metrics::mse_per_feature(&rg, &truth)
-    );
+    println!("random: mse = {:.4}", metrics::mse_per_feature(&rg, &truth));
     println!(
         "upper bound (Eqn 15) on ESA mse: {:.4}",
         metrics::esa_upper_bound(&truth)

@@ -1,11 +1,19 @@
 //! Property-based tests on the attacks' core guarantees, spanning crates.
+//!
+//! Cases are driven by a seeded [`rand::rngs::StdRng`] sweep (the offline
+//! build has no `proptest`); each case is reproducible from its index.
 
-use fia::attacks::{metrics, EqualitySolvingAttack, PathRestrictionAttack};
+use fia::attacks::{
+    metrics, Attack, AttackEngine, EqualitySolvingAttack, PathRestrictionAttack, QueryBatch,
+};
 use fia::data::{make_classification, normalize_dataset, SynthConfig};
 use fia::linalg::Matrix;
 use fia::models::{DecisionTree, LogisticRegression, PredictProba, TreeConfig};
-use proptest::prelude::*;
-use rand::{rngs::StdRng, SeedableRng};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn case_rng(test: u64, case: u64) -> StdRng {
+    StdRng::seed_from_u64(test.wrapping_mul(0x9E3779B97F4A7C15) ^ case)
+}
 
 /// Random full-rank-ish LR model via an LCG keyed on `seed`.
 fn random_lr(d: usize, c: usize, seed: u64) -> LogisticRegression {
@@ -21,19 +29,19 @@ fn random_lr(d: usize, c: usize, seed: u64) -> LogisticRegression {
     LogisticRegression::from_parameters(w, b, c)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// ESA exactness: whenever `d_target ≤ c − 1`, any sample is recovered to
+/// machine precision from a single prediction output — regardless of
+/// model weights, feature values or the index split.
+#[test]
+fn esa_exact_below_threshold() {
+    let mut checked = 0;
+    for case in 0..32u64 {
+        let mut rng = case_rng(1, case);
+        let seed: u64 = rng.gen_range(1..10_000u64);
+        let c = rng.gen_range(3..8usize);
+        let d = rng.gen_range(4..12usize);
+        let x: Vec<f64> = (0..d).map(|_| rng.gen_range(0.01..0.99)).collect();
 
-    /// ESA exactness: whenever `d_target ≤ c − 1`, any sample is
-    /// recovered to machine precision from a single prediction output —
-    /// regardless of model weights, feature values or the index split.
-    #[test]
-    fn esa_exact_below_threshold(
-        seed in 1u64..10_000,
-        c in 3usize..8,
-        d in 4usize..12,
-        x in prop::collection::vec(0.01f64..0.99, 12),
-    ) {
         let d_target = (c - 1).min(d / 2).max(1);
         let model = random_lr(d, c, seed);
         // Interleave adv/target indices deterministically from the seed.
@@ -46,30 +54,39 @@ proptest! {
         adv.sort_unstable();
 
         let attack = EqualitySolvingAttack::new(&model, &adv, &target);
-        prop_assume!(attack.exact_recovery_expected());
+        if !attack.exact_recovery_expected() {
+            continue;
+        }
+        checked += 1;
 
-        let sample = &x[..d];
-        let v = model.predict_proba(&Matrix::row_vector(sample));
-        let x_adv: Vec<f64> = adv.iter().map(|&f| sample[f]).collect();
-        let est = attack.infer(&x_adv, v.row(0));
+        let v = model.predict_proba(&Matrix::row_vector(&x));
+        let x_adv: Vec<f64> = adv.iter().map(|&f| x[f]).collect();
+        // Single-record compatibility wrapper of the batch-first API.
+        let est = attack.infer_one(&x_adv, v.row(0));
         for (k, &f) in target.iter().enumerate() {
             // Exactness holds unless the random Θ happens to be
             // near-singular; tolerate tiny conditioning noise.
-            prop_assert!(
-                (est[k] - sample[f]).abs() < 1e-5,
-                "feature {f}: est {} vs true {}", est[k], sample[f]
+            assert!(
+                (est[k] - x[f]).abs() < 1e-5,
+                "feature {f}: est {} vs true {} (case {case})",
+                est[k],
+                x[f]
             );
         }
     }
+    assert!(checked > 10, "too few exact-recovery cases exercised");
+}
 
-    /// ESA minimum-norm property: the estimate never has a larger L2 norm
-    /// than the ground truth (Eqn 11) when the system is underdetermined,
-    /// and consequently the Eqn 15 MSE bound holds.
-    #[test]
-    fn esa_min_norm_bound(
-        seed in 1u64..10_000,
-        x in prop::collection::vec(0.01f64..0.99, 10),
-    ) {
+/// ESA minimum-norm property: the estimate never has a larger L2 norm
+/// than the ground truth (Eqn 11) when the system is underdetermined,
+/// and consequently the Eqn 15 MSE bound holds.
+#[test]
+fn esa_min_norm_bound() {
+    for case in 0..32u64 {
+        let mut rng = case_rng(2, case);
+        let seed: u64 = rng.gen_range(1..10_000u64);
+        let x: Vec<f64> = (0..10).map(|_| rng.gen_range(0.01..0.99)).collect();
+
         let d = 10;
         let c = 2; // 1 equation, 5 unknowns → underdetermined
         let model = random_lr(d, c, seed);
@@ -82,38 +99,87 @@ proptest! {
         let est = attack.infer(x_adv, v.row(0));
         let est_norm: f64 = est.iter().map(|e| e * e).sum();
         let true_norm: f64 = x[5..].iter().map(|e| e * e).sum();
-        prop_assert!(est_norm <= true_norm + 1e-9,
-            "min-norm violated: {est_norm} > {true_norm}");
+        assert!(
+            est_norm <= true_norm + 1e-9,
+            "min-norm violated: {est_norm} > {true_norm}"
+        );
 
         let est_m = Matrix::row_vector(&est);
         let truth_m = Matrix::row_vector(&x[5..]);
-        prop_assert!(
-            metrics::mse_per_feature(&est_m, &truth_m)
-                <= metrics::esa_upper_bound(&truth_m) + 1e-9
+        assert!(
+            metrics::mse_per_feature(&est_m, &truth_m) <= metrics::esa_upper_bound(&truth_m) + 1e-9
         );
     }
+}
 
-    /// PRA soundness: the true decision path always survives restriction
-    /// when the attack is given the true predicted class, for arbitrary
-    /// trained trees and samples.
-    #[test]
-    fn pra_never_loses_true_path(seed in 1u64..5_000, frac in 0.2f64..0.7) {
-        let cfg = SynthConfig {
-            n_samples: 120,
-            n_features: 8,
-            n_informative: 5,
-            n_redundant: 2,
-            n_classes: 3,
-            class_sep: 1.5,
-            redundant_noise: 0.3,
-            flip_y: 0.05,
-            shuffle_features: true,
-            seed,
-        };
-        let ds = normalize_dataset(&make_classification(&cfg)).0;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+/// Engine invariance: striping a batch across any worker count yields
+/// exactly the estimates of a direct single-stripe call, for both ESA
+/// and PRA.
+#[test]
+fn engine_striping_never_changes_estimates() {
+    for case in 0..8u64 {
+        let mut rng = case_rng(3, case);
+        let seed: u64 = rng.gen_range(1..10_000u64);
+        let model = random_lr(9, 4, seed);
+        let adv: Vec<usize> = vec![0, 2, 4, 6, 8];
+        let target: Vec<usize> = vec![1, 3, 5, 7];
+        let attack = EqualitySolvingAttack::new(&model, &adv, &target);
 
+        let n = 150;
+        let mut x_adv = Matrix::zeros(n, 5);
+        let mut conf = Matrix::zeros(n, 4);
+        for i in 0..n {
+            let x: Vec<f64> = (0..9).map(|_| rng.gen_range(0.01..0.99)).collect();
+            let v = model.predict_proba(&Matrix::row_vector(&x));
+            for (k, &f) in adv.iter().enumerate() {
+                x_adv[(i, k)] = x[f];
+            }
+            conf.row_mut(i).copy_from_slice(v.row(0));
+        }
+        let batch = QueryBatch::new(x_adv, conf);
+        let direct = attack.infer_batch(&batch);
+        for workers in [2, 3, 5] {
+            let striped = AttackEngine::with_workers(workers)
+                .with_min_stripe(16)
+                .run(&attack, &batch);
+            assert_eq!(
+                striped.estimates, direct.estimates,
+                "workers = {workers}, case = {case}"
+            );
+        }
+    }
+}
+
+fn tree_fixture(seed: u64) -> (fia::data::Dataset, DecisionTree) {
+    let cfg = SynthConfig {
+        n_samples: 120,
+        n_features: 8,
+        n_informative: 5,
+        n_redundant: 2,
+        n_classes: 3,
+        class_sep: 1.5,
+        redundant_noise: 0.3,
+        flip_y: 0.05,
+        shuffle_features: true,
+        seed,
+    };
+    let ds = normalize_dataset(&make_classification(&cfg)).0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+    (ds, tree)
+}
+
+/// PRA soundness: the true decision path always survives restriction
+/// when the attack is given the true predicted class, for arbitrary
+/// trained trees and samples.
+#[test]
+fn pra_never_loses_true_path() {
+    for case in 0..16u64 {
+        let mut rng = case_rng(4, case);
+        let seed: u64 = rng.gen_range(1..5_000u64);
+        let frac = rng.gen_range(0.2f64..0.7);
+
+        let (ds, tree) = tree_fixture(seed);
         let d_target = ((8.0 * frac) as usize).clamp(1, 7);
         let target: Vec<usize> = (0..d_target).collect();
         let adv: Vec<usize> = (d_target..8).collect();
@@ -125,18 +191,21 @@ proptest! {
             let true_leaf = *tree.decision_path(x).last().unwrap();
             let x_adv: Vec<f64> = adv.iter().map(|&f| x[f]).collect();
             let leaves = attack.restricted_leaves(&x_adv, class);
-            prop_assert!(
+            assert!(
                 leaves.contains(&true_leaf),
                 "true leaf {true_leaf} lost (candidates {leaves:?})"
             );
         }
     }
+}
 
-    /// PRA constraints along the *true* path are always satisfied by the
-    /// ground truth — a correctness invariant of the constraint
-    /// extraction.
-    #[test]
-    fn pra_true_path_constraints_hold(seed in 1u64..5_000) {
+/// PRA constraints along the *true* path are always satisfied by the
+/// ground truth — a correctness invariant of the constraint extraction.
+#[test]
+fn pra_true_path_constraints_hold() {
+    for case in 0..16u64 {
+        let mut rng = case_rng(5, case);
+        let seed: u64 = rng.gen_range(1..5_000u64);
         let cfg = SynthConfig {
             n_samples: 100,
             n_features: 6,
@@ -150,8 +219,8 @@ proptest! {
             seed,
         };
         let ds = normalize_dataset(&make_classification(&cfg)).0;
-        let mut rng = StdRng::seed_from_u64(seed ^ 1);
-        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+        let mut tree_rng = StdRng::seed_from_u64(seed ^ 1);
+        let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut tree_rng);
         let target: Vec<usize> = vec![1, 3, 5];
         let adv: Vec<usize> = vec![0, 2, 4];
         let attack = PathRestrictionAttack::new(&tree, &adv, &target);
@@ -159,29 +228,57 @@ proptest! {
             let x = ds.sample(i);
             let path = tree.decision_path(x);
             for c in attack.constraints_along(&path) {
-                prop_assert!(c.satisfied_by(x[c.feature]),
-                    "constraint {c:?} violated by true value {}", x[c.feature]);
+                assert!(
+                    c.satisfied_by(x[c.feature]),
+                    "constraint {c:?} violated by true value {}",
+                    x[c.feature]
+                );
             }
         }
     }
+}
 
-    /// Metric invariants: MSE is symmetric, non-negative, and zero iff
-    /// the matrices coincide.
-    #[test]
-    fn mse_metric_invariants(
-        a in prop::collection::vec(0.0f64..1.0, 12),
-        b in prop::collection::vec(0.0f64..1.0, 12),
-    ) {
+/// PRA's batched path reports the same estimates as driving the explicit
+/// per-record API with content-keyed seeds.
+#[test]
+fn pra_batch_is_chunk_invariant() {
+    let (ds, tree) = tree_fixture(77);
+    let adv: Vec<usize> = (4..8).collect();
+    let target: Vec<usize> = (0..4).collect();
+    let attack = PathRestrictionAttack::new(&tree, &adv, &target).with_seed(9);
+
+    let x_adv = ds.features.select_columns(&adv).unwrap();
+    let conf = tree.predict_proba(&ds.features);
+    let batch = QueryBatch::new(x_adv, conf);
+    let direct = attack.infer_batch(&batch);
+    for workers in [2, 4] {
+        let striped = AttackEngine::with_workers(workers)
+            .with_min_stripe(8)
+            .run(&attack, &batch);
+        assert_eq!(striped.estimates, direct.estimates, "workers = {workers}");
+        assert_eq!(striped.degraded_rows, direct.degraded_rows);
+    }
+}
+
+/// Metric invariants: MSE is symmetric, non-negative, and zero iff the
+/// matrices coincide.
+#[test]
+fn mse_metric_invariants() {
+    for case in 0..32u64 {
+        let mut rng = case_rng(6, case);
+        let a: Vec<f64> = (0..12).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let b: Vec<f64> = (0..12).map(|_| rng.gen_range(0.0..1.0)).collect();
+
         let ma = Matrix::from_vec(3, 4, a).unwrap();
         let mb = Matrix::from_vec(3, 4, b).unwrap();
         let ab = metrics::mse_per_feature(&ma, &mb);
         let ba = metrics::mse_per_feature(&mb, &ma);
-        prop_assert!((ab - ba).abs() < 1e-15);
-        prop_assert!(ab >= 0.0);
-        prop_assert_eq!(metrics::mse_per_feature(&ma, &ma), 0.0);
+        assert!((ab - ba).abs() < 1e-15);
+        assert!(ab >= 0.0);
+        assert_eq!(metrics::mse_per_feature(&ma, &ma), 0.0);
         // Per-feature MSE averages to the scalar MSE.
         let per = metrics::per_feature_mse(&ma, &mb);
         let avg: f64 = per.iter().sum::<f64>() / per.len() as f64;
-        prop_assert!((avg - ab).abs() < 1e-12);
+        assert!((avg - ab).abs() < 1e-12);
     }
 }

@@ -2,9 +2,13 @@
 //! wrappers must compose with the VFL protocol and the attack suite
 //! end-to-end.
 
-use fia::attacks::{metrics, EqualitySolvingAttack, Grna, GrnaConfig};
+use fia::attacks::{
+    metrics, Attack, AttackEngine, EqualitySolvingAttack, Grna, GrnaConfig, QueryBatch,
+};
 use fia::data::{PaperDataset, SplitSpec};
-use fia::defense::{NoisyModel, RoundedModel, RoundingDefense};
+use fia::defense::{
+    DefensePipeline, NoiseDefense, NoisyModel, RoundedModel, RoundingDefense, ScoreDefense,
+};
 use fia::models::{LogisticRegression, LrConfig, Mlp, MlpConfig, PredictProba};
 use fia::vfl::{AdversaryView, ThreatModel, VerticalPartition, VflSystem};
 
@@ -42,10 +46,13 @@ fn rounded_model_through_protocol_degrades_esa() {
         .features
         .select_columns(&view.target_indices)
         .unwrap();
-    let attack =
-        EqualitySolvingAttack::new(&attack_model, &view.adv_indices, &view.target_indices);
+    let attack = EqualitySolvingAttack::new(&attack_model, &view.adv_indices, &view.target_indices);
     let est = attack
-        .infer_batch(&view.x_adv, &view.confidences)
+        .infer_batch(&QueryBatch::new(
+            view.x_adv.clone(),
+            view.confidences.clone(),
+        ))
+        .estimates
         .map(|v| v.clamp(0.0, 1.0));
     let mse = metrics::mse_per_feature(&est, &truth);
     // Undefended this deployment is exact (d_target ≤ c − 1); rounding
@@ -77,14 +84,59 @@ fn noisy_model_through_protocol_still_feeds_grna() {
     cfg.epochs = 40;
     cfg.lr = 3e-3;
     let grna = Grna::new(&attack_model, &view.adv_indices, &view.target_indices, cfg);
-    let generator = grna.train(&view.x_adv, &view.confidences);
-    let est = generator.infer(&view.x_adv, 2);
-    let grna_mse = metrics::mse_per_feature(&est, &truth);
+    let generator = grna
+        .train(&view.x_adv, &view.confidences)
+        .with_infer_seed(2);
+    let result = AttackEngine::new().run(
+        &generator,
+        &QueryBatch::new(view.x_adv.clone(), view.confidences.clone()),
+    );
+    let grna_mse = result.mse_against(&truth);
     let rg = fia::attacks::baseline::random_guess_uniform(truth.rows(), truth.cols(), 3);
     let rg_mse = metrics::mse_per_feature(&rg, &truth);
     assert!(
         grna_mse < rg_mse,
         "GRNA should survive light noise: {grna_mse} vs rg {rg_mse}"
+    );
+}
+
+#[test]
+fn batched_defense_pipeline_composes_at_the_protocol_boundary() {
+    // A rounding+noise pipeline applied to a whole released round must
+    // degrade batched ESA the same way the individually-wrapped defenses
+    // do — the batch hook and the per-record wrappers are one mechanism.
+    let (split, partition, model) = deployment(53);
+    let attack_model = model.clone();
+    let system = VflSystem::from_global(model, partition, &split.prediction.features);
+    let view = AdversaryView::collect(&system, &ThreatModel::active_only());
+    let truth = split
+        .prediction
+        .features
+        .select_columns(&view.target_indices)
+        .unwrap();
+
+    let pipeline = DefensePipeline::new()
+        .then(NoiseDefense::new(0.01, 77))
+        .then(RoundingDefense::coarse());
+    let released = pipeline.defend_batch(&view.confidences);
+    assert_eq!(released.shape(), view.confidences.shape());
+
+    let attack = EqualitySolvingAttack::new(&attack_model, &view.adv_indices, &view.target_indices);
+    let clean_mse = attack
+        .infer_batch(&QueryBatch::new(
+            view.x_adv.clone(),
+            view.confidences.clone(),
+        ))
+        .mse_against(&truth);
+    let defended = attack
+        .infer_batch(&QueryBatch::new(view.x_adv.clone(), released))
+        .estimates
+        .map(|v| v.clamp(0.0, 1.0));
+    let defended_mse = metrics::mse_per_feature(&defended, &truth);
+    assert!(clean_mse < 1e-6, "undefended ESA should be exact here");
+    assert!(
+        defended_mse > 100.0 * (clean_mse + 1e-6),
+        "pipeline should break exactness: {defended_mse}"
     );
 }
 

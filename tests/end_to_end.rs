@@ -2,15 +2,21 @@
 //! generation through the VFL prediction protocol to each attack and the
 //! defenses — everything wired through the public `fia` facade.
 
-use fia::attacks::{baseline, metrics, EqualitySolvingAttack, Grna, GrnaConfig};
+use fia::attacks::{
+    baseline, metrics, Attack, AttackEngine, EqualitySolvingAttack, Grna, GrnaConfig, QueryBatch,
+};
 use fia::data::{PaperDataset, SplitSpec};
 use fia::defense::RoundingDefense;
 use fia::models::{
-    accuracy, DecisionTree, LogisticRegression, LrConfig, Mlp, MlpConfig,
-    RandomForest, TreeConfig,
+    accuracy, DecisionTree, LogisticRegression, LrConfig, Mlp, MlpConfig, RandomForest, TreeConfig,
 };
 use fia::vfl::{AdversaryView, PartyId, ThreatModel, VerticalPartition, VflSystem};
 use rand::{rngs::StdRng, SeedableRng};
+
+/// The adversary's accumulated stream as an engine-ready batch.
+fn batch_of(view: &AdversaryView) -> QueryBatch {
+    QueryBatch::new(view.x_adv.clone(), view.confidences.clone())
+}
 
 /// Shared fixture: dataset + split + partition at tiny scale.
 fn fixture(
@@ -37,13 +43,14 @@ fn protocol_collected_view_feeds_esa() {
     let attack =
         EqualitySolvingAttack::new(system.model(), &view.adv_indices, &view.target_indices);
     assert!(attack.exact_recovery_expected());
-    let inferred = attack.infer_batch(&view.x_adv, &view.confidences);
+    let result = AttackEngine::new().run(&attack, &batch_of(&view));
+    assert!(result.degraded_rows.is_empty());
     let truth = split
         .prediction
         .features
         .select_columns(&view.target_indices)
         .unwrap();
-    let mse = metrics::mse_per_feature(&inferred, &truth);
+    let mse = result.mse_against(&truth);
     assert!(mse < 1e-8, "protocol-fed ESA should be exact, mse = {mse}");
 }
 
@@ -59,8 +66,7 @@ fn colluding_coalition_shrinks_target() {
     let system = VflSystem::from_global(model, partition, &split.prediction.features);
 
     let solo = AdversaryView::collect(&system, &ThreatModel::active_only());
-    let coalition =
-        AdversaryView::collect(&system, &ThreatModel::with_colluders(&[PartyId(2)]));
+    let coalition = AdversaryView::collect(&system, &ThreatModel::with_colluders(&[PartyId(2)]));
     assert_eq!(solo.d_target(), 14);
     assert_eq!(coalition.d_target(), 7);
     // More colluders → more known features → strictly easier GRNA task.
@@ -79,15 +85,17 @@ fn grna_through_protocol_beats_random_guess() {
     cfg.epochs = 40;
     cfg.lr = 3e-3;
     let grna = Grna::new(system.model(), &view.adv_indices, &view.target_indices, cfg);
-    let generator = grna.train(&view.x_adv, &view.confidences);
-    let inferred = generator.infer(&view.x_adv, 1);
+    let generator = grna
+        .train(&view.x_adv, &view.confidences)
+        .with_infer_seed(1);
+    let result = AttackEngine::new().run(&generator, &batch_of(&view));
 
     let truth = split
         .prediction
         .features
         .select_columns(&view.target_indices)
         .unwrap();
-    let grna_mse = metrics::mse_per_feature(&inferred, &truth);
+    let grna_mse = result.mse_against(&truth);
     let rg = baseline::random_guess_uniform(truth.rows(), truth.cols(), 2);
     let rg_mse = metrics::mse_per_feature(&rg, &truth);
     assert!(
@@ -109,17 +117,20 @@ fn rounding_defense_breaks_esa_but_not_structure() {
         .select_columns(&view.target_indices)
         .unwrap();
 
-    let attack =
-        EqualitySolvingAttack::new(&attack_model, &view.adv_indices, &view.target_indices);
-    let clean = attack.infer_batch(&view.x_adv, &view.confidences);
-    let clean_mse = metrics::mse_per_feature(&clean, &truth);
+    let attack = EqualitySolvingAttack::new(&attack_model, &view.adv_indices, &view.target_indices);
+    let clean = attack.infer_batch(&batch_of(&view));
+    let clean_mse = clean.mse_against(&truth);
 
     let rounded = RoundingDefense::coarse().round_matrix(&view.confidences);
-    let defended = attack
-        .infer_batch(&view.x_adv, &rounded)
-        .map(|v| v.clamp(0.0, 1.0));
+    let defended_result = attack.infer_batch(&QueryBatch::new(view.x_adv.clone(), rounded));
+    let defended = defended_result.estimates.map(|v| v.clamp(0.0, 1.0));
     let defended_mse = metrics::mse_per_feature(&defended, &truth);
     assert!(clean_mse < 1e-6, "undefended exact, got {clean_mse}");
+    // Coarse rounding zeroes scores: the batch must report degradation.
+    assert!(
+        !defended_result.degraded_rows.is_empty(),
+        "rounded batch should mark degraded rows"
+    );
     assert!(
         defended_mse > 100.0 * (clean_mse + 1e-6),
         "rounding should destroy exactness: {defended_mse}"
@@ -133,12 +144,24 @@ fn all_four_model_families_run_through_the_protocol() {
     let partition = VerticalPartition::two_block_random(ds.n_features(), 0.3, 21);
 
     // LR
-    let lr = LogisticRegression::fit(&split.train, &LrConfig { epochs: 10, ..Default::default() });
+    let lr = LogisticRegression::fit(
+        &split.train,
+        &LrConfig {
+            epochs: 10,
+            ..Default::default()
+        },
+    );
     let sys = VflSystem::from_global(lr, partition.clone(), &split.prediction.features);
     assert_eq!(sys.predict(0).len(), 2);
 
     // NN
-    let mlp = Mlp::fit(&split.train, &MlpConfig { epochs: 3, ..MlpConfig::fast() });
+    let mlp = Mlp::fit(
+        &split.train,
+        &MlpConfig {
+            epochs: 3,
+            ..MlpConfig::fast()
+        },
+    );
     let sys = VflSystem::from_global(mlp, partition.clone(), &split.prediction.features);
     assert!((sys.predict(1).iter().sum::<f64>() - 1.0).abs() < 1e-9);
 
@@ -162,6 +185,24 @@ fn all_four_model_families_run_through_the_protocol() {
     assert!((v.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     for x in v {
         assert!((x * 8.0 - (x * 8.0).round()).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn batched_protocol_round_matches_per_sample_protocol() {
+    // The scale path: one protocol round answering n queries must reveal
+    // exactly what n single-query rounds would.
+    let (split, partition) = fixture(PaperDataset::CreditCard, 0.3, 9);
+    let model = LogisticRegression::fit(&split.train, &LrConfig::default());
+    let system = VflSystem::from_global(model, partition, &split.prediction.features);
+    let indices: Vec<usize> = (0..system.n_samples().min(40)).collect();
+    let round = system.predict_batch(&indices);
+    assert_eq!(round.shape(), (indices.len(), 2));
+    for (row, &i) in indices.iter().enumerate() {
+        let single = system.predict(i);
+        for (j, &v) in single.iter().enumerate() {
+            assert!((round[(row, j)] - v).abs() < 1e-15, "sample {i} class {j}");
+        }
     }
 }
 
