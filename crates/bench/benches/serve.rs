@@ -1,0 +1,122 @@
+//! Serving-boundary benches — requests/sec at 1/4/8 closed-loop client
+//! threads against the live TCP service, batched (coalescer on) vs
+//! unbatched (coalescer off). Results land in `BENCH_serve.json`.
+//!
+//! Both servers simulate the same fixed per-round secure-computation
+//! cost (`round_cost`): a real VFL deployment pays a protocol round
+//! trip (secure aggregation / HE) per joint prediction, which the
+//! in-the-clear simulation would otherwise hide. The coalescer's whole
+//! job is amortizing that cost across queued queries, so the headline
+//! metric is `rps_batched_8t / rps_unbatched_8t` — the acceptance bar
+//! is ≥ 2×, report-only under `FIA_BENCH_NO_ASSERT=1` (shared CI
+//! runners), enforced locally.
+
+use fia_bench::harness::Harness;
+use fia_linalg::Matrix;
+use fia_models::LogisticRegression;
+use fia_serve::{LoadConfig, PredictionServer, ServeConfig};
+use fia_vfl::{VerticalPartition, VflSystem};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Credit-card-shaped deployment (23 features, binary LR) with a stored
+/// prediction set big enough that index traffic never repeats within a
+/// round.
+fn deployment() -> Arc<VflSystem<LogisticRegression>> {
+    let d = 23;
+    let mut state = 0x5EEDu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let w = Matrix::from_fn(d, 1, |_, _| next());
+    let model = LogisticRegression::from_parameters(w, vec![0.0], 2);
+    let global = Matrix::from_fn(512, d, |_, _| 0.5 + 0.49 * next());
+    let partition = VerticalPartition::contiguous(&[16, 7]);
+    Arc::new(VflSystem::from_global(model, partition, &global))
+}
+
+/// The simulated secure-protocol round cost both servers pay.
+const ROUND_COST: Duration = Duration::from_micros(300);
+
+fn config(coalesce: bool) -> ServeConfig {
+    ServeConfig {
+        batch_cap: 32,
+        // Closed-loop clients can never fill the row cap (every client
+        // has exactly one request in flight), so the deadline is kept
+        // short: rounds close on the greedy drain, which already holds
+        // everything that queued behind the previous round.
+        batch_deadline: Duration::from_micros(100),
+        coalesce,
+        round_cost: ROUND_COST,
+        ..ServeConfig::default()
+    }
+}
+
+/// Runs one load scenario and returns (rps, mean batch fill).
+fn scenario(
+    system: &Arc<VflSystem<LogisticRegression>>,
+    coalesce: bool,
+    threads: usize,
+) -> (f64, f64) {
+    let server = PredictionServer::spawn(
+        Arc::clone(system),
+        Arc::new(fia_defense::DefensePipeline::new()),
+        config(coalesce),
+    )
+    .expect("bind ephemeral port");
+    // Warmup: let connection threads and the batcher reach steady state.
+    let _ = fia_serve::run_load(
+        server.addr(),
+        &LoadConfig {
+            threads,
+            requests_per_thread: 25,
+            rows_per_request: 1,
+        },
+    )
+    .expect("warmup load");
+    let report = fia_serve::run_load(
+        server.addr(),
+        &LoadConfig {
+            threads,
+            requests_per_thread: 250,
+            rows_per_request: 1,
+        },
+    )
+    .expect("timed load");
+    let fill = server.metrics().mean_batch_fill;
+    server.shutdown();
+    (report.rps, fill)
+}
+
+fn main() {
+    let mut h = Harness::new("serve", 1, 0);
+    let system = deployment();
+
+    let mut speedup_8t = 0.0;
+    for &threads in &[1usize, 4, 8] {
+        let (rps_unbatched, _) = scenario(&system, false, threads);
+        let (rps_batched, fill) = scenario(&system, true, threads);
+        h.metric(&format!("rps_unbatched_{threads}t"), rps_unbatched);
+        h.metric(&format!("rps_batched_{threads}t"), rps_batched);
+        h.metric(&format!("batched_fill_{threads}t"), fill);
+        let speedup = rps_batched / rps_unbatched;
+        h.metric(&format!("batched_speedup_{threads}t"), speedup);
+        if threads == 8 {
+            speedup_8t = speedup;
+        }
+    }
+
+    // Wall-clock ratios are noisy on shared CI runners; FIA_BENCH_NO_ASSERT
+    // turns the acceptance bar into a report-only metric there while
+    // keeping it enforced for local/dev runs.
+    if std::env::var_os("FIA_BENCH_NO_ASSERT").is_none() {
+        assert!(
+            speedup_8t >= 2.0,
+            "batched server speedup {speedup_8t:.2}x at 8 threads is below the 2x acceptance bar"
+        );
+    }
+    h.write_json("BENCH_serve.json");
+}

@@ -24,7 +24,10 @@
 //! All three attacks implement the batch-first [`Attack`] trait
 //! (`infer_batch(&QueryBatch) → AttackResult`) and can be dispatched over
 //! accumulated query streams by the row-striping [`AttackEngine`];
-//! single-record calls are thin wrappers over 1-row batches.
+//! single-record calls are thin wrappers over 1-row batches. The
+//! [`oracle`] module abstracts *where* the stream comes from: the same
+//! attack code accumulates its corpus from an in-process deployment or a
+//! live prediction endpoint ([`PredictionOracle`]).
 //!
 //! Plus the evaluation machinery: MSE-per-feature (Eqn 10), correct
 //! branching rate, the ESA error upper bound (Eqn 15), random-guess
@@ -36,12 +39,14 @@ pub mod engine;
 mod esa;
 mod grna;
 pub mod metrics;
+pub mod oracle;
 mod pra;
 
 pub use audit::{AuditReport, Finding, Severity};
 pub use engine::{row_seed, Attack, AttackEngine, AttackResult, QueryBatch};
 pub use esa::EqualitySolvingAttack;
 pub use grna::{Grna, GrnaConfig, TrainedGenerator};
+pub use oracle::{accumulate_batch, run_over_oracle, OracleError, PredictionOracle};
 pub use pra::{BranchConstraint, InferredPath, PathRestrictionAttack};
 
 /// Re-exported correlation diagnostics (Eqns 16–17) from `fia-data`.

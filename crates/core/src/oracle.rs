@@ -1,0 +1,207 @@
+//! The prediction-query surface the attacks consume.
+//!
+//! The paper's adversary does not hold the deployment in its hands — it
+//! *queries* a deployed prediction API and accumulates `(x_adv, v)`
+//! pairs over many rounds (Section V: "the active party can easily
+//! collect this information by observing model predictions … in the
+//! long term"). [`PredictionOracle`] abstracts that query surface so the
+//! same attack code runs against an in-process [`fia_vfl::VflSystem`]
+//! *or* a live endpoint reached over the wire (`fia-serve`'s
+//! `RemoteOracle`): accumulate a [`QueryBatch`] with
+//! [`accumulate_batch`], then hand it to the [`AttackEngine`] — or do
+//! both in one call with [`run_over_oracle`].
+
+use crate::engine::{Attack, AttackEngine, AttackResult, QueryBatch};
+use fia_linalg::Matrix;
+use fia_models::PredictProba;
+use fia_vfl::VflSystem;
+
+/// Failure while querying a prediction oracle (transport errors, a
+/// server-side rejection, a malformed response). In-process oracles
+/// never fail; remote ones surface their transport layer here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OracleError(pub String);
+
+impl std::fmt::Display for OracleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "oracle query failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+/// A deployed prediction API as the adversary sees it: submit sample
+/// queries, receive confidence-score vectors — nothing else crosses the
+/// boundary.
+///
+/// Methods take `&mut self` because remote implementations multiplex
+/// request/response pairs over a single connection.
+pub trait PredictionOracle {
+    /// Number of classes `c` in the revealed confidence vectors.
+    fn n_classes(&self) -> usize;
+
+    /// Number of aligned samples the deployment can answer queries for.
+    fn n_samples(&self) -> usize;
+
+    /// Runs one prediction round over the stored samples `indices`,
+    /// returning the revealed `|indices| × c` confidence matrix.
+    fn confidences(&mut self, indices: &[usize]) -> Result<Matrix, OracleError>;
+}
+
+/// The in-process deployment *is* an oracle: a query round is a batched
+/// joint-prediction protocol round.
+impl<M: PredictProba> PredictionOracle for VflSystem<M> {
+    fn n_classes(&self) -> usize {
+        self.model().n_classes()
+    }
+
+    fn n_samples(&self) -> usize {
+        VflSystem::n_samples(self)
+    }
+
+    fn confidences(&mut self, indices: &[usize]) -> Result<Matrix, OracleError> {
+        Ok(self.predict_batch(indices))
+    }
+}
+
+/// Accumulates the adversary's attack corpus by querying `oracle` in
+/// rounds of at most `chunk` samples (`0` queries everything in one
+/// round), zipping the revealed confidences with the adversary's own
+/// feature rows `x_adv` (`indices.len() × d_adv`, row `i` belonging to
+/// stored sample `indices[i]`).
+///
+/// The chunked loop is the paper's accumulation model made explicit: a
+/// deployed API answers bounded batches, so the corpus is gathered over
+/// many prediction rounds, not one oracle call.
+///
+/// # Panics
+/// Panics when `x_adv` has a row count different from `indices`.
+pub fn accumulate_batch<O: PredictionOracle + ?Sized>(
+    oracle: &mut O,
+    x_adv: &Matrix,
+    indices: &[usize],
+    chunk: usize,
+) -> Result<QueryBatch, OracleError> {
+    assert_eq!(
+        x_adv.rows(),
+        indices.len(),
+        "one adversary feature row per queried sample"
+    );
+    let chunk = if chunk == 0 {
+        indices.len().max(1)
+    } else {
+        chunk
+    };
+    let mut confidences = Matrix::zeros(indices.len(), oracle.n_classes());
+    let mut row = 0;
+    for round in indices.chunks(chunk) {
+        let v = oracle.confidences(round)?;
+        if v.shape() != (round.len(), confidences.cols()) {
+            return Err(OracleError(format!(
+                "oracle answered {:?}, expected {:?}",
+                v.shape(),
+                (round.len(), confidences.cols())
+            )));
+        }
+        for i in 0..round.len() {
+            confidences.row_mut(row + i).copy_from_slice(v.row(i));
+        }
+        row += round.len();
+    }
+    Ok(QueryBatch::new(x_adv.clone(), confidences))
+}
+
+/// Accumulates a corpus from `oracle` (see [`accumulate_batch`]) and
+/// immediately runs `attack` over it through `engine` — the end-to-end
+/// shape of every paper attack: query the deployment, then invert what
+/// it revealed.
+pub fn run_over_oracle<O: PredictionOracle + ?Sized>(
+    engine: &AttackEngine,
+    attack: &dyn Attack,
+    oracle: &mut O,
+    x_adv: &Matrix,
+    indices: &[usize],
+    chunk: usize,
+) -> Result<AttackResult, OracleError> {
+    let batch = accumulate_batch(oracle, x_adv, indices, chunk)?;
+    Ok(engine.run(attack, &batch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EqualitySolvingAttack;
+    use fia_models::LogisticRegression;
+    use fia_vfl::VerticalPartition;
+
+    fn deployed_system() -> (VflSystem<LogisticRegression>, Matrix) {
+        let d = 6;
+        let mut state = 0xD15EA5Eu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let w = Matrix::from_fn(d, 4, |_, _| next());
+        let model = LogisticRegression::from_parameters(w, vec![0.0; 4], 4);
+        let global = Matrix::from_fn(23, d, |i, j| 0.5 + 0.4 * ((i * d + j) as f64 * 0.618).sin());
+        let partition = VerticalPartition::contiguous(&[3, 3]);
+        (VflSystem::from_global(model, partition, &global), global)
+    }
+
+    #[test]
+    fn in_process_system_is_an_oracle() {
+        let (mut sys, _) = deployed_system();
+        assert_eq!(PredictionOracle::n_classes(&sys), 4);
+        assert_eq!(PredictionOracle::n_samples(&sys), 23);
+        let v = sys.confidences(&[0, 5, 9]).unwrap();
+        assert_eq!(v, sys.predict_batch(&[0, 5, 9]));
+    }
+
+    #[test]
+    fn chunked_accumulation_matches_one_round() {
+        let (mut sys, global) = deployed_system();
+        let indices: Vec<usize> = (0..23).collect();
+        let x_adv = global.select_columns(&[0, 1, 2]).unwrap();
+        let one = accumulate_batch(&mut sys, &x_adv, &indices, 0).unwrap();
+        let chunked = accumulate_batch(&mut sys, &x_adv, &indices, 5).unwrap();
+        assert_eq!(one.confidences, chunked.confidences);
+        assert_eq!(one.x_adv, chunked.x_adv);
+        assert_eq!(one.len(), 23);
+    }
+
+    #[test]
+    fn attack_over_oracle_matches_direct_engine_run() {
+        let (mut sys, global) = deployed_system();
+        let indices: Vec<usize> = (0..23).collect();
+        let adv = [0usize, 1, 2];
+        let target = [3usize, 4, 5];
+        let x_adv = global.select_columns(&adv).unwrap();
+        let model = sys.model().clone();
+        let attack = EqualitySolvingAttack::new(&model, &adv, &target);
+        let engine = AttackEngine::new();
+
+        let direct = engine.run(
+            &attack,
+            &QueryBatch::new(x_adv.clone(), sys.predict_batch(&indices)),
+        );
+        let over_oracle = run_over_oracle(&engine, &attack, &mut sys, &x_adv, &indices, 7).unwrap();
+        assert_eq!(direct.estimates, over_oracle.estimates);
+        assert_eq!(over_oracle.attack, "esa");
+    }
+
+    #[test]
+    #[should_panic(expected = "one adversary feature row")]
+    fn accumulate_rejects_row_mismatch() {
+        let (mut sys, global) = deployed_system();
+        let x_adv = global.select_columns(&[0, 1, 2]).unwrap();
+        let _ = accumulate_batch(&mut sys, &x_adv, &[0, 1], 0);
+    }
+
+    #[test]
+    fn oracle_error_displays_reason() {
+        let e = OracleError("connection reset".into());
+        assert!(e.to_string().contains("connection reset"));
+    }
+}

@@ -1,0 +1,243 @@
+//! The adversary's side of the wire: a blocking client speaking the
+//! frame codec, plus the [`fia_core::PredictionOracle`] implementation
+//! that lets every attack in the workspace run unchanged against a live
+//! endpoint.
+
+use crate::metrics::MetricsReport;
+use crate::wire::{
+    decode_response, encode_request, read_frame, write_frame, Request, Response, ServerInfo,
+    WireError,
+};
+use fia_core::{OracleError, PredictionOracle};
+use fia_linalg::Matrix;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: transport, protocol violation, or a server-side
+/// rejection.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The wire layer failed (socket error, truncation, bad frame).
+    Wire(WireError),
+    /// The server answered, but with an `Error` response.
+    Rejected(String),
+    /// The server answered with an unexpected message type.
+    Protocol(&'static str),
+    /// The server closed the connection mid-conversation.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "transport failure: {e}"),
+            ClientError::Rejected(why) => write!(f, "server rejected request: {why}"),
+            ClientError::Protocol(what) => write!(f, "protocol violation: {what}"),
+            ClientError::Disconnected => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Wire(WireError::Io(e))
+    }
+}
+
+/// A connection to a deployed prediction service, seen the way the
+/// paper's adversary sees it: submit queries, receive confidence
+/// vectors. One request/response pair is in flight per connection.
+pub struct RemoteOracle {
+    stream: TcpStream,
+    info: ServerInfo,
+}
+
+impl RemoteOracle {
+    /// Connects and performs the `Info` handshake, so the oracle knows
+    /// the deployment's shape before the first query.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut oracle = RemoteOracle {
+            stream,
+            info: ServerInfo {
+                n_samples: 0,
+                n_features: 0,
+                n_classes: 0,
+                party_widths: Vec::new(),
+            },
+        };
+        oracle.info = match oracle.call(&Request::Info)? {
+            Response::Info(info) => info,
+            Response::Error(why) => return Err(ClientError::Rejected(why)),
+            _ => return Err(ClientError::Protocol("Info answered with wrong variant")),
+        };
+        Ok(oracle)
+    }
+
+    /// The deployment facts learned at connect time.
+    pub fn info(&self) -> &ServerInfo {
+        &self.info
+    }
+
+    /// One request/response round trip.
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let payload = encode_request(req)?;
+        write_frame(&mut self.stream, &payload)?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Ok(decode_response(&payload)?),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    fn expect_scores(resp: Response) -> Result<Matrix, ClientError> {
+        match resp {
+            Response::Scores(m) => Ok(m),
+            Response::Error(why) => Err(ClientError::Rejected(why)),
+            _ => Err(ClientError::Protocol("predict answered with wrong variant")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            _ => Err(ClientError::Protocol("Ping answered with wrong variant")),
+        }
+    }
+
+    /// One prediction round over stored sample indices; returns the
+    /// released `|indices| × c` confidence matrix.
+    pub fn predict_batch(&mut self, indices: &[usize]) -> Result<Matrix, ClientError> {
+        let wire_indices: Vec<u32> = indices.iter().map(|&i| i as u32).collect();
+        let resp = self.call(&Request::PredictByIndex(wire_indices))?;
+        Self::expect_scores(resp)
+    }
+
+    /// One prediction round over ad-hoc inputs: one `n × d_p` feature
+    /// block per party, in party id order.
+    pub fn predict_features(&mut self, slices: &[Matrix]) -> Result<Matrix, ClientError> {
+        let resp = self.call(&Request::PredictFeatures(slices.to_vec()))?;
+        Self::expect_scores(resp)
+    }
+
+    /// The server's live metrics snapshot.
+    pub fn server_metrics(&mut self) -> Result<MetricsReport, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
+            Response::Error(why) => Err(ClientError::Rejected(why)),
+            _ => Err(ClientError::Protocol("Metrics answered with wrong variant")),
+        }
+    }
+
+    /// Asks the server to shut down gracefully.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            _ => Err(ClientError::Protocol(
+                "Shutdown answered with wrong variant",
+            )),
+        }
+    }
+}
+
+/// The attacks' query surface, over the wire: this is what makes
+/// `fia_core::accumulate_batch` / `run_over_oracle` — and therefore ESA,
+/// PRA and GRNA — work against a live endpoint.
+impl PredictionOracle for RemoteOracle {
+    fn n_classes(&self) -> usize {
+        self.info.n_classes
+    }
+
+    fn n_samples(&self) -> usize {
+        self.info.n_samples
+    }
+
+    fn confidences(&mut self, indices: &[usize]) -> Result<Matrix, OracleError> {
+        self.predict_batch(indices)
+            .map_err(|e| OracleError(e.to_string()))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Load generation.
+
+/// Closed-loop load-generator configuration: `threads` clients, each
+/// issuing `requests_per_thread` synchronous prediction requests of
+/// `rows_per_request` stored samples.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Concurrent client connections.
+    pub threads: usize,
+    /// Requests each client issues before disconnecting.
+    pub requests_per_thread: usize,
+    /// Stored-sample rows per request.
+    pub rows_per_request: usize,
+}
+
+/// What a load run achieved.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests completed across all clients.
+    pub total_requests: u64,
+    /// Query rows answered across all clients.
+    pub total_rows: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: std::time::Duration,
+    /// Aggregate requests per second.
+    pub rps: f64,
+}
+
+/// Drives `cfg` worth of traffic at `addr` and reports the achieved
+/// throughput. Clients start together (barrier) and each issues
+/// synchronous requests over its own connection — a closed loop, so
+/// aggregate throughput is what the *server* sustains, not an open-loop
+/// arrival rate.
+pub fn run_load(addr: std::net::SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
+    let threads = cfg.threads.max(1);
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(threads));
+    let mut workers = Vec::with_capacity(threads);
+    let t0 = std::time::Instant::now();
+    for worker in 0..threads {
+        let barrier = std::sync::Arc::clone(&barrier);
+        let cfg = cfg.clone();
+        workers.push(std::thread::spawn(move || -> Result<u64, ClientError> {
+            // Reach the barrier whether or not the connection succeeded —
+            // a worker that bailed before waiting would leave the others
+            // blocked on it forever.
+            let connected = RemoteOracle::connect(addr);
+            barrier.wait();
+            let mut oracle = connected?;
+            let n = oracle.info().n_samples.max(1);
+            let mut rows_done = 0u64;
+            for r in 0..cfg.requests_per_thread {
+                let base = worker * cfg.requests_per_thread + r;
+                let indices: Vec<usize> = (0..cfg.rows_per_request)
+                    .map(|k| (base * cfg.rows_per_request + k) % n)
+                    .collect();
+                let scores = oracle.predict_batch(&indices)?;
+                rows_done += scores.rows() as u64;
+            }
+            Ok(rows_done)
+        }));
+    }
+    let mut total_rows = 0u64;
+    for worker in workers {
+        total_rows += worker.join().expect("load worker panicked")?;
+    }
+    let elapsed = t0.elapsed();
+    let total_requests = (threads * cfg.requests_per_thread) as u64;
+    Ok(LoadReport {
+        total_requests,
+        total_rows,
+        elapsed,
+        rps: total_requests as f64 / elapsed.as_secs_f64().max(1e-9),
+    })
+}

@@ -1,0 +1,193 @@
+//! The adaptive micro-batch coalescer.
+//!
+//! One joint-prediction protocol round can answer any number of queued
+//! queries, but each round pays fixed costs — model dispatch, defense
+//! application, and in a real deployment the secure-computation round
+//! trip itself. The coalescer drains the server's request queue into one
+//! round under two caps: a row budget ([`Coalescer::max_rows`]) and a
+//! deadline measured from the round's first request
+//! ([`Coalescer::max_delay`]).
+//!
+//! The policy is *adaptive*: the first job is taken the moment it
+//! arrives, everything already queued behind it is grabbed without
+//! waiting, and the deadline clock only runs when that greedy grab found
+//! concurrent traffic. A lone client therefore never pays the deadline
+//! as added latency, while concurrent load naturally fills rounds — the
+//! classic serving-stack batching behaviour.
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError};
+use std::time::{Duration, Instant};
+
+/// Anything the coalescer can pack into a round: a queued job knows how
+/// many query rows it contributes.
+pub trait Coalescible {
+    /// Query rows this job adds to the round.
+    fn rows(&self) -> usize;
+}
+
+/// Queue-draining policy for one prediction round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coalescer {
+    /// Close the round once it holds at least this many rows.
+    pub max_rows: usize,
+    /// Close the round this long after its first request arrived, even
+    /// if the row budget is not reached. Only consulted when the greedy
+    /// drain found concurrent traffic.
+    pub max_delay: Duration,
+}
+
+impl Coalescer {
+    /// A coalescing policy: up to `max_rows` rows per round, waiting at
+    /// most `max_delay` past the first request for the round to fill.
+    pub fn adaptive(max_rows: usize, max_delay: Duration) -> Self {
+        Coalescer {
+            max_rows: max_rows.max(1),
+            max_delay,
+        }
+    }
+
+    /// Coalescing disabled: every request is its own protocol round.
+    pub fn passthrough() -> Self {
+        Coalescer {
+            max_rows: 1,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// `true` when this policy never merges requests.
+    pub fn is_passthrough(&self) -> bool {
+        self.max_rows <= 1
+    }
+
+    /// Drains `rx` into one round starting from `first` (which the
+    /// caller already received). Returns the jobs of the round, in
+    /// arrival order; never blocks longer than `max_delay`.
+    pub fn drain<T: Coalescible>(&self, rx: &Receiver<T>, first: T) -> Vec<T> {
+        let t0 = Instant::now();
+        let mut rows = first.rows();
+        let mut jobs = vec![first];
+        if rows >= self.max_rows {
+            return jobs;
+        }
+        // Greedy phase: everything already queued joins the round free.
+        while let Ok(job) = rx.try_recv() {
+            rows += job.rows();
+            jobs.push(job);
+            if rows >= self.max_rows {
+                return jobs;
+            }
+        }
+        // Adaptive phase: only wait out the deadline when the greedy
+        // grab proved there is concurrent traffic to wait for.
+        if jobs.len() > 1 {
+            while rows < self.max_rows {
+                let Some(remaining) = self.max_delay.checked_sub(t0.elapsed()) else {
+                    break;
+                };
+                match rx.recv_timeout(remaining) {
+                    Ok(job) => {
+                        rows += job.rows();
+                        jobs.push(job);
+                    }
+                    Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    struct Job(usize);
+    impl Coalescible for Job {
+        fn rows(&self) -> usize {
+            self.0
+        }
+    }
+
+    #[test]
+    fn passthrough_never_merges() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(Job(1)).unwrap();
+        tx.send(Job(1)).unwrap();
+        let c = Coalescer::passthrough();
+        assert!(c.is_passthrough());
+        let round = c.drain(&rx, Job(1));
+        assert_eq!(round.len(), 1);
+        // The queued jobs are untouched for the next rounds.
+        assert_eq!(rx.try_iter().count(), 2);
+    }
+
+    #[test]
+    fn greedy_drain_takes_everything_queued() {
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..5 {
+            tx.send(Job(1)).unwrap();
+        }
+        let round = Coalescer::adaptive(64, Duration::from_millis(50)).drain(&rx, Job(1));
+        assert_eq!(round.len(), 6);
+    }
+
+    #[test]
+    fn row_budget_closes_the_round() {
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..10 {
+            tx.send(Job(2)).unwrap();
+        }
+        let round = Coalescer::adaptive(5, Duration::from_secs(5)).drain(&rx, Job(2));
+        // 2 + 2 + 2 = 6 ≥ 5: closed after two extra jobs off the queue.
+        assert_eq!(round.len(), 3);
+        assert_eq!(rx.try_iter().count(), 8);
+    }
+
+    #[test]
+    fn lone_request_pays_no_deadline() {
+        let (_tx, rx) = mpsc::channel::<Job>();
+        let t0 = Instant::now();
+        let round = Coalescer::adaptive(64, Duration::from_secs(10)).drain(&rx, Job(1));
+        assert_eq!(round.len(), 1);
+        // Adaptive rule: no concurrent traffic observed → no waiting.
+        assert!(t0.elapsed() < Duration::from_secs(1), "drained immediately");
+    }
+
+    #[test]
+    fn deadline_window_admits_late_concurrent_jobs() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(Job(1)).unwrap(); // concurrency signal for the greedy phase
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let _ = tx.send(Job(1));
+        });
+        let round = Coalescer::adaptive(64, Duration::from_secs(2)).drain(&rx, Job(1));
+        sender.join().unwrap();
+        assert_eq!(round.len(), 3, "late job joined within the deadline");
+    }
+
+    #[test]
+    fn deadline_expiry_closes_an_unfilled_round() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(Job(1)).unwrap();
+        let t0 = Instant::now();
+        let round = Coalescer::adaptive(64, Duration::from_millis(30)).drain(&rx, Job(1));
+        assert_eq!(round.len(), 2);
+        let waited = t0.elapsed();
+        assert!(
+            waited < Duration::from_secs(2),
+            "deadline bounded the wait, got {waited:?}"
+        );
+        drop(tx);
+    }
+
+    #[test]
+    fn first_job_at_budget_returns_immediately() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(Job(1)).unwrap();
+        let round = Coalescer::adaptive(4, Duration::from_secs(5)).drain(&rx, Job(4));
+        assert_eq!(round.len(), 1);
+        assert_eq!(rx.try_iter().count(), 1);
+    }
+}

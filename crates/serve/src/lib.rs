@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # fia-serve — the deployed prediction boundary
+//!
+//! The paper's adversary is not handed a `VflSystem` — it *queries a
+//! deployed prediction API* and accumulates `(x_adv, v)` pairs from what
+//! the API releases. This crate models that boundary as a real network
+//! service, std-only (`std::net` + threads + channels):
+//!
+//! * [`wire`] — a length-prefixed binary codec whose matrices travel as
+//!   raw IEEE-754 bits, so over-the-wire attack replays reproduce
+//!   in-process results to the last ulp.
+//! * [`Coalescer`] — adaptive micro-batch coalescing: queued requests
+//!   drain into one joint-prediction round when a row budget or a
+//!   deadline is hit, amortizing the per-round protocol cost a real VFL
+//!   deployment pays.
+//! * [`PredictionServer`] — the multi-threaded TCP service: acceptor +
+//!   per-connection threads + one batcher owning the deployment, with
+//!   the [`fia_defense::DefensePipeline`] applied once per round at the
+//!   score-release boundary, graceful shutdown, and live
+//!   [`ServerMetrics`] (throughput, p50/p99 latency, batch fill).
+//! * [`RemoteOracle`] — the client half: it implements
+//!   [`fia_core::PredictionOracle`], so ESA, PRA and GRNA run unchanged
+//!   against a live endpoint via `fia_core::accumulate_batch` /
+//!   `run_over_oracle`. [`run_load`] drives closed-loop benchmark
+//!   traffic at a server.
+//!
+//! Servers in tests and examples bind port `0` (ephemeral) and read the
+//! real address back from [`ServerHandle::addr`], keeping parallel test
+//! runs collision-free.
+//!
+//! This is the seam later scaling work (sharding, caching, multi-backend
+//! dispatch) plugs into: everything behind the wire codec can change
+//! without touching a client.
+
+mod client;
+mod coalesce;
+mod metrics;
+mod server;
+pub mod wire;
+
+pub use client::{run_load, ClientError, LoadConfig, LoadReport, RemoteOracle};
+pub use coalesce::{Coalescer, Coalescible};
+pub use metrics::{MetricsReport, ServerMetrics};
+pub use server::{PredictionServer, ServeConfig, ServerHandle};
+pub use wire::{ServerInfo, WireError};

@@ -1,0 +1,246 @@
+//! Per-server metrics: throughput, latency percentiles, batch fill.
+//!
+//! Counters are lock-free atomics updated on the hot path; latencies go
+//! into a bounded reservoir behind a mutex (one push per request — the
+//! lock is uncontended relative to the wire round-trip it measures).
+//! [`ServerMetrics::report`] folds everything into a plain-old-data
+//! [`MetricsReport`] that also travels over the wire.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Cap on retained latency samples; beyond it the reservoir keeps every
+/// k-th sample so long runs stay O(1) in memory.
+const LATENCY_RESERVOIR: usize = 65_536;
+
+/// Live counters shared by every server thread.
+#[derive(Debug)]
+pub struct ServerMetrics {
+    started: Instant,
+    requests: AtomicU64,
+    rows: AtomicU64,
+    rounds: AtomicU64,
+    errors: AtomicU64,
+    /// Sampling stride for the latency reservoir (1 = keep everything).
+    stride: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+}
+
+impl Default for ServerMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServerMetrics {
+    /// Fresh metrics; the uptime clock starts now.
+    pub fn new() -> Self {
+        ServerMetrics {
+            started: Instant::now(),
+            requests: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            stride: AtomicU64::new(1),
+            latencies_us: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records one completed request and its end-to-end service latency
+    /// (read-complete to response-written).
+    pub fn record_request(&self, latency_us: u64) {
+        let seq = self.requests.fetch_add(1, Ordering::Relaxed);
+        let stride = self.stride.load(Ordering::Relaxed).max(1);
+        if seq.is_multiple_of(stride) {
+            let mut res = self.latencies_us.lock().expect("metrics lock");
+            if res.len() >= LATENCY_RESERVOIR {
+                // Decimate: keep every other sample, double the stride.
+                let mut keep = Vec::with_capacity(res.len() / 2);
+                keep.extend(res.iter().copied().step_by(2));
+                *res = keep;
+                self.stride.store(stride * 2, Ordering::Relaxed);
+            }
+            res.push(latency_us);
+        }
+    }
+
+    /// Records one rejected request.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one coalesced prediction round answering `rows` queries.
+    pub fn record_round(&self, rows: usize) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.rows.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of everything, as plain data.
+    pub fn report(&self) -> MetricsReport {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let rows = self.rows.load(Ordering::Relaxed);
+        let rounds = self.rounds.load(Ordering::Relaxed);
+        let errors = self.errors.load(Ordering::Relaxed);
+        let uptime_secs = self.started.elapsed().as_secs_f64();
+        let (p50, p99) = {
+            let res = self.latencies_us.lock().expect("metrics lock");
+            percentiles(&res)
+        };
+        MetricsReport {
+            requests,
+            rows,
+            rounds,
+            errors,
+            mean_batch_fill: if rounds == 0 {
+                0.0
+            } else {
+                rows as f64 / rounds as f64
+            },
+            p50_latency_us: p50,
+            p99_latency_us: p99,
+            uptime_secs,
+            throughput_rps: if uptime_secs > 0.0 {
+                requests as f64 / uptime_secs
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// `(p50, p99)` of the retained latency samples, in microseconds.
+fn percentiles(samples: &[u64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut sorted: Vec<u64> = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = |q: f64| {
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx] as f64
+    };
+    (rank(0.50), rank(0.99))
+}
+
+/// A point-in-time metrics snapshot — what `Metrics` requests return and
+/// what the serve bench records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsReport {
+    /// Completed requests.
+    pub requests: u64,
+    /// Total query rows answered across all rounds.
+    pub rows: u64,
+    /// Prediction rounds executed (coalesced batches).
+    pub rounds: u64,
+    /// Rejected requests.
+    pub errors: u64,
+    /// Mean queries per round — the coalescer's fill factor.
+    pub mean_batch_fill: f64,
+    /// Median end-to-end service latency, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile service latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Seconds since the server started.
+    pub uptime_secs: f64,
+    /// Requests per second over the whole uptime.
+    pub throughput_rps: f64,
+}
+
+impl MetricsReport {
+    /// Number of `f64` slots a report occupies on the wire.
+    pub const WIRE_VALUES: usize = 9;
+
+    /// Flattens the report for the wire codec (fixed field order).
+    pub fn as_wire_values(&self) -> [f64; Self::WIRE_VALUES] {
+        [
+            self.requests as f64,
+            self.rows as f64,
+            self.rounds as f64,
+            self.errors as f64,
+            self.mean_batch_fill,
+            self.p50_latency_us,
+            self.p99_latency_us,
+            self.uptime_secs,
+            self.throughput_rps,
+        ]
+    }
+
+    /// Rebuilds a report from its wire encoding.
+    pub fn from_wire_values(v: &[f64; Self::WIRE_VALUES]) -> Self {
+        MetricsReport {
+            requests: v[0] as u64,
+            rows: v[1] as u64,
+            rounds: v[2] as u64,
+            errors: v[3] as u64,
+            mean_batch_fill: v[4],
+            p50_latency_us: v[5],
+            p99_latency_us: v[6],
+            uptime_secs: v[7],
+            throughput_rps: v[8],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_fill_is_mean() {
+        let m = ServerMetrics::new();
+        m.record_round(4);
+        m.record_round(8);
+        for lat in [100, 200, 300, 400] {
+            m.record_request(lat);
+        }
+        m.record_error();
+        let r = m.report();
+        assert_eq!(r.requests, 4);
+        assert_eq!(r.rows, 12);
+        assert_eq!(r.rounds, 2);
+        assert_eq!(r.errors, 1);
+        assert!((r.mean_batch_fill - 6.0).abs() < 1e-12);
+        assert!(r.p50_latency_us >= 200.0 && r.p50_latency_us <= 300.0);
+        assert_eq!(r.p99_latency_us, 400.0);
+        assert!(r.uptime_secs >= 0.0);
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let r = ServerMetrics::new().report();
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.mean_batch_fill, 0.0);
+        assert_eq!(r.p50_latency_us, 0.0);
+    }
+
+    #[test]
+    fn reservoir_decimates_instead_of_growing() {
+        let m = ServerMetrics::new();
+        for i in 0..(LATENCY_RESERVOIR as u64 + 10_000) {
+            m.record_request(i);
+        }
+        let len = m.latencies_us.lock().unwrap().len();
+        assert!(len <= LATENCY_RESERVOIR + 1, "reservoir grew to {len}");
+        // Percentiles still reflect the distribution's scale.
+        let r = m.report();
+        assert!(r.p99_latency_us > r.p50_latency_us);
+    }
+
+    #[test]
+    fn wire_values_round_trip() {
+        let r = MetricsReport {
+            requests: 10,
+            rows: 20,
+            rounds: 5,
+            errors: 1,
+            mean_batch_fill: 4.0,
+            p50_latency_us: 120.0,
+            p99_latency_us: 900.0,
+            uptime_secs: 1.5,
+            throughput_rps: 6.66,
+        };
+        let back = MetricsReport::from_wire_values(&r.as_wire_values());
+        assert_eq!(r, back);
+    }
+}

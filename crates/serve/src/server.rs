@@ -1,0 +1,539 @@
+//! The multi-threaded TCP prediction service.
+//!
+//! Thread layout:
+//!
+//! * an *acceptor* polls the listener and spawns one thread per
+//!   connection;
+//! * *connection* threads frame-decode requests, validate them, and
+//!   enqueue prediction jobs;
+//! * a single *batcher* thread owns the deployment: it drains the job
+//!   queue through the [`Coalescer`] into joint-prediction rounds
+//!   ([`VflSystem::predict_features_batch`]), applies the
+//!   [`DefensePipeline`] once per round at the score-release boundary,
+//!   and routes each job's rows back to its connection.
+//!
+//! One batcher means one protocol round in flight at a time — faithful
+//! to the deployment being modelled, where the `m` parties jointly run
+//! one secure computation per round. [`ServeConfig::round_cost`] makes
+//! that round's fixed overhead explicit: the in-the-clear simulation
+//! pays almost nothing per round, while the real protocol (secure
+//! aggregation / HE) pays a latency in the hundreds of microseconds to
+//! milliseconds; benches reinstate it to measure what micro-batch
+//! coalescing buys at the served-prediction boundary.
+//!
+//! Shutdown is graceful: a stop flag flips, the acceptor exits on its
+//! next poll, connection threads notice within one read-timeout tick,
+//! and the batcher answers every job still queued before exiting.
+
+use crate::coalesce::{Coalescer, Coalescible};
+use crate::metrics::{MetricsReport, ServerMetrics};
+use crate::wire::{
+    decode_request, encode_response, write_frame, Request, Response, ServerInfo, WireError,
+};
+use fia_defense::{DefensePipeline, ScoreDefense};
+use fia_linalg::Matrix;
+use fia_models::PredictProba;
+use fia_vfl::{PartyId, VflSystem};
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Address to bind; use port `0` for an ephemeral port (tests and
+    /// examples should, so parallel runs never collide).
+    pub bind: String,
+    /// Row budget per coalesced round.
+    pub batch_cap: usize,
+    /// Deadline past a round's first request (see [`Coalescer`]).
+    pub batch_deadline: Duration,
+    /// `false` turns the coalescer off: every request is its own round.
+    pub coalesce: bool,
+    /// Simulated fixed cost of one secure joint-prediction round. The
+    /// in-tree deployment evaluates the model in the clear, so the
+    /// per-round protocol overhead a real VFL serving stack pays
+    /// (secure aggregation, HE, party round trips) would be invisible;
+    /// setting this reinstates it. `Duration::ZERO` for tests.
+    pub round_cost: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            bind: "127.0.0.1:0".to_string(),
+            batch_cap: 64,
+            batch_deadline: Duration::from_micros(500),
+            coalesce: true,
+            round_cost: Duration::ZERO,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The coalescing policy this config describes.
+    fn coalescer(&self) -> Coalescer {
+        if self.coalesce {
+            Coalescer::adaptive(self.batch_cap, self.batch_deadline)
+        } else {
+            Coalescer::passthrough()
+        }
+    }
+}
+
+/// How often blocked threads re-check the stop flag.
+const POLL_TICK: Duration = Duration::from_millis(20);
+
+/// One queued prediction job: the round input plus the channel its rows
+/// travel back on.
+struct Job {
+    input: RoundInput,
+    rows: usize,
+    reply: Sender<Result<Matrix, String>>,
+}
+
+enum RoundInput {
+    /// Stored-sample queries (already range-checked).
+    Stored(Vec<usize>),
+    /// Ad-hoc per-party feature blocks (already shape-checked).
+    AdHoc(Vec<Matrix>),
+}
+
+impl Coalescible for Job {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+/// State shared by every server thread.
+struct Shared<M: PredictProba> {
+    system: Arc<VflSystem<M>>,
+    defense: Arc<DefensePipeline>,
+    metrics: Arc<ServerMetrics>,
+    stop: AtomicBool,
+    jobs: Sender<Job>,
+    info: ServerInfo,
+}
+
+/// The prediction service; [`PredictionServer::spawn`] is its only
+/// entry point.
+pub struct PredictionServer;
+
+impl PredictionServer {
+    /// Binds `config.bind`, spawns the server threads, and returns a
+    /// handle carrying the bound address (resolve ephemeral ports from
+    /// it). The deployment and the defense pipeline are shared, not
+    /// consumed — the caller keeps its `Arc` clones, which is what lets
+    /// tests compare over-the-wire results against in-process runs of
+    /// the *same* system.
+    pub fn spawn<M>(
+        system: Arc<VflSystem<M>>,
+        defense: Arc<DefensePipeline>,
+        config: ServeConfig,
+    ) -> std::io::Result<ServerHandle>
+    where
+        M: PredictProba + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(&config.bind)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let partition = system.partition();
+        let info = ServerInfo {
+            n_samples: system.n_samples(),
+            n_features: partition.n_features(),
+            n_classes: system.model().n_classes(),
+            party_widths: (0..partition.n_parties())
+                .map(|p| partition.features_of(PartyId(p)).len())
+                .collect(),
+        };
+
+        let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
+        let metrics = Arc::new(ServerMetrics::new());
+        let shared = Arc::new(Shared {
+            system,
+            defense,
+            metrics: Arc::clone(&metrics),
+            stop: AtomicBool::new(false),
+            jobs: jobs_tx,
+            info,
+        });
+
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let coalescer = config.coalescer();
+        let round_cost = config.round_cost;
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || batcher_loop(&shared, &jobs_rx, coalescer, round_cost))
+        };
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            std::thread::spawn(move || acceptor_loop(listener, &shared, &conns))
+        };
+
+        Ok(ServerHandle {
+            addr,
+            stop: StopFlag(shared),
+            metrics,
+            acceptor: Some(acceptor),
+            batcher: Some(batcher),
+            conns,
+        })
+    }
+}
+
+/// Type-erased access to the shared stop flag (the handle must not be
+/// generic over the model type).
+struct StopFlag(Arc<dyn StopTarget + Send + Sync>);
+
+trait StopTarget {
+    fn stop(&self) -> &AtomicBool;
+}
+
+impl<M: PredictProba + Send + Sync> StopTarget for Shared<M> {
+    fn stop(&self) -> &AtomicBool {
+        &self.stop
+    }
+}
+
+/// A running server: its bound address, live metrics, and the shutdown
+/// switch. Dropping the handle shuts the server down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: StopFlag,
+    metrics: Arc<ServerMetrics>,
+    acceptor: Option<JoinHandle<()>>,
+    batcher: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServerHandle {
+    /// The bound address — with an ephemeral-port bind this is where the
+    /// kernel actually put the server.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Snapshot of the server's live metrics.
+    pub fn metrics(&self) -> MetricsReport {
+        self.metrics.report()
+    }
+
+    /// Stops accepting, lets in-flight rounds finish, answers everything
+    /// queued, and joins every server thread.
+    pub fn shutdown(mut self) {
+        self.shutdown_in_place();
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.stop.0.stop().store(true, Ordering::SeqCst);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conns.lock().expect("conns"));
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown_in_place();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread bodies.
+
+fn acceptor_loop<M: PredictProba + Send + Sync + 'static>(
+    listener: TcpListener,
+    shared: &Arc<Shared<M>>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || connection_loop(stream, &shared));
+                let mut guard = conns.lock().expect("conns");
+                // Reap finished connection threads so a long-lived
+                // server's bookkeeping stays bounded by *live*
+                // connections, not by every connection ever accepted.
+                let mut i = 0;
+                while i < guard.len() {
+                    if guard[i].is_finished() {
+                        let _ = guard.swap_remove(i).join();
+                    } else {
+                        i += 1;
+                    }
+                }
+                guard.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(2)),
+        }
+    }
+}
+
+fn connection_loop<M: PredictProba + Send + Sync>(mut stream: TcpStream, shared: &Shared<M>) {
+    // The accepted stream inherits the listener's non-blocking mode on
+    // some platforms; force blocking + a short read timeout so the
+    // thread both sleeps properly and notices shutdown.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(POLL_TICK));
+    let _ = stream.set_nodelay(true);
+
+    loop {
+        let payload = match read_frame_interruptible(&mut stream, &shared.stop) {
+            Ok(Some(p)) => p,
+            Ok(None) => break, // peer closed, or we are shutting down
+            Err(_) => break,   // corrupt framing: drop the connection
+        };
+        let t0 = Instant::now();
+        let response = match decode_request(&payload) {
+            Ok(req) => answer(req, shared),
+            Err(e) => {
+                shared.metrics.record_error();
+                Response::Error(format!("bad request: {e}"))
+            }
+        };
+        let stop_after = matches!(response, Response::ShuttingDown);
+        match encode_response(&response).and_then(|payload| write_frame(&mut stream, &payload)) {
+            Ok(()) => {
+                if !matches!(response, Response::Error(_)) {
+                    shared
+                        .metrics
+                        .record_request(t0.elapsed().as_micros() as u64);
+                }
+            }
+            Err(_) => break,
+        }
+        if stop_after {
+            shared.stop.store(true, Ordering::SeqCst);
+            break;
+        }
+    }
+}
+
+/// Computes the response for one decoded request.
+fn answer<M: PredictProba + Send + Sync>(req: Request, shared: &Shared<M>) -> Response {
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Info => Response::Info(shared.info.clone()),
+        Request::Metrics => Response::Metrics(shared.metrics.report()),
+        Request::Shutdown => Response::ShuttingDown,
+        Request::PredictByIndex(indices) => {
+            let n = shared.info.n_samples;
+            if let Some(&bad) = indices.iter().find(|&&i| (i as usize) >= n) {
+                shared.metrics.record_error();
+                return Response::Error(format!(
+                    "sample index {bad} out of range (n_samples = {n})"
+                ));
+            }
+            let indices: Vec<usize> = indices.into_iter().map(|i| i as usize).collect();
+            let rows = indices.len();
+            enqueue(shared, RoundInput::Stored(indices), rows)
+        }
+        Request::PredictFeatures(slices) => {
+            if slices.len() != shared.info.party_widths.len() {
+                shared.metrics.record_error();
+                return Response::Error(format!(
+                    "expected {} party feature blocks, got {}",
+                    shared.info.party_widths.len(),
+                    slices.len()
+                ));
+            }
+            let rows = slices.first().map(|s| s.rows()).unwrap_or_default();
+            for (p, (block, &width)) in slices.iter().zip(&shared.info.party_widths).enumerate() {
+                if block.cols() != width {
+                    shared.metrics.record_error();
+                    return Response::Error(format!(
+                        "party {p} block is {} wide, expected {width}",
+                        block.cols()
+                    ));
+                }
+                if block.rows() != rows {
+                    shared.metrics.record_error();
+                    return Response::Error("party blocks must be row-aligned".to_string());
+                }
+            }
+            enqueue(shared, RoundInput::AdHoc(slices), rows)
+        }
+    }
+}
+
+/// Queues a validated prediction job and waits for its rows.
+fn enqueue<M: PredictProba + Send + Sync>(
+    shared: &Shared<M>,
+    input: RoundInput,
+    rows: usize,
+) -> Response {
+    if rows == 0 {
+        // Nothing to compute or defend: answer the empty round directly.
+        return Response::Scores(Matrix::zeros(0, shared.info.n_classes));
+    }
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let job = Job {
+        input,
+        rows,
+        reply: reply_tx,
+    };
+    if shared.jobs.send(job).is_err() {
+        return Response::Error("server is shutting down".to_string());
+    }
+    match reply_rx.recv() {
+        Ok(Ok(scores)) => Response::Scores(scores),
+        Ok(Err(why)) => Response::Error(why),
+        Err(_) => Response::Error("server is shutting down".to_string()),
+    }
+}
+
+fn batcher_loop<M: PredictProba>(
+    shared: &Shared<M>,
+    rx: &Receiver<Job>,
+    coalescer: Coalescer,
+    round_cost: Duration,
+) {
+    loop {
+        let first = match rx.recv_timeout(POLL_TICK) {
+            Ok(job) => job,
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    // Drain stragglers so no connection hangs, then exit.
+                    while let Ok(job) = rx.try_recv() {
+                        run_round(shared, vec![job], round_cost);
+                    }
+                    return;
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+        };
+        let round = coalescer.drain(rx, first);
+        run_round(shared, round, round_cost);
+    }
+}
+
+/// Executes one joint-prediction round over the coalesced jobs.
+fn run_round<M: PredictProba>(shared: &Shared<M>, jobs: Vec<Job>, round_cost: Duration) {
+    let total: usize = jobs.iter().map(|j| j.rows).sum();
+    let widths = &shared.info.party_widths;
+
+    // Assemble each party's contribution for the whole round, consuming
+    // the jobs so ad-hoc blocks are moved, not cloned.
+    let mut slices: Vec<Matrix> = widths.iter().map(|&w| Matrix::zeros(total, w)).collect();
+    let mut replies = Vec::with_capacity(jobs.len());
+    let mut offset = 0;
+    for job in jobs {
+        let blocks: Vec<Matrix> = match job.input {
+            RoundInput::Stored(indices) => shared.system.party_slices(&indices),
+            RoundInput::AdHoc(blocks) => blocks,
+        };
+        for (slice, block) in slices.iter_mut().zip(&blocks) {
+            for r in 0..job.rows {
+                slice.row_mut(offset + r).copy_from_slice(block.row(r));
+            }
+        }
+        offset += job.rows;
+        replies.push((job.rows, job.reply));
+    }
+
+    // The simulated secure-computation round trip: paid once per round,
+    // however many queries the round answers.
+    if round_cost > Duration::ZERO {
+        std::thread::sleep(round_cost);
+    }
+
+    let scores = shared.system.predict_features_batch(&slices);
+    // Defense at the score-release boundary: one batch hook per round,
+    // exactly where a deployment would apply it.
+    let released = shared.defense.defend_batch(&scores);
+    shared.metrics.record_round(total);
+
+    let mut offset = 0;
+    for (job_rows, reply) in replies {
+        let rows: Vec<usize> = (offset..offset + job_rows).collect();
+        let part = released
+            .select_rows(&rows)
+            .expect("round rows were assembled in range");
+        offset += job_rows;
+        let _ = reply.send(Ok(part));
+    }
+}
+
+/// Reads one frame, tolerating read-timeout ticks (progress is kept
+/// across them) and returning `Ok(None)` on clean close *or* shutdown.
+fn read_frame_interruptible(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_buf = [0u8; 4];
+    match read_all(stream, &mut len_buf, stop, true)? {
+        ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(None),
+        ReadOutcome::Done => {}
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > crate::wire::MAX_FRAME_LEN {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    match read_all(stream, &mut payload, stop, false)? {
+        ReadOutcome::Eof => Err(WireError::Truncated),
+        ReadOutcome::Stopped => Ok(None),
+        ReadOutcome::Done => Ok(Some(payload)),
+    }
+}
+
+enum ReadOutcome {
+    Done,
+    Eof,
+    Stopped,
+}
+
+fn read_all(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    eof_ok_at_start: bool,
+) -> Result<ReadOutcome, WireError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        if stop.load(Ordering::SeqCst) {
+            return Ok(ReadOutcome::Stopped);
+        }
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return if filled == 0 && eof_ok_at_start {
+                    Ok(ReadOutcome::Eof)
+                } else {
+                    Err(WireError::Truncated)
+                }
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(ReadOutcome::Done)
+}

@@ -1,0 +1,643 @@
+//! The length-prefixed binary wire codec.
+//!
+//! Every message travels as one *frame*: a little-endian `u32` payload
+//! length followed by the payload; the payload's first byte is a message
+//! tag. Matrices are encoded as raw IEEE-754 bit patterns, so a
+//! confidence score survives the wire *bit-exactly* — which is what lets
+//! an attack replayed over the network reproduce the in-process result
+//! to the last ulp.
+//!
+//! The codec enforces a NaN-free invariant: confidence scores and
+//! feature values are finite by construction everywhere in the system,
+//! so a NaN on the wire can only mean corruption — both encoder and
+//! decoder reject it.
+
+use fia_linalg::Matrix;
+use std::io::{Read, Write};
+
+use crate::metrics::MetricsReport;
+
+/// Hard cap on a frame payload (64 MiB). A length prefix above the cap
+/// is treated as corruption rather than an allocation request.
+pub const MAX_FRAME_LEN: usize = 1 << 26;
+
+/// Request tags (client → server).
+mod req_tag {
+    pub const PING: u8 = 0x01;
+    pub const PREDICT_BY_INDEX: u8 = 0x02;
+    pub const PREDICT_FEATURES: u8 = 0x03;
+    pub const INFO: u8 = 0x04;
+    pub const METRICS: u8 = 0x05;
+    pub const SHUTDOWN: u8 = 0x06;
+}
+
+/// Response tags (server → client).
+mod resp_tag {
+    pub const PONG: u8 = 0x81;
+    pub const SCORES: u8 = 0x82;
+    pub const INFO: u8 = 0x83;
+    pub const METRICS: u8 = 0x84;
+    pub const SHUTTING_DOWN: u8 = 0x85;
+    pub const ERROR: u8 = 0xEE;
+}
+
+/// Everything that can go wrong while encoding, decoding or transporting
+/// a frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/stream failure.
+    Io(std::io::Error),
+    /// The stream ended inside a frame.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    TooLarge(usize),
+    /// Unknown message tag.
+    BadTag(u8),
+    /// Structurally invalid payload (bad counts, trailing bytes, …).
+    Malformed(&'static str),
+    /// A non-finite value where the protocol requires finite ones.
+    NonFinite,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Truncated => write!(f, "frame truncated mid-message"),
+            WireError::TooLarge(n) => {
+                write!(f, "frame length {n} exceeds cap {MAX_FRAME_LEN}")
+            }
+            WireError::BadTag(t) => write!(f, "unknown message tag {t:#04x}"),
+            WireError::Malformed(why) => write!(f, "malformed payload: {why}"),
+            WireError::NonFinite => write!(f, "non-finite value violates the wire invariant"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            WireError::Truncated
+        } else {
+            WireError::Io(e)
+        }
+    }
+}
+
+/// Static facts about a deployment, answered to `Info` requests so a
+/// remote adversary can size its attack without out-of-band knowledge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Number of aligned samples the deployment can answer by index.
+    pub n_samples: usize,
+    /// Total feature width `d` of the joint model.
+    pub n_features: usize,
+    /// Number of classes `c` in each revealed confidence vector.
+    pub n_classes: usize,
+    /// Per-party feature widths, in party id order.
+    pub party_widths: Vec<usize>,
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// One prediction round over stored sample indices.
+    PredictByIndex(Vec<u32>),
+    /// One prediction round over ad-hoc inputs: one `n × d_p` feature
+    /// block per party, in party id order.
+    PredictFeatures(Vec<Matrix>),
+    /// Ask for the deployment's static facts.
+    Info,
+    /// Ask for the server's live metrics snapshot.
+    Metrics,
+    /// Ask the server to shut down gracefully.
+    Shutdown,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Liveness answer.
+    Pong,
+    /// The revealed `n × c` confidence matrix for a prediction round.
+    Scores(Matrix),
+    /// Deployment facts.
+    Info(ServerInfo),
+    /// Live metrics snapshot.
+    Metrics(MetricsReport),
+    /// Acknowledgement that the server is shutting down.
+    ShuttingDown,
+    /// Server-side rejection with a human-readable reason.
+    Error(String),
+}
+
+// ---------------------------------------------------------------------
+// Primitive writers/readers over a byte buffer.
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// A cursor over a received payload.
+struct Scan<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scan<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Scan { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(u64::from_le_bytes(
+            self.take(8)?.try_into().unwrap(),
+        )))
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::Malformed("trailing bytes after message"))
+        }
+    }
+}
+
+fn put_matrix(out: &mut Vec<u8>, m: &Matrix) -> Result<(), WireError> {
+    if !m.is_finite() {
+        return Err(WireError::NonFinite);
+    }
+    put_u32(out, m.rows() as u32);
+    put_u32(out, m.cols() as u32);
+    for &v in m.as_slice() {
+        put_f64(out, v);
+    }
+    Ok(())
+}
+
+fn get_matrix(scan: &mut Scan<'_>) -> Result<Matrix, WireError> {
+    let rows = scan.u32()? as usize;
+    let cols = scan.u32()? as usize;
+    let elements = rows.saturating_mul(cols);
+    if elements > MAX_FRAME_LEN / 8 {
+        return Err(WireError::Malformed("matrix larger than frame cap"));
+    }
+    // The allocation is sized from an attacker-controlled header: the
+    // remaining payload must actually hold that many elements, so a
+    // tiny frame cannot request a frame-cap-sized buffer.
+    if elements * 8 > scan.buf.len() - scan.pos {
+        return Err(WireError::Truncated);
+    }
+    let mut data = Vec::with_capacity(elements);
+    for _ in 0..rows * cols {
+        let v = scan.f64()?;
+        if !v.is_finite() {
+            return Err(WireError::NonFinite);
+        }
+        data.push(v);
+    }
+    Matrix::from_vec(rows, cols, data).map_err(|_| WireError::Malformed("bad matrix shape"))
+}
+
+// ---------------------------------------------------------------------
+// Message codecs.
+
+/// Serializes a request into a frame payload (no length prefix).
+pub fn encode_request(req: &Request) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    match req {
+        Request::Ping => out.push(req_tag::PING),
+        Request::PredictByIndex(indices) => {
+            out.push(req_tag::PREDICT_BY_INDEX);
+            put_u32(&mut out, indices.len() as u32);
+            for &i in indices {
+                put_u32(&mut out, i);
+            }
+        }
+        Request::PredictFeatures(slices) => {
+            out.push(req_tag::PREDICT_FEATURES);
+            put_u32(&mut out, slices.len() as u32);
+            for m in slices {
+                put_matrix(&mut out, m)?;
+            }
+        }
+        Request::Info => out.push(req_tag::INFO),
+        Request::Metrics => out.push(req_tag::METRICS),
+        Request::Shutdown => out.push(req_tag::SHUTDOWN),
+    }
+    Ok(out)
+}
+
+/// Parses a frame payload into a request, rejecting trailing bytes.
+pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
+    let mut scan = Scan::new(payload);
+    let req = match scan.u8()? {
+        req_tag::PING => Request::Ping,
+        req_tag::PREDICT_BY_INDEX => {
+            let n = scan.u32()? as usize;
+            if n > MAX_FRAME_LEN / 4 {
+                return Err(WireError::Malformed("index batch larger than frame cap"));
+            }
+            let mut indices = Vec::with_capacity(n);
+            for _ in 0..n {
+                indices.push(scan.u32()?);
+            }
+            Request::PredictByIndex(indices)
+        }
+        req_tag::PREDICT_FEATURES => {
+            let parties = scan.u32()? as usize;
+            if parties > 4096 {
+                return Err(WireError::Malformed("implausible party count"));
+            }
+            let mut slices = Vec::with_capacity(parties);
+            for _ in 0..parties {
+                slices.push(get_matrix(&mut scan)?);
+            }
+            Request::PredictFeatures(slices)
+        }
+        req_tag::INFO => Request::Info,
+        req_tag::METRICS => Request::Metrics,
+        req_tag::SHUTDOWN => Request::Shutdown,
+        t => return Err(WireError::BadTag(t)),
+    };
+    scan.finish()?;
+    Ok(req)
+}
+
+/// Serializes a response into a frame payload (no length prefix).
+pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Pong => out.push(resp_tag::PONG),
+        Response::Scores(m) => {
+            out.push(resp_tag::SCORES);
+            put_matrix(&mut out, m)?;
+        }
+        Response::Info(info) => {
+            out.push(resp_tag::INFO);
+            put_u32(&mut out, info.n_samples as u32);
+            put_u32(&mut out, info.n_features as u32);
+            put_u32(&mut out, info.n_classes as u32);
+            put_u32(&mut out, info.party_widths.len() as u32);
+            for &w in &info.party_widths {
+                put_u32(&mut out, w as u32);
+            }
+        }
+        Response::Metrics(m) => {
+            out.push(resp_tag::METRICS);
+            for v in m.as_wire_values() {
+                put_f64(&mut out, v);
+            }
+        }
+        Response::ShuttingDown => out.push(resp_tag::SHUTTING_DOWN),
+        Response::Error(msg) => {
+            out.push(resp_tag::ERROR);
+            put_u32(&mut out, msg.len() as u32);
+            out.extend_from_slice(msg.as_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Parses a frame payload into a response, rejecting trailing bytes.
+pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
+    let mut scan = Scan::new(payload);
+    let resp = match scan.u8()? {
+        resp_tag::PONG => Response::Pong,
+        resp_tag::SCORES => Response::Scores(get_matrix(&mut scan)?),
+        resp_tag::INFO => {
+            let n_samples = scan.u32()? as usize;
+            let n_features = scan.u32()? as usize;
+            let n_classes = scan.u32()? as usize;
+            let parties = scan.u32()? as usize;
+            if parties > 4096 {
+                return Err(WireError::Malformed("implausible party count"));
+            }
+            let mut party_widths = Vec::with_capacity(parties);
+            for _ in 0..parties {
+                party_widths.push(scan.u32()? as usize);
+            }
+            Response::Info(ServerInfo {
+                n_samples,
+                n_features,
+                n_classes,
+                party_widths,
+            })
+        }
+        resp_tag::METRICS => {
+            let mut vals = [0.0f64; MetricsReport::WIRE_VALUES];
+            for v in vals.iter_mut() {
+                *v = scan.f64()?;
+            }
+            Response::Metrics(MetricsReport::from_wire_values(&vals))
+        }
+        resp_tag::SHUTTING_DOWN => Response::ShuttingDown,
+        resp_tag::ERROR => {
+            let n = scan.u32()? as usize;
+            if n > MAX_FRAME_LEN {
+                return Err(WireError::Malformed("error message larger than frame"));
+            }
+            let bytes = scan.take(n)?;
+            let msg = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::Malformed("error message not utf-8"))?;
+            Response::Error(msg.to_string())
+        }
+        t => return Err(WireError::BadTag(t)),
+    };
+    scan.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------
+// Framing over a stream.
+
+/// Writes one frame: `u32` length prefix + payload.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(WireError::TooLarge(payload.len()));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed the connection
+/// cleanly *between* frames; EOF inside a frame is [`WireError::Truncated`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>, WireError> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => return Err(WireError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::TooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::io::Cursor;
+
+    fn random_matrix(rng: &mut StdRng, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| rng.gen::<f64>() * 2.0 - 1.0)
+    }
+
+    fn random_request(rng: &mut StdRng, case: usize) -> Request {
+        match case % 6 {
+            0 => Request::Ping,
+            1 => {
+                // Includes the empty batch when n == 0.
+                let n = rng.gen_range(0..40usize);
+                Request::PredictByIndex((0..n).map(|_| rng.gen_range(0..10_000u32)).collect())
+            }
+            2 => {
+                let parties = rng.gen_range(1..4usize);
+                let rows = rng.gen_range(0..8usize);
+                let slices = (0..parties)
+                    .map(|_| {
+                        let cols = rng.gen_range(1..6usize);
+                        random_matrix(rng, rows, cols)
+                    })
+                    .collect();
+                Request::PredictFeatures(slices)
+            }
+            3 => Request::Info,
+            4 => Request::Metrics,
+            _ => Request::Shutdown,
+        }
+    }
+
+    fn random_response(rng: &mut StdRng, case: usize) -> Response {
+        match case % 6 {
+            0 => Response::Pong,
+            1 => {
+                let rows = rng.gen_range(0..16usize);
+                let cols = rng.gen_range(1..12usize);
+                Response::Scores(random_matrix(rng, rows, cols))
+            }
+            2 => Response::Info(ServerInfo {
+                n_samples: rng.gen_range(0..100_000usize),
+                n_features: rng.gen_range(1..500usize),
+                n_classes: rng.gen_range(2..12usize),
+                party_widths: (0..rng.gen_range(1..5usize))
+                    .map(|_| rng.gen_range(1..64usize))
+                    .collect(),
+            }),
+            3 => Response::Metrics(MetricsReport {
+                requests: rng.gen_range(0..1_000_000u64),
+                rows: rng.gen_range(0..1_000_000u64),
+                rounds: rng.gen_range(0..1_000_000u64),
+                errors: rng.gen_range(0..100u64),
+                mean_batch_fill: rng.gen::<f64>() * 64.0,
+                p50_latency_us: rng.gen::<f64>() * 1e4,
+                p99_latency_us: rng.gen::<f64>() * 1e5,
+                uptime_secs: rng.gen::<f64>() * 1e3,
+                throughput_rps: rng.gen::<f64>() * 1e5,
+            }),
+            4 => Response::ShuttingDown,
+            _ => Response::Error("sample index 99 out of range (n_samples = 10)".to_string()),
+        }
+    }
+
+    /// Seeded property sweep: every random frame round-trips bit-exactly,
+    /// including empty batches and zero-row matrices.
+    #[test]
+    fn request_round_trip_sweep() {
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        for case in 0..300 {
+            let req = random_request(&mut rng, case);
+            let payload = encode_request(&req).unwrap();
+            let back = decode_request(&payload).unwrap();
+            assert_eq!(req, back, "case {case}");
+        }
+    }
+
+    #[test]
+    fn response_round_trip_sweep() {
+        let mut rng = StdRng::seed_from_u64(0xB0B);
+        for case in 0..300 {
+            let resp = random_response(&mut rng, case);
+            let payload = encode_response(&resp).unwrap();
+            let back = decode_response(&payload).unwrap();
+            assert_eq!(resp, back, "case {case}");
+        }
+    }
+
+    /// A maximum-width row (one row, many columns) survives intact and
+    /// bit-exactly, including subnormal and extreme-magnitude values.
+    #[test]
+    fn max_width_row_is_bit_exact() {
+        let cols = 4096;
+        let m = Matrix::from_fn(1, cols, |_, j| match j % 4 {
+            0 => f64::MIN_POSITIVE / 2.0, // subnormal
+            1 => -1.0 + (j as f64) * 1e-17,
+            2 => 1e308,
+            _ => -(j as f64) * 0.001,
+        });
+        let payload = encode_response(&Response::Scores(m.clone())).unwrap();
+        match decode_response(&payload).unwrap() {
+            Response::Scores(back) => {
+                for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    /// NaN-free invariant: both directions refuse non-finite payloads.
+    #[test]
+    fn nan_rejected_both_ways() {
+        let bad = Matrix::from_fn(1, 2, |_, j| if j == 0 { f64::NAN } else { 0.5 });
+        assert!(matches!(
+            encode_response(&Response::Scores(bad.clone())),
+            Err(WireError::NonFinite)
+        ));
+        assert!(matches!(
+            encode_request(&Request::PredictFeatures(vec![bad])),
+            Err(WireError::NonFinite)
+        ));
+        // Decoder-side: craft a frame with an infinity in the score block.
+        let good = Matrix::from_fn(1, 2, |_, j| j as f64);
+        let mut payload = encode_response(&Response::Scores(good)).unwrap();
+        let inf_bits = f64::INFINITY.to_bits().to_le_bytes();
+        let n = payload.len();
+        payload[n - 8..].copy_from_slice(&inf_bits);
+        assert!(matches!(
+            decode_response(&payload),
+            Err(WireError::NonFinite)
+        ));
+    }
+
+    /// Truncated frames fail with a typed error at every cut point — the
+    /// decoder must never panic or misread garbage as a message.
+    #[test]
+    fn truncated_payload_errors_at_every_cut() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let req = Request::PredictFeatures(vec![
+            random_matrix(&mut rng, 3, 4),
+            random_matrix(&mut rng, 3, 2),
+        ]);
+        let payload = encode_request(&req).unwrap();
+        for cut in 0..payload.len() {
+            match decode_request(&payload[..cut]) {
+                Err(_) => {}
+                Ok(other) => panic!("cut {cut} decoded as {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_stream_frame_errors() {
+        let payload = encode_request(&Request::PredictByIndex(vec![1, 2, 3])).unwrap();
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload).unwrap();
+        // Cut inside the length prefix and inside the payload.
+        for cut in [1usize, 3, 5, framed.len() - 1] {
+            let mut cursor = Cursor::new(framed[..cut].to_vec());
+            assert!(
+                matches!(read_frame(&mut cursor), Err(WireError::Truncated)),
+                "cut {cut}"
+            );
+        }
+        // Clean close between frames is not an error.
+        let mut empty = Cursor::new(Vec::<u8>::new());
+        assert!(matches!(read_frame(&mut empty), Ok(None)));
+    }
+
+    #[test]
+    fn huge_matrix_header_in_tiny_frame_rejected() {
+        // A 13-byte payload whose matrix header claims 2^23 × 1 elements
+        // (inside the element cap) must be rejected as truncated before
+        // the decoder sizes any buffer from the header.
+        let mut payload = vec![resp_tag::SCORES];
+        payload.extend_from_slice(&(1u32 << 23).to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        assert!(matches!(
+            decode_response(&payload),
+            Err(WireError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_LEN as u32 + 1).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        let mut cursor = Cursor::new(bytes);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(WireError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(matches!(decode_request(&[0x7F]), Err(WireError::BadTag(_))));
+        assert!(matches!(
+            decode_response(&[0x42]),
+            Err(WireError::BadTag(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = encode_request(&Request::Ping).unwrap();
+        payload.push(0);
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn frame_round_trip_over_stream() {
+        let req = Request::PredictByIndex(vec![9, 8, 7]);
+        let payload = encode_request(&req).unwrap();
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = Cursor::new(buf);
+        let back = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(decode_request(&back).unwrap(), req);
+        assert!(matches!(read_frame(&mut cursor), Ok(None)));
+    }
+}

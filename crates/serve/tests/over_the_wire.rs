@@ -1,0 +1,372 @@
+//! End-to-end integration: start the prediction service in-process on an
+//! ephemeral port and replay the paper's attacks against it over the
+//! wire. Because the codec carries confidence scores bit-exactly, every
+//! remote replay must reproduce the in-process `AttackEngine` result —
+//! the acceptance bar is per-feature-MSE agreement within 1e-9.
+
+use fia_core::{
+    accumulate_batch, metrics::mse_per_feature, run_over_oracle, AttackEngine,
+    EqualitySolvingAttack, Grna, GrnaConfig, PathRestrictionAttack, PredictionOracle, QueryBatch,
+};
+use fia_data::{make_classification, normalize_dataset, SynthConfig};
+use fia_defense::{DefensePipeline, RoundingDefense};
+use fia_linalg::Matrix;
+use fia_models::{DecisionTree, LogisticRegression, TreeConfig};
+use fia_serve::{LoadConfig, PredictionServer, RemoteOracle, ServeConfig};
+use fia_vfl::{VerticalPartition, VflSystem};
+use rand::{rngs::StdRng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic pseudo-random stream (splitmix-flavoured LCG) so the
+/// fixture needs no shared global state.
+fn lcg(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed;
+    move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 32) as f64
+    }
+}
+
+const D: usize = 8;
+const C: usize = 5;
+const N: usize = 72;
+const ADV: [usize; 4] = [0, 2, 4, 6];
+const TARGET: [usize; 4] = [1, 3, 5, 7];
+
+/// A deployed multiclass LR system where ESA recovery is exact
+/// (`d_target = 4 = c − 1`), plus the global prediction matrix.
+fn deployed_lr() -> (Arc<VflSystem<LogisticRegression>>, Matrix) {
+    let mut next = lcg(0xFEED5EED);
+    let w = Matrix::from_fn(D, C, |_, _| next() * 2.0 - 1.0);
+    let model = LogisticRegression::from_parameters(w, vec![0.0; C], C);
+    let global = Matrix::from_fn(N, D, |_, _| 0.05 + 0.9 * next());
+    let partition = VerticalPartition::from_assignments(vec![ADV.to_vec(), TARGET.to_vec()], D);
+    let system = Arc::new(VflSystem::from_global(model, partition, &global));
+    (system, global)
+}
+
+fn identity_defense() -> Arc<DefensePipeline> {
+    Arc::new(DefensePipeline::new())
+}
+
+#[test]
+fn esa_over_the_wire_matches_in_process_engine() {
+    let (system, global) = deployed_lr();
+    let server = PredictionServer::spawn(
+        Arc::clone(&system),
+        identity_defense(),
+        ServeConfig::default(),
+    )
+    .expect("bind ephemeral port");
+
+    let indices: Vec<usize> = (0..N).collect();
+    let x_adv = global.select_columns(&ADV).unwrap();
+    let truth = global.select_columns(&TARGET).unwrap();
+    let attack = EqualitySolvingAttack::new(system.model(), &ADV, &TARGET);
+    let engine = AttackEngine::new();
+
+    // In-process reference: the same engine over the same deployment.
+    let local = engine.run(
+        &attack,
+        &QueryBatch::new(x_adv.clone(), system.predict_batch(&indices)),
+    );
+    let local_mse = local.mse_against(&truth);
+
+    // Over the wire, accumulated across several prediction rounds.
+    let mut oracle = RemoteOracle::connect(server.addr()).expect("connect");
+    let remote = run_over_oracle(&engine, &attack, &mut oracle, &x_adv, &indices, 16)
+        .expect("remote replay");
+    let remote_mse = remote.mse_against(&truth);
+
+    assert!(
+        (local_mse - remote_mse).abs() < 1e-9,
+        "per-feature MSE diverged: local {local_mse} vs wire {remote_mse}"
+    );
+    assert!(
+        local.estimates.max_abs_diff(&remote.estimates).unwrap() < 1e-12,
+        "estimates must be reproduced bit-for-bit up to fp noise"
+    );
+    // Exact-recovery regime: both must actually succeed, not agree on
+    // garbage.
+    assert!(
+        remote_mse < 1e-8,
+        "wire ESA should be exact, got {remote_mse}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn grna_over_the_wire_matches_in_process() {
+    let (system, global) = deployed_lr();
+    let server = PredictionServer::spawn(
+        Arc::clone(&system),
+        identity_defense(),
+        ServeConfig::default(),
+    )
+    .expect("bind ephemeral port");
+
+    let indices: Vec<usize> = (0..N).collect();
+    let x_adv = global.select_columns(&ADV).unwrap();
+    let mut cfg = GrnaConfig::fast().with_seed(11);
+    cfg.hidden = vec![16, 8];
+    cfg.epochs = 6;
+
+    // Remote corpus, chunked like a long-term observation campaign.
+    let mut oracle = RemoteOracle::connect(server.addr()).expect("connect");
+    let wire_batch = accumulate_batch(&mut oracle, &x_adv, &indices, 9).expect("accumulate");
+
+    // Identical training data (the wire is bit-exact) + identical seed
+    // ⇒ identical generator ⇒ identical estimates.
+    let local_batch = QueryBatch::new(x_adv.clone(), system.predict_batch(&indices));
+    assert_eq!(local_batch.confidences, wire_batch.confidences);
+
+    let grna = Grna::new(system.model(), &ADV, &TARGET, cfg);
+    let engine = AttackEngine::new();
+    let local = engine.run(
+        &grna
+            .train(&local_batch.x_adv, &local_batch.confidences)
+            .with_infer_seed(3),
+        &local_batch,
+    );
+    let remote = engine.run(
+        &grna
+            .train(&wire_batch.x_adv, &wire_batch.confidences)
+            .with_infer_seed(3),
+        &wire_batch,
+    );
+    assert!(local.estimates.max_abs_diff(&remote.estimates).unwrap() < 1e-12);
+    server.shutdown();
+}
+
+#[test]
+fn pra_over_the_wire_matches_in_process() {
+    // Decision-tree deployment: one-hot confidences, path restriction.
+    let synth = SynthConfig {
+        n_samples: 160,
+        n_features: D,
+        n_informative: 6,
+        n_redundant: 1,
+        n_classes: 3,
+        class_sep: 1.5,
+        redundant_noise: 0.2,
+        flip_y: 0.0,
+        shuffle_features: false,
+        seed: 23,
+    };
+    let ds = normalize_dataset(&make_classification(&synth)).0;
+    let mut rng = StdRng::seed_from_u64(23);
+    let tree = DecisionTree::fit(&ds, &TreeConfig::paper_dt(), &mut rng);
+    let attack_tree = tree.clone();
+    let partition = VerticalPartition::from_assignments(vec![ADV.to_vec(), TARGET.to_vec()], D);
+    let system = Arc::new(VflSystem::from_global(tree, partition, &ds.features));
+
+    let server = PredictionServer::spawn(
+        Arc::clone(&system),
+        identity_defense(),
+        ServeConfig::default(),
+    )
+    .expect("bind ephemeral port");
+
+    let n = system.n_samples();
+    let indices: Vec<usize> = (0..n).collect();
+    let x_adv = ds.features.select_columns(&ADV).unwrap();
+    let attack = PathRestrictionAttack::new(&attack_tree, &ADV, &TARGET);
+    let engine = AttackEngine::new();
+
+    let local = engine.run(
+        &attack,
+        &QueryBatch::new(x_adv.clone(), system.predict_batch(&indices)),
+    );
+    let mut oracle = RemoteOracle::connect(server.addr()).expect("connect");
+    let remote =
+        run_over_oracle(&engine, &attack, &mut oracle, &x_adv, &indices, 25).expect("replay");
+    assert_eq!(local.estimates, remote.estimates);
+    assert_eq!(local.degraded_rows, remote.degraded_rows);
+    server.shutdown();
+}
+
+#[test]
+fn defense_pipeline_applies_at_the_release_boundary() {
+    let (system, global) = deployed_lr();
+    let defense = Arc::new(DefensePipeline::new().then(RoundingDefense::coarse()));
+    let server = PredictionServer::spawn(Arc::clone(&system), defense, ServeConfig::default())
+        .expect("bind ephemeral port");
+
+    let mut oracle = RemoteOracle::connect(server.addr()).expect("connect");
+    let released = oracle.predict_batch(&[0, 1, 2, 3]).expect("predict");
+    // Every released score is coarsened to one decimal digit — the raw
+    // model scores are not (they are generic softmax outputs).
+    for &v in released.as_slice() {
+        assert!(
+            ((v * 10.0) - (v * 10.0).round()).abs() < 1e-9,
+            "score {v} escaped the rounding defense"
+        );
+    }
+    let raw = system.predict_batch(&[0, 1, 2, 3]);
+    assert!(
+        released.max_abs_diff(&raw).unwrap() > 0.0,
+        "defense was a no-op"
+    );
+
+    // And the degradation propagates into the attack, as in the paper.
+    let indices: Vec<usize> = (0..N).collect();
+    let x_adv = global.select_columns(&ADV).unwrap();
+    let truth = global.select_columns(&TARGET).unwrap();
+    let attack = EqualitySolvingAttack::new(system.model(), &ADV, &TARGET);
+    let engine = AttackEngine::new();
+    let defended =
+        run_over_oracle(&engine, &attack, &mut oracle, &x_adv, &indices, 0).expect("replay");
+    let defended_mse = mse_per_feature(&defended.estimates.map(|v| v.clamp(0.0, 1.0)), &truth);
+    assert!(
+        defended_mse > 1e-4,
+        "coarse rounding should break exact recovery, mse = {defended_mse}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_clients_each_get_their_own_rows() {
+    let (system, _) = deployed_lr();
+    let config = ServeConfig {
+        batch_cap: 32,
+        batch_deadline: Duration::from_millis(2),
+        round_cost: Duration::from_millis(2),
+        ..ServeConfig::default()
+    };
+    let server =
+        PredictionServer::spawn(Arc::clone(&system), identity_defense(), config).expect("bind");
+    let addr = server.addr();
+
+    let workers: Vec<_> = (0..6)
+        .map(|worker| {
+            let system = Arc::clone(&system);
+            std::thread::spawn(move || {
+                let mut oracle = RemoteOracle::connect(addr).expect("connect");
+                for round in 0..6 {
+                    // Distinct ad-hoc inputs per worker and round, so a
+                    // misrouted row would be caught immediately.
+                    let mut next = lcg(worker * 1000 + round + 1);
+                    let rows = 1 + (round as usize % 3);
+                    let slices = vec![
+                        Matrix::from_fn(rows, ADV.len(), |_, _| next()),
+                        Matrix::from_fn(rows, TARGET.len(), |_, _| next()),
+                    ];
+                    let wire = oracle.predict_features(&slices).expect("predict");
+                    let local = system.predict_features_batch(&slices);
+                    assert_eq!(wire, local, "worker {worker} round {round} misrouted");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker panicked");
+    }
+
+    let m = server.metrics();
+    assert_eq!(m.errors, 0);
+    assert!(m.requests >= 36, "all requests served, got {}", m.requests);
+    assert!(
+        m.mean_batch_fill > 1.0,
+        "coalescer never merged concurrent traffic (fill = {})",
+        m.mean_batch_fill
+    );
+    assert!(m.rounds < m.requests);
+    assert!(m.p99_latency_us >= m.p50_latency_us);
+    server.shutdown();
+}
+
+#[test]
+fn info_ping_empty_batches_and_rejections() {
+    let (system, _) = deployed_lr();
+    let server = PredictionServer::spawn(
+        Arc::clone(&system),
+        identity_defense(),
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    let mut oracle = RemoteOracle::connect(server.addr()).expect("connect");
+
+    oracle.ping().expect("ping");
+    let info = oracle.info().clone();
+    assert_eq!(info.n_samples, N);
+    assert_eq!(info.n_features, D);
+    assert_eq!(info.n_classes, C);
+    assert_eq!(info.party_widths, vec![ADV.len(), TARGET.len()]);
+    assert_eq!(PredictionOracle::n_samples(&oracle), N);
+
+    // Empty round: answered directly, shaped 0 × c.
+    let empty = oracle.predict_batch(&[]).expect("empty batch");
+    assert_eq!(empty.shape(), (0, C));
+
+    // Out-of-range index and malformed feature blocks are rejected with
+    // reasons, and the connection stays usable afterwards.
+    let err = oracle.predict_batch(&[N]).unwrap_err();
+    assert!(err.to_string().contains("out of range"), "{err}");
+    let err = oracle
+        .predict_features(&[Matrix::zeros(1, ADV.len())])
+        .unwrap_err();
+    assert!(err.to_string().contains("party"), "{err}");
+    let err = oracle
+        .predict_features(&[Matrix::zeros(1, 3), Matrix::zeros(1, 4)])
+        .unwrap_err();
+    assert!(err.to_string().contains("wide"), "{err}");
+    let ok = oracle.predict_batch(&[0]).expect("connection survived");
+    assert_eq!(ok.shape(), (1, C));
+
+    let m = server.metrics();
+    assert_eq!(m.errors, 3);
+    server.shutdown();
+}
+
+#[test]
+fn graceful_shutdown_over_the_wire() {
+    let (system, _) = deployed_lr();
+    let server = PredictionServer::spawn(
+        Arc::clone(&system),
+        identity_defense(),
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    let addr = server.addr();
+
+    let mut oracle = RemoteOracle::connect(addr).expect("connect");
+    oracle.predict_batch(&[0, 1]).expect("warm request");
+    oracle.shutdown_server().expect("shutdown acknowledged");
+    // Joins every thread; must not hang even though a client socket is
+    // still open.
+    server.shutdown();
+    assert!(
+        RemoteOracle::connect(addr).is_err(),
+        "listener should be closed after shutdown"
+    );
+}
+
+#[test]
+fn load_generator_reports_sane_throughput() {
+    let (system, _) = deployed_lr();
+    let server = PredictionServer::spawn(
+        Arc::clone(&system),
+        identity_defense(),
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    let report = fia_serve::run_load(
+        server.addr(),
+        &LoadConfig {
+            threads: 3,
+            requests_per_thread: 20,
+            rows_per_request: 2,
+        },
+    )
+    .expect("load run");
+    assert_eq!(report.total_requests, 60);
+    assert_eq!(report.total_rows, 120);
+    assert!(report.rps > 0.0);
+    let m = server.metrics();
+    assert!(m.requests >= 60);
+    assert!(m.rows >= 120);
+    server.shutdown();
+}

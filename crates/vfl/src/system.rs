@@ -138,21 +138,78 @@ impl<M: PredictProba> VflSystem<M> {
     /// This is the scale-path of the system — per-query protocol
     /// overhead (slice assembly, model dispatch) is paid once per round
     /// instead of once per sample — and mirrors how production serving
-    /// stacks amortize traffic.
+    /// stacks amortize traffic. Internally this gathers each party's
+    /// stored rows and delegates to the one protocol implementation,
+    /// [`VflSystem::predict_features_batch`].
     ///
     /// # Panics
     /// Panics when any sample index is out of range.
     pub fn predict_batch(&self, sample_indices: &[usize]) -> Matrix {
+        self.predict_features_batch(&self.party_slices(sample_indices))
+    }
+
+    /// Gathers every party's stored feature rows for `sample_indices`,
+    /// one `n × d_p` block per party in id order — the contribution each
+    /// party would feed into a joint prediction round for those samples.
+    ///
+    /// # Panics
+    /// Panics when any sample index is out of range.
+    pub fn party_slices(&self, sample_indices: &[usize]) -> Vec<Matrix> {
         let n_samples = self.n_samples();
         for &i in sample_indices {
             assert!(i < n_samples, "sample index out of range");
         }
-        // Each party scatters its local columns into the joint matrix —
-        // the batched analogue of `partition.assemble` on one row.
-        let mut joint = Matrix::zeros(sample_indices.len(), self.partition.n_features());
-        for party in &self.parties {
-            for (row, &sample) in sample_indices.iter().enumerate() {
-                let slice = party.features_for_row(sample);
+        self.parties
+            .iter()
+            .map(|party| {
+                let mut block = Matrix::zeros(sample_indices.len(), party.n_features());
+                for (row, &sample) in sample_indices.iter().enumerate() {
+                    block
+                        .row_mut(row)
+                        .copy_from_slice(party.features_for_row(sample));
+                }
+                block
+            })
+            .collect()
+    }
+
+    /// Runs one protocol round on *ad-hoc* query inputs: `slices[p]` is
+    /// party `p`'s raw feature block (`n × d_p`, columns ordered per that
+    /// party's `feature_indices`) for `n` samples the system has never
+    /// stored. This is the serving path — a deployed prediction API must
+    /// answer unseen queries, not just replay the aligned prediction set —
+    /// and it is the *single* protocol implementation:
+    /// [`VflSystem::predict_batch`] delegates here after gathering stored
+    /// rows.
+    ///
+    /// Each party scatters its columns into the joint matrix, the model
+    /// is evaluated once on the assembled `n × d` batch, and only the
+    /// `n × c` confidence matrix crosses the party boundary.
+    ///
+    /// # Panics
+    /// Panics when the slice count, any block's width, or the row counts
+    /// are inconsistent with the partition.
+    pub fn predict_features_batch(&self, slices: &[Matrix]) -> Matrix {
+        assert_eq!(
+            slices.len(),
+            self.parties.len(),
+            "one feature block per party"
+        );
+        let n = slices.first().map(|s| s.rows()).unwrap_or_default();
+        for (party, block) in self.parties.iter().zip(slices) {
+            assert_eq!(
+                block.cols(),
+                party.n_features(),
+                "feature block width mismatch for {}",
+                party.id
+            );
+            assert_eq!(block.rows(), n, "feature blocks must be row-aligned");
+        }
+        // The batched analogue of `partition.assemble` on one row.
+        let mut joint = Matrix::zeros(n, self.partition.n_features());
+        for (party, block) in self.parties.iter().zip(slices) {
+            for row in 0..n {
+                let slice = block.row(row);
                 let out = joint.row_mut(row);
                 for (&f, &v) in party.feature_indices.iter().zip(slice.iter()) {
                     out[f] = v;
@@ -240,6 +297,63 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn batch_round_checks_indices() {
         toy_system().predict_batch(&[0, 99]);
+    }
+
+    #[test]
+    fn ad_hoc_feature_round_matches_centralized_model() {
+        // Unseen queries: rows the stored prediction set does not contain.
+        let sys = toy_system();
+        let global = Matrix::from_fn(3, 4, |i, j| 0.11 * (i + 1) as f64 + 0.07 * j as f64);
+        let slices = vec![
+            global.select_columns(&[0, 1]).unwrap(),
+            global.select_columns(&[2, 3]).unwrap(),
+        ];
+        let served = sys.predict_features_batch(&slices);
+        let central = sys.model().predict_proba(&global);
+        assert_eq!(served.shape(), (3, 3));
+        assert!(served.max_abs_diff(&central).unwrap() < 1e-15);
+    }
+
+    #[test]
+    fn stored_batch_delegates_to_feature_round() {
+        let sys = toy_system();
+        let indices = [4usize, 0, 2];
+        let via_indices = sys.predict_batch(&indices);
+        let via_slices = sys.predict_features_batch(&sys.party_slices(&indices));
+        assert_eq!(via_indices, via_slices);
+    }
+
+    #[test]
+    fn party_slices_gather_local_rows() {
+        let sys = toy_system();
+        let slices = sys.party_slices(&[1, 3]);
+        assert_eq!(slices.len(), 2);
+        for (party, block) in [0usize, 1].into_iter().zip(&slices) {
+            assert_eq!(block.shape(), (2, 2));
+            assert_eq!(block.row(0), sys.parties()[party].features_for_row(1));
+            assert_eq!(block.row(1), sys.parties()[party].features_for_row(3));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one feature block per party")]
+    fn feature_round_checks_party_count() {
+        let sys = toy_system();
+        sys.predict_features_batch(&[Matrix::zeros(1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn feature_round_checks_block_widths() {
+        let sys = toy_system();
+        sys.predict_features_batch(&[Matrix::zeros(1, 3), Matrix::zeros(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row-aligned")]
+    fn feature_round_checks_row_alignment() {
+        let sys = toy_system();
+        sys.predict_features_batch(&[Matrix::zeros(2, 2), Matrix::zeros(1, 2)]);
     }
 
     #[test]

@@ -1,0 +1,103 @@
+//! The paper's threat model, end to end over a real socket: deploy the
+//! vertical FL model behind the `fia-serve` prediction service (bound to
+//! an ephemeral port), then mount ESA from the active party's seat by
+//! *querying the service* — exactly how the adversary of Luo et al.
+//! accumulates its `(x_adv, v)` corpus in production.
+//!
+//! ```sh
+//! cargo run --release --example served_attack
+//! ```
+
+use fia::attacks::{run_over_oracle, AttackEngine, EqualitySolvingAttack};
+use fia::data::{PaperDataset, SplitSpec};
+use fia::defense::DefensePipeline;
+use fia::models::{LogisticRegression, LrConfig};
+use fia::serve::{PredictionServer, RemoteOracle, ServeConfig};
+use fia::vfl::{ThreatModel, VerticalPartition, VflSystem};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // 1. Train and deploy: drive-diagnosis stand-in (11 classes), a
+    //    random 20% of features held by the passive target party.
+    let dataset = PaperDataset::DriveDiagnosis.generate(0.01, 42);
+    let split = dataset.split(&SplitSpec::paper_default(), 42);
+    let partition = VerticalPartition::two_block_random(dataset.n_features(), 0.2, 42);
+    let model = LogisticRegression::fit(&split.train, &LrConfig::default());
+    let system = Arc::new(VflSystem::from_global(
+        model,
+        partition,
+        &split.prediction.features,
+    ));
+
+    // 2. Serve it. Port 0 asks the kernel for an ephemeral port — the
+    //    handle reports where the server actually landed. `round_cost`
+    //    simulates the secure-computation round trip a real deployment
+    //    pays per joint prediction; the coalescer amortizes it.
+    let server = PredictionServer::spawn(
+        Arc::clone(&system),
+        Arc::new(DefensePipeline::new()),
+        ServeConfig {
+            round_cost: Duration::from_micros(200),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    println!("serving VFL predictions on {}", server.addr());
+
+    // 3. The adversary connects and learns the deployment's shape.
+    let mut oracle = RemoteOracle::connect(server.addr()).expect("connect");
+    let info = oracle.info().clone();
+    println!(
+        "deployment: {} samples, {} features, {} classes, party widths {:?}",
+        info.n_samples, info.n_features, info.n_classes, info.party_widths
+    );
+
+    // 4. Mount ESA over the wire: accumulate confidence vectors in
+    //    rounds of 64 queries, then invert them. The adversary's own
+    //    feature values come from its local table.
+    let threat = ThreatModel::active_only();
+    let (adv_indices, target_indices) = threat.feature_split(system.partition());
+    let x_adv = split
+        .prediction
+        .features
+        .select_columns(&adv_indices)
+        .unwrap();
+    let indices: Vec<usize> = (0..info.n_samples).collect();
+
+    let attack = EqualitySolvingAttack::new(system.model(), &adv_indices, &target_indices);
+    println!(
+        "ESA over the wire: {} unknowns, {} equations, exact recovery expected: {}",
+        target_indices.len(),
+        attack.n_equations(),
+        attack.exact_recovery_expected()
+    );
+    let result = run_over_oracle(
+        &AttackEngine::new(),
+        &attack,
+        &mut oracle,
+        &x_adv,
+        &indices,
+        64,
+    )
+    .expect("remote replay");
+
+    let truth = split
+        .prediction
+        .features
+        .select_columns(&target_indices)
+        .unwrap();
+    println!(
+        "reconstructed {} target rows, per-feature MSE = {:.3e}",
+        result.n_queries(),
+        result.mse_against(&truth)
+    );
+
+    // 5. What the server saw.
+    let m = oracle.server_metrics().expect("metrics");
+    println!(
+        "server: {} requests in {} rounds (mean fill {:.2}), p50 {:.0}µs / p99 {:.0}µs",
+        m.requests, m.rounds, m.mean_batch_fill, m.p50_latency_us, m.p99_latency_us
+    );
+    server.shutdown();
+}

@@ -16,13 +16,17 @@
 //!   joint-prediction protocol).
 //! * [`attacks`] — the paper's contribution: ESA, PRA and GRNA plus metrics.
 //! * [`defense`] — countermeasures (rounding, dropout, screening, verification).
+//! * [`serve`] — the deployed prediction boundary: a TCP service with
+//!   micro-batch coalescing, and the remote oracle the attacks query.
 //!
-//! See `examples/quickstart.rs` for an end-to-end walk-through.
+//! See `examples/quickstart.rs` for an end-to-end walk-through and
+//! `examples/served_attack.rs` for the same attack mounted over the wire.
 
 pub use fia_core as attacks;
 pub use fia_data as data;
 pub use fia_defense as defense;
 pub use fia_linalg as linalg;
 pub use fia_models as models;
+pub use fia_serve as serve;
 pub use fia_tensor as tensor;
 pub use fia_vfl as vfl;
