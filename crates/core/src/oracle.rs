@@ -30,6 +30,33 @@ impl std::fmt::Display for OracleError {
 
 impl std::error::Error for OracleError {}
 
+/// Cumulative cost of an adversary's query campaign against a deployed
+/// oracle, as the *deployment* metered it. The paper's attacks are
+/// usually reported per accumulated round; this makes the other axis —
+/// what the campaign cost the serving stack — visible to attack reports.
+///
+/// `cached_rows` counts rows the deployment answered from its
+/// released-score cache instead of running (part of) a joint prediction
+/// round: a repeated query is cheap for the server *and* sharper for the
+/// adversary, because a cached row is re-released bit-identically (fresh
+/// defense noise cannot be averaged away by repetition).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct QueryCost {
+    /// Prediction requests the adversary issued.
+    pub queries: u64,
+    /// Total confidence rows those requests asked for.
+    pub rows: u64,
+    /// Rows answered from the deployment's released-score cache.
+    pub cached_rows: u64,
+}
+
+impl QueryCost {
+    /// Rows that actually cost the deployment a joint prediction round.
+    pub fn computed_rows(&self) -> u64 {
+        self.rows.saturating_sub(self.cached_rows)
+    }
+}
+
 /// A deployed prediction API as the adversary sees it: submit sample
 /// queries, receive confidence-score vectors — nothing else crosses the
 /// boundary.
@@ -46,6 +73,14 @@ pub trait PredictionOracle {
     /// Runs one prediction round over the stored samples `indices`,
     /// returning the revealed `|indices| × c` confidence matrix.
     fn confidences(&mut self, indices: &[usize]) -> Result<Matrix, OracleError>;
+
+    /// What this oracle's query traffic has cost the deployment so far.
+    /// Oracles that meter their traffic (`fia-serve`'s `RemoteOracle`)
+    /// override this; the default reports nothing, which is correct for
+    /// in-process oracles that pay no deployment cost.
+    fn query_cost(&self) -> QueryCost {
+        QueryCost::default()
+    }
 }
 
 /// The in-process deployment *is* an oracle: a query round is a batched
@@ -197,6 +232,25 @@ mod tests {
         let (mut sys, global) = deployed_system();
         let x_adv = global.select_columns(&[0, 1, 2]).unwrap();
         let _ = accumulate_batch(&mut sys, &x_adv, &[0, 1], 0);
+    }
+
+    #[test]
+    fn query_cost_defaults_to_zero_and_subtracts_cached_rows() {
+        let (sys, _) = deployed_system();
+        assert_eq!(sys.query_cost(), QueryCost::default());
+        let cost = QueryCost {
+            queries: 4,
+            rows: 100,
+            cached_rows: 30,
+        };
+        assert_eq!(cost.computed_rows(), 70);
+        // Saturates rather than underflowing on inconsistent counters.
+        let odd = QueryCost {
+            queries: 1,
+            rows: 2,
+            cached_rows: 5,
+        };
+        assert_eq!(odd.computed_rows(), 0);
     }
 
     #[test]

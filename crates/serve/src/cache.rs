@@ -1,0 +1,187 @@
+//! The released-score cache.
+//!
+//! The paper's adversary accumulates *released* prediction rounds, so
+//! what the cache stores is exactly what crossed the release boundary:
+//! rows that already passed the [`fia_defense::DefensePipeline`]. The
+//! cache therefore sits strictly *after* the defense — it never caches
+//! raw model scores — and its contract is the release semantics the
+//! serve-layer tests pin:
+//!
+//! * **First release wins.** The first time a stored row's score leaves
+//!   the server, that byte pattern becomes canonical; every later query
+//!   for the same row re-releases it bit-identically. In particular a
+//!   noise defense is *not* re-sampled on repeat queries, so an
+//!   adversary cannot average fresh noise away by asking twice.
+//! * **Bounded.** Capacity is fixed at construction; a full cache evicts
+//!   a seeded-pseudorandomly chosen resident entry, so long adversary
+//!   campaigns stay O(capacity) in memory and eviction is reproducible
+//!   under a fixed seed.
+//!
+//! Keys are stored-sample indices — the identity a `PredictByIndex`
+//! query names. Ad-hoc feature queries have no stable identity across
+//! requests and are never cached.
+
+use std::collections::HashMap;
+
+/// Bounded, seeded map from stored-sample index to that row's canonical
+/// released confidence scores.
+#[derive(Debug)]
+pub struct ScoreCache {
+    capacity: usize,
+    /// Sample index → (released row, slot in `keys`).
+    rows: HashMap<usize, (Vec<f64>, usize)>,
+    /// Resident keys, for O(1) seeded eviction via swap-remove.
+    keys: Vec<usize>,
+    /// LCG state driving eviction choices.
+    rng: u64,
+}
+
+impl ScoreCache {
+    /// A cache holding at most `capacity` released rows; `seed` fixes
+    /// the eviction sequence. `capacity == 0` is a valid always-miss
+    /// cache (used to represent "caching disabled").
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        ScoreCache {
+            capacity,
+            rows: HashMap::with_capacity(capacity.min(1 << 16)),
+            keys: Vec::with_capacity(capacity.min(1 << 16)),
+            rng: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The canonical released row for `index`, if one is resident.
+    pub fn get(&self, index: usize) -> Option<&[f64]> {
+        self.rows.get(&index).map(|(row, _)| row.as_slice())
+    }
+
+    /// Registers `released` as the canonical row for `index` and returns
+    /// the canonical bytes to release for this query: the *already
+    /// resident* row when a concurrent round populated the entry first
+    /// (first release wins), otherwise `released` itself. The returned
+    /// row is what the caller must send to the client, so duplicate
+    /// in-flight queries for one index all release identical bytes.
+    pub fn admit(&mut self, index: usize, released: Vec<f64>) -> Vec<f64> {
+        if let Some((resident, _)) = self.rows.get(&index) {
+            return resident.clone();
+        }
+        if self.capacity == 0 {
+            return released;
+        }
+        if self.keys.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.keys.push(index);
+        self.rows
+            .insert(index, (released.clone(), self.keys.len() - 1));
+        released
+    }
+
+    /// Evicts one seeded-pseudorandomly chosen resident entry.
+    fn evict_one(&mut self) {
+        debug_assert!(!self.keys.is_empty());
+        self.rng = self
+            .rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let slot = ((self.rng >> 33) as usize) % self.keys.len();
+        let evicted = self.keys.swap_remove(slot);
+        self.rows.remove(&evicted);
+        // The key moved into `slot` by swap_remove needs its back-pointer
+        // fixed so future evictions stay O(1).
+        if let Some(&moved) = self.keys.get(slot) {
+            if let Some((_, s)) = self.rows.get_mut(&moved) {
+                *s = slot;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(v: f64) -> Vec<f64> {
+        vec![v, 1.0 - v]
+    }
+
+    #[test]
+    fn first_release_wins_and_is_bit_identical() {
+        let mut c = ScoreCache::new(8, 1);
+        let first = c.admit(3, row(0.25));
+        assert_eq!(first, row(0.25));
+        // A later round computed a *different* value for the same row
+        // (different batch composition → different defense noise); the
+        // cache must release the original bytes, not the new ones.
+        let again = c.admit(3, row(0.75));
+        assert_eq!(again, row(0.25));
+        assert_eq!(c.get(3), Some(row(0.25).as_slice()));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_residency() {
+        let mut c = ScoreCache::new(4, 9);
+        for i in 0..100 {
+            c.admit(i, row(i as f64 / 100.0));
+        }
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.capacity(), 4);
+        // Whatever survived is still bit-identical to its admission.
+        let survivors: Vec<usize> = (0..100).filter(|&i| c.get(i).is_some()).collect();
+        assert_eq!(survivors.len(), 4);
+        for &i in &survivors {
+            assert_eq!(c.get(i), Some(row(i as f64 / 100.0).as_slice()));
+        }
+    }
+
+    #[test]
+    fn eviction_is_deterministic_under_a_fixed_seed() {
+        let run = |seed: u64| -> Vec<usize> {
+            let mut c = ScoreCache::new(3, seed);
+            for i in 0..50 {
+                c.admit(i, row(0.5));
+            }
+            let mut alive: Vec<usize> = (0..50).filter(|&i| c.get(i).is_some()).collect();
+            alive.sort_unstable();
+            alive
+        };
+        assert_eq!(run(42), run(42), "same seed, same survivors");
+        assert_ne!(run(42), run(43), "different seed perturbs eviction");
+    }
+
+    #[test]
+    fn zero_capacity_cache_never_stores() {
+        let mut c = ScoreCache::new(0, 7);
+        let out = c.admit(1, row(0.5));
+        assert_eq!(out, row(0.5), "admission still releases the input");
+        assert!(c.is_empty());
+        assert_eq!(c.get(1), None);
+    }
+
+    #[test]
+    fn duplicate_admissions_within_capacity_do_not_grow() {
+        let mut c = ScoreCache::new(2, 5);
+        for _ in 0..10 {
+            c.admit(0, row(0.1));
+            c.admit(1, row(0.2));
+        }
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(0), Some(row(0.1).as_slice()));
+        assert_eq!(c.get(1), Some(row(0.2).as_slice()));
+    }
+}

@@ -8,7 +8,7 @@ use crate::wire::{
     decode_response, encode_request, read_frame, write_frame, Request, Response, ServerInfo,
     WireError,
 };
-use fia_core::{OracleError, PredictionOracle};
+use fia_core::{OracleError, PredictionOracle, QueryCost};
 use fia_linalg::Matrix;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -54,9 +54,16 @@ impl From<std::io::Error> for ClientError {
 /// A connection to a deployed prediction service, seen the way the
 /// paper's adversary sees it: submit queries, receive confidence
 /// vectors. One request/response pair is in flight per connection.
+///
+/// The oracle meters its own campaign: every prediction request updates
+/// a [`QueryCost`] tally, including how many rows the server answered
+/// from its released-score cache (the `Scores` response carries the
+/// count), so attack reports can state what a corpus cost the
+/// deployment.
 pub struct RemoteOracle {
     stream: TcpStream,
     info: ServerInfo,
+    cost: QueryCost,
 }
 
 impl RemoteOracle {
@@ -73,6 +80,7 @@ impl RemoteOracle {
                 n_classes: 0,
                 party_widths: Vec::new(),
             },
+            cost: QueryCost::default(),
         };
         oracle.info = match oracle.call(&Request::Info)? {
             Response::Info(info) => info,
@@ -97,9 +105,18 @@ impl RemoteOracle {
         }
     }
 
-    fn expect_scores(resp: Response) -> Result<Matrix, ClientError> {
+    /// Unpacks a prediction response and folds it into the cost tally.
+    fn expect_scores(&mut self, resp: Response) -> Result<Matrix, ClientError> {
         match resp {
-            Response::Scores(m) => Ok(m),
+            Response::Scores {
+                scores,
+                cached_rows,
+            } => {
+                self.cost.queries += 1;
+                self.cost.rows += scores.rows() as u64;
+                self.cost.cached_rows += u64::from(cached_rows);
+                Ok(scores)
+            }
             Response::Error(why) => Err(ClientError::Rejected(why)),
             _ => Err(ClientError::Protocol("predict answered with wrong variant")),
         }
@@ -118,14 +135,20 @@ impl RemoteOracle {
     pub fn predict_batch(&mut self, indices: &[usize]) -> Result<Matrix, ClientError> {
         let wire_indices: Vec<u32> = indices.iter().map(|&i| i as u32).collect();
         let resp = self.call(&Request::PredictByIndex(wire_indices))?;
-        Self::expect_scores(resp)
+        self.expect_scores(resp)
     }
 
     /// One prediction round over ad-hoc inputs: one `n × d_p` feature
     /// block per party, in party id order.
     pub fn predict_features(&mut self, slices: &[Matrix]) -> Result<Matrix, ClientError> {
         let resp = self.call(&Request::PredictFeatures(slices.to_vec()))?;
-        Self::expect_scores(resp)
+        self.expect_scores(resp)
+    }
+
+    /// What this connection's prediction traffic has cost the deployment
+    /// so far (successful requests only).
+    pub fn cost(&self) -> QueryCost {
+        self.cost
     }
 
     /// The server's live metrics snapshot.
@@ -163,6 +186,10 @@ impl PredictionOracle for RemoteOracle {
     fn confidences(&mut self, indices: &[usize]) -> Result<Matrix, OracleError> {
         self.predict_batch(indices)
             .map_err(|e| OracleError(e.to_string()))
+    }
+
+    fn query_cost(&self) -> QueryCost {
+        self.cost
     }
 }
 

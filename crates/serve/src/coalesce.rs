@@ -14,6 +14,11 @@
 //! concurrent traffic. A lone client therefore never pays the deadline
 //! as added latency, while concurrent load naturally fills rounds — the
 //! classic serving-stack batching behaviour.
+//!
+//! The row cap is strict: a job that would overflow the round is
+//! *carried* into the next round instead of packed (see
+//! [`Coalescer::drain`]), so `rows ≤ max_rows` holds for every round
+//! with more than one job and arrival order is preserved across rounds.
 
 use std::sync::mpsc::{Receiver, RecvTimeoutError};
 use std::time::{Duration, Instant};
@@ -62,15 +67,40 @@ impl Coalescer {
     /// Drains `rx` into one round starting from `first` (which the
     /// caller already received). Returns the jobs of the round, in
     /// arrival order; never blocks longer than `max_delay`.
-    pub fn drain<T: Coalescible>(&self, rx: &Receiver<T>, first: T) -> Vec<T> {
+    ///
+    /// The row cap is *strict*: a job that would push the round past
+    /// `max_rows` is not packed — it is parked in `carry`, closes the
+    /// round, and must be fed back as the next round's `first` (the
+    /// batcher loop does this), so arrival order is preserved across
+    /// rounds. The single exception is a lone job whose own row count
+    /// exceeds the cap: it forms a round of one, because splitting a
+    /// request across protocol rounds would change what the defense
+    /// pipeline sees released together. The resulting invariant, which
+    /// the property sweep pins: every round satisfies
+    /// `rows ≤ max_rows || jobs.len() == 1`.
+    ///
+    /// `carry` must be `None` on entry; the caller owns the parked job
+    /// between rounds.
+    pub fn drain<T: Coalescible>(
+        &self,
+        rx: &Receiver<T>,
+        first: T,
+        carry: &mut Option<T>,
+    ) -> Vec<T> {
+        debug_assert!(carry.is_none(), "previous round's carry was not consumed");
         let t0 = Instant::now();
         let mut rows = first.rows();
         let mut jobs = vec![first];
         if rows >= self.max_rows {
             return jobs;
         }
-        // Greedy phase: everything already queued joins the round free.
+        // Greedy phase: everything already queued joins the round free,
+        // up to the row cap.
         while let Ok(job) = rx.try_recv() {
+            if rows + job.rows() > self.max_rows {
+                *carry = Some(job);
+                return jobs;
+            }
             rows += job.rows();
             jobs.push(job);
             if rows >= self.max_rows {
@@ -86,6 +116,10 @@ impl Coalescer {
                 };
                 match rx.recv_timeout(remaining) {
                     Ok(job) => {
+                        if rows + job.rows() > self.max_rows {
+                            *carry = Some(job);
+                            return jobs;
+                        }
                         rows += job.rows();
                         jobs.push(job);
                     }
@@ -116,8 +150,10 @@ mod tests {
         tx.send(Job(1)).unwrap();
         let c = Coalescer::passthrough();
         assert!(c.is_passthrough());
-        let round = c.drain(&rx, Job(1));
+        let mut carry = None;
+        let round = c.drain(&rx, Job(1), &mut carry);
         assert_eq!(round.len(), 1);
+        assert!(carry.is_none());
         // The queued jobs are untouched for the next rounds.
         assert_eq!(rx.try_iter().count(), 2);
     }
@@ -128,27 +164,48 @@ mod tests {
         for _ in 0..5 {
             tx.send(Job(1)).unwrap();
         }
-        let round = Coalescer::adaptive(64, Duration::from_millis(50)).drain(&rx, Job(1));
+        let mut carry = None;
+        let round =
+            Coalescer::adaptive(64, Duration::from_millis(50)).drain(&rx, Job(1), &mut carry);
         assert_eq!(round.len(), 6);
+        assert!(carry.is_none());
     }
 
     #[test]
-    fn row_budget_closes_the_round() {
+    fn row_budget_is_a_strict_cap() {
         let (tx, rx) = mpsc::channel();
         for _ in 0..10 {
             tx.send(Job(2)).unwrap();
         }
-        let round = Coalescer::adaptive(5, Duration::from_secs(5)).drain(&rx, Job(2));
-        // 2 + 2 + 2 = 6 ≥ 5: closed after two extra jobs off the queue.
-        assert_eq!(round.len(), 3);
+        let mut carry = None;
+        let round = Coalescer::adaptive(5, Duration::from_secs(5)).drain(&rx, Job(2), &mut carry);
+        // 2 + 2 = 4; a third job would make 6 > 5, so it is carried to
+        // the next round rather than packed past the cap.
+        assert_eq!(round.len(), 2);
+        assert_eq!(round.iter().map(Coalescible::rows).sum::<usize>(), 4);
+        assert_eq!(carry.take().map(|j| j.rows()), Some(2));
         assert_eq!(rx.try_iter().count(), 8);
+    }
+
+    #[test]
+    fn oversized_lone_job_still_forms_a_round() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(Job(1)).unwrap();
+        let mut carry = None;
+        let round = Coalescer::adaptive(4, Duration::from_secs(5)).drain(&rx, Job(9), &mut carry);
+        // A single job above the cap runs alone; nothing else joins it.
+        assert_eq!(round.len(), 1);
+        assert_eq!(round[0].rows(), 9);
+        assert!(carry.is_none());
+        assert_eq!(rx.try_iter().count(), 1);
     }
 
     #[test]
     fn lone_request_pays_no_deadline() {
         let (_tx, rx) = mpsc::channel::<Job>();
         let t0 = Instant::now();
-        let round = Coalescer::adaptive(64, Duration::from_secs(10)).drain(&rx, Job(1));
+        let mut carry = None;
+        let round = Coalescer::adaptive(64, Duration::from_secs(10)).drain(&rx, Job(1), &mut carry);
         assert_eq!(round.len(), 1);
         // Adaptive rule: no concurrent traffic observed → no waiting.
         assert!(t0.elapsed() < Duration::from_secs(1), "drained immediately");
@@ -162,9 +219,25 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
             let _ = tx.send(Job(1));
         });
-        let round = Coalescer::adaptive(64, Duration::from_secs(2)).drain(&rx, Job(1));
+        let mut carry = None;
+        let round = Coalescer::adaptive(64, Duration::from_secs(2)).drain(&rx, Job(1), &mut carry);
         sender.join().unwrap();
         assert_eq!(round.len(), 3, "late job joined within the deadline");
+    }
+
+    #[test]
+    fn deadline_phase_carries_an_overflowing_job() {
+        let (tx, rx) = mpsc::channel();
+        tx.send(Job(1)).unwrap(); // concurrency signal
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            let _ = tx.send(Job(10)); // would overflow the cap of 4
+        });
+        let mut carry = None;
+        let round = Coalescer::adaptive(4, Duration::from_secs(2)).drain(&rx, Job(1), &mut carry);
+        sender.join().unwrap();
+        assert_eq!(round.len(), 2);
+        assert_eq!(carry.map(|j| j.rows()), Some(10));
     }
 
     #[test]
@@ -172,7 +245,9 @@ mod tests {
         let (tx, rx) = mpsc::channel();
         tx.send(Job(1)).unwrap();
         let t0 = Instant::now();
-        let round = Coalescer::adaptive(64, Duration::from_millis(30)).drain(&rx, Job(1));
+        let mut carry = None;
+        let round =
+            Coalescer::adaptive(64, Duration::from_millis(30)).drain(&rx, Job(1), &mut carry);
         assert_eq!(round.len(), 2);
         let waited = t0.elapsed();
         assert!(
@@ -186,8 +261,10 @@ mod tests {
     fn first_job_at_budget_returns_immediately() {
         let (tx, rx) = mpsc::channel();
         tx.send(Job(1)).unwrap();
-        let round = Coalescer::adaptive(4, Duration::from_secs(5)).drain(&rx, Job(4));
+        let mut carry = None;
+        let round = Coalescer::adaptive(4, Duration::from_secs(5)).drain(&rx, Job(4), &mut carry);
         assert_eq!(round.len(), 1);
+        assert!(carry.is_none());
         assert_eq!(rx.try_iter().count(), 1);
     }
 }

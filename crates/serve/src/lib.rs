@@ -15,32 +15,48 @@
 //!   deadline is hit, amortizing the per-round protocol cost a real VFL
 //!   deployment pays.
 //! * [`PredictionServer`] — the multi-threaded TCP service: acceptor +
-//!   per-connection threads + one batcher owning the deployment, with
-//!   the [`fia_defense::DefensePipeline`] applied once per round at the
-//!   score-release boundary, graceful shutdown, and live
-//!   [`ServerMetrics`] (throughput, p50/p99 latency, batch fill).
+//!   per-connection threads + a *replica pool* of batchers
+//!   ([`ServeConfig::replicas`]), each owning a cheap clone of the
+//!   deployment, with the [`fia_defense::DefensePipeline`] applied once
+//!   per round at each replica's score-release boundary, graceful
+//!   shutdown, and live [`ServerMetrics`] (throughput, p50/p99 latency,
+//!   per-replica batch fill, cache hit rate).
+//! * [`ShardMap`] — consistent contiguous row-range sharding of the
+//!   stored prediction set across the replicas: stored-index queries
+//!   route by shard, ad-hoc feature queries by least-loaded replica.
+//! * [`ScoreCache`] — the bounded, seeded released-score cache
+//!   ([`ServeConfig::cache_capacity`]). It sits strictly *after* the
+//!   defense pipeline: what it stores is what crossed the release
+//!   boundary, and a re-queried row is re-released bit-identically —
+//!   repetition gives the adversary nothing fresh to average over,
+//!   and costs the deployment no joint round.
 //! * [`RemoteOracle`] — the client half: it implements
 //!   [`fia_core::PredictionOracle`], so ESA, PRA and GRNA run unchanged
 //!   against a live endpoint via `fia_core::accumulate_batch` /
-//!   `run_over_oracle`. [`run_load`] drives closed-loop benchmark
-//!   traffic at a server.
+//!   `run_over_oracle`, and it meters its campaign's
+//!   [`fia_core::QueryCost`] (including server-cached rows). [`run_load`]
+//!   drives closed-loop benchmark traffic at a server.
 //!
 //! Servers in tests and examples bind port `0` (ephemeral) and read the
 //! real address back from [`ServerHandle::addr`], keeping parallel test
 //! runs collision-free.
 //!
-//! This is the seam later scaling work (sharding, caching, multi-backend
-//! dispatch) plugs into: everything behind the wire codec can change
-//! without touching a client.
+//! Everything above the wire codec is behind [`PredictionServer::spawn`]:
+//! pool, dispatch and cache landed without changing a client.
 
+mod cache;
 mod client;
 mod coalesce;
+mod dispatch;
 mod metrics;
+mod pool;
 mod server;
 pub mod wire;
 
+pub use cache::ScoreCache;
 pub use client::{run_load, ClientError, LoadConfig, LoadReport, RemoteOracle};
 pub use coalesce::{Coalescer, Coalescible};
+pub use dispatch::ShardMap;
 pub use metrics::{MetricsReport, ServerMetrics};
 pub use server::{PredictionServer, ServeConfig, ServerHandle};
 pub use wire::{ServerInfo, WireError};

@@ -1,8 +1,11 @@
-//! Per-server metrics: throughput, latency percentiles, batch fill.
+//! Per-server metrics: throughput, latency percentiles, batch fill,
+//! per-replica round/row gauges and released-score-cache hit rates.
 //!
 //! Counters are lock-free atomics updated on the hot path; latencies go
 //! into a bounded reservoir behind a mutex (one push per request — the
 //! lock is uncontended relative to the wire round-trip it measures).
+//! Round and row counts are kept *per replica* so a sharded pool's load
+//! spread and per-backend batch fill are observable, and
 //! [`ServerMetrics::report`] folds everything into a plain-old-data
 //! [`MetricsReport`] that also travels over the wire.
 
@@ -14,14 +17,22 @@ use std::time::Instant;
 /// k-th sample so long runs stay O(1) in memory.
 const LATENCY_RESERVOIR: usize = 65_536;
 
+/// Round/row counters for one backend replica.
+#[derive(Debug, Default)]
+struct ReplicaCounters {
+    rounds: AtomicU64,
+    rows: AtomicU64,
+}
+
 /// Live counters shared by every server thread.
 #[derive(Debug)]
 pub struct ServerMetrics {
     started: Instant,
     requests: AtomicU64,
-    rows: AtomicU64,
-    rounds: AtomicU64,
     errors: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    replicas: Vec<ReplicaCounters>,
     /// Sampling stride for the latency reservoir (1 = keep everything).
     stride: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
@@ -34,17 +45,30 @@ impl Default for ServerMetrics {
 }
 
 impl ServerMetrics {
-    /// Fresh metrics; the uptime clock starts now.
+    /// Fresh single-replica metrics; the uptime clock starts now.
     pub fn new() -> Self {
+        Self::with_replicas(1)
+    }
+
+    /// Fresh metrics tracking `replicas` backend replicas.
+    pub fn with_replicas(replicas: usize) -> Self {
         ServerMetrics {
             started: Instant::now(),
             requests: AtomicU64::new(0),
-            rows: AtomicU64::new(0),
-            rounds: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            replicas: (0..replicas.max(1))
+                .map(|_| ReplicaCounters::default())
+                .collect(),
             stride: AtomicU64::new(1),
             latencies_us: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Number of replicas being tracked.
+    pub fn n_replicas(&self) -> usize {
+        self.replicas.len()
     }
 
     /// Records one completed request and its end-to-end service latency
@@ -70,18 +94,41 @@ impl ServerMetrics {
         self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Records one coalesced prediction round answering `rows` queries.
-    pub fn record_round(&self, rows: usize) {
-        self.rounds.fetch_add(1, Ordering::Relaxed);
-        self.rows.fetch_add(rows as u64, Ordering::Relaxed);
+    /// Records one coalesced prediction round answering `rows` queries
+    /// on backend `replica`.
+    pub fn record_round(&self, replica: usize, rows: usize) {
+        let r = &self.replicas[replica.min(self.replicas.len() - 1)];
+        r.rounds.fetch_add(1, Ordering::Relaxed);
+        r.rows.fetch_add(rows as u64, Ordering::Relaxed);
+    }
+
+    /// Records the cache outcome of one stored-index request: `hits`
+    /// rows released from the cache, `misses` rows that needed a round.
+    pub fn record_cache(&self, hits: u64, misses: u64) {
+        if hits > 0 {
+            self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses > 0 {
+            self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+        }
     }
 
     /// Snapshot of everything, as plain data.
     pub fn report(&self) -> MetricsReport {
         let requests = self.requests.load(Ordering::Relaxed);
-        let rows = self.rows.load(Ordering::Relaxed);
-        let rounds = self.rounds.load(Ordering::Relaxed);
         let errors = self.errors.load(Ordering::Relaxed);
+        let replica_rounds: Vec<u64> = self
+            .replicas
+            .iter()
+            .map(|r| r.rounds.load(Ordering::Relaxed))
+            .collect();
+        let replica_rows: Vec<u64> = self
+            .replicas
+            .iter()
+            .map(|r| r.rows.load(Ordering::Relaxed))
+            .collect();
+        let rounds: u64 = replica_rounds.iter().sum();
+        let rows: u64 = replica_rows.iter().sum();
         let uptime_secs = self.started.elapsed().as_secs_f64();
         let (p50, p99) = {
             let res = self.latencies_us.lock().expect("metrics lock");
@@ -92,6 +139,8 @@ impl ServerMetrics {
             rows,
             rounds,
             errors,
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
             mean_batch_fill: if rounds == 0 {
                 0.0
             } else {
@@ -105,11 +154,19 @@ impl ServerMetrics {
             } else {
                 0.0
             },
+            replica_rounds,
+            replica_rows,
         }
     }
 }
 
 /// `(p50, p99)` of the retained latency samples, in microseconds.
+///
+/// Quantiles use linear interpolation between the two closest order
+/// statistics (the same convention as numpy's default): the empty
+/// window reports `(0, 0)`, a single sample is every percentile of
+/// itself, and two samples give `p50 = midpoint` rather than snapping
+/// to either endpoint.
 fn percentiles(samples: &[u64]) -> (f64, f64) {
     if samples.is_empty() {
         return (0.0, 0.0);
@@ -117,8 +174,11 @@ fn percentiles(samples: &[u64]) -> (f64, f64) {
     let mut sorted: Vec<u64> = samples.to_vec();
     sorted.sort_unstable();
     let rank = |q: f64| {
-        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-        sorted[idx] as f64
+        let pos = (sorted.len() - 1) as f64 * q;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        sorted[lo] as f64 + (sorted[hi] as f64 - sorted[lo] as f64) * frac
     };
     (rank(0.50), rank(0.99))
 }
@@ -131,10 +191,14 @@ pub struct MetricsReport {
     pub requests: u64,
     /// Total query rows answered across all rounds.
     pub rows: u64,
-    /// Prediction rounds executed (coalesced batches).
+    /// Prediction rounds executed (coalesced batches), all replicas.
     pub rounds: u64,
     /// Rejected requests.
     pub errors: u64,
+    /// Stored-index rows released from the score cache.
+    pub cache_hits: u64,
+    /// Stored-index rows that required (part of) a joint round.
+    pub cache_misses: u64,
     /// Mean queries per round — the coalescer's fill factor.
     pub mean_batch_fill: f64,
     /// Median end-to-end service latency, microseconds.
@@ -145,19 +209,52 @@ pub struct MetricsReport {
     pub uptime_secs: f64,
     /// Requests per second over the whole uptime.
     pub throughput_rps: f64,
+    /// Rounds executed per backend replica, in replica order.
+    pub replica_rounds: Vec<u64>,
+    /// Rows answered per backend replica, in replica order.
+    pub replica_rows: Vec<u64>,
 }
 
 impl MetricsReport {
-    /// Number of `f64` slots a report occupies on the wire.
-    pub const WIRE_VALUES: usize = 9;
+    /// Number of scalar `f64` slots a report occupies on the wire
+    /// (the per-replica gauges travel separately, length-prefixed).
+    pub const WIRE_VALUES: usize = 11;
 
-    /// Flattens the report for the wire codec (fixed field order).
+    /// Fraction of stored-index rows answered from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Per-replica mean batch fill (rows per round), in replica order.
+    pub fn replica_fill(&self) -> Vec<f64> {
+        self.replica_rounds
+            .iter()
+            .zip(&self.replica_rows)
+            .map(|(&rounds, &rows)| {
+                if rounds == 0 {
+                    0.0
+                } else {
+                    rows as f64 / rounds as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Flattens the scalar part of the report for the wire codec (fixed
+    /// field order).
     pub fn as_wire_values(&self) -> [f64; Self::WIRE_VALUES] {
         [
             self.requests as f64,
             self.rows as f64,
             self.rounds as f64,
             self.errors as f64,
+            self.cache_hits as f64,
+            self.cache_misses as f64,
             self.mean_batch_fill,
             self.p50_latency_us,
             self.p99_latency_us,
@@ -166,18 +263,23 @@ impl MetricsReport {
         ]
     }
 
-    /// Rebuilds a report from its wire encoding.
+    /// Rebuilds the scalar part of a report from its wire encoding; the
+    /// per-replica gauges start empty and are filled by the codec.
     pub fn from_wire_values(v: &[f64; Self::WIRE_VALUES]) -> Self {
         MetricsReport {
             requests: v[0] as u64,
             rows: v[1] as u64,
             rounds: v[2] as u64,
             errors: v[3] as u64,
-            mean_batch_fill: v[4],
-            p50_latency_us: v[5],
-            p99_latency_us: v[6],
-            uptime_secs: v[7],
-            throughput_rps: v[8],
+            cache_hits: v[4] as u64,
+            cache_misses: v[5] as u64,
+            mean_batch_fill: v[6],
+            p50_latency_us: v[7],
+            p99_latency_us: v[8],
+            uptime_secs: v[9],
+            throughput_rps: v[10],
+            replica_rounds: Vec::new(),
+            replica_rows: Vec::new(),
         }
     }
 }
@@ -189,8 +291,8 @@ mod tests {
     #[test]
     fn counters_accumulate_and_fill_is_mean() {
         let m = ServerMetrics::new();
-        m.record_round(4);
-        m.record_round(8);
+        m.record_round(0, 4);
+        m.record_round(0, 8);
         for lat in [100, 200, 300, 400] {
             m.record_request(lat);
         }
@@ -201,8 +303,9 @@ mod tests {
         assert_eq!(r.rounds, 2);
         assert_eq!(r.errors, 1);
         assert!((r.mean_batch_fill - 6.0).abs() < 1e-12);
-        assert!(r.p50_latency_us >= 200.0 && r.p50_latency_us <= 300.0);
-        assert_eq!(r.p99_latency_us, 400.0);
+        // Interpolated quantiles of [100, 200, 300, 400].
+        assert!((r.p50_latency_us - 250.0).abs() < 1e-9);
+        assert!((r.p99_latency_us - 397.0).abs() < 1e-9);
         assert!(r.uptime_secs >= 0.0);
     }
 
@@ -212,6 +315,71 @@ mod tests {
         assert_eq!(r.requests, 0);
         assert_eq!(r.mean_batch_fill, 0.0);
         assert_eq!(r.p50_latency_us, 0.0);
+        assert_eq!(r.cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_of_empty_window_are_zero() {
+        assert_eq!(percentiles(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn percentiles_of_single_sample_are_that_sample() {
+        let (p50, p99) = percentiles(&[740]);
+        assert_eq!(p50, 740.0);
+        assert_eq!(p99, 740.0);
+    }
+
+    #[test]
+    fn percentiles_of_two_samples_interpolate() {
+        // p50 of a two-sample window is the midpoint — snapping to
+        // either endpoint (the old round-half-up behaviour picked the
+        // *max*) misreports the median of tiny warm-up windows.
+        let (p50, p99) = percentiles(&[100, 300]);
+        assert!((p50 - 200.0).abs() < 1e-9);
+        assert!((p99 - 298.0).abs() < 1e-9);
+        // Order must not matter.
+        assert_eq!(percentiles(&[300, 100]), (p50, p99));
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded() {
+        let samples: Vec<u64> = (0..101).map(|i| i * 10).collect();
+        let (p50, p99) = percentiles(&samples);
+        assert!((p50 - 500.0).abs() < 1e-9);
+        assert!((p99 - 990.0).abs() < 1e-9);
+        assert!(p50 <= p99);
+        assert!(p99 <= *samples.last().unwrap() as f64);
+    }
+
+    #[test]
+    fn per_replica_gauges_split_rounds_and_rows() {
+        let m = ServerMetrics::with_replicas(3);
+        assert_eq!(m.n_replicas(), 3);
+        m.record_round(0, 10);
+        m.record_round(2, 2);
+        m.record_round(2, 4);
+        let r = m.report();
+        assert_eq!(r.replica_rounds, vec![1, 0, 2]);
+        assert_eq!(r.replica_rows, vec![10, 0, 6]);
+        assert_eq!(r.rounds, 3);
+        assert_eq!(r.rows, 16);
+        let fill = r.replica_fill();
+        assert!((fill[0] - 10.0).abs() < 1e-12);
+        assert_eq!(fill[1], 0.0);
+        assert!((fill[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_counters_and_hit_rate() {
+        let m = ServerMetrics::new();
+        m.record_cache(3, 1);
+        m.record_cache(0, 0); // no-op
+        m.record_cache(1, 3);
+        let r = m.report();
+        assert_eq!(r.cache_hits, 4);
+        assert_eq!(r.cache_misses, 4);
+        assert!((r.cache_hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -234,11 +402,15 @@ mod tests {
             rows: 20,
             rounds: 5,
             errors: 1,
+            cache_hits: 7,
+            cache_misses: 13,
             mean_batch_fill: 4.0,
             p50_latency_us: 120.0,
             p99_latency_us: 900.0,
             uptime_secs: 1.5,
             throughput_rps: 6.66,
+            replica_rounds: Vec::new(),
+            replica_rows: Vec::new(),
         };
         let back = MetricsReport::from_wire_values(&r.as_wire_values());
         assert_eq!(r, back);

@@ -1,0 +1,353 @@
+//! The replica pool: N backend clones of the deployment, each owning a
+//! private job queue, [`Coalescer`] and batcher thread.
+//!
+//! PR 2's server ran *one* batcher over *one* model — one joint
+//! prediction round in flight at a time, however many clients queued.
+//! The pool keeps that faithfulness *per replica* (each replica is a
+//! deployment of the same `m` parties running one secure computation at
+//! a time) while letting N replicas run rounds concurrently, which is
+//! how a real serving stack scales past one backend: replicate the
+//! read-only model state, shard the traffic.
+//!
+//! Replication is an `Arc` bump, not a copy — [`fia_vfl::VflSystem`]'s
+//! `Clone` shares the model, partition and party tables — so a 4-replica
+//! pool holds the stored prediction set in memory once.
+//!
+//! Each replica's batcher applies the [`DefensePipeline`] once per round
+//! at its own score-release boundary, exactly as the single-batcher
+//! server did: sharding changes *where* a round runs, never *what* is
+//! released.
+
+use crate::coalesce::{Coalescer, Coalescible};
+use crate::metrics::ServerMetrics;
+use fia_defense::{DefensePipeline, ScoreDefense};
+use fia_linalg::Matrix;
+use fia_models::PredictProba;
+use fia_vfl::VflSystem;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked server threads re-check the stop flag.
+pub(crate) const POLL_TICK: Duration = Duration::from_millis(20);
+
+/// One queued prediction job: the round input plus the channel its rows
+/// travel back on.
+pub(crate) struct Job {
+    pub input: RoundInput,
+    pub rows: usize,
+    pub reply: Sender<Result<Matrix, String>>,
+}
+
+pub(crate) enum RoundInput {
+    /// Stored-sample queries (already range-checked).
+    Stored(Vec<usize>),
+    /// Ad-hoc per-party feature blocks (already shape-checked).
+    AdHoc(Vec<Matrix>),
+}
+
+impl Coalescible for Job {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+}
+
+/// The dispatcher-facing half of one replica: where to enqueue jobs and
+/// how many rows are already waiting there.
+struct ReplicaQueue {
+    tx: Sender<Job>,
+    depth_rows: Arc<AtomicUsize>,
+}
+
+/// Dispatcher-side handle to the pool's queues. The batcher threads'
+/// join handles live separately in the server handle (the pool is owned
+/// by the shared state, which every connection thread holds).
+pub(crate) struct ReplicaPool {
+    queues: Vec<ReplicaQueue>,
+}
+
+impl ReplicaPool {
+    /// Spawns `replicas` batcher threads over cheap clones of `system`
+    /// and returns the queue handles plus the join handles.
+    pub fn spawn<M>(
+        system: &Arc<VflSystem<M>>,
+        defense: &Arc<DefensePipeline>,
+        metrics: &Arc<ServerMetrics>,
+        stop: &Arc<AtomicBool>,
+        coalescer: Coalescer,
+        round_cost: Duration,
+        replicas: usize,
+    ) -> (ReplicaPool, Vec<JoinHandle<()>>)
+    where
+        M: PredictProba + Send + Sync + 'static,
+    {
+        let replicas = replicas.max(1);
+        let mut queues = Vec::with_capacity(replicas);
+        let mut handles = Vec::with_capacity(replicas);
+        for id in 0..replicas {
+            let (tx, rx) = mpsc::channel::<Job>();
+            let depth_rows = Arc::new(AtomicUsize::new(0));
+            let partition = system.partition();
+            let party_widths = (0..partition.n_parties())
+                .map(|p| partition.features_of(fia_vfl::PartyId(p)).len())
+                .collect();
+            let ctx = ReplicaCtx {
+                id,
+                // A replica, not a second copy: shares the read-only
+                // deployment state behind the caller's Arc.
+                system: system.as_ref().clone(),
+                defense: Arc::clone(defense),
+                metrics: Arc::clone(metrics),
+                stop: Arc::clone(stop),
+                depth_rows: Arc::clone(&depth_rows),
+                party_widths,
+                coalescer,
+                round_cost,
+            };
+            handles.push(std::thread::spawn(move || batcher_loop(&ctx, &rx)));
+            queues.push(ReplicaQueue { tx, depth_rows });
+        }
+        (ReplicaPool { queues }, handles)
+    }
+
+    /// Number of replicas in the pool.
+    pub fn len(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueues `job` on `replica`'s queue, accounting its rows into the
+    /// replica's load gauge. Fails only during shutdown.
+    pub fn send(&self, replica: usize, job: Job) -> Result<(), String> {
+        let q = &self.queues[replica];
+        let rows = job.rows;
+        match q.tx.send(job) {
+            Ok(()) => {
+                q.depth_rows.fetch_add(rows, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(_) => Err("server is shutting down".to_string()),
+        }
+    }
+
+    /// The replica with the fewest queued rows right now (ties broken by
+    /// lowest id) — the target for ad-hoc feature queries, which have no
+    /// shard affinity.
+    pub fn least_loaded(&self) -> usize {
+        self.queues
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, q)| q.depth_rows.load(Ordering::Relaxed))
+            .map(|(i, _)| i)
+            .expect("pool has at least one replica")
+    }
+
+    /// Rows currently queued on `replica` (test/diagnostic visibility).
+    #[cfg(test)]
+    pub fn queued_rows(&self, replica: usize) -> usize {
+        self.queues[replica].depth_rows.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything one replica's batcher thread owns.
+struct ReplicaCtx<M: PredictProba> {
+    id: usize,
+    system: VflSystem<M>,
+    defense: Arc<DefensePipeline>,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+    depth_rows: Arc<AtomicUsize>,
+    /// Per-party feature widths, precomputed once (round hot path).
+    party_widths: Vec<usize>,
+    coalescer: Coalescer,
+    round_cost: Duration,
+}
+
+fn batcher_loop<M: PredictProba>(ctx: &ReplicaCtx<M>, rx: &Receiver<Job>) {
+    // A job the coalescer refused to pack past the row cap; it becomes
+    // the next round's first job, preserving arrival order.
+    let mut pending: Option<Job> = None;
+    loop {
+        let first = match pending.take() {
+            Some(job) => job,
+            None => match rx.recv_timeout(POLL_TICK) {
+                Ok(job) => job,
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if ctx.stop.load(Ordering::SeqCst) {
+                        // Drain stragglers so no connection hangs, then exit.
+                        while let Ok(job) = rx.try_recv() {
+                            run_round(ctx, vec![job]);
+                        }
+                        return;
+                    }
+                    continue;
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            },
+        };
+        let round = ctx.coalescer.drain(rx, first, &mut pending);
+        run_round(ctx, round);
+    }
+}
+
+/// Executes one joint-prediction round over the coalesced jobs.
+fn run_round<M: PredictProba>(ctx: &ReplicaCtx<M>, jobs: Vec<Job>) {
+    let total: usize = jobs.iter().map(|j| j.rows).sum();
+
+    // Assemble each party's contribution for the whole round, consuming
+    // the jobs so ad-hoc blocks are moved, not cloned.
+    let mut slices: Vec<Matrix> = ctx
+        .party_widths
+        .iter()
+        .map(|&w| Matrix::zeros(total, w))
+        .collect();
+    let mut replies = Vec::with_capacity(jobs.len());
+    let mut offset = 0;
+    for job in jobs {
+        let blocks: Vec<Matrix> = match job.input {
+            RoundInput::Stored(indices) => ctx.system.party_slices(&indices),
+            RoundInput::AdHoc(blocks) => blocks,
+        };
+        for (slice, block) in slices.iter_mut().zip(&blocks) {
+            for r in 0..job.rows {
+                slice.row_mut(offset + r).copy_from_slice(block.row(r));
+            }
+        }
+        offset += job.rows;
+        replies.push((job.rows, job.reply));
+    }
+
+    // The simulated secure-computation round trip: paid once per round,
+    // however many queries the round answers.
+    if ctx.round_cost > Duration::ZERO {
+        std::thread::sleep(ctx.round_cost);
+    }
+
+    let scores = ctx.system.predict_features_batch(&slices);
+    // Defense at the score-release boundary: one batch hook per round,
+    // exactly where a deployment would apply it.
+    let released = ctx.defense.defend_batch(&scores);
+    ctx.metrics.record_round(ctx.id, total);
+
+    let mut offset = 0;
+    for (job_rows, reply) in replies {
+        let rows: Vec<usize> = (offset..offset + job_rows).collect();
+        let part = released
+            .select_rows(&rows)
+            .expect("round rows were assembled in range");
+        offset += job_rows;
+        let _ = reply.send(Ok(part));
+    }
+    // Every job reached this queue through `ReplicaPool::send`, which
+    // accounted its rows, so the gauge cannot underflow.
+    ctx.depth_rows.fetch_sub(total, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fia_models::LogisticRegression;
+    use fia_vfl::VerticalPartition;
+
+    fn toy_system() -> Arc<VflSystem<LogisticRegression>> {
+        let w = Matrix::from_fn(4, 3, |i, j| 0.1 * (i as f64 + 1.0) - 0.05 * j as f64);
+        let model = LogisticRegression::from_parameters(w, vec![0.0, 0.1, -0.1], 3);
+        let partition = VerticalPartition::contiguous(&[2, 2]);
+        let global = Matrix::from_fn(6, 4, |i, j| ((i + 2 * j) % 5) as f64 * 0.2);
+        Arc::new(VflSystem::from_global(model, partition, &global))
+    }
+
+    fn spawn_pool(
+        replicas: usize,
+        stop: &Arc<AtomicBool>,
+    ) -> (ReplicaPool, Vec<JoinHandle<()>>, Arc<ServerMetrics>) {
+        let metrics = Arc::new(ServerMetrics::with_replicas(replicas));
+        let (pool, handles) = ReplicaPool::spawn(
+            &toy_system(),
+            &Arc::new(DefensePipeline::new()),
+            &metrics,
+            stop,
+            Coalescer::adaptive(16, Duration::from_micros(100)),
+            Duration::ZERO,
+            replicas,
+        );
+        (pool, handles, metrics)
+    }
+
+    fn shutdown(stop: &Arc<AtomicBool>, handles: Vec<JoinHandle<()>>) {
+        stop.store(true, Ordering::SeqCst);
+        for h in handles {
+            h.join().expect("batcher thread panicked");
+        }
+    }
+
+    #[test]
+    fn each_replica_answers_its_own_queue() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (pool, handles, metrics) = spawn_pool(3, &stop);
+        let system = toy_system();
+        let mut receivers = Vec::new();
+        for replica in 0..3 {
+            let (tx, rx) = mpsc::channel();
+            pool.send(
+                replica,
+                Job {
+                    input: RoundInput::Stored(vec![replica, replica + 1]),
+                    rows: 2,
+                    reply: tx,
+                },
+            )
+            .expect("send");
+            receivers.push((replica, rx));
+        }
+        for (replica, rx) in receivers {
+            let scores = rx.recv().expect("reply").expect("round ok");
+            assert_eq!(scores, system.predict_batch(&[replica, replica + 1]));
+        }
+        let r = metrics.report();
+        assert_eq!(r.replica_rounds, vec![1, 1, 1]);
+        assert_eq!(r.replica_rows, vec![2, 2, 2]);
+        shutdown(&stop, handles);
+    }
+
+    #[test]
+    fn least_loaded_prefers_the_empty_queue() {
+        let stop = Arc::new(AtomicBool::new(true)); // batchers idle out fast
+        let (pool, handles, _metrics) = spawn_pool(2, &stop);
+        // Gauge accounting is what least_loaded reads; simulate load on
+        // replica 0 directly.
+        pool.queues[0].depth_rows.store(10, Ordering::Relaxed);
+        assert_eq!(pool.least_loaded(), 1);
+        pool.queues[1].depth_rows.store(20, Ordering::Relaxed);
+        assert_eq!(pool.least_loaded(), 0);
+        for h in handles {
+            h.join().expect("join");
+        }
+        assert_eq!(pool.queued_rows(0), 10);
+    }
+
+    #[test]
+    fn queued_jobs_are_answered_before_shutdown() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (pool, handles, _metrics) = spawn_pool(1, &stop);
+        let mut rxs = Vec::new();
+        for i in 0..5 {
+            let (tx, rx) = mpsc::channel();
+            pool.send(
+                0,
+                Job {
+                    input: RoundInput::Stored(vec![i]),
+                    rows: 1,
+                    reply: tx,
+                },
+            )
+            .expect("send");
+            rxs.push(rx);
+        }
+        shutdown(&stop, handles);
+        for rx in rxs {
+            assert!(rx.recv().expect("answered before exit").is_ok());
+        }
+    }
+}

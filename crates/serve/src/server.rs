@@ -4,40 +4,44 @@
 //!
 //! * an *acceptor* polls the listener and spawns one thread per
 //!   connection;
-//! * *connection* threads frame-decode requests, validate them, and
-//!   enqueue prediction jobs;
-//! * a single *batcher* thread owns the deployment: it drains the job
-//!   queue through the [`Coalescer`] into joint-prediction rounds
-//!   ([`VflSystem::predict_features_batch`]), applies the
-//!   [`DefensePipeline`] once per round at the score-release boundary,
-//!   and routes each job's rows back to its connection.
+//! * *connection* threads frame-decode requests, validate them, and hand
+//!   prediction jobs to the [`Dispatcher`];
+//! * a [`ReplicaPool`] of N *batcher* threads, each owning a cheap
+//!   replica of the deployment: stored-index traffic is routed by shard
+//!   of the stored prediction set, ad-hoc feature traffic by least
+//!   loaded replica, and each batcher drains its queue through a
+//!   [`Coalescer`](crate::Coalescer) into joint-prediction rounds with
+//!   the [`DefensePipeline`] applied once per round at the score-release
+//!   boundary.
 //!
-//! One batcher means one protocol round in flight at a time — faithful
-//! to the deployment being modelled, where the `m` parties jointly run
-//! one secure computation per round. [`ServeConfig::round_cost`] makes
-//! that round's fixed overhead explicit: the in-the-clear simulation
-//! pays almost nothing per round, while the real protocol (secure
-//! aggregation / HE) pays a latency in the hundreds of microseconds to
-//! milliseconds; benches reinstate it to measure what micro-batch
-//! coalescing buys at the served-prediction boundary.
+//! One round in flight *per replica* keeps the faithfulness of the
+//! modelled deployment (the `m` parties run one secure computation at a
+//! time per backend) while scaling throughput with the replica count.
+//! [`ServeConfig::round_cost`] makes each round's fixed protocol
+//! overhead explicit; the optional released-score cache
+//! ([`ServeConfig::cache_capacity`]) answers repeated stored-index
+//! queries without paying it again — and, deliberately, re-releases the
+//! first-released bytes so repetition leaks nothing fresh.
 //!
 //! Shutdown is graceful: a stop flag flips, the acceptor exits on its
 //! next poll, connection threads notice within one read-timeout tick,
-//! and the batcher answers every job still queued before exiting.
+//! and every batcher answers the jobs still queued before exiting.
 
-use crate::coalesce::{Coalescer, Coalescible};
+use crate::cache::ScoreCache;
+use crate::coalesce::Coalescer;
+use crate::dispatch::{Dispatcher, ShardMap};
 use crate::metrics::{MetricsReport, ServerMetrics};
+use crate::pool::{ReplicaPool, POLL_TICK};
 use crate::wire::{
     decode_request, encode_response, write_frame, Request, Response, ServerInfo, WireError,
 };
-use fia_defense::{DefensePipeline, ScoreDefense};
+use fia_defense::DefensePipeline;
 use fia_linalg::Matrix;
 use fia_models::PredictProba;
 use fia_vfl::{PartyId, VflSystem};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -48,12 +52,24 @@ pub struct ServeConfig {
     /// Address to bind; use port `0` for an ephemeral port (tests and
     /// examples should, so parallel runs never collide).
     pub bind: String,
+    /// Backend replicas: clones of the deployment, each with its own
+    /// coalescer and batcher thread. The stored prediction set is
+    /// range-sharded across them (`1` reproduces PR 2's single-batcher
+    /// server exactly).
+    pub replicas: usize,
     /// Row budget per coalesced round.
     pub batch_cap: usize,
-    /// Deadline past a round's first request (see [`Coalescer`]).
+    /// Deadline past a round's first request (see
+    /// [`Coalescer`](crate::Coalescer)).
     pub batch_deadline: Duration,
     /// `false` turns the coalescer off: every request is its own round.
     pub coalesce: bool,
+    /// Released-score cache capacity in rows; `0` disables caching.
+    /// The cache stores post-defense released rows keyed by stored
+    /// sample index and re-releases them bit-identically.
+    pub cache_capacity: usize,
+    /// Seed for the cache's eviction choices (reproducible experiments).
+    pub cache_seed: u64,
     /// Simulated fixed cost of one secure joint-prediction round. The
     /// in-tree deployment evaluates the model in the clear, so the
     /// per-round protocol overhead a real VFL serving stack pays
@@ -66,9 +82,12 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             bind: "127.0.0.1:0".to_string(),
+            replicas: 1,
             batch_cap: 64,
             batch_deadline: Duration::from_micros(500),
             coalesce: true,
+            cache_capacity: 0,
+            cache_seed: 0x5C0_7E5,
             round_cost: Duration::ZERO,
         }
     }
@@ -85,37 +104,13 @@ impl ServeConfig {
     }
 }
 
-/// How often blocked threads re-check the stop flag.
-const POLL_TICK: Duration = Duration::from_millis(20);
-
-/// One queued prediction job: the round input plus the channel its rows
-/// travel back on.
-struct Job {
-    input: RoundInput,
-    rows: usize,
-    reply: Sender<Result<Matrix, String>>,
-}
-
-enum RoundInput {
-    /// Stored-sample queries (already range-checked).
-    Stored(Vec<usize>),
-    /// Ad-hoc per-party feature blocks (already shape-checked).
-    AdHoc(Vec<Matrix>),
-}
-
-impl Coalescible for Job {
-    fn rows(&self) -> usize {
-        self.rows
-    }
-}
-
-/// State shared by every server thread.
-struct Shared<M: PredictProba> {
-    system: Arc<VflSystem<M>>,
-    defense: Arc<DefensePipeline>,
+/// State shared by every server thread. Deliberately not generic over
+/// the model type: the generic deployment lives inside the pool's
+/// batcher threads, so connection handling stays monomorphic.
+struct Shared {
+    dispatcher: Dispatcher,
     metrics: Arc<ServerMetrics>,
-    stop: AtomicBool,
-    jobs: Sender<Job>,
+    stop: Arc<AtomicBool>,
     info: ServerInfo,
 }
 
@@ -124,12 +119,12 @@ struct Shared<M: PredictProba> {
 pub struct PredictionServer;
 
 impl PredictionServer {
-    /// Binds `config.bind`, spawns the server threads, and returns a
-    /// handle carrying the bound address (resolve ephemeral ports from
-    /// it). The deployment and the defense pipeline are shared, not
-    /// consumed — the caller keeps its `Arc` clones, which is what lets
-    /// tests compare over-the-wire results against in-process runs of
-    /// the *same* system.
+    /// Binds `config.bind`, spawns the server threads (acceptor + one
+    /// batcher per replica), and returns a handle carrying the bound
+    /// address (resolve ephemeral ports from it). The deployment and the
+    /// defense pipeline are shared, not consumed — the caller keeps its
+    /// `Arc` clones, which is what lets tests compare over-the-wire
+    /// results against in-process runs of the *same* system.
     pub fn spawn<M>(
         system: Arc<VflSystem<M>>,
         defense: Arc<DefensePipeline>,
@@ -152,25 +147,36 @@ impl PredictionServer {
                 .collect(),
         };
 
-        let (jobs_tx, jobs_rx) = mpsc::channel::<Job>();
-        let metrics = Arc::new(ServerMetrics::new());
+        let replicas = config.replicas.max(1);
+        let metrics = Arc::new(ServerMetrics::with_replicas(replicas));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (pool, batchers) = ReplicaPool::spawn(
+            &system,
+            &defense,
+            &metrics,
+            &stop,
+            config.coalescer(),
+            config.round_cost,
+            replicas,
+        );
+        let cache = (config.cache_capacity > 0)
+            .then(|| ScoreCache::new(config.cache_capacity, config.cache_seed));
+        let dispatcher = Dispatcher::new(
+            pool,
+            ShardMap::new(info.n_samples, replicas),
+            cache,
+            Arc::clone(&metrics),
+            info.n_classes,
+        );
+
         let shared = Arc::new(Shared {
-            system,
-            defense,
+            dispatcher,
             metrics: Arc::clone(&metrics),
-            stop: AtomicBool::new(false),
-            jobs: jobs_tx,
+            stop: Arc::clone(&stop),
             info,
         });
 
         let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let coalescer = config.coalescer();
-        let round_cost = config.round_cost;
-
-        let batcher = {
-            let shared = Arc::clone(&shared);
-            std::thread::spawn(move || batcher_loop(&shared, &jobs_rx, coalescer, round_cost))
-        };
         let acceptor = {
             let shared = Arc::clone(&shared);
             let conns = Arc::clone(&conns);
@@ -179,26 +185,12 @@ impl PredictionServer {
 
         Ok(ServerHandle {
             addr,
-            stop: StopFlag(shared),
+            stop,
             metrics,
             acceptor: Some(acceptor),
-            batcher: Some(batcher),
+            batchers,
             conns,
         })
-    }
-}
-
-/// Type-erased access to the shared stop flag (the handle must not be
-/// generic over the model type).
-struct StopFlag(Arc<dyn StopTarget + Send + Sync>);
-
-trait StopTarget {
-    fn stop(&self) -> &AtomicBool;
-}
-
-impl<M: PredictProba + Send + Sync> StopTarget for Shared<M> {
-    fn stop(&self) -> &AtomicBool {
-        &self.stop
     }
 }
 
@@ -206,10 +198,10 @@ impl<M: PredictProba + Send + Sync> StopTarget for Shared<M> {
 /// switch. Dropping the handle shuts the server down.
 pub struct ServerHandle {
     addr: SocketAddr,
-    stop: StopFlag,
+    stop: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
     acceptor: Option<JoinHandle<()>>,
-    batcher: Option<JoinHandle<()>>,
+    batchers: Vec<JoinHandle<()>>,
     conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
@@ -232,7 +224,7 @@ impl ServerHandle {
     }
 
     fn shutdown_in_place(&mut self) {
-        self.stop.0.stop().store(true, Ordering::SeqCst);
+        self.stop.store(true, Ordering::SeqCst);
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
@@ -240,7 +232,7 @@ impl ServerHandle {
         for h in handles {
             let _ = h.join();
         }
-        if let Some(h) = self.batcher.take() {
+        for h in std::mem::take(&mut self.batchers) {
             let _ = h.join();
         }
     }
@@ -255,9 +247,9 @@ impl Drop for ServerHandle {
 // ---------------------------------------------------------------------
 // Thread bodies.
 
-fn acceptor_loop<M: PredictProba + Send + Sync + 'static>(
+fn acceptor_loop(
     listener: TcpListener,
-    shared: &Arc<Shared<M>>,
+    shared: &Arc<Shared>,
     conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
     while !shared.stop.load(Ordering::SeqCst) {
@@ -287,7 +279,7 @@ fn acceptor_loop<M: PredictProba + Send + Sync + 'static>(
     }
 }
 
-fn connection_loop<M: PredictProba + Send + Sync>(mut stream: TcpStream, shared: &Shared<M>) {
+fn connection_loop(mut stream: TcpStream, shared: &Shared) {
     // The accepted stream inherits the listener's non-blocking mode on
     // some platforms; force blocking + a short read timeout so the
     // thread both sleeps properly and notices shutdown.
@@ -328,7 +320,7 @@ fn connection_loop<M: PredictProba + Send + Sync>(mut stream: TcpStream, shared:
 }
 
 /// Computes the response for one decoded request.
-fn answer<M: PredictProba + Send + Sync>(req: Request, shared: &Shared<M>) -> Response {
+fn answer(req: Request, shared: &Shared) -> Response {
     match req {
         Request::Ping => Response::Pong,
         Request::Info => Response::Info(shared.info.clone()),
@@ -343,8 +335,21 @@ fn answer<M: PredictProba + Send + Sync>(req: Request, shared: &Shared<M>) -> Re
                 ));
             }
             let indices: Vec<usize> = indices.into_iter().map(|i| i as usize).collect();
-            let rows = indices.len();
-            enqueue(shared, RoundInput::Stored(indices), rows)
+            if indices.is_empty() {
+                // Nothing to compute or defend: answer the empty round
+                // directly.
+                return Response::Scores {
+                    scores: Matrix::zeros(0, shared.info.n_classes),
+                    cached_rows: 0,
+                };
+            }
+            match shared.dispatcher.predict_stored(&indices) {
+                Ok((scores, cached)) => Response::Scores {
+                    scores,
+                    cached_rows: cached as u32,
+                },
+                Err(why) => Response::Error(why),
+            }
         }
         Request::PredictFeatures(slices) => {
             if slices.len() != shared.info.party_widths.len() {
@@ -369,107 +374,20 @@ fn answer<M: PredictProba + Send + Sync>(req: Request, shared: &Shared<M>) -> Re
                     return Response::Error("party blocks must be row-aligned".to_string());
                 }
             }
-            enqueue(shared, RoundInput::AdHoc(slices), rows)
-        }
-    }
-}
-
-/// Queues a validated prediction job and waits for its rows.
-fn enqueue<M: PredictProba + Send + Sync>(
-    shared: &Shared<M>,
-    input: RoundInput,
-    rows: usize,
-) -> Response {
-    if rows == 0 {
-        // Nothing to compute or defend: answer the empty round directly.
-        return Response::Scores(Matrix::zeros(0, shared.info.n_classes));
-    }
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let job = Job {
-        input,
-        rows,
-        reply: reply_tx,
-    };
-    if shared.jobs.send(job).is_err() {
-        return Response::Error("server is shutting down".to_string());
-    }
-    match reply_rx.recv() {
-        Ok(Ok(scores)) => Response::Scores(scores),
-        Ok(Err(why)) => Response::Error(why),
-        Err(_) => Response::Error("server is shutting down".to_string()),
-    }
-}
-
-fn batcher_loop<M: PredictProba>(
-    shared: &Shared<M>,
-    rx: &Receiver<Job>,
-    coalescer: Coalescer,
-    round_cost: Duration,
-) {
-    loop {
-        let first = match rx.recv_timeout(POLL_TICK) {
-            Ok(job) => job,
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                if shared.stop.load(Ordering::SeqCst) {
-                    // Drain stragglers so no connection hangs, then exit.
-                    while let Ok(job) = rx.try_recv() {
-                        run_round(shared, vec![job], round_cost);
-                    }
-                    return;
-                }
-                continue;
+            if rows == 0 {
+                return Response::Scores {
+                    scores: Matrix::zeros(0, shared.info.n_classes),
+                    cached_rows: 0,
+                };
             }
-            Err(mpsc::RecvTimeoutError::Disconnected) => return,
-        };
-        let round = coalescer.drain(rx, first);
-        run_round(shared, round, round_cost);
-    }
-}
-
-/// Executes one joint-prediction round over the coalesced jobs.
-fn run_round<M: PredictProba>(shared: &Shared<M>, jobs: Vec<Job>, round_cost: Duration) {
-    let total: usize = jobs.iter().map(|j| j.rows).sum();
-    let widths = &shared.info.party_widths;
-
-    // Assemble each party's contribution for the whole round, consuming
-    // the jobs so ad-hoc blocks are moved, not cloned.
-    let mut slices: Vec<Matrix> = widths.iter().map(|&w| Matrix::zeros(total, w)).collect();
-    let mut replies = Vec::with_capacity(jobs.len());
-    let mut offset = 0;
-    for job in jobs {
-        let blocks: Vec<Matrix> = match job.input {
-            RoundInput::Stored(indices) => shared.system.party_slices(&indices),
-            RoundInput::AdHoc(blocks) => blocks,
-        };
-        for (slice, block) in slices.iter_mut().zip(&blocks) {
-            for r in 0..job.rows {
-                slice.row_mut(offset + r).copy_from_slice(block.row(r));
+            match shared.dispatcher.predict_adhoc(slices, rows) {
+                Ok(scores) => Response::Scores {
+                    scores,
+                    cached_rows: 0,
+                },
+                Err(why) => Response::Error(why),
             }
         }
-        offset += job.rows;
-        replies.push((job.rows, job.reply));
-    }
-
-    // The simulated secure-computation round trip: paid once per round,
-    // however many queries the round answers.
-    if round_cost > Duration::ZERO {
-        std::thread::sleep(round_cost);
-    }
-
-    let scores = shared.system.predict_features_batch(&slices);
-    // Defense at the score-release boundary: one batch hook per round,
-    // exactly where a deployment would apply it.
-    let released = shared.defense.defend_batch(&scores);
-    shared.metrics.record_round(total);
-
-    let mut offset = 0;
-    for (job_rows, reply) in replies {
-        let rows: Vec<usize> = (offset..offset + job_rows).collect();
-        let part = released
-            .select_rows(&rows)
-            .expect("round rows were assembled in range");
-        offset += job_rows;
-        let _ = reply.send(Ok(part));
     }
 }
 

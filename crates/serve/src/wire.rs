@@ -123,8 +123,16 @@ pub enum Request {
 pub enum Response {
     /// Liveness answer.
     Pong,
-    /// The revealed `n × c` confidence matrix for a prediction round.
-    Scores(Matrix),
+    /// The revealed `n × c` confidence matrix for a prediction round,
+    /// plus how many of its rows were re-released from the server's
+    /// score cache (adversary-visible query-cost accounting: a cached
+    /// row cost the deployment no joint prediction round).
+    Scores {
+        /// The released confidence matrix.
+        scores: Matrix,
+        /// Rows answered from the released-score cache.
+        cached_rows: u32,
+    },
     /// Deployment facts.
     Info(ServerInfo),
     /// Live metrics snapshot.
@@ -295,9 +303,13 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
     let mut out = Vec::new();
     match resp {
         Response::Pong => out.push(resp_tag::PONG),
-        Response::Scores(m) => {
+        Response::Scores {
+            scores,
+            cached_rows,
+        } => {
             out.push(resp_tag::SCORES);
-            put_matrix(&mut out, m)?;
+            put_u32(&mut out, *cached_rows);
+            put_matrix(&mut out, scores)?;
         }
         Response::Info(info) => {
             out.push(resp_tag::INFO);
@@ -313,6 +325,15 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
             out.push(resp_tag::METRICS);
             for v in m.as_wire_values() {
                 put_f64(&mut out, v);
+            }
+            // Per-replica gauges, length-prefixed: (rounds, rows) pairs.
+            if m.replica_rounds.len() != m.replica_rows.len() {
+                return Err(WireError::Malformed("replica gauge length mismatch"));
+            }
+            put_u32(&mut out, m.replica_rounds.len() as u32);
+            for (&rounds, &rows) in m.replica_rounds.iter().zip(&m.replica_rows) {
+                put_f64(&mut out, rounds as f64);
+                put_f64(&mut out, rows as f64);
             }
         }
         Response::ShuttingDown => out.push(resp_tag::SHUTTING_DOWN),
@@ -330,7 +351,17 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
     let mut scan = Scan::new(payload);
     let resp = match scan.u8()? {
         resp_tag::PONG => Response::Pong,
-        resp_tag::SCORES => Response::Scores(get_matrix(&mut scan)?),
+        resp_tag::SCORES => {
+            let cached_rows = scan.u32()?;
+            let scores = get_matrix(&mut scan)?;
+            if (cached_rows as usize) > scores.rows() {
+                return Err(WireError::Malformed("cached_rows exceeds row count"));
+            }
+            Response::Scores {
+                scores,
+                cached_rows,
+            }
+        }
         resp_tag::INFO => {
             let n_samples = scan.u32()? as usize;
             let n_features = scan.u32()? as usize;
@@ -355,7 +386,16 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             for v in vals.iter_mut() {
                 *v = scan.f64()?;
             }
-            Response::Metrics(MetricsReport::from_wire_values(&vals))
+            let mut report = MetricsReport::from_wire_values(&vals);
+            let replicas = scan.u32()? as usize;
+            if replicas > 4096 {
+                return Err(WireError::Malformed("implausible replica count"));
+            }
+            for _ in 0..replicas {
+                report.replica_rounds.push(scan.f64()? as u64);
+                report.replica_rows.push(scan.f64()? as u64);
+            }
+            Response::Metrics(report)
         }
         resp_tag::SHUTTING_DOWN => Response::ShuttingDown,
         resp_tag::ERROR => {
@@ -452,7 +492,10 @@ mod tests {
             1 => {
                 let rows = rng.gen_range(0..16usize);
                 let cols = rng.gen_range(1..12usize);
-                Response::Scores(random_matrix(rng, rows, cols))
+                Response::Scores {
+                    cached_rows: rng.gen_range(0..=rows) as u32,
+                    scores: random_matrix(rng, rows, cols),
+                }
             }
             2 => Response::Info(ServerInfo {
                 n_samples: rng.gen_range(0..100_000usize),
@@ -462,17 +505,24 @@ mod tests {
                     .map(|_| rng.gen_range(1..64usize))
                     .collect(),
             }),
-            3 => Response::Metrics(MetricsReport {
-                requests: rng.gen_range(0..1_000_000u64),
-                rows: rng.gen_range(0..1_000_000u64),
-                rounds: rng.gen_range(0..1_000_000u64),
-                errors: rng.gen_range(0..100u64),
-                mean_batch_fill: rng.gen::<f64>() * 64.0,
-                p50_latency_us: rng.gen::<f64>() * 1e4,
-                p99_latency_us: rng.gen::<f64>() * 1e5,
-                uptime_secs: rng.gen::<f64>() * 1e3,
-                throughput_rps: rng.gen::<f64>() * 1e5,
-            }),
+            3 => {
+                let replicas = rng.gen_range(0..5usize);
+                Response::Metrics(MetricsReport {
+                    requests: rng.gen_range(0..1_000_000u64),
+                    rows: rng.gen_range(0..1_000_000u64),
+                    rounds: rng.gen_range(0..1_000_000u64),
+                    errors: rng.gen_range(0..100u64),
+                    cache_hits: rng.gen_range(0..1_000_000u64),
+                    cache_misses: rng.gen_range(0..1_000_000u64),
+                    mean_batch_fill: rng.gen::<f64>() * 64.0,
+                    p50_latency_us: rng.gen::<f64>() * 1e4,
+                    p99_latency_us: rng.gen::<f64>() * 1e5,
+                    uptime_secs: rng.gen::<f64>() * 1e3,
+                    throughput_rps: rng.gen::<f64>() * 1e5,
+                    replica_rounds: (0..replicas).map(|_| rng.gen_range(0..1_000u64)).collect(),
+                    replica_rows: (0..replicas).map(|_| rng.gen_range(0..10_000u64)).collect(),
+                })
+            }
             4 => Response::ShuttingDown,
             _ => Response::Error("sample index 99 out of range (n_samples = 10)".to_string()),
         }
@@ -513,9 +563,16 @@ mod tests {
             2 => 1e308,
             _ => -(j as f64) * 0.001,
         });
-        let payload = encode_response(&Response::Scores(m.clone())).unwrap();
+        let payload = encode_response(&Response::Scores {
+            scores: m.clone(),
+            cached_rows: 1,
+        })
+        .unwrap();
         match decode_response(&payload).unwrap() {
-            Response::Scores(back) => {
+            Response::Scores {
+                scores: back,
+                cached_rows: 1,
+            } => {
                 for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
                     assert_eq!(a.to_bits(), b.to_bits());
                 }
@@ -529,7 +586,10 @@ mod tests {
     fn nan_rejected_both_ways() {
         let bad = Matrix::from_fn(1, 2, |_, j| if j == 0 { f64::NAN } else { 0.5 });
         assert!(matches!(
-            encode_response(&Response::Scores(bad.clone())),
+            encode_response(&Response::Scores {
+                scores: bad.clone(),
+                cached_rows: 0
+            }),
             Err(WireError::NonFinite)
         ));
         assert!(matches!(
@@ -538,7 +598,11 @@ mod tests {
         ));
         // Decoder-side: craft a frame with an infinity in the score block.
         let good = Matrix::from_fn(1, 2, |_, j| j as f64);
-        let mut payload = encode_response(&Response::Scores(good)).unwrap();
+        let mut payload = encode_response(&Response::Scores {
+            scores: good,
+            cached_rows: 0,
+        })
+        .unwrap();
         let inf_bits = f64::INFINITY.to_bits().to_le_bytes();
         let n = payload.len();
         payload[n - 8..].copy_from_slice(&inf_bits);
@@ -586,10 +650,11 @@ mod tests {
 
     #[test]
     fn huge_matrix_header_in_tiny_frame_rejected() {
-        // A 13-byte payload whose matrix header claims 2^23 × 1 elements
+        // A 17-byte payload whose matrix header claims 2^23 × 1 elements
         // (inside the element cap) must be rejected as truncated before
         // the decoder sizes any buffer from the header.
         let mut payload = vec![resp_tag::SCORES];
+        payload.extend_from_slice(&0u32.to_le_bytes()); // cached_rows
         payload.extend_from_slice(&(1u32 << 23).to_le_bytes());
         payload.extend_from_slice(&1u32.to_le_bytes());
         assert!(matches!(

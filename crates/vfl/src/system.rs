@@ -11,6 +11,7 @@ use crate::partition::VerticalPartition;
 use crate::party::{Party, PartyId};
 use fia_linalg::Matrix;
 use fia_models::PredictProba;
+use std::sync::Arc;
 
 /// One entry of the active party's accumulated observation log — exactly
 /// the training data GRNA uses (Section V: "the active party can easily
@@ -26,11 +27,35 @@ pub struct PredictionRecord {
     pub confidence: Vec<f64>,
 }
 
-/// A deployed vertical FL system holding a trained model.
-pub struct VflSystem<M: PredictProba> {
+/// The immutable deployment state every replica of a served system
+/// shares: the trained model, the feature partition and the parties'
+/// aligned tables. Prediction never mutates any of it, which is what
+/// makes replica cloning an `Arc` bump instead of a data copy.
+struct SystemState<M: PredictProba> {
     model: M,
     partition: VerticalPartition,
     parties: Vec<Party>,
+}
+
+/// A deployed vertical FL system holding a trained model.
+///
+/// The state behind a system is reference-counted and read-only:
+/// [`Clone`] produces a *replica* sharing the same model, partition and
+/// party tables in O(1) — no feature data is copied. A serving stack can
+/// therefore hand each of its backend threads its own `VflSystem` handle
+/// (one replica per batcher) while the deployment exists in memory once.
+pub struct VflSystem<M: PredictProba> {
+    state: Arc<SystemState<M>>,
+}
+
+/// Replica cloning: an `Arc` bump sharing the read-only deployment
+/// state, regardless of whether the model type is itself `Clone`.
+impl<M: PredictProba> Clone for VflSystem<M> {
+    fn clone(&self) -> Self {
+        VflSystem {
+            state: Arc::clone(&self.state),
+        }
+    }
 }
 
 impl<M: PredictProba> VflSystem<M> {
@@ -65,10 +90,18 @@ impl<M: PredictProba> VflSystem<M> {
             "exactly one active party"
         );
         VflSystem {
-            model,
-            partition,
-            parties,
+            state: Arc::new(SystemState {
+                model,
+                partition,
+                parties,
+            }),
         }
+    }
+
+    /// `true` when `other` is a replica of this system (both handles
+    /// share the same read-only deployment state).
+    pub fn shares_state_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.state, &other.state)
     }
 
     /// Convenience constructor: splits a global prediction matrix into
@@ -91,7 +124,8 @@ impl<M: PredictProba> VflSystem<M> {
 
     /// Number of aligned samples available for prediction.
     pub fn n_samples(&self) -> usize {
-        self.parties
+        self.state
+            .parties
             .first()
             .map(|p| p.local_data.rows())
             .unwrap_or_default()
@@ -99,24 +133,25 @@ impl<M: PredictProba> VflSystem<M> {
 
     /// The trained model (released to all parties in the threat model).
     pub fn model(&self) -> &M {
-        &self.model
+        &self.state.model
     }
 
     /// The feature partition (public metadata: the active party knows the
     /// passive parties' feature names/count — Section III-B).
     pub fn partition(&self) -> &VerticalPartition {
-        &self.partition
+        &self.state.partition
     }
 
     /// All parties in id order (crate-internal: the threat-model module
     /// uses this to let colluding parties contribute their columns).
     pub(crate) fn parties(&self) -> &[Party] {
-        &self.parties
+        &self.state.parties
     }
 
     /// The active party.
     pub fn active_party(&self) -> &Party {
-        self.parties
+        self.state
+            .parties
             .iter()
             .find(|p| p.is_active)
             .expect("constructor guarantees one active party")
@@ -159,7 +194,8 @@ impl<M: PredictProba> VflSystem<M> {
         for &i in sample_indices {
             assert!(i < n_samples, "sample index out of range");
         }
-        self.parties
+        self.state
+            .parties
             .iter()
             .map(|party| {
                 let mut block = Matrix::zeros(sample_indices.len(), party.n_features());
@@ -192,11 +228,11 @@ impl<M: PredictProba> VflSystem<M> {
     pub fn predict_features_batch(&self, slices: &[Matrix]) -> Matrix {
         assert_eq!(
             slices.len(),
-            self.parties.len(),
+            self.state.parties.len(),
             "one feature block per party"
         );
         let n = slices.first().map(|s| s.rows()).unwrap_or_default();
-        for (party, block) in self.parties.iter().zip(slices) {
+        for (party, block) in self.state.parties.iter().zip(slices) {
             assert_eq!(
                 block.cols(),
                 party.n_features(),
@@ -206,8 +242,8 @@ impl<M: PredictProba> VflSystem<M> {
             assert_eq!(block.rows(), n, "feature blocks must be row-aligned");
         }
         // The batched analogue of `partition.assemble` on one row.
-        let mut joint = Matrix::zeros(n, self.partition.n_features());
-        for (party, block) in self.parties.iter().zip(slices) {
+        let mut joint = Matrix::zeros(n, self.state.partition.n_features());
+        for (party, block) in self.state.parties.iter().zip(slices) {
             for row in 0..n {
                 let slice = block.row(row);
                 let out = joint.row_mut(row);
@@ -216,7 +252,7 @@ impl<M: PredictProba> VflSystem<M> {
                 }
             }
         }
-        self.model.predict_proba(&joint)
+        self.state.model.predict_proba(&joint)
     }
 
     /// Runs the protocol over every sample, returning the active party's
@@ -354,6 +390,21 @@ mod tests {
     fn feature_round_checks_row_alignment() {
         let sys = toy_system();
         sys.predict_features_batch(&[Matrix::zeros(2, 2), Matrix::zeros(1, 2)]);
+    }
+
+    #[test]
+    fn replica_clone_shares_state_and_predicts_identically() {
+        let sys = toy_system();
+        let replica = sys.clone();
+        assert!(sys.shares_state_with(&replica), "clone must share state");
+        assert!(
+            std::ptr::eq(sys.model(), replica.model()),
+            "model must not be copied"
+        );
+        let indices = [0usize, 3, 1];
+        assert_eq!(sys.predict_batch(&indices), replica.predict_batch(&indices));
+        // An independently built system is not a replica.
+        assert!(!sys.shares_state_with(&toy_system()));
     }
 
     #[test]

@@ -33,11 +33,16 @@ fn main() {
     // 2. Serve it. Port 0 asks the kernel for an ephemeral port — the
     //    handle reports where the server actually landed. `round_cost`
     //    simulates the secure-computation round trip a real deployment
-    //    pays per joint prediction; the coalescer amortizes it.
+    //    pays per joint prediction; the coalescer amortizes it, two
+    //    backend replicas shard the stored prediction set and pay it
+    //    concurrently, and the released-score cache answers repeated
+    //    queries without paying it at all.
     let server = PredictionServer::spawn(
         Arc::clone(&system),
         Arc::new(DefensePipeline::new()),
         ServeConfig {
+            replicas: 2,
+            cache_capacity: 8192,
             round_cost: Duration::from_micros(200),
             ..ServeConfig::default()
         },
@@ -93,11 +98,38 @@ fn main() {
         result.mse_against(&truth)
     );
 
-    // 5. What the server saw.
+    // 5. A second campaign over the same rows: the cache re-releases
+    //    the first-released bytes, so the repeat run costs the
+    //    deployment nothing and teaches the adversary nothing new.
+    let mut repeat = RemoteOracle::connect(server.addr()).expect("connect");
+    let rerun = run_over_oracle(
+        &AttackEngine::new(),
+        &attack,
+        &mut repeat,
+        &x_adv,
+        &indices,
+        64,
+    )
+    .expect("warm replay");
+    let cost = repeat.cost();
+    println!(
+        "repeat campaign: {} of {} rows cache-served ({} recomputed), MSE unchanged: {}",
+        cost.cached_rows,
+        cost.rows,
+        cost.computed_rows(),
+        rerun.estimates == result.estimates
+    );
+
+    // 6. What the server saw.
     let m = oracle.server_metrics().expect("metrics");
     println!(
         "server: {} requests in {} rounds (mean fill {:.2}), p50 {:.0}µs / p99 {:.0}µs",
         m.requests, m.rounds, m.mean_batch_fill, m.p50_latency_us, m.p99_latency_us
+    );
+    println!(
+        "pool: rounds per replica {:?}, cache hit rate {:.1}%",
+        m.replica_rounds,
+        100.0 * m.cache_hit_rate()
     );
     server.shutdown();
 }
