@@ -1,23 +1,22 @@
-//! Shared attack-scenario construction.
+//! Shared attack-scenario construction — a thin wrapper over the
+//! typed builder in `fia-campaign`.
 //!
-//! Every figure follows the same recipe (Section VI-A):
-//!
-//! 1. generate the dataset (Table II shape), normalized into `(0, 1)`;
-//! 2. split: 40% model training, 10% testing, prediction set from the
-//!    rest;
-//! 3. pick a random `d_target` fraction of features as the target party's
-//!    block (the remainder belongs to the adversary coalition);
-//! 4. train the vertical FL model *centrally* and hand it to the
-//!    adversary ("we generate the vertical FL models using centralized
-//!    training and give the trained models to the adversary");
-//! 5. run the prediction protocol to collect `(x_adv, v)` pairs.
+//! Every figure follows the same recipe (Section VI-A): generate the
+//! dataset, split it, draw a random `d_target` feature block, train
+//! centrally, run the prediction protocol. That recipe now lives in
+//! [`fia_campaign::ScenarioSpec`] (the workspace's one scenario seam);
+//! this module keeps the experiment modules' flat [`Scenario`] view of
+//! its output, plus the evaluation helpers only the figure
+//! reproductions need. Seed derivations are unchanged, so experiment
+//! results are identical to the pre-campaign harness.
 
+use fia_campaign::{PartitionSpec, ScenarioSpec};
 use fia_data::{Dataset, PaperDataset, SplitSpec};
 use fia_linalg::Matrix;
 use fia_models::PredictProba;
-use fia_vfl::VerticalPartition;
 
-/// A fully prepared attack scenario.
+/// A fully prepared attack scenario (the data side — experiments train
+/// their own per-trial models).
 #[derive(Debug, Clone)]
 pub struct Scenario {
     /// Dataset display name.
@@ -40,7 +39,8 @@ pub struct Scenario {
 }
 
 impl Scenario {
-    /// Builds a scenario for one paper dataset.
+    /// Builds a scenario for one paper dataset by materializing the
+    /// equivalent [`ScenarioSpec`].
     ///
     /// * `scale` — sample-count scale vs. Table II;
     /// * `target_fraction` — the swept `d_target / d`;
@@ -54,37 +54,23 @@ impl Scenario {
         prediction_fraction: Option<f64>,
         seed: u64,
     ) -> Self {
-        let ds = dataset.generate(scale, seed);
-        let spec = match prediction_fraction {
-            Some(f) => SplitSpec::paper_default().with_prediction_fraction(f),
-            None => SplitSpec::paper_default(),
-        };
-        let split = ds.split(&spec, seed ^ 0xA11CE);
-        let partition =
-            VerticalPartition::two_block_random(ds.n_features(), target_fraction, seed ^ 0xBEEF);
-        let adv_indices = partition.features_of(fia_vfl::PartyId(0)).to_vec();
-        let target_indices = partition.features_of(fia_vfl::PartyId(1)).to_vec();
-
-        let x_adv = split
-            .prediction
-            .features
-            .select_columns(&adv_indices)
-            .expect("indices valid");
-        let truth = split
-            .prediction
-            .features
-            .select_columns(&target_indices)
-            .expect("indices valid");
-
+        let mut spec = ScenarioSpec::paper(dataset)
+            .with_scale(scale)
+            .with_partition(PartitionSpec::two_block_random(target_fraction))
+            .with_seed(seed);
+        if let Some(f) = prediction_fraction {
+            spec = spec.with_split(SplitSpec::paper_default().with_prediction_fraction(f));
+        }
+        let data = spec.materialize();
         Scenario {
-            name: dataset.name().to_string(),
-            train: split.train,
-            prediction: split.prediction,
-            adv_indices,
-            target_indices,
-            x_adv,
-            truth,
-            n_classes: ds.n_classes,
+            name: data.name,
+            train: data.train,
+            prediction: data.prediction,
+            adv_indices: data.adv_indices,
+            target_indices: data.target_indices,
+            x_adv: data.x_adv,
+            truth: data.truth,
+            n_classes: data.n_classes,
         }
     }
 
@@ -144,6 +130,22 @@ mod tests {
         let b = Scenario::build(PaperDataset::BankMarketing, 0.01, 0.4, None, 3);
         assert_eq!(a.adv_indices, b.adv_indices);
         assert_eq!(a.x_adv, b.x_adv);
+    }
+
+    #[test]
+    fn wrapper_matches_campaign_materialization() {
+        // The wrapper is a view over ScenarioSpec::materialize — same
+        // seeds, same data, bit-identical.
+        let s = Scenario::build(PaperDataset::CreditCard, 0.01, 0.3, Some(0.2), 11);
+        let data = ScenarioSpec::paper(PaperDataset::CreditCard)
+            .with_scale(0.01)
+            .with_partition(PartitionSpec::two_block_random(0.3))
+            .with_split(SplitSpec::paper_default().with_prediction_fraction(0.2))
+            .with_seed(11)
+            .materialize();
+        assert_eq!(s.adv_indices, data.adv_indices);
+        assert_eq!(s.x_adv, data.x_adv);
+        assert_eq!(s.truth, data.truth);
     }
 
     #[test]

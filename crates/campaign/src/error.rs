@@ -1,0 +1,66 @@
+//! Typed campaign failures.
+
+use fia_core::OracleError;
+
+/// A campaign session failure.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The configured attack cannot run against the scenario's model
+    /// family (e.g. ESA against a decision tree).
+    Incompatible {
+        /// Attack identifier.
+        attack: &'static str,
+        /// Model family identifier.
+        model: &'static str,
+    },
+    /// A prediction-oracle round failed (transport, rejection,
+    /// malformed response, or the budget adapter's hard stop).
+    Oracle(OracleError),
+    /// The served oracle's prediction server could not be spawned.
+    Spawn(std::io::Error),
+    /// The served oracle's client could not connect or handshake.
+    Connect(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Incompatible { attack, model } => {
+                write!(
+                    f,
+                    "attack {attack:?} cannot run against model family {model:?}"
+                )
+            }
+            CampaignError::Oracle(e) => write!(f, "campaign oracle failure: {e}"),
+            CampaignError::Spawn(e) => write!(f, "could not spawn prediction server: {e}"),
+            CampaignError::Connect(why) => {
+                write!(f, "could not connect to prediction server: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+impl From<OracleError> for CampaignError {
+    fn from(e: OracleError) -> Self {
+        CampaignError::Oracle(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_carry_context() {
+        let e = CampaignError::Incompatible {
+            attack: "esa",
+            model: "dt",
+        };
+        assert!(e.to_string().contains("esa"));
+        assert!(e.to_string().contains("dt"));
+        let e: CampaignError = OracleError("boom".into()).into();
+        assert!(e.to_string().contains("boom"));
+    }
+}

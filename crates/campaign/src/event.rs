@@ -1,0 +1,159 @@
+//! Streaming campaign progress.
+//!
+//! A campaign is a long-running adversary session (accumulate → attack
+//! → evaluate); [`CampaignEvent`]s stream its progress to a
+//! [`CampaignObserver`] as it happens — chunk completions with
+//! cost-so-far, budget exhaustion, per-attack per-feature error — so a
+//! driver can render progress, abort early, or log a trace, without
+//! waiting for the final [`CampaignReport`](crate::CampaignReport).
+
+use crate::budget::QueryBudget;
+use crate::report::CampaignOutcome;
+use fia_core::QueryCost;
+
+/// One progress event of a running campaign.
+#[derive(Debug, Clone)]
+pub enum CampaignEvent {
+    /// The session started (or resumed) accumulating.
+    Started {
+        /// Scenario fingerprint (see `ScenarioSpec::fingerprint`).
+        fingerprint: String,
+        /// Rows the full campaign would accumulate.
+        rows_planned: usize,
+        /// Rows already accumulated (non-zero when resuming).
+        rows_done: usize,
+        /// The session's budget.
+        budget: QueryBudget,
+    },
+    /// One accumulation chunk was answered by the oracle.
+    ChunkDone {
+        /// Zero-based chunk index within the whole session.
+        chunk: usize,
+        /// Rows accumulated so far (across resumes).
+        rows_done: usize,
+        /// Rows the full campaign would accumulate.
+        rows_planned: usize,
+        /// Session cost so far, as metered at the oracle boundary.
+        cost: QueryCost,
+    },
+    /// The budget ran out before the planned corpus was complete; the
+    /// session continues to the attack stage over the partial corpus.
+    BudgetExhausted {
+        /// Rows accumulated when the budget ran out.
+        rows_done: usize,
+        /// Rows the full campaign would have accumulated.
+        rows_planned: usize,
+        /// Session cost at exhaustion.
+        cost: QueryCost,
+    },
+    /// One attack finished over the accumulated corpus.
+    AttackDone {
+        /// Attack identifier (`"esa"`, `"pra"`, `"grna"`).
+        attack: &'static str,
+        /// Rows the attack inferred (the accumulated corpus size).
+        rows: usize,
+        /// MSE-per-feature (Eqn 10) against the ground truth.
+        mse: f64,
+        /// Per-target-feature MSE columns, ordered per `target_indices`.
+        per_feature_mse: Vec<f64>,
+        /// Rows where inference degraded to a fallback.
+        degraded_rows: usize,
+    },
+    /// The session finished; the final report follows.
+    Finished {
+        /// How the session ended.
+        outcome: CampaignOutcome,
+        /// Total session cost.
+        cost: QueryCost,
+    },
+}
+
+/// Receives [`CampaignEvent`]s as a campaign runs. Implemented by any
+/// `FnMut(&CampaignEvent)` closure; see also [`NullObserver`] and
+/// [`EventLog`].
+pub trait CampaignObserver {
+    /// Called once per event, in order.
+    fn on_event(&mut self, event: &CampaignEvent);
+}
+
+impl<F: FnMut(&CampaignEvent)> CampaignObserver for F {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        self(event)
+    }
+}
+
+/// Discards every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl CampaignObserver for NullObserver {
+    fn on_event(&mut self, _event: &CampaignEvent) {}
+}
+
+/// Collects every event for later inspection (tests, traces).
+#[derive(Debug, Default)]
+pub struct EventLog {
+    /// The events observed so far, in order.
+    pub events: Vec<CampaignEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Number of [`CampaignEvent::ChunkDone`] events observed.
+    pub fn chunks_done(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, CampaignEvent::ChunkDone { .. }))
+            .count()
+    }
+
+    /// `true` when a [`CampaignEvent::BudgetExhausted`] was observed.
+    pub fn saw_exhaustion(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e, CampaignEvent::BudgetExhausted { .. }))
+    }
+}
+
+impl CampaignObserver for EventLog {
+    fn on_event(&mut self, event: &CampaignEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_and_log_observe_events() {
+        let e = CampaignEvent::ChunkDone {
+            chunk: 0,
+            rows_done: 8,
+            rows_planned: 80,
+            cost: QueryCost::default(),
+        };
+        let mut count = 0usize;
+        {
+            let mut obs = |_: &CampaignEvent| count += 1;
+            obs.on_event(&e);
+            obs.on_event(&e);
+        }
+        assert_eq!(count, 2);
+
+        let mut log = EventLog::new();
+        log.on_event(&e);
+        log.on_event(&CampaignEvent::BudgetExhausted {
+            rows_done: 8,
+            rows_planned: 80,
+            cost: QueryCost::default(),
+        });
+        assert_eq!(log.chunks_done(), 1);
+        assert!(log.saw_exhaustion());
+        NullObserver.on_event(&e);
+    }
+}

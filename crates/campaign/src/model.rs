@@ -1,0 +1,220 @@
+//! The model families a scenario can deploy, behind one type.
+//!
+//! `VflSystem<M>` and `PredictionServer::spawn` are generic over the
+//! model, but a *campaign* must hold "whatever model the scenario
+//! trained" in one place and later hand the concrete type back to the
+//! attack that needs it (ESA wants a [`LogisticRegression`], PRA a
+//! [`DecisionTree`], GRNA any differentiable model). [`TrainedModel`] is
+//! that seam: an enum over the four paper families implementing
+//! [`PredictProba`] by delegation, so `VflSystem<TrainedModel>` serves
+//! every family through the same deployment and serving stack.
+
+use fia_data::Dataset;
+use fia_linalg::Matrix;
+use fia_models::{
+    DecisionTree, ForestConfig, LogisticRegression, LrConfig, Mlp, MlpConfig, PredictProba,
+    RandomForest, TreeConfig,
+};
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Which model family a scenario trains, with its training
+/// configuration (Table I: the paper evaluates LR, NN, DT and RF).
+#[derive(Debug, Clone)]
+pub enum ModelSpec {
+    /// Logistic regression (binary or multinomial) — the ESA target.
+    Logistic(LrConfig),
+    /// Feed-forward neural network — a GRNA target.
+    Mlp(MlpConfig),
+    /// CART decision tree — the PRA target.
+    DecisionTree(TreeConfig),
+    /// Bagged random forest — attacked by GRNA through a distilled
+    /// surrogate (Section V-B).
+    RandomForest(ForestConfig),
+}
+
+impl ModelSpec {
+    /// Logistic regression with default training configuration.
+    pub fn logistic() -> Self {
+        ModelSpec::Logistic(LrConfig::default())
+    }
+
+    /// The paper's decision tree (depth 5).
+    pub fn decision_tree() -> Self {
+        ModelSpec::DecisionTree(TreeConfig::paper_dt())
+    }
+
+    /// Short stable family identifier (`"lr"`, `"nn"`, `"dt"`, `"rf"`).
+    pub fn family(&self) -> &'static str {
+        match self {
+            ModelSpec::Logistic(_) => "lr",
+            ModelSpec::Mlp(_) => "nn",
+            ModelSpec::DecisionTree(_) => "dt",
+            ModelSpec::RandomForest(_) => "rf",
+        }
+    }
+
+    /// Trains the specified family on `train`. The scenario seed
+    /// overrides the config's own seed so a scenario is reproducible
+    /// from `(spec, seed)` alone.
+    pub(crate) fn train(&self, train: &Dataset, seed: u64) -> TrainedModel {
+        match self {
+            ModelSpec::Logistic(cfg) => {
+                let cfg = LrConfig {
+                    seed,
+                    ..cfg.clone()
+                };
+                TrainedModel::Logistic(LogisticRegression::fit(train, &cfg))
+            }
+            ModelSpec::Mlp(cfg) => {
+                let cfg = cfg.clone().with_seed(seed);
+                TrainedModel::Mlp(Mlp::fit(train, &cfg))
+            }
+            ModelSpec::DecisionTree(cfg) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                TrainedModel::DecisionTree(DecisionTree::fit(train, cfg, &mut rng))
+            }
+            ModelSpec::RandomForest(cfg) => {
+                let cfg = ForestConfig {
+                    seed,
+                    ..cfg.clone()
+                };
+                TrainedModel::RandomForest(RandomForest::fit(train, &cfg))
+            }
+        }
+    }
+}
+
+/// The trained model a resolved scenario deploys — one concrete type
+/// over all four families, so a single `VflSystem<TrainedModel>` (and a
+/// single `PredictionServer`) serves any of them.
+pub enum TrainedModel {
+    /// A trained logistic regression.
+    Logistic(LogisticRegression),
+    /// A trained feed-forward network.
+    Mlp(Mlp),
+    /// A trained decision tree.
+    DecisionTree(DecisionTree),
+    /// A trained random forest.
+    RandomForest(RandomForest),
+}
+
+impl TrainedModel {
+    /// Short stable family identifier (`"lr"`, `"nn"`, `"dt"`, `"rf"`).
+    pub fn family(&self) -> &'static str {
+        match self {
+            TrainedModel::Logistic(_) => "lr",
+            TrainedModel::Mlp(_) => "nn",
+            TrainedModel::DecisionTree(_) => "dt",
+            TrainedModel::RandomForest(_) => "rf",
+        }
+    }
+
+    /// The concrete logistic regression, when this is one.
+    pub fn as_logistic(&self) -> Option<&LogisticRegression> {
+        match self {
+            TrainedModel::Logistic(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The concrete decision tree, when this is one.
+    pub fn as_decision_tree(&self) -> Option<&DecisionTree> {
+        match self {
+            TrainedModel::DecisionTree(m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl PredictProba for TrainedModel {
+    fn predict_proba(&self, x: &Matrix) -> Matrix {
+        match self {
+            TrainedModel::Logistic(m) => m.predict_proba(x),
+            TrainedModel::Mlp(m) => m.predict_proba(x),
+            TrainedModel::DecisionTree(m) => m.predict_proba(x),
+            TrainedModel::RandomForest(m) => m.predict_proba(x),
+        }
+    }
+
+    fn n_features(&self) -> usize {
+        match self {
+            TrainedModel::Logistic(m) => m.n_features(),
+            TrainedModel::Mlp(m) => m.n_features(),
+            TrainedModel::DecisionTree(m) => m.n_features(),
+            TrainedModel::RandomForest(m) => m.n_features(),
+        }
+    }
+
+    fn n_classes(&self) -> usize {
+        match self {
+            TrainedModel::Logistic(m) => m.n_classes(),
+            TrainedModel::Mlp(m) => m.n_classes(),
+            TrainedModel::DecisionTree(m) => m.n_classes(),
+            TrainedModel::RandomForest(m) => m.n_classes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fia_data::{PaperDataset, SplitSpec};
+
+    #[test]
+    fn every_family_trains_and_predicts() {
+        let ds = PaperDataset::CreditCard.generate(0.008, 3);
+        let split = ds.split(&SplitSpec::paper_default(), 3);
+        let specs = [
+            ModelSpec::logistic(),
+            ModelSpec::Mlp(MlpConfig {
+                epochs: 2,
+                ..MlpConfig::fast()
+            }),
+            ModelSpec::decision_tree(),
+            ModelSpec::RandomForest(ForestConfig {
+                n_trees: 4,
+                ..ForestConfig::default()
+            }),
+        ];
+        for spec in specs {
+            let model = spec.train(&split.train, 7);
+            assert_eq!(model.family(), spec.family());
+            assert_eq!(model.n_features(), 23);
+            assert_eq!(model.n_classes(), 2);
+            let p = model.predict_proba(&split.test.features);
+            assert_eq!(p.shape(), (split.test.n_samples(), 2));
+            for i in 0..p.rows() {
+                let s: f64 = p.row(i).iter().sum();
+                assert!(
+                    (s - 1.0).abs() < 1e-9,
+                    "{} row {i} sums to {s}",
+                    spec.family()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let ds = PaperDataset::CreditCard.generate(0.008, 5);
+        let split = ds.split(&SplitSpec::paper_default(), 5);
+        let a = ModelSpec::logistic().train(&split.train, 11);
+        let b = ModelSpec::logistic().train(&split.train, 11);
+        assert_eq!(
+            a.predict_proba(&split.test.features),
+            b.predict_proba(&split.test.features)
+        );
+    }
+
+    #[test]
+    fn concrete_accessors_match_family() {
+        let ds = PaperDataset::CreditCard.generate(0.008, 9);
+        let split = ds.split(&SplitSpec::paper_default(), 9);
+        let lr = ModelSpec::logistic().train(&split.train, 1);
+        assert!(lr.as_logistic().is_some());
+        assert!(lr.as_decision_tree().is_none());
+        let dt = ModelSpec::decision_tree().train(&split.train, 1);
+        assert!(dt.as_decision_tree().is_some());
+        assert!(dt.as_logistic().is_none());
+    }
+}

@@ -1,0 +1,514 @@
+//! The budgeted adversary session.
+//!
+//! A [`Campaign`] drives the paper's end-to-end adversary loop — query
+//! the deployment, accumulate the `(x_adv, v)` corpus, invert it — over
+//! whatever oracle the scenario resolved ([`OracleSpec::InProcess`] or a
+//! real spawned `PredictionServer` for [`OracleSpec::Served`]), in
+//! resumable chunks under a hard [`QueryBudget`]:
+//!
+//! * every oracle round passes through a [`BudgetedOracle`], so no
+//!   attack can overspend — the session additionally *plans* its final
+//!   chunk to land exactly on the budget;
+//! * when the budget runs out mid-accumulation the session does not
+//!   fail: the configured attacks run over the partial corpus and the
+//!   report carries a typed [`CampaignOutcome::BudgetExhausted`];
+//! * the session checkpoints itself — extending the budget
+//!   ([`Campaign::set_budget`]) and calling [`Campaign::run`] again
+//!   resumes accumulation where it stopped, and reproduces the
+//!   unbudgeted result bit-for-bit when the release boundary is
+//!   deterministic per row (identity/rounding pipelines; defenses
+//!   seeded from batch composition release different bytes under
+//!   different chunkings — see `ScenarioSpec::with_defense`);
+//! * progress streams to a [`CampaignObserver`] as
+//!   [`CampaignEvent`](crate::CampaignEvent)s, and the run ends in one
+//!   serializable [`CampaignReport`].
+
+use crate::attack::AttackSpec;
+use crate::budget::{BudgetedOracle, QueryBudget};
+use crate::error::CampaignError;
+use crate::event::{CampaignEvent, CampaignObserver};
+use crate::model::TrainedModel;
+use crate::report::{AttackReport, CampaignOutcome, CampaignReport};
+use crate::spec::{OracleSpec, ResolvedScenario};
+use fia_core::{metrics, AttackEngine, PredictionOracle, QueryBatch, QueryCost};
+use fia_defense::{DefensePipeline, ScoreDefense};
+use fia_linalg::Matrix;
+use fia_models::PredictProba;
+use fia_serve::{MetricsReport, PredictionServer, RemoteOracle, ServeConfig, ServerHandle};
+use fia_vfl::VflSystem;
+use std::sync::Arc;
+
+/// The in-process deployment as the adversary's oracle: one protocol
+/// round per call with the scenario's [`DefensePipeline`] applied at
+/// the score-release boundary — the same release semantics the served
+/// oracle applies inside the prediction server.
+pub struct InProcessOracle {
+    system: VflSystem<TrainedModel>,
+    defense: Arc<DefensePipeline>,
+    cost: QueryCost,
+}
+
+impl InProcessOracle {
+    /// Wraps a deployment replica and its defense stack.
+    pub fn new(system: VflSystem<TrainedModel>, defense: Arc<DefensePipeline>) -> Self {
+        InProcessOracle {
+            system,
+            defense,
+            cost: QueryCost::default(),
+        }
+    }
+}
+
+impl PredictionOracle for InProcessOracle {
+    fn n_classes(&self) -> usize {
+        self.system.model().n_classes()
+    }
+
+    fn n_samples(&self) -> usize {
+        self.system.n_samples()
+    }
+
+    fn confidences(&mut self, indices: &[usize]) -> Result<Matrix, fia_core::OracleError> {
+        let released = self
+            .defense
+            .defend_batch(&self.system.predict_batch(indices));
+        self.cost.queries += 1;
+        self.cost.rows += indices.len() as u64;
+        Ok(released)
+    }
+
+    fn query_cost(&self) -> QueryCost {
+        self.cost
+    }
+}
+
+/// The resolved oracle a session queries: either the in-process
+/// deployment, or a spawned prediction server plus the client
+/// connection into it.
+enum OracleHandle {
+    InProcess(InProcessOracle),
+    Served {
+        /// Owned so the server lives exactly as long as the campaign
+        /// needs it; dropping the handle tears the server down.
+        _server: ServerHandle,
+        client: RemoteOracle,
+    },
+}
+
+impl OracleHandle {
+    fn oracle_mut(&mut self) -> &mut dyn PredictionOracle {
+        match self {
+            OracleHandle::InProcess(o) => o,
+            OracleHandle::Served { client, .. } => client,
+        }
+    }
+}
+
+/// A budgeted adversary session over a resolved scenario. See the
+/// module docs for the lifecycle.
+pub struct Campaign {
+    scenario: ResolvedScenario,
+    attacks: Vec<AttackSpec>,
+    budget: QueryBudget,
+    chunk: usize,
+    engine: AttackEngine,
+    // ---- checkpointed progress ----
+    rows_done: usize,
+    confidences: Matrix,
+    spent: QueryCost,
+    chunks_issued: usize,
+    oracle: Option<OracleHandle>,
+}
+
+impl Campaign {
+    /// A session over `scenario` with no attacks configured yet, an
+    /// unlimited budget, and 64-row accumulation chunks.
+    pub fn new(scenario: ResolvedScenario) -> Self {
+        let c = scenario.data.n_classes;
+        Campaign {
+            scenario,
+            attacks: Vec::new(),
+            budget: QueryBudget::unlimited(),
+            chunk: 64,
+            engine: AttackEngine::new(),
+            rows_done: 0,
+            confidences: Matrix::zeros(0, c),
+            spent: QueryCost::default(),
+            chunks_issued: 0,
+            oracle: None,
+        }
+    }
+
+    /// Adds an attack to mount over the accumulated corpus.
+    pub fn with_attack(mut self, attack: AttackSpec) -> Self {
+        self.attacks.push(attack);
+        self
+    }
+
+    /// Adds several attacks (run in order over the same corpus).
+    pub fn with_attacks(mut self, attacks: impl IntoIterator<Item = AttackSpec>) -> Self {
+        self.attacks.extend(attacks);
+        self
+    }
+
+    /// Sets the session's query budget.
+    pub fn with_budget(mut self, budget: QueryBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the accumulation chunk (rows per oracle round).
+    pub fn with_chunk(mut self, rows: usize) -> Self {
+        self.chunk = rows.max(1);
+        self
+    }
+
+    /// Overrides the attack engine (worker count, stripe size).
+    pub fn with_engine(mut self, engine: AttackEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Replaces the budget mid-session — the resume path: after a
+    /// [`CampaignOutcome::BudgetExhausted`] run, raise the budget and
+    /// [`Campaign::run`] again to continue accumulating where the
+    /// session stopped.
+    pub fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    /// The resolved scenario this session attacks.
+    pub fn scenario(&self) -> &ResolvedScenario {
+        &self.scenario
+    }
+
+    /// Rows accumulated so far (across runs).
+    pub fn rows_done(&self) -> usize {
+        self.rows_done
+    }
+
+    /// What the session has spent so far, as metered at the oracle
+    /// boundary.
+    pub fn spent(&self) -> QueryCost {
+        self.spent
+    }
+
+    /// The served oracle's live server metrics (`None` for in-process
+    /// sessions or before the first run).
+    pub fn server_metrics(&mut self) -> Option<MetricsReport> {
+        match self.oracle.as_mut()? {
+            OracleHandle::Served { client, .. } => client.server_metrics().ok(),
+            OracleHandle::InProcess(_) => None,
+        }
+    }
+
+    /// Tears down the resolved oracle (shuts a served scenario's
+    /// prediction server down). Also happens on drop.
+    pub fn shutdown(&mut self) {
+        self.oracle = None;
+    }
+
+    /// Resets the accumulated corpus and cost meter — but keeps the
+    /// resolved oracle alive — and runs the session again from row zero.
+    /// Against a served scenario with a released-score cache this is the
+    /// repeat-campaign experiment: the second pass is answered from the
+    /// cache (visible as `cached_rows` in the new report) and, because
+    /// the cache re-releases first-released bytes, teaches the adversary
+    /// nothing new.
+    pub fn rerun(
+        &mut self,
+        observer: &mut dyn CampaignObserver,
+    ) -> Result<CampaignReport, CampaignError> {
+        self.rows_done = 0;
+        self.confidences = Matrix::zeros(0, self.scenario.data.n_classes);
+        self.spent = QueryCost::default();
+        self.chunks_issued = 0;
+        self.run(observer)
+    }
+
+    /// Runs (or resumes) the session: accumulate the corpus in chunks
+    /// under the budget, mount every configured attack over whatever
+    /// corpus the budget allowed, and return the report. Emits
+    /// [`CampaignEvent`](crate::CampaignEvent)s to `observer`
+    /// throughout.
+    pub fn run(
+        &mut self,
+        observer: &mut dyn CampaignObserver,
+    ) -> Result<CampaignReport, CampaignError> {
+        // Fail a misconfigured session before it spends anything: the
+        // attack/model pairing is fully determined by the specs, so an
+        // incompatibility must not cost a single oracle round.
+        for spec in &self.attacks {
+            spec.check_model(self.scenario.system.model())?;
+        }
+        self.ensure_oracle()?;
+        let rows_planned = self.scenario.data.n_predictions();
+        observer.on_event(&CampaignEvent::Started {
+            fingerprint: self.scenario.fingerprint.clone(),
+            rows_planned,
+            rows_done: self.rows_done,
+            budget: self.budget,
+        });
+
+        // ---- Accumulation under the budget --------------------------
+        let mut exhausted = false;
+        {
+            let handle = self.oracle.as_mut().expect("oracle ensured above");
+            let mut adapter =
+                BudgetedOracle::resuming(handle.oracle_mut(), self.budget, self.spent);
+            while self.rows_done < rows_planned {
+                let remaining_plan = rows_planned - self.rows_done;
+                let take = match adapter.affordable_rows() {
+                    None => self.chunk.min(remaining_plan),
+                    Some(a) => self.chunk.min(remaining_plan).min(a as usize),
+                };
+                if take == 0 {
+                    exhausted = true;
+                    break;
+                }
+                let indices: Vec<usize> = (self.rows_done..self.rows_done + take).collect();
+                let v = adapter.confidences(&indices);
+                // Persist the meter before surfacing any error: a chunk
+                // that failed mid-run must leave the checkpoint
+                // consistent (spent in sync with the accumulated rows),
+                // or a resumed session would under-count prior spend
+                // and could overrun the hard budget.
+                self.spent = adapter.spent();
+                let v = v?;
+                self.confidences = self
+                    .confidences
+                    .vstack(&v)
+                    .expect("oracle answers a fixed class width");
+                self.rows_done += take;
+                self.chunks_issued += 1;
+                observer.on_event(&CampaignEvent::ChunkDone {
+                    chunk: self.chunks_issued - 1,
+                    rows_done: self.rows_done,
+                    rows_planned,
+                    cost: self.spent,
+                });
+            }
+        }
+        if exhausted {
+            observer.on_event(&CampaignEvent::BudgetExhausted {
+                rows_done: self.rows_done,
+                rows_planned,
+                cost: self.spent,
+            });
+        }
+
+        // ---- Attacks over the (possibly partial) corpus -------------
+        let mut attack_reports = Vec::with_capacity(self.attacks.len());
+        if self.rows_done > 0 {
+            let rows: Vec<usize> = (0..self.rows_done).collect();
+            let data = &self.scenario.data;
+            let x_adv = data.x_adv.select_rows(&rows).expect("prefix in range");
+            let truth = data.truth.select_rows(&rows).expect("prefix in range");
+            let batch = QueryBatch::new(x_adv, self.confidences.clone());
+            for spec in &self.attacks {
+                let result = spec.run(
+                    self.scenario.system.model(),
+                    &data.adv_indices,
+                    &data.target_indices,
+                    &self.engine,
+                    &batch,
+                )?;
+                let mse = metrics::mse_per_feature(&result.estimates, &truth);
+                let per_feature_mse = metrics::per_feature_mse(&result.estimates, &truth);
+                observer.on_event(&CampaignEvent::AttackDone {
+                    attack: spec.name(),
+                    rows: self.rows_done,
+                    mse,
+                    per_feature_mse: per_feature_mse.clone(),
+                    degraded_rows: result.degraded_rows.len(),
+                });
+                attack_reports.push(AttackReport {
+                    attack: spec.name(),
+                    rows: self.rows_done,
+                    degraded_rows: result.degraded_rows.len(),
+                    mse,
+                    per_feature_mse,
+                    target_indices: result.target_indices,
+                    estimates: result.estimates,
+                });
+            }
+        }
+
+        // ---- Report -------------------------------------------------
+        let outcome = if self.rows_done < rows_planned {
+            CampaignOutcome::BudgetExhausted {
+                rows_done: self.rows_done,
+                rows_planned,
+            }
+        } else {
+            CampaignOutcome::Completed
+        };
+        observer.on_event(&CampaignEvent::Finished {
+            outcome,
+            cost: self.spent,
+        });
+        Ok(CampaignReport {
+            fingerprint: self.scenario.fingerprint.clone(),
+            scenario: self.scenario.description.clone(),
+            seed: self.scenario.seed,
+            oracle: self.scenario.oracle.describe(),
+            outcome,
+            rows_done: self.rows_done,
+            rows_planned,
+            cost: self.spent,
+            attacks: attack_reports,
+        })
+    }
+
+    /// Resolves the scenario's oracle on first use: the in-process
+    /// deployment, or a spawned prediction server (ephemeral port) plus
+    /// a connected client.
+    fn ensure_oracle(&mut self) -> Result<(), CampaignError> {
+        if self.oracle.is_some() {
+            return Ok(());
+        }
+        let handle = match &self.scenario.oracle {
+            OracleSpec::InProcess => OracleHandle::InProcess(InProcessOracle::new(
+                self.scenario.system.as_ref().clone(),
+                Arc::clone(&self.scenario.defense),
+            )),
+            OracleSpec::Served(cfg) => {
+                let serve_cfg = ServeConfig {
+                    bind: "127.0.0.1:0".to_string(),
+                    replicas: cfg.replicas,
+                    batch_cap: cfg.batch_cap,
+                    batch_deadline: cfg.batch_deadline,
+                    coalesce: true,
+                    cache_capacity: cfg.cache_capacity,
+                    cache_seed: self.scenario.seed ^ 0x5C0_7E5,
+                    round_cost: cfg.round_cost,
+                };
+                let server = PredictionServer::spawn(
+                    Arc::clone(&self.scenario.system),
+                    Arc::clone(&self.scenario.defense),
+                    serve_cfg,
+                )
+                .map_err(CampaignError::Spawn)?;
+                let client = RemoteOracle::connect(server.addr())
+                    .map_err(|e| CampaignError::Connect(e.to_string()))?;
+                OracleHandle::Served {
+                    _server: server,
+                    client,
+                }
+            }
+        };
+        self.oracle = Some(handle);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventLog, NullObserver};
+    use crate::spec::ScenarioSpec;
+    use fia_data::PaperDataset;
+
+    fn lr_campaign(seed: u64) -> Campaign {
+        let scenario = ScenarioSpec::paper(PaperDataset::DriveDiagnosis)
+            .with_scale(0.005)
+            .with_partition(crate::PartitionSpec::two_block_random(0.2))
+            .with_seed(seed)
+            .build();
+        Campaign::new(scenario)
+            .with_attack(AttackSpec::esa())
+            .with_chunk(32)
+    }
+
+    #[test]
+    fn completed_campaign_is_exact_and_metered() {
+        let mut campaign = lr_campaign(11);
+        let mut log = EventLog::new();
+        let report = campaign.run(&mut log).unwrap();
+        assert!(report.outcome.is_complete());
+        let n = report.rows_planned as u64;
+        assert_eq!(report.cost.rows, n);
+        assert_eq!(report.cost.queries, n.div_ceil(32));
+        assert_eq!(report.cost.cached_rows, 0);
+        // Drive at d_target ≤ c−1: ESA exact through the whole session.
+        let esa = report.attack("esa").unwrap();
+        assert!(esa.mse < 1e-8, "mse = {}", esa.mse);
+        assert_eq!(
+            esa.per_feature_mse.len(),
+            campaign.scenario().data().d_target()
+        );
+        assert_eq!(log.chunks_done() as u64, report.cost.queries);
+        assert!(!log.saw_exhaustion());
+    }
+
+    #[test]
+    fn exhausted_campaign_returns_partial_estimates() {
+        let mut campaign = lr_campaign(13).with_budget(QueryBudget::rows(50));
+        let mut log = EventLog::new();
+        let report = campaign.run(&mut log).unwrap();
+        assert_eq!(
+            report.outcome,
+            CampaignOutcome::BudgetExhausted {
+                rows_done: 50,
+                rows_planned: report.rows_planned
+            }
+        );
+        assert_eq!(report.cost.rows, 50);
+        assert_eq!(report.attack("esa").unwrap().estimates.rows(), 50);
+        assert!(log.saw_exhaustion());
+    }
+
+    #[test]
+    fn zero_budget_skips_attacks() {
+        let mut campaign = lr_campaign(17).with_budget(QueryBudget::rows(0));
+        let report = campaign.run(&mut NullObserver).unwrap();
+        assert_eq!(report.rows_done, 0);
+        assert!(report.attacks.is_empty());
+        assert_eq!(report.cost, QueryCost::default());
+        assert!(!report.outcome.is_complete());
+    }
+
+    #[test]
+    fn resume_completes_and_matches_fresh_run() {
+        let mut fresh = lr_campaign(19);
+        let full = fresh.run(&mut NullObserver).unwrap();
+
+        let mut stopped = lr_campaign(19).with_budget(QueryBudget::rows(45));
+        let partial = stopped.run(&mut NullObserver).unwrap();
+        assert!(!partial.outcome.is_complete());
+        stopped.set_budget(QueryBudget::unlimited());
+        let resumed = stopped.run(&mut NullObserver).unwrap();
+        assert!(resumed.outcome.is_complete());
+        // Chunk boundaries differ between the runs (45-row remainder),
+        // but the release boundary is deterministic per row, so the
+        // resumed corpus — and therefore the attack — is bit-identical.
+        assert_eq!(
+            resumed.attack("esa").unwrap().estimates,
+            full.attack("esa").unwrap().estimates
+        );
+        assert_eq!(resumed.cost.rows, full.cost.rows);
+    }
+
+    #[test]
+    fn in_process_oracle_applies_defense_at_release() {
+        use fia_defense::RoundingDefense;
+        let scenario = ScenarioSpec::paper(PaperDataset::DriveDiagnosis)
+            .with_scale(0.005)
+            .with_partition(crate::PartitionSpec::two_block_random(0.2))
+            .with_defense(DefensePipeline::new().then(RoundingDefense::coarse()))
+            .with_seed(23)
+            .build();
+        let mut oracle = InProcessOracle::new(
+            scenario.system().as_ref().clone(),
+            Arc::clone(scenario.defense()),
+        );
+        let v = oracle.confidences(&[0, 1, 2]).unwrap();
+        for &x in v.as_slice() {
+            assert!(
+                ((x * 10.0) - (x * 10.0).round()).abs() < 1e-9,
+                "score {x} not rounded at release"
+            );
+        }
+        assert_eq!(oracle.query_cost().rows, 3);
+    }
+}

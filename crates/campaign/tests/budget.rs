@@ -1,0 +1,166 @@
+//! Budget enforcement: a campaign halts with `BudgetExhausted` after
+//! *exactly* the budgeted rows (never over), the oracle adapter hard-
+//! stops any driver that tries to overspend, and resuming a
+//! checkpointed campaign reproduces the unbudgeted result
+//! bit-identically.
+
+use fia_campaign::{
+    AttackSpec, BudgetedOracle, Campaign, CampaignOutcome, EventLog, NullObserver, PartitionSpec,
+    QueryBudget, ScenarioSpec,
+};
+use fia_core::{accumulate_batch, PredictionOracle};
+use fia_data::PaperDataset;
+
+fn esa_campaign(seed: u64, chunk: usize) -> Campaign {
+    let scenario = ScenarioSpec::paper(PaperDataset::DriveDiagnosis)
+        .with_scale(0.005)
+        .with_partition(PartitionSpec::two_block_random(0.2))
+        .with_seed(seed)
+        .build();
+    Campaign::new(scenario)
+        .with_attack(AttackSpec::esa())
+        .with_chunk(chunk)
+}
+
+/// Property sweep over (budget, chunk): the session stops at exactly
+/// the budgeted row count — never over — whatever the chunking, and the
+/// partial per-feature results cover exactly those rows.
+#[test]
+fn row_budget_is_exact_across_chunkings() {
+    for &chunk in &[1usize, 7, 16, 64] {
+        for &budget in &[1u64, 7, 16, 33, 64, 100] {
+            let mut campaign = esa_campaign(3, chunk).with_budget(QueryBudget::rows(budget));
+            let mut log = EventLog::new();
+            let report = campaign.run(&mut log).unwrap();
+            let planned = report.rows_planned as u64;
+            let expect = budget.min(planned);
+            assert_eq!(
+                report.cost.rows, expect,
+                "budget {budget} chunk {chunk}: spent {} rows",
+                report.cost.rows
+            );
+            assert!(report.cost.rows <= budget, "overspent at chunk {chunk}");
+            if expect < planned {
+                assert_eq!(
+                    report.outcome,
+                    CampaignOutcome::BudgetExhausted {
+                        rows_done: expect as usize,
+                        rows_planned: planned as usize,
+                    },
+                    "budget {budget} chunk {chunk}"
+                );
+                assert!(log.saw_exhaustion());
+            } else {
+                assert!(report.outcome.is_complete());
+            }
+            // Partial per-feature results are returned, sized to the
+            // budget.
+            let esa = report.attack("esa").expect("attack ran");
+            assert_eq!(esa.estimates.rows() as u64, expect);
+            assert_eq!(
+                esa.per_feature_mse.len(),
+                campaign.scenario().data().d_target()
+            );
+        }
+    }
+}
+
+/// A query-count budget bounds the number of oracle rounds.
+#[test]
+fn query_budget_bounds_rounds() {
+    for &max_queries in &[1u64, 3, 5] {
+        let mut campaign = esa_campaign(5, 16).with_budget(QueryBudget::queries(max_queries));
+        let report = campaign.run(&mut NullObserver).unwrap();
+        assert_eq!(report.cost.queries, max_queries);
+        assert_eq!(report.cost.rows, max_queries * 16);
+        assert!(!report.outcome.is_complete());
+    }
+}
+
+/// Both axes together: whichever runs out first stops the session.
+#[test]
+fn combined_budget_stops_at_tighter_axis() {
+    let mut campaign = esa_campaign(7, 16).with_budget(QueryBudget::queries(10).with_rows(40));
+    let report = campaign.run(&mut NullObserver).unwrap();
+    assert_eq!(report.cost.rows, 40);
+    assert!(report.cost.queries <= 10);
+
+    let mut campaign = esa_campaign(7, 16).with_budget(QueryBudget::queries(2).with_rows(1000));
+    let report = campaign.run(&mut NullObserver).unwrap();
+    assert_eq!(report.cost.queries, 2);
+    assert_eq!(report.cost.rows, 32);
+}
+
+/// Resuming a checkpointed campaign (budget raised after exhaustion)
+/// reproduces the unbudgeted run bit-identically: same corpus, same
+/// estimates, same total cost.
+#[test]
+fn resumed_campaign_reproduces_unbudgeted_run_bit_identically() {
+    for &stop_at in &[1u64, 45, 64, 130] {
+        let mut fresh = esa_campaign(19, 32);
+        let full = fresh.run(&mut NullObserver).unwrap();
+
+        let mut stopped = esa_campaign(19, 32).with_budget(QueryBudget::rows(stop_at));
+        let partial = stopped.run(&mut NullObserver).unwrap();
+        assert!(!partial.outcome.is_complete());
+        assert_eq!(partial.cost.rows, stop_at);
+
+        stopped.set_budget(QueryBudget::unlimited());
+        let resumed = stopped.run(&mut NullObserver).unwrap();
+        assert!(resumed.outcome.is_complete());
+        assert_eq!(resumed.rows_done, full.rows_done);
+        assert_eq!(resumed.cost.rows, full.cost.rows);
+        // Bit-identical estimates, not approximately equal.
+        assert_eq!(
+            resumed.attack("esa").unwrap().estimates,
+            full.attack("esa").unwrap().estimates,
+            "stop_at = {stop_at}"
+        );
+    }
+}
+
+/// A partial ESA corpus is still useful: the budgeted prefix of an
+/// exact-recovery scenario stays exact.
+#[test]
+fn partial_corpus_estimates_match_full_run_prefix() {
+    let mut fresh = esa_campaign(23, 32);
+    let full = fresh.run(&mut NullObserver).unwrap();
+    let mut budgeted = esa_campaign(23, 32).with_budget(QueryBudget::rows(50));
+    let partial = budgeted.run(&mut NullObserver).unwrap();
+    let partial_est = &partial.attack("esa").unwrap().estimates;
+    let full_est = &full.attack("esa").unwrap().estimates;
+    assert_eq!(partial_est.rows(), 50);
+    for i in 0..50 {
+        assert_eq!(partial_est.row(i), full_est.row(i), "row {i}");
+    }
+}
+
+/// The enforcement lives in the oracle adapter, not in the session's
+/// planning: a driver that bypasses the campaign loop and queries the
+/// adapter directly is refused the overspending round.
+#[test]
+fn adapter_hard_stops_rogue_drivers() {
+    let scenario = ScenarioSpec::paper(PaperDataset::CreditCard)
+        .with_scale(0.008)
+        .with_seed(29)
+        .build();
+    let mut inner = fia_campaign::InProcessOracle::new(
+        scenario.system().as_ref().clone(),
+        scenario.defense().clone(),
+    );
+    let mut oracle = BudgetedOracle::new(&mut inner, QueryBudget::rows(10));
+    let x_adv = &scenario.data().x_adv;
+    let indices: Vec<usize> = (0..x_adv.rows()).collect();
+    // `accumulate_batch` is the raw driver every attack uses; asking for
+    // the whole prediction set must fail at the boundary…
+    let err = accumulate_batch(&mut oracle, x_adv, &indices, 64).unwrap_err();
+    assert!(err.to_string().contains("budget exhausted"), "{err}");
+    // …and the failed round spent nothing beyond the allowed prefix.
+    assert_eq!(oracle.query_cost().rows, 0);
+    let ten: Vec<usize> = (0..10).collect();
+    let x_ten = x_adv.select_rows(&ten).unwrap();
+    let batch = accumulate_batch(&mut oracle, &x_ten, &ten, 5).unwrap();
+    assert_eq!(batch.len(), 10);
+    assert_eq!(oracle.query_cost().rows, 10);
+    assert!(oracle.confidences(&[0]).is_err());
+}

@@ -18,6 +18,14 @@ pub trait ScoreDefense {
     /// Short stable identifier for reports.
     fn name(&self) -> &'static str;
 
+    /// Stable *parameterized* identifier (`"rounding(b=3)"`) for
+    /// scenario fingerprints: two defenses with the same descriptor
+    /// must transform scores identically. Defaults to the bare name
+    /// for parameter-free defenses.
+    fn descriptor(&self) -> String {
+        self.name().to_string()
+    }
+
     /// Transforms a whole released batch (`n × c`).
     fn defend_batch(&self, scores: &Matrix) -> Matrix;
 
@@ -32,6 +40,10 @@ impl ScoreDefense for RoundingDefense {
         "rounding"
     }
 
+    fn descriptor(&self) -> String {
+        format!("rounding(b={})", self.digits)
+    }
+
     fn defend_batch(&self, scores: &Matrix) -> Matrix {
         self.round_matrix(scores)
     }
@@ -40,6 +52,10 @@ impl ScoreDefense for RoundingDefense {
 impl ScoreDefense for NoiseDefense {
     fn name(&self) -> &'static str {
         "noise"
+    }
+
+    fn descriptor(&self) -> String {
+        format!("noise(sigma={},seed={})", self.sigma, self.seed)
     }
 
     /// Unlike a bare [`NoiseDefense::perturb`] call (which reseeds from
@@ -91,6 +107,14 @@ impl DefensePipeline {
     pub fn stage_names(&self) -> Vec<&'static str> {
         self.stages.iter().map(|s| s.name()).collect()
     }
+
+    /// Parameterized stage descriptors in release order (see
+    /// [`ScoreDefense::descriptor`]) — what scenario fingerprints hash,
+    /// so configurations differing only in a stage parameter do not
+    /// collide.
+    pub fn stage_descriptors(&self) -> Vec<String> {
+        self.stages.iter().map(|s| s.descriptor()).collect()
+    }
 }
 
 impl ScoreDefense for DefensePipeline {
@@ -136,6 +160,19 @@ mod tests {
     }
 
     #[test]
+    fn descriptors_carry_parameters() {
+        assert_eq!(RoundingDefense::coarse().descriptor(), "rounding(b=1)");
+        assert_ne!(
+            RoundingDefense::coarse().descriptor(),
+            RoundingDefense::fine().descriptor()
+        );
+        assert_ne!(
+            NoiseDefense::new(0.01, 5).descriptor(),
+            NoiseDefense::new(0.02, 5).descriptor()
+        );
+    }
+
+    #[test]
     fn pipeline_applies_in_order() {
         // Noise then rounding: output must be rounded (rounding is last).
         let p = DefensePipeline::new()
@@ -143,6 +180,10 @@ mod tests {
             .then(RoundingDefense::coarse());
         assert_eq!(p.len(), 2);
         assert_eq!(p.stage_names(), vec!["noise", "rounding"]);
+        assert_eq!(
+            p.stage_descriptors(),
+            vec!["noise(sigma=0.01,seed=5)", "rounding(b=1)"]
+        );
         let out = p.defend_batch(&scores());
         for &v in out.as_slice() {
             assert!(

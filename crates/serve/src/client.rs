@@ -222,11 +222,135 @@ pub struct LoadReport {
     pub rps: f64,
 }
 
+/// Open-loop load-generator configuration: requests *arrive* on a
+/// fixed schedule (`arrival_rps` aggregate), independent of how fast
+/// the server answers — unlike the closed loop of [`run_load`], where
+/// each client waits for its response before sending again and the
+/// offered rate silently degenerates to whatever the server sustains.
+///
+/// The schedule is spread round-robin over `connections` sender
+/// connections; each sender has one request in flight, so the
+/// generator approximates a true open loop with concurrency bounded by
+/// the connection count. A sender that falls behind its schedule fires
+/// immediately and the lateness is counted ([`OpenLoadReport::late_sends`]) —
+/// a saturated server therefore shows `achieved_rps < offered_rps`
+/// *and* a high late count, instead of quietly stretching the
+/// inter-arrival gap.
+#[derive(Debug, Clone)]
+pub struct OpenLoadConfig {
+    /// Sender connections the arrival schedule is spread over.
+    pub connections: usize,
+    /// Aggregate target arrival rate, requests per second.
+    pub arrival_rps: f64,
+    /// Total requests in the schedule.
+    pub total_requests: usize,
+    /// Stored-sample rows per request.
+    pub rows_per_request: usize,
+}
+
+/// What an open-loop run achieved.
+#[derive(Debug, Clone)]
+pub struct OpenLoadReport {
+    /// The configured arrival rate.
+    pub offered_rps: f64,
+    /// Completed requests per second of wall clock.
+    pub achieved_rps: f64,
+    /// Requests completed across all senders.
+    pub total_requests: u64,
+    /// Query rows answered across all senders.
+    pub total_rows: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: std::time::Duration,
+    /// Client-observed p50 request latency, microseconds.
+    pub p50_latency_us: f64,
+    /// Client-observed p99 request latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Sends that fired behind their scheduled arrival instant.
+    pub late_sends: u64,
+}
+
+/// Drives a fixed-arrival-rate schedule at `addr` and reports achieved
+/// throughput and client-observed latency. See [`OpenLoadConfig`] for
+/// the open-loop semantics.
+pub fn run_load_open(
+    addr: std::net::SocketAddr,
+    cfg: &OpenLoadConfig,
+) -> Result<OpenLoadReport, ClientError> {
+    assert!(cfg.arrival_rps > 0.0, "arrival rate must be positive");
+    let connections = cfg.connections.max(1);
+    let interval = std::time::Duration::from_secs_f64(1.0 / cfg.arrival_rps);
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(connections));
+    let mut workers = Vec::with_capacity(connections);
+    let t0 = std::time::Instant::now();
+    for worker in 0..connections {
+        let barrier = std::sync::Arc::clone(&barrier);
+        let cfg = cfg.clone();
+        workers.push(std::thread::spawn(
+            move || -> Result<(u64, u64, Vec<u64>), ClientError> {
+                // Reach the barrier whether or not the connection
+                // succeeded, so a failed worker never strands the rest.
+                let connected = RemoteOracle::connect(addr);
+                barrier.wait();
+                let mut oracle = connected?;
+                let n = oracle.info().n_samples.max(1);
+                let start = std::time::Instant::now();
+                let mut rows_done = 0u64;
+                let mut late = 0u64;
+                let mut latencies = Vec::new();
+                // Arrival k fires at start + k·interval; this sender
+                // owns arrivals k ≡ worker (mod connections).
+                let mut k = worker;
+                while k < cfg.total_requests {
+                    let due = interval.mul_f64(k as f64);
+                    match due.checked_sub(start.elapsed()) {
+                        Some(wait) => {
+                            if !wait.is_zero() {
+                                std::thread::sleep(wait);
+                            }
+                        }
+                        None => late += 1,
+                    }
+                    let indices: Vec<usize> = (0..cfg.rows_per_request)
+                        .map(|r| (k * cfg.rows_per_request + r) % n)
+                        .collect();
+                    let sent = std::time::Instant::now();
+                    let scores = oracle.predict_batch(&indices)?;
+                    latencies.push(sent.elapsed().as_micros() as u64);
+                    rows_done += scores.rows() as u64;
+                    k += connections;
+                }
+                Ok((rows_done, late, latencies))
+            },
+        ));
+    }
+    let mut total_rows = 0u64;
+    let mut late_sends = 0u64;
+    let mut latencies = Vec::with_capacity(cfg.total_requests);
+    for worker in workers {
+        let (rows, late, lat) = worker.join().expect("open-loop worker panicked")?;
+        total_rows += rows;
+        late_sends += late;
+        latencies.extend(lat);
+    }
+    let elapsed = t0.elapsed();
+    let (p50, p99) = crate::metrics::percentiles(&latencies);
+    Ok(OpenLoadReport {
+        offered_rps: cfg.arrival_rps,
+        achieved_rps: latencies.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+        total_requests: latencies.len() as u64,
+        total_rows,
+        elapsed,
+        p50_latency_us: p50,
+        p99_latency_us: p99,
+        late_sends,
+    })
+}
+
 /// Drives `cfg` worth of traffic at `addr` and reports the achieved
 /// throughput. Clients start together (barrier) and each issues
 /// synchronous requests over its own connection — a closed loop, so
 /// aggregate throughput is what the *server* sustains, not an open-loop
-/// arrival rate.
+/// arrival rate (see [`run_load_open`] for that).
 pub fn run_load(addr: std::net::SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
     let threads = cfg.threads.max(1);
     let barrier = std::sync::Arc::new(std::sync::Barrier::new(threads));

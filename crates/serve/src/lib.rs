@@ -35,7 +35,8 @@
 //!   against a live endpoint via `fia_core::accumulate_batch` /
 //!   `run_over_oracle`, and it meters its campaign's
 //!   [`fia_core::QueryCost`] (including server-cached rows). [`run_load`]
-//!   drives closed-loop benchmark traffic at a server.
+//!   drives closed-loop benchmark traffic at a server; [`run_load_open`]
+//!   drives a fixed-arrival-rate (open-loop) schedule.
 //!
 //! Servers in tests and examples bind port `0` (ephemeral) and read the
 //! real address back from [`ServerHandle::addr`], keeping parallel test
@@ -54,7 +55,10 @@ mod server;
 pub mod wire;
 
 pub use cache::ScoreCache;
-pub use client::{run_load, ClientError, LoadConfig, LoadReport, RemoteOracle};
+pub use client::{
+    run_load, run_load_open, ClientError, LoadConfig, LoadReport, OpenLoadConfig, OpenLoadReport,
+    RemoteOracle,
+};
 pub use coalesce::{Coalescer, Coalescible};
 pub use dispatch::ShardMap;
 pub use metrics::{MetricsReport, ServerMetrics};

@@ -167,7 +167,7 @@ impl ServerMetrics {
 /// window reports `(0, 0)`, a single sample is every percentile of
 /// itself, and two samples give `p50 = midpoint` rather than snapping
 /// to either endpoint.
-fn percentiles(samples: &[u64]) -> (f64, f64) {
+pub(crate) fn percentiles(samples: &[u64]) -> (f64, f64) {
     if samples.is_empty() {
         return (0.0, 0.0);
     }

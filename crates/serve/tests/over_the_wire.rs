@@ -520,3 +520,42 @@ fn load_generator_reports_sane_throughput() {
     assert!(m.rows >= 120);
     server.shutdown();
 }
+
+#[test]
+fn open_loop_generator_honors_schedule_and_counts_everything() {
+    let (system, _) = deployed_lr();
+    let server = PredictionServer::spawn(
+        Arc::clone(&system),
+        identity_defense(),
+        ServeConfig::default(),
+    )
+    .expect("bind");
+    // A rate the loopback server trivially sustains: the run should
+    // complete the whole schedule, on time, at roughly the offered rate
+    // (wall clock ≈ schedule span).
+    let report = fia_serve::run_load_open(
+        server.addr(),
+        &fia_serve::OpenLoadConfig {
+            connections: 4,
+            arrival_rps: 400.0,
+            total_requests: 80,
+            rows_per_request: 2,
+        },
+    )
+    .expect("open-loop run");
+    assert_eq!(report.total_requests, 80);
+    assert_eq!(report.total_rows, 160);
+    assert!((report.offered_rps - 400.0).abs() < f64::EPSILON);
+    // 80 arrivals at 400/s span 200 ms; achieved must be in that
+    // ballpark, not "as fast as the server can close the loop".
+    assert!(
+        report.achieved_rps <= 1.5 * report.offered_rps,
+        "achieved {} should track the offered schedule",
+        report.achieved_rps
+    );
+    assert!(report.elapsed >= Duration::from_millis(150));
+    assert!(report.p99_latency_us >= report.p50_latency_us);
+    let m = server.metrics();
+    assert!(m.requests >= 80);
+    server.shutdown();
+}

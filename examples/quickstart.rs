@@ -1,88 +1,85 @@
-//! Quickstart: train a vertical FL model, run the prediction protocol,
-//! and mount all three attacks from the active party's seat.
+//! Quickstart: describe an attack scenario with the typed builder, run
+//! a budgeted campaign against the deployment, and read the report —
+//! the whole paper loop (train → deploy → query → invert → evaluate)
+//! through the one front-door API.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use fia::attacks::{
-    baseline, metrics, AttackEngine, EqualitySolvingAttack, Grna, GrnaConfig, QueryBatch,
+use fia::attacks::{baseline, metrics, GrnaConfig};
+use fia::campaign::{
+    AttackSpec, Campaign, CampaignEvent, PartitionSpec, QueryBudget, ScenarioSpec,
 };
-use fia::data::{PaperDataset, SplitSpec};
-use fia::models::{LogisticRegression, LrConfig};
-use fia::vfl::{AdversaryView, ThreatModel, VerticalPartition, VflSystem};
+use fia::data::PaperDataset;
 
 fn main() {
-    // 1. Data: the credit-card stand-in (30 000 × 23, 2 classes) at 2%
-    //    scale, already min-max normalized into (0, 1).
-    let dataset = PaperDataset::CreditCard.generate(0.02, 7);
-    let split = dataset.split(&SplitSpec::paper_default(), 7);
+    // 1. Describe the scenario: the credit-card stand-in (30 000 × 23,
+    //    2 classes) at 2% scale, a random 30% of features held by the
+    //    passive target party, a logistic regression trained on the
+    //    joint data, queried in-process. Everything hangs off one seed.
+    let spec = ScenarioSpec::paper(PaperDataset::CreditCard)
+        .with_scale(0.02)
+        .with_partition(PartitionSpec::two_block_random(0.3))
+        .with_seed(7);
+    println!("scenario {}:\n  {}", spec.fingerprint(), spec.describe());
+
+    // 2. Build it: dataset generated and split, model trained, system
+    //    deployed. The resolved data side is open for inspection.
+    let scenario = spec.clone().build();
+    let data = scenario.data();
     println!(
-        "dataset: {} — {} train / {} prediction samples, {} features",
-        dataset.name,
-        split.train.n_samples(),
-        split.prediction.n_samples(),
-        dataset.n_features()
+        "  {} — {} train / {} prediction samples, d_target = {}",
+        data.name,
+        data.train.n_samples(),
+        data.n_predictions(),
+        data.d_target()
     );
+    let truth = data.truth.clone();
 
-    // 2. Vertical partition: a random 30% of features belongs to the
-    //    passive target party; the active party holds the rest.
-    let partition = VerticalPartition::two_block_random(dataset.n_features(), 0.3, 7);
+    // 3. Run the campaign: accumulate the (x_adv, v) corpus in 64-row
+    //    prediction rounds, then mount ESA (individual predictions) and
+    //    GRNA (accumulated predictions) over it. Events stream as the
+    //    session progresses.
+    let mut campaign = Campaign::new(scenario)
+        .with_attack(AttackSpec::esa())
+        .with_attack(AttackSpec::grna(GrnaConfig::fast().with_seed(7)))
+        .with_chunk(64);
+    let mut observer = |e: &CampaignEvent| {
+        if let CampaignEvent::AttackDone { attack, mse, .. } = e {
+            println!("  [event] {attack} finished: mse = {mse:.4}");
+        }
+    };
+    let report = campaign.run(&mut observer).expect("campaign runs");
 
-    // 3. Train the joint model (centralized training stands in for the
-    //    secure protocol — the adversary receives the final θ either way).
-    let model = LogisticRegression::fit(&split.train, &LrConfig::default());
-
-    // 4. Deploy and run the joint prediction protocol: the active party
-    //    observes only (its own features, confidence scores).
-    let system = VflSystem::from_global(model, partition, &split.prediction.features);
-    let threat = ThreatModel::active_only();
-    let view = AdversaryView::collect(&system, &threat);
+    // 4. The report is the single artifact: metrics + query cost +
+    //    fingerprint + seed, serializable for comparison across runs.
     println!(
-        "adversary accumulated {} predictions; d_target = {}",
-        view.n_samples(),
-        view.d_target()
+        "campaign {}: {} rows in {} queries",
+        report.outcome.name(),
+        report.cost.rows,
+        report.cost.queries
     );
-
-    // Ground truth, used for evaluation only.
-    let truth = split
-        .prediction
-        .features
-        .select_columns(&view.target_indices)
-        .unwrap();
-
-    // 5a. Equality solving attack (individual predictions).
-    let engine = AttackEngine::new();
-    let batch = QueryBatch::new(view.x_adv.clone(), view.confidences.clone());
-    let esa = EqualitySolvingAttack::new(system.model(), &view.adv_indices, &view.target_indices);
-    let esa_est = engine.run(&esa, &batch).estimates;
-    println!(
-        "ESA   : mse = {:.4} (exact recovery expected: {})",
-        metrics::mse_per_feature(&esa_est, &truth),
-        esa.exact_recovery_expected()
-    );
-
-    // 5b. Generative regression network attack (accumulated predictions).
-    let grna = Grna::new(
-        system.model(),
-        &view.adv_indices,
-        &view.target_indices,
-        GrnaConfig::fast().with_seed(7),
-    );
-    let generator = grna
-        .train(&view.x_adv, &view.confidences)
-        .with_infer_seed(99);
-    let grna_est = engine.run(&generator, &batch).estimates;
-    println!(
-        "GRNA  : mse = {:.4}",
-        metrics::mse_per_feature(&grna_est, &truth)
-    );
-
-    // 5c. Random-guess baselines for calibration.
     let rg = baseline::random_guess_uniform(truth.rows(), truth.cols(), 1);
     println!("random: mse = {:.4}", metrics::mse_per_feature(&rg, &truth));
     println!(
         "upper bound (Eqn 15) on ESA mse: {:.4}",
         metrics::esa_upper_bound(&truth)
+    );
+
+    // 5. The adversary is query-limited: the same scenario spec under a
+    //    hard 200-row budget stops at exactly 200 rows and still
+    //    returns partial per-feature results.
+    let mut budgeted = Campaign::new(spec.build())
+        .with_attack(AttackSpec::esa())
+        .with_budget(QueryBudget::rows(200))
+        .with_chunk(64);
+    let partial = budgeted.run(&mut fia::campaign::NullObserver).unwrap();
+    println!(
+        "budgeted campaign: {} after {} of {} rows (ESA over the partial corpus: mse = {:.4})",
+        partial.outcome.name(),
+        partial.rows_done,
+        partial.rows_planned,
+        partial.attack("esa").unwrap().mse
     );
 }

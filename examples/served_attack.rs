@@ -1,127 +1,91 @@
-//! The paper's threat model, end to end over a real socket: deploy the
-//! vertical FL model behind the `fia-serve` prediction service (bound to
-//! an ephemeral port), then mount ESA from the active party's seat by
-//! *querying the service* — exactly how the adversary of Luo et al.
-//! accumulates its `(x_adv, v)` corpus in production.
+//! The paper's threat model, end to end over a real socket — as one
+//! campaign: `OracleSpec::Served` makes the session spawn a real
+//! `fia-serve` prediction service (ephemeral port, two backend
+//! replicas, released-score cache) and mount ESA by *querying the
+//! service*, exactly how the adversary of Luo et al. accumulates its
+//! `(x_adv, v)` corpus in production. The report says what the campaign
+//! cost the deployment.
 //!
 //! ```sh
 //! cargo run --release --example served_attack
 //! ```
 
-use fia::attacks::{run_over_oracle, AttackEngine, EqualitySolvingAttack};
-use fia::data::{PaperDataset, SplitSpec};
-use fia::defense::DefensePipeline;
-use fia::models::{LogisticRegression, LrConfig};
-use fia::serve::{PredictionServer, RemoteOracle, ServeConfig};
-use fia::vfl::{ThreatModel, VerticalPartition, VflSystem};
-use std::sync::Arc;
+use fia::campaign::{
+    AttackSpec, Campaign, CampaignEvent, OracleSpec, PartitionSpec, ScenarioSpec, ServedConfig,
+};
+use fia::data::PaperDataset;
 use std::time::Duration;
 
 fn main() {
-    // 1. Train and deploy: drive-diagnosis stand-in (11 classes), a
-    //    random 20% of features held by the passive target party.
-    let dataset = PaperDataset::DriveDiagnosis.generate(0.01, 42);
-    let split = dataset.split(&SplitSpec::paper_default(), 42);
-    let partition = VerticalPartition::two_block_random(dataset.n_features(), 0.2, 42);
-    let model = LogisticRegression::fit(&split.train, &LrConfig::default());
-    let system = Arc::new(VflSystem::from_global(
-        model,
-        partition,
-        &split.prediction.features,
-    ));
-
-    // 2. Serve it. Port 0 asks the kernel for an ephemeral port — the
-    //    handle reports where the server actually landed. `round_cost`
-    //    simulates the secure-computation round trip a real deployment
-    //    pays per joint prediction; the coalescer amortizes it, two
-    //    backend replicas shard the stored prediction set and pay it
-    //    concurrently, and the released-score cache answers repeated
-    //    queries without paying it at all.
-    let server = PredictionServer::spawn(
-        Arc::clone(&system),
-        Arc::new(DefensePipeline::new()),
-        ServeConfig {
+    // 1. The scenario: drive-diagnosis stand-in (11 classes), a random
+    //    20% of features held by the passive target party, served over
+    //    TCP. `round_cost` simulates the secure-computation round trip
+    //    a real deployment pays per joint prediction; the coalescer
+    //    amortizes it, two replicas shard the stored prediction set and
+    //    pay it concurrently, and the released-score cache answers
+    //    repeated queries without paying it at all.
+    let scenario = ScenarioSpec::paper(PaperDataset::DriveDiagnosis)
+        .with_scale(0.01)
+        .with_partition(PartitionSpec::two_block_random(0.2))
+        .with_oracle(OracleSpec::Served(ServedConfig {
             replicas: 2,
             cache_capacity: 8192,
             round_cost: Duration::from_micros(200),
-            ..ServeConfig::default()
-        },
-    )
-    .expect("bind ephemeral port");
-    println!("serving VFL predictions on {}", server.addr());
-
-    // 3. The adversary connects and learns the deployment's shape.
-    let mut oracle = RemoteOracle::connect(server.addr()).expect("connect");
-    let info = oracle.info().clone();
+            ..ServedConfig::default()
+        }))
+        .with_seed(42)
+        .build();
     println!(
-        "deployment: {} samples, {} features, {} classes, party widths {:?}",
-        info.n_samples, info.n_features, info.n_classes, info.party_widths
+        "scenario {}: {}",
+        scenario.fingerprint(),
+        scenario.description()
     );
 
-    // 4. Mount ESA over the wire: accumulate confidence vectors in
-    //    rounds of 64 queries, then invert them. The adversary's own
-    //    feature values come from its local table.
-    let threat = ThreatModel::active_only();
-    let (adv_indices, target_indices) = threat.feature_split(system.partition());
-    let x_adv = split
-        .prediction
-        .features
-        .select_columns(&adv_indices)
-        .unwrap();
-    let indices: Vec<usize> = (0..info.n_samples).collect();
+    // 2. The campaign session: the server is spawned when the session
+    //    first needs it, and the adversary accumulates confidence
+    //    vectors in rounds of 64 queries over the wire.
+    let mut campaign = Campaign::new(scenario)
+        .with_attack(AttackSpec::esa())
+        .with_chunk(64);
+    let mut observer = |e: &CampaignEvent| match e {
+        CampaignEvent::Started { rows_planned, .. } => {
+            println!("accumulating {rows_planned} rows over the wire…");
+        }
+        CampaignEvent::AttackDone {
+            attack, rows, mse, ..
+        } => {
+            println!("{attack}: reconstructed {rows} target rows, per-feature MSE = {mse:.3e}");
+        }
+        _ => {}
+    };
+    let report = campaign.run(&mut observer).expect("campaign over the wire");
 
-    let attack = EqualitySolvingAttack::new(system.model(), &adv_indices, &target_indices);
+    // 3. What the campaign cost the deployment, from the report.
     println!(
-        "ESA over the wire: {} unknowns, {} equations, exact recovery expected: {}",
-        target_indices.len(),
-        attack.n_equations(),
-        attack.exact_recovery_expected()
-    );
-    let result = run_over_oracle(
-        &AttackEngine::new(),
-        &attack,
-        &mut oracle,
-        &x_adv,
-        &indices,
-        64,
-    )
-    .expect("remote replay");
-
-    let truth = split
-        .prediction
-        .features
-        .select_columns(&target_indices)
-        .unwrap();
-    println!(
-        "reconstructed {} target rows, per-feature MSE = {:.3e}",
-        result.n_queries(),
-        result.mse_against(&truth)
+        "campaign cost: {} queries / {} rows ({} cache-served, {} computed)",
+        report.cost.queries,
+        report.cost.rows,
+        report.cost.cached_rows,
+        report.cost.computed_rows()
     );
 
-    // 5. A second campaign over the same rows: the cache re-releases
-    //    the first-released bytes, so the repeat run costs the
-    //    deployment nothing and teaches the adversary nothing new.
-    let mut repeat = RemoteOracle::connect(server.addr()).expect("connect");
-    let rerun = run_over_oracle(
-        &AttackEngine::new(),
-        &attack,
-        &mut repeat,
-        &x_adv,
-        &indices,
-        64,
-    )
-    .expect("warm replay");
-    let cost = repeat.cost();
+    // 4. A second campaign over the same rows: the released-score cache
+    //    re-releases the first-released bytes, so the repeat run costs
+    //    the deployment no joint rounds and teaches the adversary
+    //    nothing new.
+    let rerun = campaign
+        .rerun(&mut fia::campaign::NullObserver)
+        .expect("warm replay");
     println!(
-        "repeat campaign: {} of {} rows cache-served ({} recomputed), MSE unchanged: {}",
-        cost.cached_rows,
-        cost.rows,
-        cost.computed_rows(),
-        rerun.estimates == result.estimates
+        "repeat campaign: {} of {} rows cache-served ({} recomputed), estimates unchanged: {}",
+        rerun.cost.cached_rows,
+        rerun.cost.rows,
+        rerun.cost.computed_rows(),
+        rerun.attack("esa").unwrap().estimates == report.attack("esa").unwrap().estimates
     );
 
-    // 6. What the server saw.
-    let m = oracle.server_metrics().expect("metrics");
+    // 5. What the server saw, then tear it down.
+    let m = campaign.server_metrics().expect("served scenario");
     println!(
         "server: {} requests in {} rounds (mean fill {:.2}), p50 {:.0}µs / p99 {:.0}µs",
         m.requests, m.rounds, m.mean_batch_fill, m.p50_latency_us, m.p99_latency_us
@@ -131,5 +95,5 @@ fn main() {
         m.replica_rounds,
         100.0 * m.cache_hit_rate()
     );
-    server.shutdown();
+    campaign.shutdown();
 }

@@ -18,10 +18,14 @@
 //! * [`defense`] — countermeasures (rounding, dropout, screening, verification).
 //! * [`serve`] — the deployed prediction boundary: a TCP service with
 //!   micro-batch coalescing, and the remote oracle the attacks query.
+//! * [`campaign`] — the front door: a typed `ScenarioSpec` builder, a
+//!   budgeted resumable `Campaign` session over any oracle (in-process
+//!   or served), streaming events and a serializable report.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through and
-//! `examples/served_attack.rs` for the same attack mounted over the wire.
+//! `examples/served_attack.rs` for the same campaign mounted over the wire.
 
+pub use fia_campaign as campaign;
 pub use fia_core as attacks;
 pub use fia_data as data;
 pub use fia_defense as defense;

@@ -1,72 +1,61 @@
-//! Cross-crate integration tests: the full pipeline from dataset
-//! generation through the VFL prediction protocol to each attack and the
-//! defenses — everything wired through the public `fia` facade.
+//! Cross-crate integration tests through the public `fia` facade.
+//!
+//! The attack pipeline (dataset → split → partition → train → deploy →
+//! query → invert → evaluate) runs entirely through the campaign API —
+//! the same typed surface the examples and future scenario sweeps use.
+//! The protocol-substrate tests at the bottom exercise `VflSystem`
+//! directly: they verify the deployment the campaigns stand on, not
+//! scenario wiring.
 
-use fia::attacks::{
-    baseline, metrics, Attack, AttackEngine, EqualitySolvingAttack, Grna, GrnaConfig, QueryBatch,
-};
+use fia::attacks::{baseline, metrics, GrnaConfig};
+use fia::campaign::{AttackSpec, Campaign, ModelSpec, NullObserver, PartitionSpec, ScenarioSpec};
 use fia::data::{PaperDataset, SplitSpec};
-use fia::defense::RoundingDefense;
+use fia::defense::{DefensePipeline, RoundingDefense};
 use fia::models::{
     accuracy, DecisionTree, LogisticRegression, LrConfig, Mlp, MlpConfig, RandomForest, TreeConfig,
 };
-use fia::vfl::{AdversaryView, PartyId, ThreatModel, VerticalPartition, VflSystem};
+use fia::vfl::{PartyId, ThreatModel, VerticalPartition, VflSystem};
 use rand::{rngs::StdRng, SeedableRng};
 
-/// The adversary's accumulated stream as an engine-ready batch.
-fn batch_of(view: &AdversaryView) -> QueryBatch {
-    QueryBatch::new(view.x_adv.clone(), view.confidences.clone())
-}
-
-/// Shared fixture: dataset + split + partition at tiny scale.
-fn fixture(
-    dataset: PaperDataset,
-    target_fraction: f64,
-    seed: u64,
-) -> (fia::data::ThreeWaySplit, VerticalPartition) {
-    let ds = dataset.generate(0.008, seed);
-    let split = ds.split(&SplitSpec::paper_default(), seed);
-    let partition = VerticalPartition::two_block_random(ds.n_features(), target_fraction, seed);
-    (split, partition)
-}
-
 #[test]
-fn protocol_collected_view_feeds_esa() {
-    // Drive has 11 classes: with d_target ≤ 10 the attack run entirely
-    // through the protocol-collected adversary view must be exact.
-    let (split, partition) = fixture(PaperDataset::DriveDiagnosis, 0.2, 11);
-    let model = LogisticRegression::fit(&split.train, &LrConfig::default());
-    let system = VflSystem::from_global(model, partition, &split.prediction.features);
-    let view = AdversaryView::collect(&system, &ThreatModel::active_only());
-    assert!(view.d_target() <= 10);
-
-    let attack =
-        EqualitySolvingAttack::new(system.model(), &view.adv_indices, &view.target_indices);
-    assert!(attack.exact_recovery_expected());
-    let result = AttackEngine::new().run(&attack, &batch_of(&view));
-    assert!(result.degraded_rows.is_empty());
-    let truth = split
-        .prediction
-        .features
-        .select_columns(&view.target_indices)
-        .unwrap();
-    let mse = result.mse_against(&truth);
-    assert!(mse < 1e-8, "protocol-fed ESA should be exact, mse = {mse}");
+fn campaign_fed_esa_is_exact() {
+    // Drive has 11 classes: with d_target ≤ 10 the ESA campaign run
+    // entirely through the prediction protocol must be exact.
+    let scenario = ScenarioSpec::paper(PaperDataset::DriveDiagnosis)
+        .with_scale(0.008)
+        .with_partition(PartitionSpec::two_block_random(0.2))
+        .with_seed(11)
+        .build();
+    assert!(scenario.data().d_target() <= 10);
+    let mut campaign = Campaign::new(scenario).with_attack(AttackSpec::esa());
+    let report = campaign.run(&mut NullObserver).unwrap();
+    assert!(report.outcome.is_complete());
+    let esa = report.attack("esa").unwrap();
+    assert_eq!(esa.degraded_rows, 0);
+    assert!(
+        esa.mse < 1e-8,
+        "campaign-fed ESA should be exact, mse = {}",
+        esa.mse
+    );
+    // The report meters what the corpus cost the deployment.
+    assert_eq!(report.cost.rows as usize, report.rows_done);
 }
 
 #[test]
 fn colluding_coalition_shrinks_target() {
-    // Three parties; the active party colluding with P3 leaves only P2's
-    // features unknown, and the attack view reflects that.
-    let ds = PaperDataset::CreditCard.generate(0.008, 3);
-    let split = ds.split(&SplitSpec::paper_default(), 3);
-    let d = ds.n_features();
-    let partition = VerticalPartition::contiguous(&[d - 14, 7, 7]);
-    let model = LogisticRegression::fit(&split.train, &LrConfig::default());
-    let system = VflSystem::from_global(model, partition, &split.prediction.features);
-
-    let solo = AdversaryView::collect(&system, &ThreatModel::active_only());
-    let coalition = AdversaryView::collect(&system, &ThreatModel::with_colluders(&[PartyId(2)]));
+    // Three parties; the active party colluding with P3 leaves only
+    // P2's features unknown, and the resolved scenario reflects that.
+    let solo = ScenarioSpec::paper(PaperDataset::CreditCard)
+        .with_scale(0.008)
+        .with_partition(PartitionSpec::contiguous(&[9, 7, 7]))
+        .with_seed(3)
+        .materialize();
+    let coalition = ScenarioSpec::paper(PaperDataset::CreditCard)
+        .with_scale(0.008)
+        .with_partition(PartitionSpec::contiguous(&[9, 7, 7]))
+        .with_threat(ThreatModel::with_colluders(&[PartyId(2)]))
+        .with_seed(3)
+        .materialize();
     assert_eq!(solo.d_target(), 14);
     assert_eq!(coalition.d_target(), 7);
     // More colluders → more known features → strictly easier GRNA task.
@@ -74,28 +63,20 @@ fn colluding_coalition_shrinks_target() {
 }
 
 #[test]
-fn grna_through_protocol_beats_random_guess() {
-    let (split, partition) = fixture(PaperDataset::CreditCard, 0.3, 5);
-    let model = LogisticRegression::fit(&split.train, &LrConfig::default());
-    let system = VflSystem::from_global(model, partition, &split.prediction.features);
-    let view = AdversaryView::collect(&system, &ThreatModel::active_only());
-
+fn campaign_grna_beats_random_guess() {
     let mut cfg = GrnaConfig::fast().with_seed(5);
     cfg.hidden = vec![48, 24];
     cfg.epochs = 40;
     cfg.lr = 3e-3;
-    let grna = Grna::new(system.model(), &view.adv_indices, &view.target_indices, cfg);
-    let generator = grna
-        .train(&view.x_adv, &view.confidences)
-        .with_infer_seed(1);
-    let result = AttackEngine::new().run(&generator, &batch_of(&view));
-
-    let truth = split
-        .prediction
-        .features
-        .select_columns(&view.target_indices)
-        .unwrap();
-    let grna_mse = result.mse_against(&truth);
+    let scenario = ScenarioSpec::paper(PaperDataset::CreditCard)
+        .with_scale(0.008)
+        .with_partition(PartitionSpec::two_block_random(0.3))
+        .with_seed(5)
+        .build();
+    let truth = scenario.data().truth.clone();
+    let mut campaign = Campaign::new(scenario).with_attack(AttackSpec::grna(cfg));
+    let report = campaign.run(&mut NullObserver).unwrap();
+    let grna_mse = report.attack("grna").unwrap().mse;
     let rg = baseline::random_guess_uniform(truth.rows(), truth.cols(), 2);
     let rg_mse = metrics::mse_per_feature(&rg, &truth);
     assert!(
@@ -105,37 +86,61 @@ fn grna_through_protocol_beats_random_guess() {
 }
 
 #[test]
-fn rounding_defense_breaks_esa_but_not_structure() {
-    let (split, partition) = fixture(PaperDataset::DriveDiagnosis, 0.2, 13);
-    let model = LogisticRegression::fit(&split.train, &LrConfig::default());
-    let attack_model = model.clone();
-    let system = VflSystem::from_global(model, partition, &split.prediction.features);
-    let view = AdversaryView::collect(&system, &ThreatModel::active_only());
-    let truth = split
-        .prediction
-        .features
-        .select_columns(&view.target_indices)
-        .unwrap();
-
-    let attack = EqualitySolvingAttack::new(&attack_model, &view.adv_indices, &view.target_indices);
-    let clean = attack.infer_batch(&batch_of(&view));
-    let clean_mse = clean.mse_against(&truth);
-
-    let rounded = RoundingDefense::coarse().round_matrix(&view.confidences);
-    let defended_result = attack.infer_batch(&QueryBatch::new(view.x_adv.clone(), rounded));
-    let defended = defended_result.estimates.map(|v| v.clamp(0.0, 1.0));
-    let defended_mse = metrics::mse_per_feature(&defended, &truth);
-    assert!(clean_mse < 1e-6, "undefended exact, got {clean_mse}");
-    // Coarse rounding zeroes scores: the batch must report degradation.
+fn rounding_defense_campaign_breaks_esa() {
+    // The same scenario with and without coarse rounding at the release
+    // boundary — the defense rides inside the spec, nothing else moves.
+    let spec = ScenarioSpec::paper(PaperDataset::DriveDiagnosis)
+        .with_scale(0.008)
+        .with_partition(PartitionSpec::two_block_random(0.2))
+        .with_seed(13);
+    let mut clean_campaign = Campaign::new(spec.clone().build()).with_attack(AttackSpec::esa());
+    let clean = clean_campaign.run(&mut NullObserver).unwrap();
+    let clean_esa = clean.attack("esa").unwrap();
     assert!(
-        !defended_result.degraded_rows.is_empty(),
-        "rounded batch should mark degraded rows"
+        clean_esa.mse < 1e-6,
+        "undefended exact, got {}",
+        clean_esa.mse
+    );
+
+    let defended_scenario = spec
+        .with_defense(DefensePipeline::new().then(RoundingDefense::coarse()))
+        .build();
+    let mut defended_campaign = Campaign::new(defended_scenario).with_attack(AttackSpec::esa());
+    let defended = defended_campaign.run(&mut NullObserver).unwrap();
+    let defended_esa = defended.attack("esa").unwrap();
+    // Coarse rounding zeroes scores: the campaign must report
+    // degradation and the exactness must be destroyed.
+    assert!(
+        defended_esa.degraded_rows > 0,
+        "rounded corpus should mark degraded rows"
     );
     assert!(
-        defended_mse > 100.0 * (clean_mse + 1e-6),
-        "rounding should destroy exactness: {defended_mse}"
+        defended_esa.mse > 100.0 * (clean_esa.mse + 1e-6),
+        "rounding should destroy exactness: {}",
+        defended_esa.mse
     );
 }
+
+#[test]
+fn campaign_pra_runs_tree_scenarios_through_the_protocol() {
+    let scenario = ScenarioSpec::paper(PaperDataset::CreditCard)
+        .with_scale(0.008)
+        .with_model(ModelSpec::DecisionTree(TreeConfig::paper_dt()))
+        .with_seed(21)
+        .build();
+    let truth = scenario.data().truth.clone();
+    let mut campaign = Campaign::new(scenario).with_attack(AttackSpec::pra());
+    let report = campaign.run(&mut NullObserver).unwrap();
+    let pra = report.attack("pra").unwrap();
+    assert_eq!(pra.estimates.shape(), (truth.rows(), truth.cols()));
+    // Midpoint estimates over restricted paths beat uniform guessing.
+    let rg = baseline::random_guess_uniform(truth.rows(), truth.cols(), 4);
+    let rg_mse = metrics::mse_per_feature(&rg, &truth);
+    assert!(pra.mse < 1.1 * rg_mse, "pra {} vs random {rg_mse}", pra.mse);
+}
+
+// ---------------------------------------------------------------------
+// Protocol substrate (what the campaigns stand on).
 
 #[test]
 fn all_four_model_families_run_through_the_protocol() {
@@ -192,7 +197,9 @@ fn all_four_model_families_run_through_the_protocol() {
 fn batched_protocol_round_matches_per_sample_protocol() {
     // The scale path: one protocol round answering n queries must reveal
     // exactly what n single-query rounds would.
-    let (split, partition) = fixture(PaperDataset::CreditCard, 0.3, 9);
+    let ds = PaperDataset::CreditCard.generate(0.008, 9);
+    let split = ds.split(&SplitSpec::paper_default(), 9);
+    let partition = VerticalPartition::two_block_random(ds.n_features(), 0.3, 9);
     let model = LogisticRegression::fit(&split.train, &LrConfig::default());
     let system = VflSystem::from_global(model, partition, &split.prediction.features);
     let indices: Vec<usize> = (0..system.n_samples().min(40)).collect();
