@@ -26,7 +26,7 @@
 //! per-sample free-variable "naive regression" solved through the model).
 
 use crate::engine::{row_seed, Attack, AttackResult, QueryBatch};
-use fia_linalg::Matrix;
+use fia_linalg::{Matrix, Precision};
 use fia_models::DifferentiableModel;
 use fia_tensor::{
     normal_matrix, standard_normal, xavier_uniform, Adam, Optimizer, ParamId, Params, Tape, VarId,
@@ -73,6 +73,13 @@ pub struct GrnaConfig {
     /// sample's unknowns become free variables optimized directly through
     /// the frozen model (the paper's "naive regression model").
     pub use_generator: bool,
+    /// Compute precision of the *training* tapes' matmuls. Default
+    /// [`Precision::F64`] (bit-identical across kernel backends);
+    /// [`Precision::F32`] opts into the mixed-precision kernels — faster
+    /// generator training at f32 accuracy, with reconstruction quality
+    /// pinned within tolerance of the f64 run by test. Inference tapes
+    /// always run f64.
+    pub precision: Precision,
 }
 
 impl GrnaConfig {
@@ -93,6 +100,7 @@ impl GrnaConfig {
             use_noise_input: true,
             use_variance_constraint: true,
             use_generator: true,
+            precision: Precision::F64,
         }
     }
 
@@ -109,6 +117,12 @@ impl GrnaConfig {
     /// Overrides the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the training precision (see [`GrnaConfig::precision`]).
+    pub fn with_precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
         self
     }
 
@@ -236,7 +250,7 @@ impl<'a, M: DifferentiableModel> Grna<'a, M> {
             for chunk in order.chunks(cfg.batch_size.max(1)) {
                 let xb = x_adv.select_rows(chunk).expect("rows in range");
                 let vb = confidences.select_rows(chunk).expect("rows in range");
-                let mut tape = Tape::new();
+                let mut tape = Tape::with_precision(cfg.precision);
 
                 let gen_in = self.generator_input(&mut tape, &xb, chunk.len(), &mut rng);
                 let xhat = gen.forward(&mut tape, gen_in, true);
@@ -301,7 +315,7 @@ impl<'a, M: DifferentiableModel> Grna<'a, M> {
         let mut opt = Adam::new(cfg.lr * 10.0); // free variables need a hotter rate
 
         for _ in 0..cfg.epochs {
-            let mut tape = Tape::new();
+            let mut tape = Tape::with_precision(cfg.precision);
             let xhat = tape.param(&params, free);
             let xadv_var = tape.input(x_adv.clone());
             let cat = tape.concat_cols(xadv_var, xhat);
@@ -651,6 +665,7 @@ mod tests {
             use_noise_input: true,
             use_variance_constraint: true,
             use_generator: true,
+            precision: Precision::F64,
         }
     }
 
@@ -842,6 +857,61 @@ mod tests {
         // against the seed being ignored).
         let g3 = Grna::new(&model, &adv, &target, cfg.with_seed(1234)).train(&x_adv, &conf);
         assert_ne!(s1[0], g3.parameter_snapshot()[0]);
+    }
+
+    #[test]
+    fn forced_scalar_training_matches_dispatched_backend_bitwise() {
+        // The f64 kernels preserve the scalar arm's accumulation order,
+        // so an entire GRNA training run — every tape matmul, gradient
+        // product and axpy accumulation — must not depend on which
+        // backend executed it. Train once on the dispatched backend and
+        // once pinned to scalar, and require *bit-identical* weights.
+        let ds = correlated_dataset(4);
+        let model = LogisticRegression::fit(
+            &ds,
+            &LrConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
+        let adv: Vec<usize> = (0..5).collect();
+        let target: Vec<usize> = (5..8).collect();
+        let x_adv = ds.features.select_columns(&adv).unwrap();
+        let conf = model.predict_proba(&ds.features);
+        let cfg = GrnaConfig {
+            epochs: 3,
+            ..small_grna()
+        };
+        let train = || Grna::new(&model, &adv, &target, cfg.clone()).train(&x_adv, &conf);
+
+        let dispatched = train();
+        let scalar = fia_linalg::with_backend(fia_linalg::Backend::Scalar, train);
+        let (sd, ss) = (dispatched.parameter_snapshot(), scalar.parameter_snapshot());
+        assert_eq!(sd.len(), ss.len());
+        for (a, b) in sd.iter().zip(ss.iter()) {
+            assert_eq!(a, b, "weights diverged across kernel backends");
+        }
+        assert_eq!(dispatched.infer(&x_adv, 3), scalar.infer(&x_adv, 3));
+    }
+
+    #[test]
+    fn f32_training_quality_within_tolerance_of_f64() {
+        // The mixed-precision path follows a genuinely different training
+        // trajectory (f32 rounding per step), so the pin is on attack
+        // *quality*, not on weights: per-feature reconstruction MSE must
+        // stay within a stated tolerance of the f64 run, and must still
+        // clearly beat random guessing.
+        let (mse64, rg) = run_grna(small_grna());
+        let (mse32, _) = run_grna(small_grna().with_precision(Precision::F32));
+        println!("GRNA per-feature MSE: f64 = {mse64:.6}, f32 = {mse32:.6} (random {rg:.6})");
+        assert!(
+            mse32 <= mse64 * 1.25 + 0.005,
+            "f32 quality drifted: f32 {mse32} vs f64 {mse64}"
+        );
+        assert!(
+            mse32 < 0.75 * rg,
+            "f32 GRNA mse {mse32} not clearly better than random {rg}"
+        );
     }
 
     #[test]

@@ -184,10 +184,11 @@ impl Matrix {
 
     /// Matrix multiplication `self * rhs`.
     ///
-    /// Small products use a straight ikj loop; larger ones go through the
-    /// cache-blocked kernel ([`Matrix::matmul_blocked`]). Both orderings
-    /// accumulate in the same sequence per output element, so results are
-    /// bit-identical across the size cutover.
+    /// Dispatches to the active [`crate::kernel`] backend: the scalar arm
+    /// keeps the historical ikj loop (with its cache-blocked cutover for
+    /// large products), the AVX2 arm runs packed register-blocked
+    /// microkernels. Both arms accumulate in the same sequence per output
+    /// element, so results are bit-identical regardless of backend.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinAlgError::ShapeMismatch {
@@ -196,21 +197,23 @@ impl Matrix {
                 op: "matmul",
             });
         }
-        // Rough working-set heuristic: once B no longer fits in L1/L2 the
-        // blocked kernel wins; below that the plain loop has less overhead.
-        if self.rows * self.cols + rhs.rows * rhs.cols > 64 * 1024 {
-            return self.matmul_blocked(rhs, 64);
-        }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            matmul_row_kernel(self.row(i), rhs, out.row_mut(i), 0, self.cols);
-        }
+        crate::kernel::gemm_acc(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
         Ok(out)
     }
 
-    /// Cache-blocked matrix multiplication: tiles the reduction dimension
-    /// so each stripe of `rhs` rows stays resident while it is reused
-    /// across all output rows.
+    /// Cache-blocked matrix multiplication. Since the kernel layer now
+    /// picks its own panel sizes per backend, this is the same dispatched
+    /// multiply as [`Matrix::matmul`]; the `block` hint is retained for
+    /// API compatibility (results never depended on it — every blocking
+    /// accumulates in the same per-element order).
     pub fn matmul_blocked(&self, rhs: &Matrix, block: usize) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinAlgError::ShapeMismatch {
@@ -219,14 +222,36 @@ impl Matrix {
                 op: "matmul_blocked",
             });
         }
-        let block = block.max(1);
+        let _ = block;
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for k0 in (0..self.cols).step_by(block) {
-            let k1 = (k0 + block).min(self.cols);
-            for i in 0..self.rows {
-                matmul_row_kernel(self.row(i), rhs, out.row_mut(i), k0, k1);
-            }
+        crate::kernel::gemm_acc(
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs.cols,
+        );
+        Ok(out)
+    }
+
+    /// Mixed-precision multiplication `self * rhs` computed in f32 with
+    /// f64 accumulation at reduction boundaries — the opt-in fast path
+    /// behind GRNA generator training's `Precision::F32` knob (see
+    /// [`crate::kernel::gemm_mixed_acc`]). Roughly half the memory
+    /// traffic and twice the SIMD width of the f64 path, at f32 accuracy.
+    pub fn matmul_mixed(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(LinAlgError::ShapeMismatch {
+                left: self.shape(),
+                right: rhs.shape(),
+                op: "matmul_mixed",
+            });
         }
+        let a32: Vec<f32> = self.data.iter().map(|&x| x as f32).collect();
+        let b32: Vec<f32> = rhs.data.iter().map(|&x| x as f32).collect();
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        crate::kernel::gemm_mixed_acc(&a32, &b32, &mut out.data, self.rows, self.cols, rhs.cols);
         Ok(out)
     }
 
@@ -245,16 +270,14 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, rhs_t.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for (j, o) in out.row_mut(i).iter_mut().enumerate() {
-                *o = a_row
-                    .iter()
-                    .zip(rhs_t.row(j).iter())
-                    .map(|(&x, &y)| x * y)
-                    .sum();
-            }
-        }
+        crate::kernel::gemm_tn_acc(
+            &self.data,
+            &rhs_t.data,
+            &mut out.data,
+            self.rows,
+            self.cols,
+            rhs_t.rows,
+        );
         Ok(out)
     }
 
@@ -274,24 +297,24 @@ impl Matrix {
 
     /// Element-wise sum `self + rhs`.
     pub fn add(&self, rhs: &Matrix) -> Result<Matrix> {
-        self.zip_with(rhs, "add", |a, b| a + b)
+        self.zip_kernel(rhs, "add", crate::kernel::vadd)
     }
 
     /// Element-wise difference `self - rhs`.
     pub fn sub(&self, rhs: &Matrix) -> Result<Matrix> {
-        self.zip_with(rhs, "sub", |a, b| a - b)
+        self.zip_kernel(rhs, "sub", crate::kernel::vsub)
     }
 
     /// Element-wise product (Hadamard).
     pub fn hadamard(&self, rhs: &Matrix) -> Result<Matrix> {
-        self.zip_with(rhs, "hadamard", |a, b| a * b)
+        self.zip_kernel(rhs, "hadamard", crate::kernel::vmul)
     }
 
-    fn zip_with(
+    fn zip_kernel(
         &self,
         rhs: &Matrix,
         op: &'static str,
-        f: impl Fn(f64, f64) -> f64,
+        kernel: fn(&[f64], &[f64], &mut [f64]),
     ) -> Result<Matrix> {
         if self.shape() != rhs.shape() {
             return Err(LinAlgError::ShapeMismatch {
@@ -300,26 +323,16 @@ impl Matrix {
                 op,
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(rhs.data.iter())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
-        Ok(Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data,
-        })
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        kernel(&self.data, &rhs.data, &mut out.data);
+        Ok(out)
     }
 
     /// Multiplies every element by `s`.
     pub fn scale(&self, s: f64) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| x * s).collect(),
-        }
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        crate::kernel::vscale(&self.data, s, &mut out.data);
+        out
     }
 
     /// Applies `f` element-wise, returning a new matrix.
@@ -435,28 +448,6 @@ impl Matrix {
             .iter()
             .zip(rhs.data.iter())
             .fold(0.0_f64, |m, (&a, &b)| m.max((a - b).abs())))
-    }
-}
-
-/// Accumulates `out[j] += Σ_{k0≤k<k1} a_row[k] · rhs[k][j]` — the shared
-/// inner kernel of the plain, blocked and parallel multiplies (same
-/// accumulation order everywhere, so all three agree bit-for-bit).
-#[inline]
-pub(crate) fn matmul_row_kernel(
-    a_row: &[f64],
-    rhs: &Matrix,
-    o_row: &mut [f64],
-    k0: usize,
-    k1: usize,
-) {
-    for (k, &a_ik) in a_row[k0..k1].iter().enumerate() {
-        if a_ik == 0.0 {
-            continue;
-        }
-        let b_row = rhs.row(k0 + k);
-        for (o, &b) in o_row.iter_mut().zip(b_row.iter()) {
-            *o += a_ik * b;
-        }
     }
 }
 

@@ -10,7 +10,7 @@
 //! products) it degrades to the sequential blocked kernel, keeping results
 //! bit-identical regardless of worker count.
 
-use crate::matrix::matmul_row_kernel;
+use crate::kernel;
 use crate::{LinAlgError, Matrix, Result};
 
 /// Number of workers [`par_matmul`] uses by default: the host's available
@@ -53,15 +53,19 @@ pub fn par_matmul_with(a: &Matrix, b: &Matrix, workers: usize) -> Result<Matrix>
 
     let mut out = Matrix::zeros(m, n);
     let rows_per = m.div_ceil(workers);
+    // Capture the caller's backend (including any thread-local
+    // `with_backend` override) before fanning out: spawned workers would
+    // otherwise fall back to the process-wide detection.
+    let backend = kernel::active_backend();
     {
         let out_slice = out.as_mut_slice();
         std::thread::scope(|scope| {
             for (w, chunk) in out_slice.chunks_mut(rows_per * n).enumerate() {
                 let i0 = w * rows_per;
                 scope.spawn(move || {
-                    for (off, o_row) in chunk.chunks_mut(n).enumerate() {
-                        matmul_row_kernel(a.row(i0 + off), b, o_row, 0, k);
-                    }
+                    let rows = chunk.len() / n;
+                    let a_rows = &a.as_slice()[i0 * k..(i0 + rows) * k];
+                    kernel::gemm_acc_with(backend, a_rows, b.as_slice(), chunk, rows, k, n);
                 });
             }
         });

@@ -1,0 +1,48 @@
+//! Numeric precision knob for the matmul-heavy paths.
+
+/// Compute precision for matmul-heavy code paths.
+///
+/// The default, [`Precision::F64`], keeps every operation in full double
+/// precision with results bit-identical across kernel backends.
+/// [`Precision::F32`] is an opt-in fast path — operands are demoted to
+/// f32, products accumulate in f32 (with FMA on the AVX2 backend), and
+/// partial sums are widened into f64 at reduction boundaries. GRNA
+/// generator training exposes this as a config knob: the attack's
+/// reconstruction quality tolerates f32 (pinned by test), and the f32
+/// kernels move half the memory and twice the SIMD lanes per cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full f64 throughout (default; bit-identical across backends).
+    #[default]
+    F64,
+    /// f32 storage/compute with f64 accumulation at reduction
+    /// boundaries. Accuracy is f32-level; opt-in only.
+    F32,
+}
+
+impl Precision {
+    /// Stable lowercase identifier (`"f64"` / `"f32"`), used in bench
+    /// JSON keys and log lines.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::F64 => "f64",
+            Precision::F32 => "f32",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_f64() {
+        assert_eq!(Precision::default(), Precision::F64);
+    }
+
+    #[test]
+    fn names_stable() {
+        assert_eq!(Precision::F64.name(), "f64");
+        assert_eq!(Precision::F32.name(), "f32");
+    }
+}

@@ -3,16 +3,20 @@
 //! These operate on plain `&[f64]` slices so callers do not need to wrap
 //! short-lived vectors in [`crate::Matrix`].
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, dispatched through the
+/// [`crate::kernel`] backend. The AVX2 arm reduces across SIMD lanes, so
+/// it may differ from the scalar arm by a few ULP (documented bound in
+/// the kernel module); every other `vecops` routine is bit-identical
+/// across backends.
 ///
 /// # Panics
-/// Panics in debug builds if the lengths differ; in release builds the
-/// shorter length wins (zip semantics), which is never what you want —
-/// callers are expected to pass equal-length slices.
+/// Panics if the lengths differ — same contract in debug and release
+/// builds, consistent with the typed shape errors on [`crate::Matrix`]
+/// ops (a slice helper has no `Result` channel, so the mismatch is a
+/// programming error and fails loudly).
 #[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+    crate::kernel::dot(a, b)
 }
 
 /// Euclidean (L2) norm.
@@ -21,13 +25,16 @@ pub fn norm2(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
 }
 
-/// `y ← y + alpha * x` in place.
+/// `y ← y + alpha * x` in place, dispatched through the
+/// [`crate::kernel`] backend (bit-identical across backends — the update
+/// is elementwise, no reduction).
+///
+/// # Panics
+/// Panics if the lengths differ — same contract in debug and release
+/// builds; see [`dot`].
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
-    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    crate::kernel::axpy(alpha, x, y)
 }
 
 /// Element-wise difference `a - b` as a new vector.
@@ -150,6 +157,19 @@ mod tests {
         let mut y = vec![1.0, 1.0];
         axpy(2.0, &[1.0, 3.0], &mut y);
         assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0, 2.0], &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn axpy_length_mismatch_panics() {
+        let mut y = vec![0.0, 0.0];
+        axpy(1.0, &[1.0, 2.0, 3.0], &mut y);
     }
 
     #[test]
