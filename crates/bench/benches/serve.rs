@@ -18,8 +18,13 @@
 //! in-the-clear simulation would otherwise hide. The coalescer
 //! amortizes that cost across queued queries, replicas pay it
 //! concurrently, and cache hits skip it entirely. Wall-clock ratios are
-//! noisy on shared runners, so both acceptance bars are report-only
+//! noisy on shared runners, so the acceptance bars are report-only
 //! under `FIA_BENCH_NO_ASSERT=1` (CI) and enforced locally.
+//!
+//! Section 3 (also `BENCH_serve_pool.json`): `telemetry_overhead_frac`
+//! prices the fia-telemetry instrumentation — the same pooled scenario
+//! with every registry recording vs the recording flag off — with a
+//! ≤ 3% acceptance bar.
 
 use fia_bench::harness::Harness;
 use fia_linalg::Matrix;
@@ -109,6 +114,17 @@ fn pool_scenario(
     replicas: usize,
     warm_cache: bool,
 ) -> (f64, fia_serve::MetricsReport) {
+    pool_scenario_telemetry(system, replicas, warm_cache, true)
+}
+
+/// Like [`pool_scenario`], with the telemetry recording flag explicit —
+/// the off/on pair prices the instrumentation itself.
+fn pool_scenario_telemetry(
+    system: &Arc<VflSystem<LogisticRegression>>,
+    replicas: usize,
+    warm_cache: bool,
+    recording: bool,
+) -> (f64, fia_serve::MetricsReport) {
     let server = PredictionServer::spawn(
         Arc::clone(system),
         Arc::new(fia_defense::DefensePipeline::new()),
@@ -119,6 +135,8 @@ fn pool_scenario(
         },
     )
     .expect("bind ephemeral port");
+    server.set_telemetry_recording(recording);
+    fia_telemetry::global().set_recording(recording);
     // Warmup: steady-state threads, and — when the cache is on — one
     // full pass over the 512-row stored set so the timed run is
     // entirely cache-served (8 threads × 64 requests covers rows
@@ -276,6 +294,22 @@ fn main() {
     // JSON, same machine state — the ratio is self-consistent with
     // fill_4r_cold_8t by construction).
     p.metric("openloop_fill_gain_4r", fill_2x / fill_4r_closed.max(1e-9));
+
+    // ------------------------------------------------------------------
+    // Telemetry overhead: the same 2-replica cold closed-loop scenario
+    // with every instrument recording vs the registry recording flag
+    // off (each record call degrades to one relaxed load and a branch).
+    // The interleaved off/on/off/on order splits machine drift across
+    // both arms.
+    let mut rps_off = 0.0;
+    let mut rps_on = 0.0;
+    for _ in 0..2 {
+        rps_off += pool_scenario_telemetry(&system, 2, false, false).0;
+        rps_on += pool_scenario_telemetry(&system, 2, false, true).0;
+    }
+    fia_telemetry::global().set_recording(true);
+    let telemetry_overhead_frac = 1.0 - rps_on / rps_off.max(1e-9);
+    p.metric("telemetry_overhead_frac", telemetry_overhead_frac);
     p.write_json("BENCH_serve_pool.json");
 
     // Wall-clock ratios are noisy on shared CI runners; FIA_BENCH_NO_ASSERT
@@ -291,6 +325,10 @@ fn main() {
             warm_speedup >= 2.0,
             "4-replica warm-cache speedup {warm_speedup:.2}x over the single-batcher server \
              is below the 2x acceptance bar"
+        );
+        assert!(
+            telemetry_overhead_frac <= 0.03,
+            "telemetry overhead {telemetry_overhead_frac:.4} exceeds the 3% acceptance bar"
         );
     }
 }

@@ -10,6 +10,8 @@
 use crate::budget::QueryBudget;
 use crate::report::CampaignOutcome;
 use fia_core::QueryCost;
+use fia_telemetry::json::ObjectBuilder;
+use std::time::Duration;
 
 /// One progress event of a running campaign.
 #[derive(Debug, Clone)]
@@ -35,6 +37,12 @@ pub enum CampaignEvent {
         rows_planned: usize,
         /// Session cost so far, as metered at the oracle boundary.
         cost: QueryCost,
+        /// Wall-clock time this chunk's oracle round took (monotonic
+        /// clock).
+        duration: Duration,
+        /// Cumulative wall-clock time since this `run()` started
+        /// (monotonic clock; resets on resume).
+        elapsed: Duration,
     },
     /// The budget ran out before the planned corpus was complete; the
     /// session continues to the attack stage over the partial corpus.
@@ -66,6 +74,91 @@ pub enum CampaignEvent {
         /// Total session cost.
         cost: QueryCost,
     },
+}
+
+impl CampaignEvent {
+    /// Short stable event-kind identifier (the `"event"` JSON field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CampaignEvent::Started { .. } => "started",
+            CampaignEvent::ChunkDone { .. } => "chunk-done",
+            CampaignEvent::BudgetExhausted { .. } => "budget-exhausted",
+            CampaignEvent::AttackDone { .. } => "attack-done",
+            CampaignEvent::Finished { .. } => "finished",
+        }
+    }
+
+    /// One compact JSON object (a JSONL line, sans newline).
+    pub fn to_json(&self) -> String {
+        fn with_cost(b: ObjectBuilder, cost: &QueryCost) -> ObjectBuilder {
+            b.u64("queries", cost.queries)
+                .u64("rows", cost.rows)
+                .u64("cached_rows", cost.cached_rows)
+        }
+        let b = ObjectBuilder::new().str("event", self.kind());
+        match self {
+            CampaignEvent::Started {
+                fingerprint,
+                rows_planned,
+                rows_done,
+                budget,
+            } => b
+                .str("fingerprint", fingerprint)
+                .u64("rows_done", *rows_done as u64)
+                .u64("rows_planned", *rows_planned as u64)
+                .str("budget", &format!("{budget:?}"))
+                .build(),
+            CampaignEvent::ChunkDone {
+                chunk,
+                rows_done,
+                rows_planned,
+                cost,
+                duration,
+                elapsed,
+            } => with_cost(
+                b.u64("chunk", *chunk as u64)
+                    .u64("rows_done", *rows_done as u64)
+                    .u64("rows_planned", *rows_planned as u64)
+                    .u64("duration_us", duration.as_micros() as u64)
+                    .u64("elapsed_us", elapsed.as_micros() as u64),
+                cost,
+            )
+            .build(),
+            CampaignEvent::BudgetExhausted {
+                rows_done,
+                rows_planned,
+                cost,
+            } => with_cost(
+                b.u64("rows_done", *rows_done as u64)
+                    .u64("rows_planned", *rows_planned as u64),
+                cost,
+            )
+            .build(),
+            CampaignEvent::AttackDone {
+                attack,
+                rows,
+                mse,
+                per_feature_mse,
+                degraded_rows,
+            } => {
+                let per_feature = fia_telemetry::json::array(
+                    &per_feature_mse
+                        .iter()
+                        .map(|v| fia_telemetry::json::number(*v))
+                        .collect::<Vec<_>>(),
+                );
+                b.str("attack", attack)
+                    .u64("rows", *rows as u64)
+                    .f64("mse", *mse)
+                    .raw("per_feature_mse", &per_feature)
+                    .u64("degraded_rows", *degraded_rows as u64)
+                    .build()
+            }
+            CampaignEvent::Finished { outcome, cost } => {
+                with_cost(b.str("outcome", outcome.name()), cost).build()
+            }
+        }
+    }
 }
 
 /// Receives [`CampaignEvent`]s as a campaign runs. Implemented by any
@@ -117,6 +210,17 @@ impl EventLog {
             .iter()
             .any(|e| matches!(e, CampaignEvent::BudgetExhausted { .. }))
     }
+
+    /// Renders every event as one JSONL line each (trailing newline
+    /// included when non-empty) — the campaign's trace-sink format.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 impl CampaignObserver for EventLog {
@@ -136,6 +240,8 @@ mod tests {
             rows_done: 8,
             rows_planned: 80,
             cost: QueryCost::default(),
+            duration: Duration::from_micros(120),
+            elapsed: Duration::from_micros(480),
         };
         let mut count = 0usize;
         {
@@ -155,5 +261,54 @@ mod tests {
         assert_eq!(log.chunks_done(), 1);
         assert!(log.saw_exhaustion());
         NullObserver.on_event(&e);
+    }
+
+    #[test]
+    fn events_render_as_jsonl() {
+        let mut log = EventLog::new();
+        log.on_event(&CampaignEvent::ChunkDone {
+            chunk: 2,
+            rows_done: 24,
+            rows_planned: 80,
+            cost: QueryCost {
+                queries: 3,
+                rows: 24,
+                cached_rows: 8,
+            },
+            duration: Duration::from_micros(1500),
+            elapsed: Duration::from_micros(4000),
+        });
+        log.on_event(&CampaignEvent::AttackDone {
+            attack: "esa",
+            rows: 24,
+            mse: 0.375,
+            per_feature_mse: vec![0.5, 0.25],
+            degraded_rows: 0,
+        });
+        log.on_event(&CampaignEvent::Finished {
+            outcome: CampaignOutcome::Completed,
+            cost: QueryCost {
+                queries: 3,
+                rows: 24,
+                cached_rows: 8,
+            },
+        });
+        let jsonl = log.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 3);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].contains("\"event\":\"chunk-done\""));
+        assert!(lines[0].contains("\"duration_us\":1500"));
+        assert!(lines[0].contains("\"elapsed_us\":4000"));
+        assert!(lines[0].contains("\"cached_rows\":8"));
+        assert!(lines[1].contains("\"event\":\"attack-done\""));
+        assert!(lines[1].contains("\"per_feature_mse\":[0.5,0.25]"));
+        assert!(lines[2].contains("\"event\":\"finished\""));
+        assert!(lines[2].contains("\"outcome\":\"completed\""));
+        // Every line is a single balanced object.
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+            assert_eq!(l.matches('{').count(), l.matches('}').count());
+        }
+        assert_eq!(EventLog::new().to_jsonl(), "");
     }
 }

@@ -9,6 +9,7 @@
 
 use fia_core::QueryCost;
 use fia_linalg::Matrix;
+use fia_telemetry::TelemetrySnapshot;
 use std::fmt::Write as _;
 
 /// How a campaign session ended.
@@ -84,6 +85,10 @@ pub struct CampaignReport {
     pub cost: QueryCost,
     /// One entry per configured attack, in configuration order.
     pub attacks: Vec<AttackReport>,
+    /// What this run added to the process-global telemetry registry
+    /// (kernel calls, attack phases, campaign chunk counters), as a
+    /// snapshot delta over the run.
+    pub telemetry: TelemetrySnapshot,
 }
 
 impl CampaignReport {
@@ -130,7 +135,9 @@ impl CampaignReport {
                 "\n"
             });
         }
-        out.push_str("  ]\n}\n");
+        out.push_str("  ],\n");
+        let _ = writeln!(out, "  \"telemetry\": {}", self.telemetry.to_json());
+        out.push_str("}\n");
         out
     }
 }
@@ -185,6 +192,7 @@ mod tests {
                 target_indices: vec![3, 4],
                 estimates: Matrix::zeros(5, 2),
             }],
+            telemetry: TelemetrySnapshot::default(),
         }
     }
 
@@ -197,6 +205,7 @@ mod tests {
         assert!(json.contains("\"outcome\": \"budget-exhausted\""));
         assert!(json.contains("\\\"lr\\\""), "quotes escaped: {json}");
         assert!(json.contains("\"attack\": \"esa\""));
+        assert!(json.contains("\"telemetry\": {\"instruments\":[]}"));
         // Estimates are not serialized.
         assert!(!json.contains("estimates"));
     }

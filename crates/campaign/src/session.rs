@@ -35,8 +35,10 @@ use fia_defense::{DefensePipeline, ScoreDefense};
 use fia_linalg::Matrix;
 use fia_models::PredictProba;
 use fia_serve::{MetricsReport, PredictionServer, RemoteOracle, ServeConfig, ServerHandle};
+use fia_telemetry::{global, Tracer};
 use fia_vfl::VflSystem;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// The in-process deployment as the adversary's oracle: one protocol
 /// round per call with the scenario's [`DefensePipeline`] applied at
@@ -118,6 +120,7 @@ pub struct Campaign {
     spent: QueryCost,
     chunks_issued: usize,
     oracle: Option<OracleHandle>,
+    tracer: Tracer,
 }
 
 impl Campaign {
@@ -136,6 +139,7 @@ impl Campaign {
             spent: QueryCost::default(),
             chunks_issued: 0,
             oracle: None,
+            tracer: Tracer::new(),
         }
     }
 
@@ -202,6 +206,26 @@ impl Campaign {
         }
     }
 
+    /// A live Prometheus-style scrape of the served oracle's telemetry
+    /// surface (`None` for in-process sessions or before the first run).
+    pub fn server_metrics_text(&mut self) -> Option<String> {
+        match self.oracle.as_mut()? {
+            OracleHandle::Served { client, .. } => client.metrics_text().ok(),
+            OracleHandle::InProcess(_) => None,
+        }
+    }
+
+    /// The session's tracer: every `run()` files a `campaign.run` root
+    /// span with per-chunk and per-attack children under it.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// The finished spans so far as JSONL (one span per line).
+    pub fn trace_jsonl(&self) -> String {
+        self.tracer.to_jsonl()
+    }
+
     /// Tears down the resolved oracle (shuts a served scenario's
     /// prediction server down). Also happens on drop.
     pub fn shutdown(&mut self) {
@@ -243,6 +267,32 @@ impl Campaign {
         }
         self.ensure_oracle()?;
         let rows_planned = self.scenario.data.n_predictions();
+
+        // Telemetry: a `campaign.run` root span for this invocation and
+        // the before-image of the process-global registry, so the report
+        // can carry exactly what *this run* added (chunks, rows, kernel
+        // calls, attack phases) as a snapshot delta.
+        let telemetry_before = global().snapshot();
+        let chunks_total = global().counter(
+            "fia_campaign_chunks_total",
+            "Accumulation chunks answered across campaign sessions.",
+        );
+        let rows_total = global().counter(
+            "fia_campaign_rows_total",
+            "Corpus rows accumulated across campaign sessions.",
+        );
+        let queries_total = global().counter(
+            "fia_campaign_queries_total",
+            "Oracle rounds issued across campaign sessions.",
+        );
+        let cached_rows_total = global().counter(
+            "fia_campaign_cached_rows_total",
+            "Rows the deployment served from its released-score cache.",
+        );
+        let run_span = self.tracer.root("campaign.run");
+        run_span.record_str("fingerprint", &self.scenario.fingerprint);
+        let run_started = Instant::now();
+
         observer.on_event(&CampaignEvent::Started {
             fingerprint: self.scenario.fingerprint.clone(),
             rows_planned,
@@ -267,13 +317,25 @@ impl Campaign {
                     break;
                 }
                 let indices: Vec<usize> = (self.rows_done..self.rows_done + take).collect();
+                let chunk_span = run_span.child("campaign.chunk");
+                chunk_span.record_u64("chunk", self.chunks_issued as u64);
+                chunk_span.record_u64("rows", take as u64);
+                let before_chunk = self.spent;
+                let chunk_started = Instant::now();
                 let v = adapter.confidences(&indices);
+                let duration = chunk_started.elapsed();
                 // Persist the meter before surfacing any error: a chunk
                 // that failed mid-run must leave the checkpoint
                 // consistent (spent in sync with the accumulated rows),
                 // or a resumed session would under-count prior spend
                 // and could overrun the hard budget.
                 self.spent = adapter.spent();
+                chunk_span.record_u64("queries", self.spent.queries - before_chunk.queries);
+                chunk_span.record_u64(
+                    "cached_rows",
+                    self.spent.cached_rows - before_chunk.cached_rows,
+                );
+                chunk_span.finish();
                 let v = v?;
                 self.confidences = self
                     .confidences
@@ -281,11 +343,17 @@ impl Campaign {
                     .expect("oracle answers a fixed class width");
                 self.rows_done += take;
                 self.chunks_issued += 1;
+                chunks_total.inc();
+                rows_total.add(take as u64);
+                queries_total.add(self.spent.queries - before_chunk.queries);
+                cached_rows_total.add(self.spent.cached_rows - before_chunk.cached_rows);
                 observer.on_event(&CampaignEvent::ChunkDone {
                     chunk: self.chunks_issued - 1,
                     rows_done: self.rows_done,
                     rows_planned,
                     cost: self.spent,
+                    duration,
+                    elapsed: run_started.elapsed(),
                 });
             }
         }
@@ -306,6 +374,9 @@ impl Campaign {
             let truth = data.truth.select_rows(&rows).expect("prefix in range");
             let batch = QueryBatch::new(x_adv, self.confidences.clone());
             for spec in &self.attacks {
+                let attack_span = run_span.child("campaign.attack");
+                attack_span.record_str("attack", spec.name());
+                attack_span.record_u64("rows", self.rows_done as u64);
                 let result = spec.run(
                     self.scenario.system.model(),
                     &data.adv_indices,
@@ -313,6 +384,7 @@ impl Campaign {
                     &self.engine,
                     &batch,
                 )?;
+                attack_span.finish();
                 let mse = metrics::mse_per_feature(&result.estimates, &truth);
                 let per_feature_mse = metrics::per_feature_mse(&result.estimates, &truth);
                 observer.on_event(&CampaignEvent::AttackDone {
@@ -347,6 +419,9 @@ impl Campaign {
             outcome,
             cost: self.spent,
         });
+        run_span.record_u64("rows_done", self.rows_done as u64);
+        run_span.record_str("outcome", outcome.name());
+        run_span.finish();
         Ok(CampaignReport {
             fingerprint: self.scenario.fingerprint.clone(),
             scenario: self.scenario.description.clone(),
@@ -357,6 +432,7 @@ impl Campaign {
             rows_planned,
             cost: self.spent,
             attacks: attack_reports,
+            telemetry: global().snapshot().delta_since(&telemetry_before),
         })
     }
 

@@ -252,37 +252,39 @@ impl Attack for EqualitySolvingAttack<'_> {
         let n = batch.len();
         let n_eq = self.n_equations();
 
-        let rhs = self.batch_right_hand_side(batch);
-        // est[i] = Θ⁺ · rhs[i]  ⇔  est = RHS · (Θ⁺)ᵀ.
-        let mut estimates = rhs
-            .matmul_transposed(&self.pinv_target)
-            .expect("precomputed shape consistent");
+        crate::telemetry::phase("esa", "solve", n, || {
+            let rhs = self.batch_right_hand_side(batch);
+            // est[i] = Θ⁺ · rhs[i]  ⇔  est = RHS · (Θ⁺)ᵀ.
+            let mut estimates = rhs
+                .matmul_transposed(&self.pinv_target)
+                .expect("precomputed shape consistent");
 
-        // Defense-degraded rows (a zeroed score kills its equations) are
-        // re-solved individually over the surviving equations. The scan
-        // is allocation-free: a row degrades exactly when some score
-        // feeding an equation left the open unit interval.
-        let mut degraded_rows = Vec::new();
-        for i in 0..n {
-            let v = batch.confidences.row(i);
-            let degraded = if self.model.is_binary() {
-                !(v[0] > 0.0 && v[0] < 1.0)
-            } else {
-                v[..=n_eq].iter().any(|&s| s <= 0.0)
-            };
-            if degraded {
-                degraded_rows.push(i);
-                let est = self.infer(batch.x_adv.row(i), v);
-                estimates.row_mut(i).copy_from_slice(&est);
+            // Defense-degraded rows (a zeroed score kills its equations) are
+            // re-solved individually over the surviving equations. The scan
+            // is allocation-free: a row degrades exactly when some score
+            // feeding an equation left the open unit interval.
+            let mut degraded_rows = Vec::new();
+            for i in 0..n {
+                let v = batch.confidences.row(i);
+                let degraded = if self.model.is_binary() {
+                    !(v[0] > 0.0 && v[0] < 1.0)
+                } else {
+                    v[..=n_eq].iter().any(|&s| s <= 0.0)
+                };
+                if degraded {
+                    degraded_rows.push(i);
+                    let est = self.infer(batch.x_adv.row(i), v);
+                    estimates.row_mut(i).copy_from_slice(&est);
+                }
             }
-        }
 
-        AttackResult {
-            estimates,
-            target_indices: self.target_indices.clone(),
-            attack: Attack::name(self),
-            degraded_rows,
-        }
+            AttackResult {
+                estimates,
+                target_indices: self.target_indices.clone(),
+                attack: Attack::name(self),
+                degraded_rows,
+            }
+        })
     }
 }
 

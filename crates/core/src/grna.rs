@@ -206,11 +206,13 @@ impl<'a, M: DifferentiableModel> Grna<'a, M> {
             self.model.n_classes(),
             "confidence width mismatch"
         );
-        if self.config.use_generator {
-            self.train_generator(x_adv, confidences)
-        } else {
-            self.solve_free_variables(x_adv, confidences)
-        }
+        crate::telemetry::phase("grna", "train", x_adv.rows(), || {
+            if self.config.use_generator {
+                self.train_generator(x_adv, confidences)
+            } else {
+                self.solve_free_variables(x_adv, confidences)
+            }
+        })
     }
 
     fn train_generator(&self, x_adv: &Matrix, confidences: &Matrix) -> TrainedGenerator {
@@ -599,27 +601,29 @@ impl Attack for TrainedGenerator {
     fn infer_batch(&self, batch: &QueryBatch) -> AttackResult {
         let n = batch.len();
         let d_target = self.target_indices.len();
-        let noise = self.needs_noise().then(|| {
-            let mut m = Matrix::zeros(n, d_target);
-            for i in 0..n {
-                let mut rng = StdRng::seed_from_u64(row_seed(
-                    self.infer_seed,
-                    batch.x_adv.row(i),
-                    batch.confidences.row(i),
-                ));
-                for v in m.row_mut(i).iter_mut() {
-                    *v = standard_normal(&mut rng);
+        crate::telemetry::phase("grna", "solve", n, || {
+            let noise = self.needs_noise().then(|| {
+                let mut m = Matrix::zeros(n, d_target);
+                for i in 0..n {
+                    let mut rng = StdRng::seed_from_u64(row_seed(
+                        self.infer_seed,
+                        batch.x_adv.row(i),
+                        batch.confidences.row(i),
+                    ));
+                    for v in m.row_mut(i).iter_mut() {
+                        *v = standard_normal(&mut rng);
+                    }
                 }
+                m
+            });
+            let estimates = self.infer_with_noise(&batch.x_adv, noise.as_ref());
+            AttackResult {
+                estimates,
+                target_indices: self.target_indices.clone(),
+                attack: Attack::name(self),
+                degraded_rows: Vec::new(),
             }
-            m
-        });
-        let estimates = self.infer_with_noise(&batch.x_adv, noise.as_ref());
-        AttackResult {
-            estimates,
-            target_indices: self.target_indices.clone(),
-            attack: Attack::name(self),
-            degraded_rows: Vec::new(),
-        }
+        })
     }
 }
 

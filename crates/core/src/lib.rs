@@ -41,6 +41,7 @@ mod grna;
 pub mod metrics;
 pub mod oracle;
 mod pra;
+mod telemetry;
 
 pub use audit::{AuditReport, Finding, Severity};
 pub use engine::{row_seed, Attack, AttackEngine, AttackResult, QueryBatch};

@@ -130,7 +130,7 @@ pub fn accumulate_batch<O: PredictionOracle + ?Sized>(
     let mut confidences = Matrix::zeros(indices.len(), oracle.n_classes());
     let mut row = 0;
     for round in indices.chunks(chunk) {
-        let v = oracle.confidences(round)?;
+        let v = crate::telemetry::oracle_round(round.len(), || oracle.confidences(round))?;
         if v.shape() != (round.len(), confidences.cols()) {
             return Err(OracleError(format!(
                 "oracle answered {:?}, expected {:?}",

@@ -313,26 +313,28 @@ impl Attack for PathRestrictionAttack<'_> {
         );
         let (lo, hi) = self.value_range;
         let n = batch.len();
-        let mut estimates = Matrix::zeros(n, self.target_indices.len());
-        let mut degraded_rows = Vec::new();
-        for i in 0..n {
-            let x_adv = batch.x_adv.row(i);
-            let conf = batch.confidences.row(i);
-            let class = argmax(conf);
-            let mut rng = StdRng::seed_from_u64(row_seed(self.seed, x_adv, conf));
-            let inferred = self.infer(x_adv, class, &mut rng);
-            if inferred.is_none() {
-                degraded_rows.push(i);
+        crate::telemetry::phase("pra", "solve", n, || {
+            let mut estimates = Matrix::zeros(n, self.target_indices.len());
+            let mut degraded_rows = Vec::new();
+            for i in 0..n {
+                let x_adv = batch.x_adv.row(i);
+                let conf = batch.confidences.row(i);
+                let class = argmax(conf);
+                let mut rng = StdRng::seed_from_u64(row_seed(self.seed, x_adv, conf));
+                let inferred = self.infer(x_adv, class, &mut rng);
+                if inferred.is_none() {
+                    degraded_rows.push(i);
+                }
+                let est = self.values_from_path(inferred.as_ref(), lo, hi);
+                estimates.row_mut(i).copy_from_slice(&est);
             }
-            let est = self.values_from_path(inferred.as_ref(), lo, hi);
-            estimates.row_mut(i).copy_from_slice(&est);
-        }
-        AttackResult {
-            estimates,
-            target_indices: self.target_indices.clone(),
-            attack: Attack::name(self),
-            degraded_rows,
-        }
+            AttackResult {
+                estimates,
+                target_indices: self.target_indices.clone(),
+                attack: Attack::name(self),
+                degraded_rows,
+            }
+        })
     }
 }
 

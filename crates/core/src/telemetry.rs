@@ -1,0 +1,100 @@
+//! Attack-phase and oracle instrumentation on the process-global
+//! telemetry registry.
+//!
+//! Every attack entry point wraps its hot phase in [`phase`], which
+//! counts invocations and rows per `{attack, phase}` pair and times the
+//! phase into a log2 histogram — the per-attack solve/train/query
+//! breakdown a `MetricsText` scrape or a campaign's snapshot delta
+//! shows. Registration goes through the registry's lock, but these are
+//! per-*batch* calls (one per `infer_batch`/`train`/oracle round), so
+//! the lock never sits on a per-row path.
+
+use fia_telemetry::global;
+use std::time::Instant;
+
+/// Runs `f` as phase `phase` of `attack` over `rows` rows, counting and
+/// timing it on the global registry.
+pub(crate) fn phase<T>(attack: &str, phase: &str, rows: usize, f: impl FnOnce() -> T) -> T {
+    let labels = [("attack", attack), ("phase", phase)];
+    global()
+        .counter_with(
+            "fia_attack_phase_total",
+            "Attack phase invocations, by attack and phase.",
+            &labels,
+        )
+        .inc();
+    global()
+        .counter_with(
+            "fia_attack_phase_rows_total",
+            "Rows processed by attack phases, by attack and phase.",
+            &labels,
+        )
+        .add(rows as u64);
+    let hist = global().histogram_with(
+        "fia_attack_phase_duration_us",
+        "Attack phase wall time, microseconds, by attack and phase.",
+        &labels,
+    );
+    let t0 = Instant::now();
+    let out = f();
+    hist.record(t0.elapsed().as_micros() as u64);
+    out
+}
+
+/// Counts one oracle accumulation round of `rows` rows and times it.
+pub(crate) fn oracle_round<T>(rows: usize, f: impl FnOnce() -> T) -> T {
+    global()
+        .counter_with(
+            "fia_oracle_queries_total",
+            "Prediction rounds issued to the oracle.",
+            &[],
+        )
+        .inc();
+    global()
+        .counter_with(
+            "fia_oracle_rows_total",
+            "Query rows submitted to the oracle.",
+            &[],
+        )
+        .add(rows as u64);
+    let hist = global().histogram_with(
+        "fia_oracle_query_duration_us",
+        "Oracle round-trip wall time, microseconds.",
+        &[],
+    );
+    let t0 = Instant::now();
+    let out = f();
+    hist.record(t0.elapsed().as_micros() as u64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fia_telemetry::global;
+
+    #[test]
+    fn phase_counts_rows_and_returns_the_value() {
+        let c = global().counter_with(
+            "fia_attack_phase_rows_total",
+            "Rows processed by attack phases, by attack and phase.",
+            &[("attack", "test-attack"), ("phase", "solve")],
+        );
+        let before = c.get();
+        let out = phase("test-attack", "solve", 17, || 42);
+        assert_eq!(out, 42);
+        assert_eq!(c.get() - before, 17);
+    }
+
+    #[test]
+    fn oracle_round_counts_queries() {
+        let c = global().counter_with(
+            "fia_oracle_queries_total",
+            "Prediction rounds issued to the oracle.",
+            &[],
+        );
+        let before = c.get();
+        oracle_round(8, || ());
+        assert_eq!(c.get() - before, 1);
+    }
+}

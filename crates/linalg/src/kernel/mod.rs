@@ -40,6 +40,7 @@
 //!   bitwise.
 
 mod scalar;
+mod telemetry;
 
 #[cfg(target_arch = "x86_64")]
 mod avx2;
@@ -162,14 +163,15 @@ pub fn gemm_acc_with(
     n: usize,
 ) {
     check_gemm_shapes(a.len(), b.len(), out.len(), m, k, n);
-    match resolve(backend) {
+    let backend = resolve(backend);
+    telemetry::record_gemm(backend, m, k, n, || match backend {
         Backend::Scalar => scalar::gemm_acc(a, b, out, m, k, n),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: `resolve` only yields Avx2 when the CPU supports it.
         Backend::Avx2 => unsafe { avx2::gemm_acc(a, b, out, m, k, n) },
         #[cfg(not(target_arch = "x86_64"))]
         Backend::Avx2 => unreachable!("resolve() never yields Avx2 off x86-64"),
-    }
+    });
 }
 
 /// `out += a · btᵀ` for row-major `a` (`m × k`), `bt` (`n × k`, the
@@ -193,14 +195,15 @@ pub fn gemm_tn_acc_with(
     n: usize,
 ) {
     check_gemm_shapes(a.len(), bt.len(), out.len(), m, k, n);
-    match resolve(backend) {
+    let backend = resolve(backend);
+    telemetry::record_gemm(backend, m, k, n, || match backend {
         Backend::Scalar => scalar::gemm_tn_acc(a, bt, out, m, k, n),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: `resolve` only yields Avx2 when the CPU supports it.
         Backend::Avx2 => unsafe { avx2::gemm_tn_acc(a, bt, out, m, k, n) },
         #[cfg(not(target_arch = "x86_64"))]
         Backend::Avx2 => unreachable!("resolve() never yields Avx2 off x86-64"),
-    }
+    });
 }
 
 /// `out += demote(a) · demote(b)` computed in f32 — the opt-in
@@ -224,14 +227,15 @@ pub fn gemm_mixed_acc_with(
     n: usize,
 ) {
     check_gemm_shapes(a32.len(), b32.len(), out.len(), m, k, n);
-    match resolve(backend) {
+    let backend = resolve(backend);
+    telemetry::record_gemm(backend, m, k, n, || match backend {
         Backend::Scalar => scalar::gemm_mixed_acc(a32, b32, out, m, k, n),
         #[cfg(target_arch = "x86_64")]
         // SAFETY: `resolve` only yields Avx2 when the CPU supports it.
         Backend::Avx2 => unsafe { avx2::gemm_mixed_acc(a32, b32, out, m, k, n) },
         #[cfg(not(target_arch = "x86_64"))]
         Backend::Avx2 => unreachable!("resolve() never yields Avx2 off x86-64"),
-    }
+    });
 }
 
 // ----------------------------------------------------------------------

@@ -151,6 +151,18 @@ impl RemoteOracle {
         self.cost
     }
 
+    /// The server's full telemetry surface as Prometheus-style text
+    /// exposition — the scrape a monitoring stack would perform.
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::MetricsText)? {
+            Response::MetricsText(text) => Ok(text),
+            Response::Error(why) => Err(ClientError::Rejected(why)),
+            _ => Err(ClientError::Protocol(
+                "MetricsText answered with wrong variant",
+            )),
+        }
+    }
+
     /// The server's live metrics snapshot.
     pub fn server_metrics(&mut self) -> Result<MetricsReport, ClientError> {
         match self.call(&Request::Metrics)? {

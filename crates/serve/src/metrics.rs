@@ -1,41 +1,103 @@
 //! Per-server metrics: throughput, latency percentiles, batch fill,
 //! per-replica round/row gauges and released-score-cache hit rates.
 //!
-//! Counters are lock-free atomics updated on the hot path; latencies go
-//! into a bounded reservoir behind a mutex (one push per request — the
-//! lock is uncontended relative to the wire round-trip it measures).
-//! Round and row counts are kept *per replica* so a sharded pool's load
-//! spread and per-backend batch fill are observable, and
-//! [`ServerMetrics::report`] folds everything into a plain-old-data
-//! [`MetricsReport`] that also travels over the wire.
+//! Since the telemetry PR the counters are [`fia_telemetry`] instruments
+//! on a per-server [`Registry`] — still lock-free atomics on the hot
+//! path, but now also scrapeable: [`ServerMetrics::exposition`] renders
+//! the server's registry (merged with the process-global one, which
+//! holds kernel/campaign/attack instruments) as Prometheus-style text,
+//! and that is what the `MetricsText` wire op returns. Each server owns
+//! its *own* registry so parallel deployments in one process — the
+//! normal test topology — never share counters. [`ServerMetrics::report`]
+//! still folds everything into the same plain-old-data [`MetricsReport`]
+//! wire shape as before; it is now a view over the instruments.
+//!
+//! Latency percentiles come from a bounded *seeded reservoir sample*
+//! (Algorithm R): once the reservoir is full, the `n`-th observation
+//! replaces a uniformly random slot with probability `cap/n`, so at any
+//! point the reservoir is a uniform sample of everything seen and the
+//! interpolated percentiles are unbiased estimates of the true stream
+//! quantiles. (The previous scheme kept every `k`-th sample and doubled
+//! `k` on overflow, which over-weighted whatever phase of the run the
+//! current stride happened to align with.) The RNG is seeded per server,
+//! so a replayed run reproduces its percentile estimates exactly.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use fia_telemetry::{encode_prometheus, global, Counter, Gauge, Histogram, Registry};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-/// Cap on retained latency samples; beyond it the reservoir keeps every
-/// k-th sample so long runs stay O(1) in memory.
+/// Cap on retained latency samples; beyond it Algorithm R keeps a
+/// uniform random sample of the whole stream in O(1) memory.
 const LATENCY_RESERVOIR: usize = 65_536;
 
-/// Round/row counters for one backend replica.
-#[derive(Debug, Default)]
+/// Seed for the reservoir's replacement RNG — fixed so replayed runs
+/// reproduce their percentile estimates.
+const RESERVOIR_SEED: u64 = 0x5eed_1a7e;
+
+/// Bounded uniform sample of a latency stream (Vitter's Algorithm R).
+#[derive(Debug)]
+struct Reservoir {
+    samples: Vec<u64>,
+    /// Observations offered so far (≥ `samples.len()`).
+    seen: u64,
+    rng: StdRng,
+}
+
+impl Reservoir {
+    fn new() -> Self {
+        Reservoir {
+            samples: Vec::new(),
+            seen: 0,
+            rng: StdRng::seed_from_u64(RESERVOIR_SEED),
+        }
+    }
+
+    fn push(&mut self, v: u64) {
+        self.seen += 1;
+        if self.samples.len() < LATENCY_RESERVOIR {
+            self.samples.push(v);
+        } else {
+            // Keep the new observation with probability cap/seen, in a
+            // uniformly random slot — the invariant that makes the
+            // retained set a uniform sample of the stream.
+            let j = self.rng.gen_range(0..self.seen);
+            if (j as usize) < LATENCY_RESERVOIR {
+                self.samples[j as usize] = v;
+            }
+        }
+    }
+}
+
+/// Per-replica round/row counters.
 struct ReplicaCounters {
-    rounds: AtomicU64,
-    rows: AtomicU64,
+    rounds: Arc<Counter>,
+    rows: Arc<Counter>,
 }
 
 /// Live counters shared by every server thread.
-#[derive(Debug)]
 pub struct ServerMetrics {
+    registry: Arc<Registry>,
     started: Instant,
-    requests: AtomicU64,
-    errors: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    uptime: Arc<Gauge>,
     replicas: Vec<ReplicaCounters>,
-    /// Sampling stride for the latency reservoir (1 = keep everything).
-    stride: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
+    reservoir: Mutex<Reservoir>,
+}
+
+impl std::fmt::Debug for ServerMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerMetrics")
+            .field("requests", &self.requests.get())
+            .field("errors", &self.errors.get())
+            .field("replicas", &self.replicas.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for ServerMetrics {
@@ -50,19 +112,53 @@ impl ServerMetrics {
         Self::with_replicas(1)
     }
 
-    /// Fresh metrics tracking `replicas` backend replicas.
+    /// Fresh metrics tracking `replicas` backend replicas, on a private
+    /// telemetry registry.
     pub fn with_replicas(replicas: usize) -> Self {
+        let registry = Arc::new(Registry::new());
+        let replicas = (0..replicas.max(1))
+            .map(|i| {
+                let idx = i.to_string();
+                ReplicaCounters {
+                    rounds: registry.counter_with(
+                        "fia_serve_replica_rounds_total",
+                        "Coalesced prediction rounds executed, per backend replica.",
+                        &[("replica", &idx)],
+                    ),
+                    rows: registry.counter_with(
+                        "fia_serve_replica_rows_total",
+                        "Query rows answered, per backend replica.",
+                        &[("replica", &idx)],
+                    ),
+                }
+            })
+            .collect();
         ServerMetrics {
             started: Instant::now(),
-            requests: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            replicas: (0..replicas.max(1))
-                .map(|_| ReplicaCounters::default())
-                .collect(),
-            stride: AtomicU64::new(1),
-            latencies_us: Mutex::new(Vec::new()),
+            requests: registry.counter(
+                "fia_serve_requests_total",
+                "Completed requests (read-complete to response-written).",
+            ),
+            errors: registry.counter("fia_serve_errors_total", "Rejected requests."),
+            cache_hits: registry.counter(
+                "fia_serve_cache_hit_rows_total",
+                "Stored-index rows released from the score cache.",
+            ),
+            cache_misses: registry.counter(
+                "fia_serve_cache_miss_rows_total",
+                "Stored-index rows that required (part of) a joint round.",
+            ),
+            latency_us: registry.histogram(
+                "fia_serve_request_duration_us",
+                "End-to-end service latency, microseconds.",
+            ),
+            uptime: registry.gauge(
+                "fia_serve_uptime_seconds",
+                "Seconds since the server started (set at scrape time).",
+            ),
+            replicas,
+            reservoir: Mutex::new(Reservoir::new()),
+            registry,
         }
     }
 
@@ -71,76 +167,81 @@ impl ServerMetrics {
         self.replicas.len()
     }
 
+    /// The server's private telemetry registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Switches this server's instrument recording on/off (the bench's
+    /// overhead-pricing knob; percentile sampling is gated too).
+    pub fn set_recording(&self, on: bool) {
+        self.registry.set_recording(on);
+    }
+
     /// Records one completed request and its end-to-end service latency
     /// (read-complete to response-written).
     pub fn record_request(&self, latency_us: u64) {
-        let seq = self.requests.fetch_add(1, Ordering::Relaxed);
-        let stride = self.stride.load(Ordering::Relaxed).max(1);
-        if seq.is_multiple_of(stride) {
-            let mut res = self.latencies_us.lock().expect("metrics lock");
-            if res.len() >= LATENCY_RESERVOIR {
-                // Decimate: keep every other sample, double the stride.
-                let mut keep = Vec::with_capacity(res.len() / 2);
-                keep.extend(res.iter().copied().step_by(2));
-                *res = keep;
-                self.stride.store(stride * 2, Ordering::Relaxed);
-            }
-            res.push(latency_us);
+        self.requests.inc();
+        self.latency_us.record(latency_us);
+        if self.registry.recording() {
+            self.reservoir
+                .lock()
+                .expect("metrics lock")
+                .push(latency_us);
         }
     }
 
     /// Records one rejected request.
     pub fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     /// Records one coalesced prediction round answering `rows` queries
     /// on backend `replica`.
     pub fn record_round(&self, replica: usize, rows: usize) {
         let r = &self.replicas[replica.min(self.replicas.len() - 1)];
-        r.rounds.fetch_add(1, Ordering::Relaxed);
-        r.rows.fetch_add(rows as u64, Ordering::Relaxed);
+        r.rounds.inc();
+        r.rows.add(rows as u64);
     }
 
     /// Records the cache outcome of one stored-index request: `hits`
     /// rows released from the cache, `misses` rows that needed a round.
     pub fn record_cache(&self, hits: u64, misses: u64) {
         if hits > 0 {
-            self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+            self.cache_hits.add(hits);
         }
         if misses > 0 {
-            self.cache_misses.fetch_add(misses, Ordering::Relaxed);
+            self.cache_misses.add(misses);
         }
+    }
+
+    /// Prometheus-style text exposition of this server's registry
+    /// followed by the process-global one (kernel, campaign and attack
+    /// instruments) — what the `MetricsText` wire op returns.
+    pub fn exposition(&self) -> String {
+        self.uptime.set(self.started.elapsed().as_secs_f64());
+        encode_prometheus(&self.registry.snapshot().merge(global().snapshot()))
     }
 
     /// Snapshot of everything, as plain data.
     pub fn report(&self) -> MetricsReport {
-        let requests = self.requests.load(Ordering::Relaxed);
-        let errors = self.errors.load(Ordering::Relaxed);
-        let replica_rounds: Vec<u64> = self
-            .replicas
-            .iter()
-            .map(|r| r.rounds.load(Ordering::Relaxed))
-            .collect();
-        let replica_rows: Vec<u64> = self
-            .replicas
-            .iter()
-            .map(|r| r.rows.load(Ordering::Relaxed))
-            .collect();
+        let requests = self.requests.get();
+        let replica_rounds: Vec<u64> = self.replicas.iter().map(|r| r.rounds.get()).collect();
+        let replica_rows: Vec<u64> = self.replicas.iter().map(|r| r.rows.get()).collect();
         let rounds: u64 = replica_rounds.iter().sum();
         let rows: u64 = replica_rows.iter().sum();
         let uptime_secs = self.started.elapsed().as_secs_f64();
         let (p50, p99) = {
-            let res = self.latencies_us.lock().expect("metrics lock");
-            percentiles(&res)
+            let res = self.reservoir.lock().expect("metrics lock");
+            percentiles(&res.samples)
         };
         MetricsReport {
             requests,
             rows,
             rounds,
-            errors,
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            errors: self.errors.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
             mean_batch_fill: if rounds == 0 {
                 0.0
             } else {
@@ -383,16 +484,86 @@ mod tests {
     }
 
     #[test]
-    fn reservoir_decimates_instead_of_growing() {
+    fn reservoir_stays_bounded_and_uniform_in_scale() {
         let m = ServerMetrics::new();
-        for i in 0..(LATENCY_RESERVOIR as u64 + 10_000) {
+        let n = LATENCY_RESERVOIR as u64 + 50_000;
+        for i in 0..n {
             m.record_request(i);
         }
-        let len = m.latencies_us.lock().unwrap().len();
-        assert!(len <= LATENCY_RESERVOIR + 1, "reservoir grew to {len}");
-        // Percentiles still reflect the distribution's scale.
+        let res = m.reservoir.lock().unwrap();
+        assert_eq!(res.samples.len(), LATENCY_RESERVOIR);
+        assert_eq!(res.seen, n);
+        drop(res);
+        // A uniform sample of 0..n keeps the estimated quantiles near
+        // the true stream quantiles, not near one stride phase.
         let r = m.report();
-        assert!(r.p99_latency_us > r.p50_latency_us);
+        let n = n as f64;
+        assert!(
+            (r.p50_latency_us - 0.5 * n).abs() < 0.02 * n,
+            "{}",
+            r.p50_latency_us
+        );
+        assert!(
+            (r.p99_latency_us - 0.99 * n).abs() < 0.02 * n,
+            "{}",
+            r.p99_latency_us
+        );
+    }
+
+    #[test]
+    fn reservoir_is_seeded_and_reproducible() {
+        let run = || {
+            let m = ServerMetrics::new();
+            for i in 0..(LATENCY_RESERVOIR as u64 + 1000) {
+                m.record_request(i * 7 % 5000);
+            }
+            m.report()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.p50_latency_us, b.p50_latency_us);
+        assert_eq!(a.p99_latency_us, b.p99_latency_us);
+    }
+
+    #[test]
+    fn exposition_covers_the_serve_instruments() {
+        let m = ServerMetrics::with_replicas(2);
+        m.record_request(150);
+        m.record_round(1, 8);
+        m.record_cache(3, 1);
+        let text = m.exposition();
+        assert!(text.contains("fia_serve_requests_total 1\n"));
+        assert!(text.contains("fia_serve_replica_rows_total{replica=\"1\"} 8\n"));
+        assert!(text.contains("fia_serve_cache_hit_rows_total 3\n"));
+        assert!(text.contains("# TYPE fia_serve_request_duration_us histogram"));
+        assert!(text.contains("fia_serve_request_duration_us_count 1\n"));
+        assert!(text
+            .lines()
+            .any(|l| l.starts_with("fia_serve_uptime_seconds ")));
+    }
+
+    #[test]
+    fn servers_have_isolated_registries() {
+        let a = ServerMetrics::new();
+        let b = ServerMetrics::new();
+        a.record_request(10);
+        assert_eq!(a.report().requests, 1);
+        assert_eq!(b.report().requests, 0);
+        assert!(b.exposition().contains("fia_serve_requests_total 0\n"));
+    }
+
+    #[test]
+    fn recording_toggle_freezes_counters_and_percentiles() {
+        let m = ServerMetrics::new();
+        m.set_recording(false);
+        m.record_request(123);
+        m.record_error();
+        let r = m.report();
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.p50_latency_us, 0.0);
+        m.set_recording(true);
+        m.record_request(123);
+        assert_eq!(m.report().requests, 1);
     }
 
     #[test]

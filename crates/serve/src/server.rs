@@ -217,6 +217,18 @@ impl ServerHandle {
         self.metrics.report()
     }
 
+    /// Prometheus-style text exposition of this server's telemetry (the
+    /// same text the `MetricsText` wire op returns).
+    pub fn metrics_text(&self) -> String {
+        self.metrics.exposition()
+    }
+
+    /// Switches this server's telemetry recording on/off — the serve
+    /// bench's overhead-pricing knob.
+    pub fn set_telemetry_recording(&self, on: bool) {
+        self.metrics.set_recording(on);
+    }
+
     /// Stops accepting, lets in-flight rounds finish, answers everything
     /// queued, and joins every server thread.
     pub fn shutdown(mut self) {
@@ -325,6 +337,7 @@ fn answer(req: Request, shared: &Shared) -> Response {
         Request::Ping => Response::Pong,
         Request::Info => Response::Info(shared.info.clone()),
         Request::Metrics => Response::Metrics(shared.metrics.report()),
+        Request::MetricsText => Response::MetricsText(shared.metrics.exposition()),
         Request::Shutdown => Response::ShuttingDown,
         Request::PredictByIndex(indices) => {
             let n = shared.info.n_samples;

@@ -29,6 +29,7 @@ mod req_tag {
     pub const INFO: u8 = 0x04;
     pub const METRICS: u8 = 0x05;
     pub const SHUTDOWN: u8 = 0x06;
+    pub const METRICS_TEXT: u8 = 0x07;
 }
 
 /// Response tags (server → client).
@@ -38,6 +39,7 @@ mod resp_tag {
     pub const INFO: u8 = 0x83;
     pub const METRICS: u8 = 0x84;
     pub const SHUTTING_DOWN: u8 = 0x85;
+    pub const METRICS_TEXT: u8 = 0x86;
     pub const ERROR: u8 = 0xEE;
 }
 
@@ -116,6 +118,9 @@ pub enum Request {
     Metrics,
     /// Ask the server to shut down gracefully.
     Shutdown,
+    /// Ask for the full telemetry surface as Prometheus-style text
+    /// exposition (server registry + process-global instruments).
+    MetricsText,
 }
 
 /// A server → client message.
@@ -139,6 +144,8 @@ pub enum Response {
     Metrics(MetricsReport),
     /// Acknowledgement that the server is shutting down.
     ShuttingDown,
+    /// Prometheus-style text exposition of the server's telemetry.
+    MetricsText(String),
     /// Server-side rejection with a human-readable reason.
     Error(String),
 }
@@ -258,6 +265,7 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>, WireError> {
         Request::Info => out.push(req_tag::INFO),
         Request::Metrics => out.push(req_tag::METRICS),
         Request::Shutdown => out.push(req_tag::SHUTDOWN),
+        Request::MetricsText => out.push(req_tag::METRICS_TEXT),
     }
     Ok(out)
 }
@@ -292,6 +300,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         req_tag::INFO => Request::Info,
         req_tag::METRICS => Request::Metrics,
         req_tag::SHUTDOWN => Request::Shutdown,
+        req_tag::METRICS_TEXT => Request::MetricsText,
         t => return Err(WireError::BadTag(t)),
     };
     scan.finish()?;
@@ -337,6 +346,11 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
             }
         }
         Response::ShuttingDown => out.push(resp_tag::SHUTTING_DOWN),
+        Response::MetricsText(text) => {
+            out.push(resp_tag::METRICS_TEXT);
+            put_u32(&mut out, text.len() as u32);
+            out.extend_from_slice(text.as_bytes());
+        }
         Response::Error(msg) => {
             out.push(resp_tag::ERROR);
             put_u32(&mut out, msg.len() as u32);
@@ -398,6 +412,16 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
             Response::Metrics(report)
         }
         resp_tag::SHUTTING_DOWN => Response::ShuttingDown,
+        resp_tag::METRICS_TEXT => {
+            let n = scan.u32()? as usize;
+            if n > MAX_FRAME_LEN {
+                return Err(WireError::Malformed("exposition larger than frame"));
+            }
+            let bytes = scan.take(n)?;
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::Malformed("exposition not utf-8"))?;
+            Response::MetricsText(text.to_string())
+        }
         resp_tag::ERROR => {
             let n = scan.u32()? as usize;
             if n > MAX_FRAME_LEN {
@@ -462,7 +486,7 @@ mod tests {
     }
 
     fn random_request(rng: &mut StdRng, case: usize) -> Request {
-        match case % 6 {
+        match case % 7 {
             0 => Request::Ping,
             1 => {
                 // Includes the empty batch when n == 0.
@@ -482,12 +506,13 @@ mod tests {
             }
             3 => Request::Info,
             4 => Request::Metrics,
+            5 => Request::MetricsText,
             _ => Request::Shutdown,
         }
     }
 
     fn random_response(rng: &mut StdRng, case: usize) -> Response {
-        match case % 6 {
+        match case % 7 {
             0 => Response::Pong,
             1 => {
                 let rows = rng.gen_range(0..16usize);
@@ -524,6 +549,10 @@ mod tests {
                 })
             }
             4 => Response::ShuttingDown,
+            5 => Response::MetricsText(
+                "# TYPE fia_serve_requests_total counter\nfia_serve_requests_total 7\n"
+                    .repeat(rng.gen_range(0..4usize)),
+            ),
             _ => Response::Error("sample index 99 out of range (n_samples = 10)".to_string()),
         }
     }

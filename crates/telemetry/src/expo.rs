@@ -1,0 +1,221 @@
+//! Prometheus-style text exposition.
+//!
+//! Renders a [`TelemetrySnapshot`] in the Prometheus text format
+//! (version 0.0.4): `# HELP` / `# TYPE` once per metric name, one sample
+//! line per labeled instrument, histograms expanded to cumulative
+//! `_bucket{le=...}` series plus `_sum` and `_count`. No exporter crate
+//! exists in this offline workspace, so the encoder is hand-rolled
+//! against the published format.
+
+use crate::instrument::Histogram;
+use crate::snapshot::{InstrumentValue, TelemetrySnapshot};
+use std::collections::HashSet;
+use std::fmt::Write;
+
+/// Escapes a label value: backslash, double quote and newline, per the
+/// exposition format spec.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes HELP text: backslash and newline only (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `{k="v",...}` with an optional extra label appended; empty string when
+/// there are no labels at all.
+fn label_set(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+fn format_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Encodes a snapshot as Prometheus text exposition. Entries keep their
+/// snapshot order; `# HELP`/`# TYPE` headers are emitted once per metric
+/// name, at its first occurrence.
+pub fn encode_prometheus(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let mut seen: HashSet<&str> = HashSet::new();
+    for e in &snapshot.entries {
+        if seen.insert(e.name.as_str()) {
+            let ty = match e.value {
+                InstrumentValue::Counter(_) => "counter",
+                InstrumentValue::Gauge(_) => "gauge",
+                InstrumentValue::Histogram(_) => "histogram",
+            };
+            if !e.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", e.name, escape_help(&e.help));
+            }
+            let _ = writeln!(out, "# TYPE {} {ty}", e.name);
+        }
+        match &e.value {
+            InstrumentValue::Counter(v) => {
+                let _ = writeln!(out, "{}{} {v}", e.name, label_set(&e.labels, None));
+            }
+            InstrumentValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    e.name,
+                    label_set(&e.labels, None),
+                    format_f64(*v)
+                );
+            }
+            InstrumentValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (i, c) in h.buckets.iter().enumerate() {
+                    cumulative += c;
+                    // Skip interior empty buckets to keep the exposition
+                    // readable; bounds stay cumulative so no information
+                    // is lost. Always emit the first bucket as an anchor.
+                    if *c == 0 && i != 0 {
+                        continue;
+                    }
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {cumulative}",
+                        e.name,
+                        label_set(
+                            &e.labels,
+                            Some(("le", &Histogram::bucket_bound(i).to_string()))
+                        )
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    e.name,
+                    label_set(&e.labels, Some(("le", "+Inf"))),
+                    h.count
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    e.name,
+                    label_set(&e.labels, None),
+                    h.sum
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    e.name,
+                    label_set(&e.labels, None),
+                    h.count
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn golden_exposition() {
+        let r = Registry::new();
+        r.counter("fia_requests_total", "Requests answered.").add(3);
+        r.gauge("fia_uptime_seconds", "Uptime.").set(1.5);
+        let snap = r.snapshot();
+        assert_eq!(
+            encode_prometheus(&snap),
+            "# HELP fia_requests_total Requests answered.\n\
+             # TYPE fia_requests_total counter\n\
+             fia_requests_total 3\n\
+             # HELP fia_uptime_seconds Uptime.\n\
+             # TYPE fia_uptime_seconds gauge\n\
+             fia_uptime_seconds 1.5\n"
+        );
+    }
+
+    #[test]
+    fn help_and_type_once_per_name() {
+        let r = Registry::new();
+        r.counter_with("rows_total", "Rows.", &[("replica", "0")])
+            .add(1);
+        r.counter_with("rows_total", "Rows.", &[("replica", "1")])
+            .add(2);
+        let text = encode_prometheus(&r.snapshot());
+        assert_eq!(text.matches("# TYPE rows_total counter").count(), 1);
+        assert_eq!(text.matches("# HELP rows_total").count(), 1);
+        assert!(text.contains("rows_total{replica=\"0\"} 1\n"));
+        assert!(text.contains("rows_total{replica=\"1\"} 2\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter_with("c_total", "back\\slash\nnewline", &[("p", "a\"b\\c\nd")])
+            .inc();
+        let text = encode_prometheus(&r.snapshot());
+        assert!(text.contains("# HELP c_total back\\\\slash\\nnewline\n"));
+        assert!(text.contains("c_total{p=\"a\\\"b\\\\c\\nd\"} 1\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let r = Registry::new();
+        let h = r.histogram("lat_us", "Latency.");
+        for v in [0u64, 1, 5, 5, 1000, u64::MAX] {
+            h.record(v);
+        }
+        let text = encode_prometheus(&r.snapshot());
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_us_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+        assert_eq!(*counts.last().unwrap(), 6); // +Inf == count
+        assert!(text.contains("lat_us_bucket{le=\"0\"} 1\n"));
+        assert!(text.contains("lat_us_bucket{le=\"+Inf\"} 6\n"));
+        assert!(text.contains("lat_us_count 6\n"));
+        assert!(text.lines().any(|l| l == "# TYPE lat_us histogram"));
+    }
+
+    #[test]
+    fn non_finite_gauges_render_prometheus_style() {
+        let r = Registry::new();
+        r.gauge("g", "").set(f64::INFINITY);
+        assert!(encode_prometheus(&r.snapshot()).contains("g +Inf\n"));
+    }
+}

@@ -1,0 +1,253 @@
+//! The typed instruments a [`crate::Registry`] hands out.
+//!
+//! All three kinds are lock-free on the recording path: a [`Counter`] or
+//! [`Gauge`] is one relaxed atomic op, a [`Histogram`] is two (bucket +
+//! sum). Every instrument carries a shared recording flag (its
+//! registry's): when the flag is off, recording is a single relaxed load
+//! and an early return, which is what lets the serve bench price the
+//! instrumentation itself.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of log2 buckets a [`Histogram`] keeps. Bucket `0` holds the
+/// value `0`; bucket `i > 0` holds values in `[2^(i-1), 2^i)`; the last
+/// bucket additionally absorbs everything larger. With microsecond
+/// recordings the top finite bound is ≈ 2^38 µs ≈ 3 days — far beyond
+/// any latency this workspace can observe.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A monotonic counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+    recording: Arc<AtomicBool>,
+}
+
+impl Counter {
+    pub(crate) fn new(recording: Arc<AtomicBool>) -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+            recording,
+        }
+    }
+
+    /// Adds `n` to the counter (no-op while recording is off).
+    pub fn add(&self, n: u64) {
+        if self.recording.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge holding an `f64` (stored as raw bits).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+    recording: Arc<AtomicBool>,
+}
+
+impl Gauge {
+    pub(crate) fn new(recording: Arc<AtomicBool>) -> Self {
+        Gauge {
+            bits: AtomicU64::new(0f64.to_bits()),
+            recording,
+        }
+    }
+
+    /// Sets the gauge (no-op while recording is off).
+    pub fn set(&self, v: f64) {
+        if self.recording.load(Ordering::Relaxed) {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket log2 histogram over `u64` observations (typically
+/// microseconds).
+///
+/// Bucket boundaries are powers of two (see [`HISTOGRAM_BUCKETS`]), so
+/// recording needs no search — the bucket index is the observation's bit
+/// width — and the memory footprint is fixed. Reads are relaxed and not
+/// atomic across buckets; a snapshot taken while writers run may be off
+/// by in-flight observations, which is the usual monitoring contract.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    recording: Arc<AtomicBool>,
+}
+
+impl Histogram {
+    pub(crate) fn new(recording: Arc<AtomicBool>) -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            recording,
+        }
+    }
+
+    /// The bucket index observation `v` lands in: `0` for `0`, else the
+    /// bit width of `v`, clamped into the top bucket.
+    pub fn bucket_index(v: u64) -> usize {
+        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i` (`2^i − 1`); the top bucket
+    /// has no finite bound and reports its nominal one.
+    pub fn bucket_bound(i: usize) -> u64 {
+        if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Records one observation (no-op while recording is off).
+    pub fn record(&self, v: u64) {
+        if self.recording.load(Ordering::Relaxed) {
+            self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Plain-old-data view of the current bucket counts.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum(),
+        }
+    }
+}
+
+/// Point-in-time histogram state: per-bucket (non-cumulative) counts,
+/// total count and sum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Count per log2 bucket (see [`Histogram::bucket_bound`]).
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observation, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn on() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(true))
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new(on());
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn recording_flag_gates_all_instruments() {
+        let flag = on();
+        let c = Counter::new(Arc::clone(&flag));
+        let g = Gauge::new(Arc::clone(&flag));
+        let h = Histogram::new(Arc::clone(&flag));
+        flag.store(false, Ordering::Relaxed);
+        c.inc();
+        g.set(3.5);
+        h.record(7);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0.0);
+        assert_eq!(h.count(), 0);
+        flag.store(true, Ordering::Relaxed);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn bucket_index_is_bit_width() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_partition_the_line() {
+        // Every value in bucket i satisfies bound(i-1) < v <= bound(i).
+        for v in [0u64, 1, 2, 3, 4, 7, 8, 1023, 1024, 1 << 20] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_bound(i), "v={v} i={i}");
+            if i > 0 && i < HISTOGRAM_BUCKETS - 1 {
+                assert!(v > Histogram::bucket_bound(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_counts_and_sums() {
+        let h = Histogram::new(on());
+        for v in [0u64, 1, 5, 5, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1011);
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 1); // 1
+        assert_eq!(s.buckets[3], 2); // the fives
+        assert_eq!(s.buckets[10], 1); // 1000 ∈ [512, 1024)
+        assert!((s.mean() - 1011.0 / 5.0).abs() < 1e-12);
+        assert_eq!(
+            HistogramSnapshot::mean(&Histogram::new(on()).snapshot()),
+            0.0
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal hand-rolled JSON building blocks.
+//!
+//! The workspace serializes its few wire artifacts (campaign reports,
+//! event logs, span traces, telemetry snapshots) by hand rather than
+//! pulling a serialization dependency; this module centralizes the two
+//! pieces every writer needs — string escaping and an object builder —
+//! so each crate stops re-implementing them.
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number. JSON has no `NaN`/`Infinity`
+/// literals, so those serialize as `null`.
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An incremental `{...}` builder producing one compact JSON object.
+#[derive(Debug, Default)]
+pub struct ObjectBuilder {
+    parts: Vec<String>,
+}
+
+impl ObjectBuilder {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pre-serialized JSON value under `key`.
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.parts.push(format!("\"{}\":{}", escape(key), value));
+        self
+    }
+
+    /// Adds a string field.
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let v = format!("\"{}\"", escape(value));
+        self.raw(key, &v)
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64(self, key: &str, value: u64) -> Self {
+        self.raw(key, &value.to_string())
+    }
+
+    /// Adds a float field (`null` for non-finite values).
+    pub fn f64(self, key: &str, value: f64) -> Self {
+        let v = number(value);
+        self.raw(key, &v)
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Closes the object.
+    pub fn build(self) -> String {
+        format!("{{{}}}", self.parts.join(","))
+    }
+}
+
+/// Joins pre-serialized JSON values into an array literal.
+pub fn array(items: &[String]) -> String {
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn object_builder_round_trip() {
+        let s = ObjectBuilder::new()
+            .str("name", "x\"y")
+            .u64("n", 3)
+            .f64("v", 1.5)
+            .bool("ok", true)
+            .raw("inner", "[1,2]")
+            .build();
+        assert_eq!(
+            s,
+            "{\"name\":\"x\\\"y\",\"n\":3,\"v\":1.5,\"ok\":true,\"inner\":[1,2]}"
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert_eq!(array(&["1".into(), "null".into()]), "[1,null]");
+    }
+}

@@ -1,0 +1,288 @@
+//! Instrument registration and the process-global registry.
+
+use crate::instrument::{Counter, Gauge, Histogram};
+use crate::snapshot::{InstrumentSnapshot, InstrumentValue, TelemetrySnapshot};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// One registered instrument.
+enum Entry {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Entry {
+    fn kind(&self) -> &'static str {
+        match self {
+            Entry::Counter(_) => "counter",
+            Entry::Gauge(_) => "gauge",
+            Entry::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Registered {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    entry: Entry,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Registration order — snapshots and expositions are stable.
+    entries: Vec<Registered>,
+    /// `(name, labels)` → index into `entries`.
+    index: HashMap<(String, Vec<(String, String)>), usize>,
+}
+
+/// A set of typed instruments.
+///
+/// Registration (`counter`/`gauge`/`histogram` and their `_with` label
+/// variants) takes a lock and is idempotent: asking again for the same
+/// `(name, labels)` returns the existing instrument, so call sites can
+/// re-register on every hot-path entry without coordination — though
+/// callers that care cache the returned `Arc` and record lock-free.
+///
+/// # Panics
+/// Re-registering a `(name, labels)` pair as a *different* instrument
+/// kind panics: that is a naming bug, not a runtime condition.
+pub struct Registry {
+    recording: Arc<AtomicBool>,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with recording on.
+    pub fn new() -> Self {
+        Registry {
+            recording: Arc::new(AtomicBool::new(true)),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Turns recording on/off for every instrument this registry handed
+    /// out. Off, each record call is one relaxed load and a branch —
+    /// the knob the serve bench uses to price the instrumentation.
+    pub fn set_recording(&self, on: bool) {
+        self.recording.store(on, Ordering::Relaxed);
+    }
+
+    /// `true` while instruments record.
+    pub fn recording(&self) -> bool {
+        self.recording.load(Ordering::Relaxed)
+    }
+
+    fn register<T>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce(Arc<AtomicBool>) -> Entry,
+        get: impl Fn(&Entry) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut inner = self.inner.lock().expect("telemetry registry lock");
+        if let Some(&i) = inner.index.get(&(name.to_string(), labels.clone())) {
+            let entry = &inner.entries[i].entry;
+            return get(entry).unwrap_or_else(|| {
+                panic!(
+                    "instrument {name:?} already registered as a {}",
+                    entry.kind()
+                )
+            });
+        }
+        let entry = make(Arc::clone(&self.recording));
+        let out = get(&entry).expect("freshly made entry has the requested kind");
+        let slot = inner.entries.len();
+        inner.index.insert((name.to_string(), labels.clone()), slot);
+        inner.entries.push(Registered {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            entry,
+        });
+        out
+    }
+
+    /// A monotonic counter with no labels.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// A monotonic counter with labels.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.register(
+            name,
+            help,
+            labels,
+            |rec| Entry::Counter(Arc::new(Counter::new(rec))),
+            |e| match e {
+                Entry::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// A gauge with no labels.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// A gauge with labels.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.register(
+            name,
+            help,
+            labels,
+            |rec| Entry::Gauge(Arc::new(Gauge::new(rec))),
+            |e| match e {
+                Entry::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// A log2 histogram with no labels.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// A log2 histogram with labels.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        self.register(
+            name,
+            help,
+            labels,
+            |rec| Entry::Histogram(Arc::new(Histogram::new(rec))),
+            |e| match e {
+                Entry::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Point-in-time plain-old-data view of every registered instrument,
+    /// in registration order.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let inner = self.inner.lock().expect("telemetry registry lock");
+        TelemetrySnapshot {
+            entries: inner
+                .entries
+                .iter()
+                .map(|r| InstrumentSnapshot {
+                    name: r.name.clone(),
+                    help: r.help.clone(),
+                    labels: r.labels.clone(),
+                    value: match &r.entry {
+                        Entry::Counter(c) => InstrumentValue::Counter(c.get()),
+                        Entry::Gauge(g) => InstrumentValue::Gauge(g.get()),
+                        Entry::Histogram(h) => InstrumentValue::Histogram(h.snapshot()),
+                    },
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The process-global registry: kernel counters, attack phase timings
+/// and campaign instruments live here; each `fia-serve` server keeps its
+/// *own* registry (so parallel deployments in one process stay isolated)
+/// and concatenates this one into its exposition.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "a counter");
+        let b = r.counter("x_total", "a counter");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn labels_distinguish_instruments() {
+        let r = Registry::new();
+        let a = r.counter_with("rows_total", "rows", &[("replica", "0")]);
+        let b = r.counter_with("rows_total", "rows", &[("replica", "1")]);
+        a.add(5);
+        b.add(7);
+        let snap = r.snapshot();
+        assert_eq!(snap.entries.len(), 2);
+        assert_eq!(snap.entries[0].value, InstrumentValue::Counter(5));
+        assert_eq!(snap.entries[1].value, InstrumentValue::Counter(7));
+        assert_eq!(snap.entries[1].labels, vec![("replica".into(), "1".into())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("thing", "as counter");
+        let _ = r.gauge("thing", "as gauge");
+    }
+
+    #[test]
+    fn recording_toggle_reaches_existing_instruments() {
+        let r = Registry::new();
+        let c = r.counter("c_total", "");
+        let h = r.histogram("h_us", "");
+        r.set_recording(false);
+        assert!(!r.recording());
+        c.inc();
+        h.record(9);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+        r.set_recording(true);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn snapshot_preserves_registration_order() {
+        let r = Registry::new();
+        let _ = r.counter("b_total", "");
+        let _ = r.gauge("a_val", "");
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["b_total", "a_val"]);
+    }
+
+    #[test]
+    fn global_is_one_registry() {
+        let c = global().counter("fia_telemetry_selftest_total", "self test");
+        let before = c.get();
+        c.inc();
+        assert!(
+            global()
+                .counter("fia_telemetry_selftest_total", "self test")
+                .get()
+                > before
+        );
+    }
+}

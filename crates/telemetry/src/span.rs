@@ -1,0 +1,300 @@
+//! Hierarchical scoped timers with explicit parent handles.
+//!
+//! There is deliberately no thread-local "current span": the workspace's
+//! parallelism is scoped threads (`par_matmul` workers, serve batchers),
+//! and implicit context would either not cross those boundaries or
+//! require per-thread bookkeeping. Instead a parent [`Span`] is an
+//! ordinary value — [`Span::child`] takes `&self`, so handing a span to
+//! a scoped worker is just a borrow.
+
+use crate::json::ObjectBuilder;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// A typed span field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer field.
+    U64(u64),
+    /// Float field.
+    F64(f64),
+    /// String field.
+    Str(String),
+}
+
+/// A finished span: identity, timing relative to the tracer's epoch, and
+/// attached fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Tracer-unique span id.
+    pub id: u64,
+    /// Parent span id, `None` for roots.
+    pub parent: Option<u64>,
+    /// Span name (e.g. `campaign.chunk`).
+    pub name: String,
+    /// Start offset from the tracer's epoch, microseconds.
+    pub start_us: u64,
+    /// Wall-clock duration, microseconds.
+    pub dur_us: u64,
+    /// Fields attached while the span was open.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl SpanRecord {
+    /// One compact JSON object (a JSONL line, sans newline).
+    pub fn to_json(&self) -> String {
+        let mut b = ObjectBuilder::new()
+            .u64("id", self.id)
+            .raw(
+                "parent",
+                &self
+                    .parent
+                    .map(|p| p.to_string())
+                    .unwrap_or_else(|| "null".to_string()),
+            )
+            .str("name", &self.name)
+            .u64("start_us", self.start_us)
+            .u64("dur_us", self.dur_us);
+        for (k, v) in &self.fields {
+            b = match v {
+                FieldValue::U64(n) => b.u64(k, *n),
+                FieldValue::F64(x) => b.f64(k, *x),
+                FieldValue::Str(s) => b.str(k, s),
+            };
+        }
+        b.build()
+    }
+}
+
+struct TracerInner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+/// Creates [`Span`]s and collects their finished [`SpanRecord`]s.
+///
+/// Cheap to clone (an `Arc`); clones share one record sink and id space.
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<TracerInner>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tracer {
+    /// A tracer whose epoch is now.
+    pub fn new() -> Self {
+        Tracer {
+            inner: Arc::new(TracerInner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(1),
+                records: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    fn open(&self, name: &str, parent: Option<u64>) -> Span {
+        Span {
+            tracer: self.clone(),
+            id: self.inner.next_id.fetch_add(1, Ordering::Relaxed),
+            parent,
+            name: name.to_string(),
+            started: Instant::now(),
+            fields: Mutex::new(Vec::new()),
+            finished: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens a root span.
+    pub fn root(&self, name: &str) -> Span {
+        self.open(name, None)
+    }
+
+    /// Finished spans so far, in finish order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.inner
+            .records
+            .lock()
+            .expect("tracer records lock")
+            .clone()
+    }
+
+    /// Renders every finished span as one JSONL line each (trailing
+    /// newline included when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.records() {
+            out.push_str(&r.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// An open span. Timing stops at [`Span::finish`] or on drop, whichever
+/// comes first; the record then appears in the owning [`Tracer`].
+pub struct Span {
+    tracer: Tracer,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    started: Instant,
+    fields: Mutex<Vec<(String, FieldValue)>>,
+    finished: AtomicU64,
+}
+
+impl Span {
+    /// This span's id (what children store as their parent).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Opens a child span. Takes `&self`, so a parent can be borrowed
+    /// into scoped worker threads and have children opened concurrently.
+    pub fn child(&self, name: &str) -> Span {
+        self.tracer.open(name, Some(self.id))
+    }
+
+    fn push_field(&self, key: &str, value: FieldValue) {
+        self.fields
+            .lock()
+            .expect("span fields lock")
+            .push((key.to_string(), value));
+    }
+
+    /// Attaches an integer field.
+    pub fn record_u64(&self, key: &str, value: u64) {
+        self.push_field(key, FieldValue::U64(value));
+    }
+
+    /// Attaches a float field.
+    pub fn record_f64(&self, key: &str, value: f64) {
+        self.push_field(key, FieldValue::F64(value));
+    }
+
+    /// Attaches a string field.
+    pub fn record_str(&self, key: &str, value: &str) {
+        self.push_field(key, FieldValue::Str(value.to_string()));
+    }
+
+    /// Stops the clock and files the record (idempotent; drop calls it).
+    pub fn finish(&self) {
+        if self.finished.swap(1, Ordering::Relaxed) != 0 {
+            return;
+        }
+        let record = SpanRecord {
+            id: self.id,
+            parent: self.parent,
+            name: self.name.clone(),
+            start_us: self
+                .started
+                .duration_since(self.tracer.inner.epoch)
+                .as_micros() as u64,
+            dur_us: self.started.elapsed().as_micros() as u64,
+            fields: self.fields.lock().expect("span fields lock").clone(),
+        };
+        self.tracer
+            .inner
+            .records
+            .lock()
+            .expect("tracer records lock")
+            .push(record);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hierarchy_is_recorded_with_parents() {
+        let t = Tracer::new();
+        let root = t.root("run");
+        let child = root.child("chunk");
+        child.record_u64("rows", 64);
+        child.finish();
+        root.finish();
+        let recs = t.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "chunk");
+        assert_eq!(recs[0].parent, Some(recs[1].id));
+        assert_eq!(recs[1].parent, None);
+        assert_eq!(
+            recs[0].fields,
+            vec![("rows".to_string(), FieldValue::U64(64))]
+        );
+    }
+
+    #[test]
+    fn finish_is_idempotent_and_drop_finishes() {
+        let t = Tracer::new();
+        {
+            let s = t.root("a");
+            s.finish();
+            s.finish();
+        } // drop after explicit finish must not double-record
+        {
+            let _s = t.root("b");
+        } // drop-only
+        assert_eq!(t.records().len(), 2);
+    }
+
+    #[test]
+    fn spans_cross_scoped_threads_by_borrow() {
+        let t = Tracer::new();
+        let root = t.root("par");
+        std::thread::scope(|scope| {
+            for i in 0..4u64 {
+                let root = &root;
+                scope.spawn(move || {
+                    let c = root.child("worker");
+                    c.record_u64("idx", i);
+                });
+            }
+        });
+        root.finish();
+        let recs = t.records();
+        assert_eq!(recs.len(), 5);
+        let root_id = recs.last().unwrap().id;
+        assert!(recs[..4].iter().all(|r| r.parent == Some(root_id)));
+    }
+
+    #[test]
+    fn jsonl_renders_one_line_per_span() {
+        let t = Tracer::new();
+        t.root("x\"y").record_str("note", "a\nb");
+        let jsonl = t.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 1);
+        assert!(jsonl.contains("\"name\":\"x\\\"y\""));
+        assert!(jsonl.contains("\"note\":\"a\\nb\""));
+        assert!(jsonl.contains("\"parent\":null"));
+        assert!(jsonl.ends_with('\n'));
+    }
+
+    #[test]
+    fn timing_is_monotone() {
+        let t = Tracer::new();
+        let root = t.root("outer");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let child = root.child("inner");
+        child.finish();
+        root.finish();
+        let recs = t.records();
+        let inner = &recs[0];
+        let outer = &recs[1];
+        assert!(inner.start_us >= outer.start_us);
+        assert!(outer.dur_us >= inner.dur_us);
+    }
+}

@@ -1,0 +1,90 @@
+//! The whole telemetry surface in one run: a served campaign streams
+//! its events to a JSONL sink, the session's tracer records a span tree
+//! (run → chunks → attacks), and the live prediction server answers a
+//! Prometheus-style `MetricsText` scrape that covers serve, campaign
+//! and kernel instruments in one exposition. Everything lands under
+//! `target/observability/` — the same three artifacts a real deployment
+//! would ship to its log pipeline and metrics scraper.
+//!
+//! ```sh
+//! cargo run --release --example observability
+//! ```
+
+use fia::campaign::{
+    AttackSpec, Campaign, EventLog, OracleSpec, PartitionSpec, ScenarioSpec, ServedConfig,
+};
+use fia::data::PaperDataset;
+use std::fs;
+use std::path::Path;
+
+fn main() {
+    // 1. A served scenario: the campaign spawns a real prediction
+    //    server (two replicas, released-score cache) and queries it
+    //    over TCP — so the scrape below is a genuine over-the-wire one.
+    let scenario = ScenarioSpec::paper(PaperDataset::DriveDiagnosis)
+        .with_scale(0.01)
+        .with_partition(PartitionSpec::two_block_random(0.2))
+        .with_oracle(OracleSpec::Served(ServedConfig {
+            replicas: 2,
+            cache_capacity: 8192,
+            ..ServedConfig::default()
+        }))
+        .with_seed(42)
+        .build();
+    println!("scenario {}", scenario.fingerprint());
+
+    // 2. Run with an EventLog observer: every Started / ChunkDone /
+    //    AttackDone / Finished event is collected, each ChunkDone
+    //    carrying the chunk's wall-clock duration and the run's
+    //    cumulative elapsed time.
+    let mut campaign = Campaign::new(scenario)
+        .with_attack(AttackSpec::esa())
+        .with_chunk(64);
+    let mut log = EventLog::new();
+    let report = campaign.run(&mut log).expect("served campaign");
+    println!(
+        "campaign {}: {} rows for {} queries, ESA mse {:.3e}",
+        report.outcome.name(),
+        report.rows_done,
+        report.cost.queries,
+        report.attack("esa").unwrap().mse
+    );
+
+    // 3. The three artifacts.
+    let dir = Path::new("target/observability");
+    fs::create_dir_all(dir).expect("create target/observability");
+
+    // 3a. The event stream, one JSON object per line.
+    let events = log.to_jsonl();
+    fs::write(dir.join("campaign_events.jsonl"), &events).expect("write events");
+
+    // 3b. The span trace: a `campaign.run` root, one `campaign.chunk`
+    //     child per oracle round (rows, queries, cache-served rows),
+    //     one `campaign.attack` child per attack.
+    let trace = campaign.trace_jsonl();
+    fs::write(dir.join("campaign_trace.jsonl"), &trace).expect("write trace");
+
+    // 3c. A live Prometheus-style scrape over the wire. The server
+    //     merges its own registry with the process-global one, so one
+    //     exposition covers serve counters, campaign counters and the
+    //     fia-linalg gemm kernel counters.
+    let metrics = campaign.server_metrics_text().expect("served scrape");
+    fs::write(dir.join("metrics.txt"), &metrics).expect("write metrics");
+
+    println!(
+        "wrote {} events, {} spans, {} metric samples under target/observability/",
+        events.lines().count(),
+        trace.lines().count(),
+        metrics
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .count()
+    );
+    // The report itself carries the run's telemetry delta, so an
+    // archived report is self-describing about what it cost.
+    println!(
+        "report telemetry delta: {} instruments",
+        report.telemetry.entries.len()
+    );
+    campaign.shutdown();
+}

@@ -21,6 +21,9 @@
 //! * [`campaign`] — the front door: a typed `ScenarioSpec` builder, a
 //!   budgeted resumable `Campaign` session over any oracle (in-process
 //!   or served), streaming events and a serializable report.
+//! * [`telemetry`] — workspace-wide observability: a registry of typed
+//!   instruments, span-style scoped timers, and Prometheus-style text
+//!   exposition scrapeable over the wire (`MetricsText`).
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through and
 //! `examples/served_attack.rs` for the same campaign mounted over the wire.
@@ -32,5 +35,6 @@ pub use fia_defense as defense;
 pub use fia_linalg as linalg;
 pub use fia_models as models;
 pub use fia_serve as serve;
+pub use fia_telemetry as telemetry;
 pub use fia_tensor as tensor;
 pub use fia_vfl as vfl;
