@@ -271,7 +271,8 @@ pub struct OpenLoadReport {
     pub total_requests: u64,
     /// Query rows answered across all senders.
     pub total_rows: u64,
-    /// Wall-clock duration of the run.
+    /// Wall-clock duration of the schedule: the longest driver's
+    /// send/receive window, connection setup excluded.
     pub elapsed: std::time::Duration,
     /// Client-observed p50 request latency, microseconds.
     pub p50_latency_us: f64,
@@ -281,9 +282,46 @@ pub struct OpenLoadReport {
     pub late_sends: u64,
 }
 
+/// One multiplexed sender connection inside an open-loop driver thread.
+struct MuxConn {
+    stream: std::net::TcpStream,
+    /// Request bytes not yet accepted by the kernel.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Unparsed response bytes.
+    inbuf: Vec<u8>,
+    /// A request is in flight (one per connection, as before).
+    waiting: bool,
+    sent_at: std::time::Instant,
+    /// Next arrival index this connection owns (global schedule).
+    next_k: usize,
+    /// When that arrival is due, relative to the schedule epoch.
+    due: std::time::Duration,
+    /// Interest currently registered with the driver's poller.
+    reg: crate::sys::Interest,
+}
+
+impl MuxConn {
+    fn out_pending(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Still has arrivals to fire or a response outstanding.
+    fn active(&self, total: usize) -> bool {
+        self.waiting || self.next_k < total
+    }
+}
+
 /// Drives a fixed-arrival-rate schedule at `addr` and reports achieved
 /// throughput and client-observed latency. See [`OpenLoadConfig`] for
 /// the open-loop semantics.
+///
+/// The schedule's `connections` sender sockets are *multiplexed* over a
+/// small fixed pool of driver threads (readiness-driven, the same
+/// [`crate::sys`] poller the server's reactor uses), so driving 4096
+/// connections costs a handful of client threads, not 4096 — connection
+/// `c` owns arrivals `k ≡ c (mod connections)`, exactly the schedule
+/// the thread-per-connection generator produced.
 pub fn run_load_open(
     addr: std::net::SocketAddr,
     cfg: &OpenLoadConfig,
@@ -291,60 +329,55 @@ pub fn run_load_open(
     assert!(cfg.arrival_rps > 0.0, "arrival rate must be positive");
     let connections = cfg.connections.max(1);
     let interval = std::time::Duration::from_secs_f64(1.0 / cfg.arrival_rps);
-    let barrier = std::sync::Arc::new(std::sync::Barrier::new(connections));
-    let mut workers = Vec::with_capacity(connections);
-    let t0 = std::time::Instant::now();
-    for worker in 0..connections {
+    // One blocking handshake learns the deployment shape; the mux
+    // sockets skip per-connection Info round trips entirely.
+    let n_samples = RemoteOracle::connect(addr)?.info().n_samples.max(1);
+    let drivers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8)
+        .min(connections)
+        .max(1);
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(drivers));
+    let mut workers = Vec::with_capacity(drivers);
+    for driver in 0..drivers {
         let barrier = std::sync::Arc::clone(&barrier);
         let cfg = cfg.clone();
         workers.push(std::thread::spawn(
-            move || -> Result<(u64, u64, Vec<u64>), ClientError> {
-                // Reach the barrier whether or not the connection
-                // succeeded, so a failed worker never strands the rest.
-                let connected = RemoteOracle::connect(addr);
+            move || -> Result<(u64, u64, Vec<u64>, std::time::Duration), ClientError> {
+                // Connect this driver's share before the barrier, so the
+                // schedule epoch starts with every socket established.
+                // Errors still reach the barrier — a failed driver must
+                // never strand the rest.
+                let conns = open_mux_conns(addr, driver, drivers, &cfg);
                 barrier.wait();
-                let mut oracle = connected?;
-                let n = oracle.info().n_samples.max(1);
-                let start = std::time::Instant::now();
-                let mut rows_done = 0u64;
-                let mut late = 0u64;
-                let mut latencies = Vec::new();
-                // Arrival k fires at start + k·interval; this sender
-                // owns arrivals k ≡ worker (mod connections).
-                let mut k = worker;
-                while k < cfg.total_requests {
-                    let due = interval.mul_f64(k as f64);
-                    match due.checked_sub(start.elapsed()) {
-                        Some(wait) => {
-                            if !wait.is_zero() {
-                                std::thread::sleep(wait);
-                            }
-                        }
-                        None => late += 1,
-                    }
-                    let indices: Vec<usize> = (0..cfg.rows_per_request)
-                        .map(|r| (k * cfg.rows_per_request + r) % n)
-                        .collect();
-                    let sent = std::time::Instant::now();
-                    let scores = oracle.predict_batch(&indices)?;
-                    latencies.push(sent.elapsed().as_micros() as u64);
-                    rows_done += scores.rows() as u64;
-                    k += connections;
-                }
-                Ok((rows_done, late, latencies))
+                let conns = conns?;
+                drive_open_loop(conns, &cfg, interval, n_samples)
             },
         ));
     }
     let mut total_rows = 0u64;
     let mut late_sends = 0u64;
     let mut latencies = Vec::with_capacity(cfg.total_requests);
+    // The schedule window is the slowest driver's: all drivers share
+    // one epoch (the barrier), so the max is the wall clock of the
+    // schedule itself, uninflated by connection setup.
+    let mut elapsed = std::time::Duration::from_nanos(1);
+    let mut first_err = None;
     for worker in workers {
-        let (rows, late, lat) = worker.join().expect("open-loop worker panicked")?;
-        total_rows += rows;
-        late_sends += late;
-        latencies.extend(lat);
+        match worker.join().expect("open-loop driver panicked") {
+            Ok((rows, late, lat, driver_elapsed)) => {
+                total_rows += rows;
+                late_sends += late;
+                latencies.extend(lat);
+                elapsed = elapsed.max(driver_elapsed);
+            }
+            Err(e) => first_err = first_err.or(Some(e)),
+        }
     }
-    let elapsed = t0.elapsed();
+    if let Some(e) = first_err {
+        return Err(e);
+    }
     let (p50, p99) = crate::metrics::percentiles(&latencies);
     Ok(OpenLoadReport {
         offered_rps: cfg.arrival_rps,
@@ -356,6 +389,207 @@ pub fn run_load_open(
         p99_latency_us: p99,
         late_sends,
     })
+}
+
+/// Connects the sender sockets driver `driver` owns (global connection
+/// ids `c ≡ driver (mod drivers)`), nonblocking and nodelay.
+fn open_mux_conns(
+    addr: std::net::SocketAddr,
+    driver: usize,
+    drivers: usize,
+    cfg: &OpenLoadConfig,
+) -> Result<Vec<MuxConn>, ClientError> {
+    let connections = cfg.connections.max(1);
+    let mut conns = Vec::new();
+    let mut c = driver;
+    while c < connections {
+        let stream = std::net::TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        conns.push(MuxConn {
+            stream,
+            out: Vec::new(),
+            out_pos: 0,
+            inbuf: Vec::new(),
+            waiting: false,
+            sent_at: std::time::Instant::now(),
+            // Connection c owns arrivals k ≡ c (mod connections).
+            next_k: c,
+            due: std::time::Duration::ZERO,
+            reg: crate::sys::Interest::READ,
+        });
+        c += drivers;
+    }
+    Ok(conns)
+}
+
+/// One driver's event loop: fire each connection's arrivals on schedule,
+/// collect responses, count lateness the way the blocking generator did
+/// (evaluated once per arrival, at the moment its sender went idle).
+fn drive_open_loop(
+    mut conns: Vec<MuxConn>,
+    cfg: &OpenLoadConfig,
+    interval: std::time::Duration,
+    n_samples: usize,
+) -> Result<(u64, u64, Vec<u64>, std::time::Duration), ClientError> {
+    use crate::sys::{fd_of, Event, Interest, Poller};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    use std::io::Read;
+
+    let total = cfg.total_requests;
+    let stride = cfg.connections.max(1);
+    let mut poller = Poller::new()?;
+    // Idle connections with a pending arrival, ordered by due time.
+    // Firing pops exactly what is due — never an O(connections) scan,
+    // which at 4096 sockets would dominate the very schedule this
+    // generator exists to keep.
+    let mut idle: BinaryHeap<Reverse<(std::time::Duration, usize)>> = BinaryHeap::new();
+    for (i, conn) in conns.iter_mut().enumerate() {
+        poller.register(fd_of(&conn.stream), i as u64, Interest::READ)?;
+        if conn.next_k < total {
+            conn.due = interval.mul_f64(conn.next_k as f64);
+            idle.push(Reverse((conn.due, i)));
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let mut outstanding = 0usize;
+    let mut rows_done = 0u64;
+    let mut late = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut scratch = vec![0u8; 16 * 1024];
+
+    while outstanding > 0 || !idle.is_empty() {
+        // Fire every arrival that has come due, in schedule order.
+        let now = start.elapsed();
+        while let Some(&Reverse((due, i))) = idle.peek() {
+            if due > now {
+                break;
+            }
+            idle.pop();
+            let conn = &mut conns[i];
+            let k = conn.next_k;
+            let indices: Vec<u32> = (0..cfg.rows_per_request)
+                .map(|r| ((k * cfg.rows_per_request + r) % n_samples) as u32)
+                .collect();
+            let payload = encode_request(&Request::PredictByIndex(indices))?;
+            conn.out.clear();
+            conn.out_pos = 0;
+            conn.out
+                .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            conn.out.extend_from_slice(&payload);
+            conn.sent_at = std::time::Instant::now();
+            conn.waiting = true;
+            outstanding += 1;
+            flush_mux(&mut conns[i], &mut poller, i as u64)?;
+        }
+        if outstanding == 0 && idle.is_empty() {
+            break;
+        }
+
+        let timeout = match idle.peek() {
+            Some(&Reverse((due, _))) => due
+                .saturating_sub(start.elapsed())
+                .max(std::time::Duration::from_micros(100)),
+            None => std::time::Duration::from_millis(20),
+        };
+        events.clear();
+        poller.wait(&mut events, Some(timeout))?;
+
+        for ev in std::mem::take(&mut events) {
+            let i = ev.token as usize;
+            let conn = &mut conns[i];
+            if !conn.active(total) {
+                continue;
+            }
+            if ev.closed {
+                return Err(ClientError::Disconnected);
+            }
+            if ev.writable && conn.out_pending() {
+                flush_mux(&mut conns[i], &mut poller, ev.token)?;
+            }
+            let conn = &mut conns[i];
+            if !ev.readable {
+                continue;
+            }
+            // Drain the socket, then every complete response frame.
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => return Err(ClientError::Disconnected),
+                    Ok(n) => {
+                        conn.inbuf.extend_from_slice(&scratch[..n]);
+                        if n < scratch.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            while conn.inbuf.len() >= 4 {
+                let len = u32::from_le_bytes(conn.inbuf[..4].try_into().expect("4 bytes")) as usize;
+                if conn.inbuf.len() < 4 + len {
+                    break;
+                }
+                let frame: Vec<u8> = conn.inbuf[4..4 + len].to_vec();
+                conn.inbuf.drain(..4 + len);
+                match decode_response(&frame)? {
+                    Response::Scores { scores, .. } => {
+                        latencies.push(conn.sent_at.elapsed().as_micros() as u64);
+                        rows_done += scores.rows() as u64;
+                    }
+                    Response::Error(why) => return Err(ClientError::Rejected(why)),
+                    _ => return Err(ClientError::Protocol("predict answered with wrong variant")),
+                }
+                // The sender is idle again: schedule its next arrival
+                // and judge lateness *now*, exactly when the blocking
+                // generator would have evaluated its sleep.
+                conn.waiting = false;
+                outstanding -= 1;
+                conn.next_k += stride;
+                if conn.next_k < total {
+                    conn.due = interval.mul_f64(conn.next_k as f64);
+                    if start.elapsed() > conn.due {
+                        late += 1;
+                    }
+                    idle.push(Reverse((conn.due, i)));
+                }
+            }
+        }
+    }
+    Ok((rows_done, late, latencies, start.elapsed()))
+}
+
+/// Writes a mux connection's buffered request bytes, switching write
+/// interest on while the kernel pushes back and off once drained.
+fn flush_mux(
+    conn: &mut MuxConn,
+    poller: &mut crate::sys::Poller,
+    token: u64,
+) -> Result<(), ClientError> {
+    use crate::sys::{fd_of, Interest};
+    use std::io::Write;
+    while conn.out_pending() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return Err(ClientError::Disconnected),
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let desired = Interest {
+        read: true,
+        write: conn.out_pending(),
+    };
+    if desired != conn.reg {
+        poller.modify(fd_of(&conn.stream), token, desired)?;
+        conn.reg = desired;
+    }
+    Ok(())
 }
 
 /// Drives `cfg` worth of traffic at `addr` and reports the achieved

@@ -22,10 +22,9 @@
 
 use crate::cache::ScoreCache;
 use crate::metrics::ServerMetrics;
-use crate::pool::{Job, ReplicaPool, RoundInput};
+use crate::pool::{Job, ReplicaPool, ReplyTo, RoundInput};
 use fia_linalg::Matrix;
 use std::collections::BTreeMap;
-use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 
 /// Consistent contiguous row-range sharding of `n_rows` stored samples
@@ -103,15 +102,15 @@ impl Dispatcher {
         }
     }
 
-    /// Answers a stored-index request: cache hits are filled directly,
-    /// misses are split into per-shard sub-rounds, and the released rows
-    /// are reassembled in request order. Returns the released scores and
-    /// how many rows came from the cache.
-    pub fn predict_stored(&self, indices: &[usize]) -> Result<(Matrix, u64), String> {
+    /// Phase 1 of a stored-index request (synchronous, no pool traffic):
+    /// fill cache hits directly into the output matrix and group the
+    /// misses by owning shard. The reactor registers the plan's groups
+    /// as in-flight parts, dispatches each with [`Self::send_stored_part`],
+    /// and folds releases back in with [`Self::finish_stored_part`].
+    pub fn plan_stored(&self, indices: &[usize]) -> StoredPlan {
         let n = indices.len();
         let mut out = Matrix::zeros(n, self.n_classes);
 
-        // Phase 1: serve what the cache already holds.
         let mut misses: Vec<(usize, usize)> = Vec::new(); // (request pos, sample index)
         if let Some(cache) = &self.cache {
             let cache = cache.lock().expect("score cache lock");
@@ -128,80 +127,85 @@ impl Dispatcher {
         if self.cache.is_some() {
             self.metrics.record_cache(hits, misses.len() as u64);
         }
-        if misses.is_empty() {
-            return Ok((out, hits));
-        }
 
-        // Phase 2: group the misses by owning shard and dispatch one
-        // sub-round per shard, all in flight concurrently.
-        let mut groups: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
+        // Group the misses by owning shard; each group becomes one
+        // sub-round, all in flight concurrently.
+        let mut by_shard: BTreeMap<usize, Vec<(usize, usize)>> = BTreeMap::new();
         for (pos, idx) in misses {
-            groups
+            by_shard
                 .entry(self.shards.shard_of(idx))
                 .or_default()
                 .push((pos, idx));
         }
-        let mut waits = Vec::with_capacity(groups.len());
-        for (shard, group) in groups {
-            let sub_indices: Vec<usize> = group.iter().map(|&(_, idx)| idx).collect();
-            let rows = sub_indices.len();
-            let (reply_tx, reply_rx) = mpsc::channel();
-            self.pool.send(
-                shard,
-                Job {
-                    input: RoundInput::Stored(sub_indices),
-                    rows,
-                    reply: reply_tx,
-                },
-            )?;
-            waits.push((group, reply_rx));
+        StoredPlan {
+            out,
+            hits,
+            groups: by_shard.into_iter().collect(),
         }
-
-        // Phase 3: collect sub-rounds, admit their released rows into
-        // the cache, and scatter the *canonical* bytes back into request
-        // order. `admit` returns the already-resident row when a
-        // concurrent request populated the entry first, so duplicate
-        // in-flight queries for one sample all release identical bytes.
-        for (group, reply_rx) in waits {
-            let part = match reply_rx.recv() {
-                Ok(Ok(scores)) => scores,
-                Ok(Err(why)) => return Err(why),
-                Err(_) => return Err("server is shutting down".to_string()),
-            };
-            if let Some(cache) = &self.cache {
-                let mut cache = cache.lock().expect("score cache lock");
-                for (r, &(pos, idx)) in group.iter().enumerate() {
-                    let canonical = cache.admit(idx, part.row(r).to_vec());
-                    out.row_mut(pos).copy_from_slice(&canonical);
-                }
-            } else {
-                for (r, &(pos, _)) in group.iter().enumerate() {
-                    out.row_mut(pos).copy_from_slice(part.row(r));
-                }
-            }
-        }
-        Ok((out, hits))
     }
 
-    /// Answers an ad-hoc feature request on the least-loaded replica.
+    /// Phase 2: dispatches one planned miss group to its shard. A send
+    /// that fails mid-shutdown drops the job, whose reply guard delivers
+    /// the error completion — the caller never has to special-case it.
+    pub fn send_stored_part(&self, shard: usize, group: &[(usize, usize)], reply: ReplyTo) {
+        let sub_indices: Vec<usize> = group.iter().map(|&(_, idx)| idx).collect();
+        let rows = sub_indices.len();
+        let _ = self.pool.send(
+            shard,
+            Job {
+                input: RoundInput::Stored(sub_indices),
+                rows,
+                reply,
+            },
+        );
+    }
+
+    /// Phase 3: admits one sub-round's released rows into the cache and
+    /// scatters the *canonical* bytes back into request order. `admit`
+    /// returns the already-resident row when a concurrent request
+    /// populated the entry first, so duplicate in-flight queries for one
+    /// sample all release identical bytes.
+    pub fn finish_stored_part(&self, group: &[(usize, usize)], part: &Matrix, out: &mut Matrix) {
+        if let Some(cache) = &self.cache {
+            let mut cache = cache.lock().expect("score cache lock");
+            for (r, &(pos, idx)) in group.iter().enumerate() {
+                let canonical = cache.admit(idx, part.row(r).to_vec());
+                out.row_mut(pos).copy_from_slice(&canonical);
+            }
+        } else {
+            for (r, &(pos, _)) in group.iter().enumerate() {
+                out.row_mut(pos).copy_from_slice(part.row(r));
+            }
+        }
+    }
+
+    /// Dispatches an ad-hoc feature request to the least-loaded replica.
     /// Never cached: an ad-hoc query names no stored row, so there is no
-    /// stable identity to key a re-release on.
-    pub fn predict_adhoc(&self, blocks: Vec<Matrix>, rows: usize) -> Result<Matrix, String> {
-        let (reply_tx, reply_rx) = mpsc::channel();
-        self.pool.send(
+    /// stable identity to key a re-release on. Failure is delivered via
+    /// the reply guard, as in [`Self::send_stored_part`].
+    pub fn send_adhoc(&self, blocks: Vec<Matrix>, rows: usize, reply: ReplyTo) {
+        let _ = self.pool.send(
             self.pool.least_loaded(),
             Job {
                 input: RoundInput::AdHoc(blocks),
                 rows,
-                reply: reply_tx,
+                reply,
             },
-        )?;
-        match reply_rx.recv() {
-            Ok(Ok(scores)) => Ok(scores),
-            Ok(Err(why)) => Err(why),
-            Err(_) => Err("server is shutting down".to_string()),
-        }
+        );
     }
+}
+
+/// A planned stored-index request: cache hits already filled, misses
+/// grouped into per-shard sub-rounds awaiting dispatch.
+pub(crate) struct StoredPlan {
+    /// The released scores, request-ordered; hit rows are final, miss
+    /// rows are zeros until their sub-round completes.
+    pub out: Matrix,
+    /// Rows served from the cache.
+    pub hits: u64,
+    /// `(shard, [(request pos, sample index)])` miss groups, in shard
+    /// order.
+    pub groups: Vec<(usize, Vec<(usize, usize)>)>,
 }
 
 #[cfg(test)]

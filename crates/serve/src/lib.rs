@@ -14,13 +14,19 @@
 //!   drain into one joint-prediction round when a row budget or a
 //!   deadline is hit, amortizing the per-round protocol cost a real VFL
 //!   deployment pays.
-//! * [`PredictionServer`] — the multi-threaded TCP service: acceptor +
-//!   per-connection threads + a *replica pool* of batchers
+//! * [`PredictionServer`] — the TCP service: a single *reactor* thread
+//!   (nonblocking sockets multiplexed through an in-tree `epoll` shim,
+//!   with a portable `poll` fallback selectable via `FIA_FORCE_POLL=1`)
+//!   owns the listener and every client connection — incremental frame
+//!   assembly, classified accept-error backoff, in-order response
+//!   writes — and feeds a *replica pool* of batchers
 //!   ([`ServeConfig::replicas`]), each owning a cheap clone of the
 //!   deployment, with the [`fia_defense::DefensePipeline`] applied once
 //!   per round at each replica's score-release boundary, graceful
 //!   shutdown, and live [`ServerMetrics`] (throughput, p50/p99 latency,
-//!   per-replica batch fill, cache hit rate).
+//!   per-replica batch fill, cache hit rate, connection gauges). Four
+//!   thousand idle clients cost four thousand fds, not four thousand
+//!   threads.
 //! * [`ShardMap`] — consistent contiguous row-range sharding of the
 //!   stored prediction set across the replicas: stored-index queries
 //!   route by shard, ad-hoc feature queries by least-loaded replica.
@@ -51,7 +57,9 @@ mod coalesce;
 mod dispatch;
 mod metrics;
 mod pool;
+mod reactor;
 mod server;
+mod sys;
 pub mod wire;
 
 pub use cache::ScoreCache;

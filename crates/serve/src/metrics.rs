@@ -76,6 +76,54 @@ struct ReplicaCounters {
     rows: Arc<Counter>,
 }
 
+/// Classified `accept()` failures — the label set of
+/// `fia_serve_accept_errors_total{kind=}`. The old server collapsed all
+/// of these into one anonymous sleep; the reactor counts them and picks
+/// a policy per kind (see `crate::reactor::classify_accept_error`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AcceptErrorKind {
+    /// fd or memory exhaustion (`EMFILE`/`ENFILE`/`ENOBUFS`/`ENOMEM`):
+    /// retrying immediately cannot succeed, so accept backs off.
+    Exhausted,
+    /// The pending connection died in the backlog
+    /// (`ECONNABORTED`/reset): consumed, accept continues.
+    Aborted,
+    /// `EINTR`: accept retries immediately.
+    Interrupted,
+    /// Accept succeeded but the socket could not be configured for the
+    /// event loop (`set_nonblocking`/poller registration failed); the
+    /// connection is closed rather than run in a mode that would hang.
+    Setup,
+    /// Anything else: retried at the minimum backoff, never a hot loop.
+    Other,
+}
+
+impl AcceptErrorKind {
+    /// Every kind, in counter-array order.
+    pub(crate) const ALL: [AcceptErrorKind; 5] = [
+        AcceptErrorKind::Exhausted,
+        AcceptErrorKind::Aborted,
+        AcceptErrorKind::Interrupted,
+        AcceptErrorKind::Setup,
+        AcceptErrorKind::Other,
+    ];
+
+    /// The `kind` label value.
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            AcceptErrorKind::Exhausted => "exhausted",
+            AcceptErrorKind::Aborted => "aborted",
+            AcceptErrorKind::Interrupted => "interrupted",
+            AcceptErrorKind::Setup => "setup",
+            AcceptErrorKind::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|&k| k == self).expect("in ALL")
+    }
+}
+
 /// Live counters shared by every server thread.
 pub struct ServerMetrics {
     registry: Arc<Registry>,
@@ -86,6 +134,10 @@ pub struct ServerMetrics {
     cache_misses: Arc<Counter>,
     latency_us: Arc<Histogram>,
     uptime: Arc<Gauge>,
+    connections_open: Arc<Gauge>,
+    connections_total: Arc<Counter>,
+    /// One counter per [`AcceptErrorKind`], in `ALL` order.
+    accept_errors: Vec<Arc<Counter>>,
     replicas: Vec<ReplicaCounters>,
     reservoir: Mutex<Reservoir>,
 }
@@ -156,6 +208,24 @@ impl ServerMetrics {
                 "fia_serve_uptime_seconds",
                 "Seconds since the server started (set at scrape time).",
             ),
+            connections_open: registry.gauge(
+                "fia_serve_connections_open",
+                "Client connections currently held by the reactor.",
+            ),
+            connections_total: registry.counter(
+                "fia_serve_connections_total",
+                "Client connections accepted over the server's lifetime.",
+            ),
+            accept_errors: AcceptErrorKind::ALL
+                .iter()
+                .map(|kind| {
+                    registry.counter_with(
+                        "fia_serve_accept_errors_total",
+                        "accept() failures, classified by what went wrong.",
+                        &[("kind", kind.label())],
+                    )
+                })
+                .collect(),
             replicas,
             reservoir: Mutex::new(Reservoir::new()),
             registry,
@@ -194,6 +264,24 @@ impl ServerMetrics {
     /// Records one rejected request.
     pub fn record_error(&self) {
         self.errors.inc();
+    }
+
+    /// Records one classified `accept()` failure.
+    pub(crate) fn record_accept_error(&self, kind: AcceptErrorKind) {
+        self.accept_errors[kind.index()].inc();
+    }
+
+    /// Records an accepted connection; `open_now` is the reactor's live
+    /// connection count after the accept.
+    pub(crate) fn record_connection_opened(&self, open_now: u64) {
+        self.connections_total.inc();
+        self.connections_open.set(open_now as f64);
+    }
+
+    /// Records a closed connection; `open_now` is the reactor's live
+    /// connection count after the close.
+    pub(crate) fn record_connection_closed(&self, open_now: u64) {
+        self.connections_open.set(open_now as f64);
     }
 
     /// Records one coalesced prediction round answering `rows` queries
@@ -242,6 +330,9 @@ impl ServerMetrics {
             errors: self.errors.get(),
             cache_hits: self.cache_hits.get(),
             cache_misses: self.cache_misses.get(),
+            open_connections: self.connections_open.get() as u64,
+            total_connections: self.connections_total.get(),
+            accept_errors: self.accept_errors.iter().map(|c| c.get()).sum(),
             mean_batch_fill: if rounds == 0 {
                 0.0
             } else {
@@ -300,6 +391,13 @@ pub struct MetricsReport {
     pub cache_hits: u64,
     /// Stored-index rows that required (part of) a joint round.
     pub cache_misses: u64,
+    /// Client connections currently held by the reactor.
+    pub open_connections: u64,
+    /// Client connections accepted over the server's lifetime.
+    pub total_connections: u64,
+    /// `accept()` failures, all kinds (per-kind counts live in the text
+    /// exposition's `fia_serve_accept_errors_total{kind=}` series).
+    pub accept_errors: u64,
     /// Mean queries per round — the coalescer's fill factor.
     pub mean_batch_fill: f64,
     /// Median end-to-end service latency, microseconds.
@@ -319,7 +417,7 @@ pub struct MetricsReport {
 impl MetricsReport {
     /// Number of scalar `f64` slots a report occupies on the wire
     /// (the per-replica gauges travel separately, length-prefixed).
-    pub const WIRE_VALUES: usize = 11;
+    pub const WIRE_VALUES: usize = 14;
 
     /// Fraction of stored-index rows answered from the cache.
     pub fn cache_hit_rate(&self) -> f64 {
@@ -356,6 +454,9 @@ impl MetricsReport {
             self.errors as f64,
             self.cache_hits as f64,
             self.cache_misses as f64,
+            self.open_connections as f64,
+            self.total_connections as f64,
+            self.accept_errors as f64,
             self.mean_batch_fill,
             self.p50_latency_us,
             self.p99_latency_us,
@@ -374,11 +475,14 @@ impl MetricsReport {
             errors: v[3] as u64,
             cache_hits: v[4] as u64,
             cache_misses: v[5] as u64,
-            mean_batch_fill: v[6],
-            p50_latency_us: v[7],
-            p99_latency_us: v[8],
-            uptime_secs: v[9],
-            throughput_rps: v[10],
+            open_connections: v[6] as u64,
+            total_connections: v[7] as u64,
+            accept_errors: v[8] as u64,
+            mean_batch_fill: v[9],
+            p50_latency_us: v[10],
+            p99_latency_us: v[11],
+            uptime_secs: v[12],
+            throughput_rps: v[13],
             replica_rounds: Vec::new(),
             replica_rows: Vec::new(),
         }
@@ -567,6 +671,36 @@ mod tests {
     }
 
     #[test]
+    fn accept_errors_count_per_kind_and_sum_in_the_report() {
+        let m = ServerMetrics::new();
+        m.record_accept_error(AcceptErrorKind::Exhausted);
+        m.record_accept_error(AcceptErrorKind::Exhausted);
+        m.record_accept_error(AcceptErrorKind::Aborted);
+        let r = m.report();
+        assert_eq!(r.accept_errors, 3);
+        let text = m.exposition();
+        assert!(text.contains("fia_serve_accept_errors_total{kind=\"exhausted\"} 2\n"));
+        assert!(text.contains("fia_serve_accept_errors_total{kind=\"aborted\"} 1\n"));
+        // Unseen kinds are registered eagerly, so the scrape shows the
+        // full label set at zero rather than omitting it.
+        assert!(text.contains("fia_serve_accept_errors_total{kind=\"setup\"} 0\n"));
+    }
+
+    #[test]
+    fn connection_gauges_track_open_and_lifetime_counts() {
+        let m = ServerMetrics::new();
+        m.record_connection_opened(1);
+        m.record_connection_opened(2);
+        m.record_connection_closed(1);
+        let r = m.report();
+        assert_eq!(r.open_connections, 1);
+        assert_eq!(r.total_connections, 2);
+        m.record_connection_closed(0);
+        assert_eq!(m.report().open_connections, 0);
+        assert_eq!(m.report().total_connections, 2);
+    }
+
+    #[test]
     fn wire_values_round_trip() {
         let r = MetricsReport {
             requests: 10,
@@ -575,6 +709,9 @@ mod tests {
             errors: 1,
             cache_hits: 7,
             cache_misses: 13,
+            open_connections: 3,
+            total_connections: 42,
+            accept_errors: 2,
             mean_batch_fill: 4.0,
             p50_latency_us: 120.0,
             p99_latency_us: 900.0,

@@ -20,6 +20,7 @@
 
 use crate::coalesce::{Coalescer, Coalescible};
 use crate::metrics::ServerMetrics;
+use crate::sys::Waker;
 use fia_defense::{DefensePipeline, ScoreDefense};
 use fia_linalg::Matrix;
 use fia_models::PredictProba;
@@ -33,12 +34,85 @@ use std::time::Duration;
 /// How often blocked server threads re-check the stop flag.
 pub(crate) const POLL_TICK: Duration = Duration::from_millis(20);
 
-/// One queued prediction job: the round input plus the channel its rows
-/// travel back on.
+/// One queued prediction job: the round input plus where its released
+/// rows travel back to.
 pub(crate) struct Job {
     pub input: RoundInput,
     pub rows: usize,
-    pub reply: Sender<Result<Matrix, String>>,
+    pub reply: ReplyTo,
+}
+
+/// Where a job's released rows go.
+pub(crate) enum ReplyTo {
+    /// A blocking caller waiting on an mpsc receiver (unit tests and
+    /// any in-process dispatch path).
+    #[cfg_attr(not(test), allow(dead_code))]
+    Channel(Sender<Result<Matrix, String>>),
+    /// The reactor's completion queue: the batcher pushes the result
+    /// and nudges the event loop awake.
+    Reactor(ReactorReply),
+}
+
+impl ReplyTo {
+    /// Delivers the job's outcome to whoever is waiting.
+    pub fn send(self, result: Result<Matrix, String>) {
+        match self {
+            ReplyTo::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            ReplyTo::Reactor(mut r) => r.deliver(result),
+        }
+    }
+}
+
+/// One sub-round's route back to the reactor. If the job is dropped
+/// unanswered — a queue torn down mid-shutdown, a send that never
+/// happened — `Drop` delivers an error completion, so a connection can
+/// never wait forever on a reply that isn't coming.
+pub(crate) struct ReactorReply {
+    tx: Sender<Completion>,
+    waker: Waker,
+    pending_id: u64,
+    part: usize,
+    sent: bool,
+}
+
+impl ReactorReply {
+    pub fn new(tx: Sender<Completion>, waker: Waker, pending_id: u64, part: usize) -> Self {
+        ReactorReply {
+            tx,
+            waker,
+            pending_id,
+            part,
+            sent: false,
+        }
+    }
+
+    fn deliver(&mut self, result: Result<Matrix, String>) {
+        if self.sent {
+            return;
+        }
+        self.sent = true;
+        let _ = self.tx.send(Completion {
+            pending_id: self.pending_id,
+            part: self.part,
+            result,
+        });
+        self.waker.wake();
+    }
+}
+
+impl Drop for ReactorReply {
+    fn drop(&mut self) {
+        self.deliver(Err("server is shutting down".to_string()));
+    }
+}
+
+/// A finished sub-round flowing back to the reactor's event loop.
+pub(crate) struct Completion {
+    pub pending_id: u64,
+    pub part: usize,
+    pub result: Result<Matrix, String>,
 }
 
 pub(crate) enum RoundInput {
@@ -237,7 +311,7 @@ fn run_round<M: PredictProba>(ctx: &ReplicaCtx<M>, jobs: Vec<Job>) {
             .select_rows(&rows)
             .expect("round rows were assembled in range");
         offset += job_rows;
-        let _ = reply.send(Ok(part));
+        reply.send(Ok(part));
     }
     // Every job reached this queue through `ReplicaPool::send`, which
     // accounted its rows, so the gauge cannot underflow.
@@ -295,7 +369,7 @@ mod tests {
                 Job {
                     input: RoundInput::Stored(vec![replica, replica + 1]),
                     rows: 2,
-                    reply: tx,
+                    reply: ReplyTo::Channel(tx),
                 },
             )
             .expect("send");
@@ -339,7 +413,7 @@ mod tests {
                 Job {
                     input: RoundInput::Stored(vec![i]),
                     rows: 1,
-                    reply: tx,
+                    reply: ReplyTo::Channel(tx),
                 },
             )
             .expect("send");

@@ -1,11 +1,13 @@
-//! The multi-threaded TCP prediction service.
+//! The TCP prediction service.
 //!
 //! Thread layout:
 //!
-//! * an *acceptor* polls the listener and spawns one thread per
-//!   connection;
-//! * *connection* threads frame-decode requests, validate them, and hand
-//!   prediction jobs to the [`Dispatcher`];
+//! * a single *reactor* thread ([`crate::reactor`]) owns the listener
+//!   and every client socket: nonblocking accept, incremental frame
+//!   assembly, request validation, and in-order response writes all run
+//!   on readiness events from the [`crate::sys`] poller (`epoll`, or
+//!   `poll` under `FIA_FORCE_POLL=1`) — thousands of connections on one
+//!   thread;
 //! * a [`ReplicaPool`] of N *batcher* threads, each owning a cheap
 //!   replica of the deployment: stored-index traffic is routed by shard
 //!   of the stored prediction set, ad-hoc feature traffic by least
@@ -23,28 +25,28 @@
 //! queries without paying it again — and, deliberately, re-releases the
 //! first-released bytes so repetition leaks nothing fresh.
 //!
-//! Shutdown is graceful: a stop flag flips, the acceptor exits on its
-//! next poll, connection threads notice within one read-timeout tick,
-//! and every batcher answers the jobs still queued before exiting.
+//! Shutdown is graceful: a stop flag flips and the waker nudges the
+//! reactor, which immediately closes the listener (new connects are
+//! refused), stops reading, lets every batcher answer the jobs still
+//! queued, flushes buffered responses, and exits; the handle then joins
+//! the reactor and the batchers.
 
 use crate::cache::ScoreCache;
 use crate::coalesce::Coalescer;
 use crate::dispatch::{Dispatcher, ShardMap};
 use crate::metrics::{MetricsReport, ServerMetrics};
-use crate::pool::{ReplicaPool, POLL_TICK};
-use crate::wire::{
-    decode_request, encode_response, write_frame, Request, Response, ServerInfo, WireError,
-};
+use crate::pool::ReplicaPool;
+use crate::reactor::Reactor;
+use crate::sys::Waker;
+use crate::wire::ServerInfo;
 use fia_defense::DefensePipeline;
-use fia_linalg::Matrix;
 use fia_models::PredictProba;
 use fia_vfl::{PartyId, VflSystem};
-use std::io::Read;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Tuning knobs for one server instance.
 #[derive(Debug, Clone)]
@@ -104,14 +106,14 @@ impl ServeConfig {
     }
 }
 
-/// State shared by every server thread. Deliberately not generic over
-/// the model type: the generic deployment lives inside the pool's
-/// batcher threads, so connection handling stays monomorphic.
-struct Shared {
-    dispatcher: Dispatcher,
-    metrics: Arc<ServerMetrics>,
-    stop: Arc<AtomicBool>,
-    info: ServerInfo,
+/// State shared by the reactor and the server handle. Deliberately not
+/// generic over the model type: the generic deployment lives inside the
+/// pool's batcher threads, so connection handling stays monomorphic.
+pub(crate) struct Shared {
+    pub(crate) dispatcher: Dispatcher,
+    pub(crate) metrics: Arc<ServerMetrics>,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) info: ServerInfo,
 }
 
 /// The prediction service; [`PredictionServer::spawn`] is its only
@@ -119,7 +121,7 @@ struct Shared {
 pub struct PredictionServer;
 
 impl PredictionServer {
-    /// Binds `config.bind`, spawns the server threads (acceptor + one
+    /// Binds `config.bind`, spawns the server threads (one reactor + one
     /// batcher per replica), and returns a handle carrying the bound
     /// address (resolve ephemeral ports from it). The deployment and the
     /// defense pipeline are shared, not consumed — the caller keeps its
@@ -176,20 +178,18 @@ impl PredictionServer {
             info,
         });
 
-        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            let conns = Arc::clone(&conns);
-            std::thread::spawn(move || acceptor_loop(listener, &shared, &conns))
-        };
+        let (reactor, waker) = Reactor::new(listener, shared)?;
+        let reactor = std::thread::Builder::new()
+            .name("fia-serve-reactor".to_string())
+            .spawn(move || reactor.run())?;
 
         Ok(ServerHandle {
             addr,
             stop,
             metrics,
-            acceptor: Some(acceptor),
+            waker,
+            reactor: Some(reactor),
             batchers,
-            conns,
         })
     }
 }
@@ -200,9 +200,9 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
-    acceptor: Option<JoinHandle<()>>,
+    waker: Waker,
+    reactor: Option<JoinHandle<()>>,
     batchers: Vec<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl ServerHandle {
@@ -237,11 +237,11 @@ impl ServerHandle {
 
     fn shutdown_in_place(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(h) = self.acceptor.take() {
-            let _ = h.join();
-        }
-        let handles: Vec<JoinHandle<()>> = std::mem::take(&mut *self.conns.lock().expect("conns"));
-        for h in handles {
+        // The reactor may be parked in poller.wait with no traffic due
+        // for a whole tick: the waker makes shutdown prompt, not
+        // tick-quantized.
+        self.waker.wake();
+        if let Some(h) = self.reactor.take() {
             let _ = h.join();
         }
         for h in std::mem::take(&mut self.batchers) {
@@ -254,217 +254,4 @@ impl Drop for ServerHandle {
     fn drop(&mut self) {
         self.shutdown_in_place();
     }
-}
-
-// ---------------------------------------------------------------------
-// Thread bodies.
-
-fn acceptor_loop(
-    listener: TcpListener,
-    shared: &Arc<Shared>,
-    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    while !shared.stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let shared = Arc::clone(shared);
-                let handle = std::thread::spawn(move || connection_loop(stream, &shared));
-                let mut guard = conns.lock().expect("conns");
-                // Reap finished connection threads so a long-lived
-                // server's bookkeeping stays bounded by *live*
-                // connections, not by every connection ever accepted.
-                let mut i = 0;
-                while i < guard.len() {
-                    if guard[i].is_finished() {
-                        let _ = guard.swap_remove(i).join();
-                    } else {
-                        i += 1;
-                    }
-                }
-                guard.push(handle);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(2)),
-        }
-    }
-}
-
-fn connection_loop(mut stream: TcpStream, shared: &Shared) {
-    // The accepted stream inherits the listener's non-blocking mode on
-    // some platforms; force blocking + a short read timeout so the
-    // thread both sleeps properly and notices shutdown.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(POLL_TICK));
-    let _ = stream.set_nodelay(true);
-
-    loop {
-        let payload = match read_frame_interruptible(&mut stream, &shared.stop) {
-            Ok(Some(p)) => p,
-            Ok(None) => break, // peer closed, or we are shutting down
-            Err(_) => break,   // corrupt framing: drop the connection
-        };
-        let t0 = Instant::now();
-        let response = match decode_request(&payload) {
-            Ok(req) => answer(req, shared),
-            Err(e) => {
-                shared.metrics.record_error();
-                Response::Error(format!("bad request: {e}"))
-            }
-        };
-        let stop_after = matches!(response, Response::ShuttingDown);
-        match encode_response(&response).and_then(|payload| write_frame(&mut stream, &payload)) {
-            Ok(()) => {
-                if !matches!(response, Response::Error(_)) {
-                    shared
-                        .metrics
-                        .record_request(t0.elapsed().as_micros() as u64);
-                }
-            }
-            Err(_) => break,
-        }
-        if stop_after {
-            shared.stop.store(true, Ordering::SeqCst);
-            break;
-        }
-    }
-}
-
-/// Computes the response for one decoded request.
-fn answer(req: Request, shared: &Shared) -> Response {
-    match req {
-        Request::Ping => Response::Pong,
-        Request::Info => Response::Info(shared.info.clone()),
-        Request::Metrics => Response::Metrics(shared.metrics.report()),
-        Request::MetricsText => Response::MetricsText(shared.metrics.exposition()),
-        Request::Shutdown => Response::ShuttingDown,
-        Request::PredictByIndex(indices) => {
-            let n = shared.info.n_samples;
-            if let Some(&bad) = indices.iter().find(|&&i| (i as usize) >= n) {
-                shared.metrics.record_error();
-                return Response::Error(format!(
-                    "sample index {bad} out of range (n_samples = {n})"
-                ));
-            }
-            let indices: Vec<usize> = indices.into_iter().map(|i| i as usize).collect();
-            if indices.is_empty() {
-                // Nothing to compute or defend: answer the empty round
-                // directly.
-                return Response::Scores {
-                    scores: Matrix::zeros(0, shared.info.n_classes),
-                    cached_rows: 0,
-                };
-            }
-            match shared.dispatcher.predict_stored(&indices) {
-                Ok((scores, cached)) => Response::Scores {
-                    scores,
-                    cached_rows: cached as u32,
-                },
-                Err(why) => Response::Error(why),
-            }
-        }
-        Request::PredictFeatures(slices) => {
-            if slices.len() != shared.info.party_widths.len() {
-                shared.metrics.record_error();
-                return Response::Error(format!(
-                    "expected {} party feature blocks, got {}",
-                    shared.info.party_widths.len(),
-                    slices.len()
-                ));
-            }
-            let rows = slices.first().map(|s| s.rows()).unwrap_or_default();
-            for (p, (block, &width)) in slices.iter().zip(&shared.info.party_widths).enumerate() {
-                if block.cols() != width {
-                    shared.metrics.record_error();
-                    return Response::Error(format!(
-                        "party {p} block is {} wide, expected {width}",
-                        block.cols()
-                    ));
-                }
-                if block.rows() != rows {
-                    shared.metrics.record_error();
-                    return Response::Error("party blocks must be row-aligned".to_string());
-                }
-            }
-            if rows == 0 {
-                return Response::Scores {
-                    scores: Matrix::zeros(0, shared.info.n_classes),
-                    cached_rows: 0,
-                };
-            }
-            match shared.dispatcher.predict_adhoc(slices, rows) {
-                Ok(scores) => Response::Scores {
-                    scores,
-                    cached_rows: 0,
-                },
-                Err(why) => Response::Error(why),
-            }
-        }
-    }
-}
-
-/// Reads one frame, tolerating read-timeout ticks (progress is kept
-/// across them) and returning `Ok(None)` on clean close *or* shutdown.
-fn read_frame_interruptible(
-    stream: &mut TcpStream,
-    stop: &AtomicBool,
-) -> Result<Option<Vec<u8>>, WireError> {
-    let mut len_buf = [0u8; 4];
-    match read_all(stream, &mut len_buf, stop, true)? {
-        ReadOutcome::Eof | ReadOutcome::Stopped => return Ok(None),
-        ReadOutcome::Done => {}
-    }
-    let len = u32::from_le_bytes(len_buf) as usize;
-    if len > crate::wire::MAX_FRAME_LEN {
-        return Err(WireError::TooLarge(len));
-    }
-    let mut payload = vec![0u8; len];
-    match read_all(stream, &mut payload, stop, false)? {
-        ReadOutcome::Eof => Err(WireError::Truncated),
-        ReadOutcome::Stopped => Ok(None),
-        ReadOutcome::Done => Ok(Some(payload)),
-    }
-}
-
-enum ReadOutcome {
-    Done,
-    Eof,
-    Stopped,
-}
-
-fn read_all(
-    stream: &mut TcpStream,
-    buf: &mut [u8],
-    stop: &AtomicBool,
-    eof_ok_at_start: bool,
-) -> Result<ReadOutcome, WireError> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        if stop.load(Ordering::SeqCst) {
-            return Ok(ReadOutcome::Stopped);
-        }
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 && eof_ok_at_start {
-                    Ok(ReadOutcome::Eof)
-                } else {
-                    Err(WireError::Truncated)
-                }
-            }
-            Ok(n) => filled += n,
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    std::io::ErrorKind::WouldBlock
-                        | std::io::ErrorKind::TimedOut
-                        | std::io::ErrorKind::Interrupted
-                ) =>
-            {
-                continue;
-            }
-            Err(e) => return Err(e.into()),
-        }
-    }
-    Ok(ReadOutcome::Done)
 }

@@ -1,0 +1,760 @@
+//! Thin in-tree readiness-API shim: `epoll` on Linux with a portable
+//! POSIX `poll` fallback, in the same spirit as `crates/rand-compat` —
+//! the workspace has no registry access, so the handful of syscalls the
+//! reactor needs are declared against the libc symbols std already
+//! links instead of pulling in `libc`/`mio`.
+//!
+//! The backend is chosen once per [`Poller`]: `epoll` where available,
+//! unless `FIA_FORCE_POLL=1` pins the portable arm (mirroring
+//! `FIA_FORCE_SCALAR=1` for the SIMD kernels). Both backends expose the
+//! same level-triggered readiness contract, so the reactor is written
+//! once and CI exercises both arms.
+
+#![allow(unsafe_code)]
+
+#[cfg(not(unix))]
+compile_error!("fia-serve's reactor needs a POSIX readiness API (epoll/poll)");
+
+use std::io;
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a registered fd should be watched for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Interest {
+    /// Wake when the fd is readable.
+    pub read: bool,
+    /// Wake when the fd is writable.
+    pub write: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    pub const NONE: Interest = Interest {
+        read: false,
+        write: false,
+    };
+}
+
+/// One readiness event. `closed` reports a *full* hangup or socket
+/// error (`HUP`/`ERR`, which both backends deliver regardless of
+/// registered interest) — the peer is gone and nothing is deliverable.
+/// A graceful half-close (peer `FIN`, epoll's `RDHUP`) is *not* closed:
+/// it surfaces as `readable`, the reader observes `read() == 0`, and
+/// responses already in flight can still be written back.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    pub closed: bool,
+}
+
+/// Which readiness backend a [`Poller`] is driving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Backend {
+    /// Linux `epoll`: O(ready) waits, the default where available.
+    Epoll,
+    /// POSIX `poll`: O(registered) waits, portable fallback
+    /// (`FIA_FORCE_POLL=1` pins it).
+    Poll,
+}
+
+/// `FIA_FORCE_POLL=1` pins the portable `poll` backend at runtime.
+pub(crate) fn force_poll() -> bool {
+    std::env::var_os("FIA_FORCE_POLL").is_some_and(|v| v == "1")
+}
+
+// ---------------------------------------------------------------------
+// epoll backend (Linux).
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use std::os::raw::c_int;
+
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    pub const EPOLLIN: u32 = 0x001;
+    pub const EPOLLOUT: u32 = 0x004;
+    pub const EPOLLERR: u32 = 0x008;
+    pub const EPOLLHUP: u32 = 0x010;
+    pub const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Mirrors the kernel ABI: packed on x86 so the 12-byte layout
+    /// matches what `epoll_wait` writes.
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn close(fd: c_int) -> c_int;
+    }
+}
+
+#[cfg(target_os = "linux")]
+struct EpollPoller {
+    epfd: std::os::raw::c_int,
+    buf: Vec<epoll::epoll_event>,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollPoller {
+    fn new() -> io::Result<Self> {
+        // SAFETY: plain syscall; the returned fd is owned by this struct
+        // and closed in Drop.
+        let epfd = unsafe { epoll::epoll_create1(epoll::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EpollPoller {
+            epfd,
+            buf: vec![epoll::epoll_event { events: 0, data: 0 }; 256],
+        })
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = 0;
+        if interest.read {
+            // RDHUP rides with read interest only: a half-closed peer
+            // must stop generating level-triggered wakeups once the
+            // reactor has marked the connection read-done.
+            m |= epoll::EPOLLIN | epoll::EPOLLRDHUP;
+        }
+        if interest.write {
+            m |= epoll::EPOLLOUT;
+        }
+        m
+    }
+
+    fn ctl(
+        &self,
+        op: std::os::raw::c_int,
+        fd: RawFd,
+        ev: Option<epoll::epoll_event>,
+    ) -> io::Result<()> {
+        let mut ev = ev;
+        let ptr = ev
+            .as_mut()
+            .map_or(std::ptr::null_mut(), |e| e as *mut epoll::epoll_event);
+        // SAFETY: epfd is a live epoll fd; `ptr` is either null (DEL) or
+        // points at a stack-local event the kernel only reads.
+        if unsafe { epoll::epoll_ctl(self.epfd, op, fd, ptr) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn register(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let ev = epoll::epoll_event {
+            events: Self::mask(interest),
+            data: token,
+        };
+        self.ctl(epoll::EPOLL_CTL_ADD, fd, Some(ev))
+    }
+
+    fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let ev = epoll::epoll_event {
+            events: Self::mask(interest),
+            data: token,
+        };
+        self.ctl(epoll::EPOLL_CTL_MOD, fd, Some(ev))
+    }
+
+    fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(epoll::EPOLL_CTL_DEL, fd, None)
+    }
+
+    fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms = timeout_millis(timeout);
+        // SAFETY: `buf` outlives the call and `maxevents` matches its
+        // length, so the kernel writes in bounds.
+        let n = unsafe {
+            epoll::epoll_wait(
+                self.epfd,
+                self.buf.as_mut_ptr(),
+                self.buf.len() as std::os::raw::c_int,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(()); // spurious wake; the caller's loop retries
+            }
+            return Err(e);
+        }
+        for raw in &self.buf[..n as usize] {
+            // Copy out of the (possibly packed) struct before use.
+            let events = raw.events;
+            let token = raw.data;
+            let closed = events & (epoll::EPOLLHUP | epoll::EPOLLERR) != 0;
+            out.push(Event {
+                token,
+                readable: events & (epoll::EPOLLIN | epoll::EPOLLRDHUP) != 0 || closed,
+                writable: events & epoll::EPOLLOUT != 0,
+                closed,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollPoller {
+    fn drop(&mut self) {
+        // SAFETY: epfd was returned by epoll_create1 and never closed
+        // elsewhere.
+        unsafe { epoll::close(self.epfd) };
+    }
+}
+
+// ---------------------------------------------------------------------
+// poll backend (portable fallback).
+
+mod posix {
+    use std::os::raw::{c_int, c_short, c_ulong};
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct pollfd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    extern "C" {
+        // `nfds_t` is `unsigned long` on Linux; platforms where it is
+        // narrower still read the correct low bits for any registration
+        // count this crate produces.
+        pub fn poll(fds: *mut pollfd, nfds: c_ulong, timeout: c_int) -> c_int;
+    }
+}
+
+struct PollEntry {
+    fd: RawFd,
+    token: u64,
+    interest: Interest,
+}
+
+struct PollPoller {
+    entries: Vec<PollEntry>,
+    buf: Vec<posix::pollfd>,
+}
+
+impl PollPoller {
+    fn new() -> Self {
+        PollPoller {
+            entries: Vec::new(),
+            buf: Vec::new(),
+        }
+    }
+
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        if self.entries.iter().any(|e| e.fd == fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            ));
+        }
+        self.entries.push(PollEntry {
+            fd,
+            token,
+            interest,
+        });
+        Ok(())
+    }
+
+    fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        let entry = self
+            .entries
+            .iter_mut()
+            .find(|e| e.fd == fd)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+        entry.token = token;
+        entry.interest = interest;
+        Ok(())
+    }
+
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.fd != fd);
+        if self.entries.len() == before {
+            return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+        }
+        Ok(())
+    }
+
+    fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        self.buf.clear();
+        // An fd registered with empty interest still reports
+        // POLLERR/POLLHUP, matching epoll's unconditional error events.
+        for e in &self.entries {
+            let mut events = 0;
+            if e.interest.read {
+                events |= posix::POLLIN;
+            }
+            if e.interest.write {
+                events |= posix::POLLOUT;
+            }
+            self.buf.push(posix::pollfd {
+                fd: e.fd,
+                events,
+                revents: 0,
+            });
+        }
+        let timeout_ms = timeout_millis(timeout);
+        // SAFETY: `buf` is a live slice of pollfd rebuilt above; nfds
+        // matches its length.
+        let n = unsafe {
+            posix::poll(
+                self.buf.as_mut_ptr(),
+                self.buf.len() as std::os::raw::c_ulong,
+                timeout_ms,
+            )
+        };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(e);
+        }
+        for (entry, pfd) in self.entries.iter().zip(&self.buf) {
+            let r = pfd.revents;
+            if r == 0 {
+                continue;
+            }
+            let closed = r & (posix::POLLHUP | posix::POLLERR) != 0;
+            out.push(Event {
+                token: entry.token,
+                readable: r & posix::POLLIN != 0 || closed,
+                writable: r & posix::POLLOUT != 0,
+                closed,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Rounds a wait budget up to whole milliseconds (`-1` = block forever),
+/// so a sub-millisecond deadline still sleeps instead of spinning.
+fn timeout_millis(timeout: Option<Duration>) -> std::os::raw::c_int {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            let ms = if ms == 0 && !d.is_zero() { 1 } else { ms };
+            ms.min(i32::MAX as u128) as std::os::raw::c_int
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The public face.
+
+enum BackendImpl {
+    #[cfg(target_os = "linux")]
+    Epoll(EpollPoller),
+    Poll(PollPoller),
+}
+
+/// Level-triggered readiness over a set of registered fds — the one
+/// abstraction the reactor event loop is written against.
+pub(crate) struct Poller {
+    backend: BackendImpl,
+}
+
+impl Poller {
+    /// A poller on the platform default backend (`epoll` on Linux unless
+    /// `FIA_FORCE_POLL=1`; `poll` elsewhere).
+    pub fn new() -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        if !force_poll() {
+            return Poller::with_backend(Backend::Epoll);
+        }
+        Poller::with_backend(Backend::Poll)
+    }
+
+    /// A poller pinned to `backend` (tests exercise both arms directly).
+    pub fn with_backend(backend: Backend) -> io::Result<Poller> {
+        let backend = match backend {
+            #[cfg(target_os = "linux")]
+            Backend::Epoll => BackendImpl::Epoll(EpollPoller::new()?),
+            #[cfg(not(target_os = "linux"))]
+            Backend::Epoll => {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "epoll is Linux-only; use Backend::Poll",
+                ))
+            }
+            Backend::Poll => BackendImpl::Poll(PollPoller::new()),
+        };
+        Ok(Poller { backend })
+    }
+
+    /// Which backend this poller drives (test/diagnostic visibility).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn backend(&self) -> Backend {
+        match &self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll(_) => Backend::Epoll,
+            BackendImpl::Poll(_) => Backend::Poll,
+        }
+    }
+
+    /// Starts watching `fd` for `interest`, tagging its events `token`.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll(p) => p.register(fd, token, interest),
+            BackendImpl::Poll(p) => p.register(fd, token, interest),
+        }
+    }
+
+    /// Updates an existing registration's interest (and token).
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll(p) => p.modify(fd, token, interest),
+            BackendImpl::Poll(p) => p.modify(fd, token, interest),
+        }
+    }
+
+    /// Stops watching `fd`.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll(p) => p.deregister(fd),
+            BackendImpl::Poll(p) => p.deregister(fd),
+        }
+    }
+
+    /// Appends ready events to `out` (which the caller drains), blocking
+    /// up to `timeout` (`None` = forever). A signal-interrupted wait
+    /// returns cleanly with no events.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        match &mut self.backend {
+            #[cfg(target_os = "linux")]
+            BackendImpl::Epoll(p) => p.wait(out, timeout),
+            BackendImpl::Poll(p) => p.wait(out, timeout),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cross-thread wakeups.
+
+/// Wakes a [`Poller`] blocked in [`Poller::wait`] from another thread by
+/// writing one byte into a nonblocking socketpair whose read end the
+/// poller watches. Cheap to clone (one `Arc` bump) — every in-flight
+/// job's reply guard carries one.
+#[derive(Clone)]
+pub(crate) struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    /// Nudges the poller. A full pipe means a wake is already pending,
+    /// which is all a level-triggered loop needs — the error is ignored
+    /// by design.
+    pub fn wake(&self) {
+        use std::io::Write;
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+}
+
+/// A connected waker and the read end the reactor registers. Both ends
+/// are nonblocking: `wake` never stalls a batcher, and draining never
+/// stalls the reactor.
+pub(crate) fn wake_pair() -> io::Result<(Waker, UnixStream)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx: Arc::new(tx) }, rx))
+}
+
+/// Reads and discards everything pending on a wake pipe's read end
+/// (`Read` is implemented for `&UnixStream`, so this borrows the pipe).
+pub(crate) fn drain_wake_pipe(rx: &UnixStream) {
+    use std::io::Read;
+    let mut buf = [0u8; 64];
+    loop {
+        match (&mut &*rx).read(&mut buf) {
+            Ok(0) => break,
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// The raw fd of any `AsRawFd` (a shorthand the reactor uses a lot).
+pub(crate) fn fd_of(s: &impl AsRawFd) -> RawFd {
+    s.as_raw_fd()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn backends() -> Vec<Backend> {
+        #[cfg(target_os = "linux")]
+        {
+            vec![Backend::Epoll, Backend::Poll]
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            vec![Backend::Poll]
+        }
+    }
+
+    /// Readiness round trip on both backends: a listener becomes
+    /// readable when a client connects, the accepted socket becomes
+    /// readable when bytes arrive, and interest changes are honored.
+    #[test]
+    fn readable_and_writable_events_on_both_backends() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).expect("poller");
+            assert_eq!(poller.backend(), backend);
+
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            listener.set_nonblocking(true).expect("nonblocking");
+            poller
+                .register(fd_of(&listener), 1, Interest::READ)
+                .expect("register listener");
+
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("wait");
+            assert!(events.is_empty(), "{backend:?}: no client yet");
+
+            let mut client = TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+            poller
+                .wait(&mut events, Some(Duration::from_millis(500)))
+                .expect("wait");
+            assert!(
+                events.iter().any(|e| e.token == 1 && e.readable),
+                "{backend:?}: listener should signal readable on connect"
+            );
+
+            let (accepted, _) = listener.accept().expect("accept");
+            accepted.set_nonblocking(true).expect("nonblocking");
+            poller
+                .register(
+                    fd_of(&accepted),
+                    2,
+                    Interest {
+                        read: true,
+                        write: true,
+                    },
+                )
+                .expect("register conn");
+
+            client.write_all(b"hello").expect("write");
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(500)))
+                .expect("wait");
+            let ev = events.iter().find(|e| e.token == 2).expect("conn event");
+            assert!(ev.readable, "{backend:?}: bytes pending");
+            assert!(ev.writable, "{backend:?}: fresh socket is writable");
+
+            // Dropping read interest leaves only writability.
+            poller
+                .modify(
+                    fd_of(&accepted),
+                    2,
+                    Interest {
+                        read: false,
+                        write: true,
+                    },
+                )
+                .expect("modify");
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .expect("wait");
+            let ev = events.iter().find(|e| e.token == 2).expect("conn event");
+            assert!(
+                !ev.readable && ev.writable,
+                "{backend:?}: write-only interest"
+            );
+
+            let mut buf = [0u8; 8];
+            let mut accepted_ref = &accepted;
+            assert_eq!(accepted_ref.read(&mut buf).expect("read"), 5);
+
+            poller.deregister(fd_of(&accepted)).expect("deregister");
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("wait");
+            assert!(
+                events.iter().all(|e| e.token != 2),
+                "{backend:?}: deregistered fd must not report"
+            );
+        }
+    }
+
+    /// A *dead* peer (connection reset) surfaces as a closed event even
+    /// when the registration has no interest bits set — HUP/ERR are
+    /// unconditional on both backends, which is what lets the reactor
+    /// reap a vanished client it had stopped reading from.
+    #[test]
+    fn dead_peer_is_reported_without_interest() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).expect("poller");
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let client = TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+            let (accepted, _) = listener.accept().expect("accept");
+            accepted.set_nonblocking(true).expect("nonblocking");
+            poller
+                .register(fd_of(&accepted), 7, Interest::NONE)
+                .expect("register");
+            drop(client);
+            // Writing into the closed peer provokes an RST; after that
+            // the socket is in the error state HUP/ERR report.
+            let mut events = Vec::new();
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            let mut saw_close = false;
+            while std::time::Instant::now() < deadline {
+                let mut w = &accepted;
+                let _ = w.write(b"x");
+                events.clear();
+                poller
+                    .wait(&mut events, Some(Duration::from_millis(50)))
+                    .expect("wait");
+                if events.iter().any(|e| e.token == 7 && e.closed) {
+                    saw_close = true;
+                    break;
+                }
+            }
+            assert!(saw_close, "{backend:?}: dead peer never surfaced");
+        }
+    }
+
+    /// A graceful half-close (peer FIN) is readable — the reader sees
+    /// EOF — but NOT closed: responses still in flight remain writable.
+    #[test]
+    fn half_close_is_readable_but_not_closed() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).expect("poller");
+            let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+            let client = TcpStream::connect(listener.local_addr().unwrap()).expect("connect");
+            let (accepted, _) = listener.accept().expect("accept");
+            accepted.set_nonblocking(true).expect("nonblocking");
+            poller
+                .register(fd_of(&accepted), 5, Interest::READ)
+                .expect("register");
+            client
+                .shutdown(std::net::Shutdown::Write)
+                .expect("half-close");
+            let mut events = Vec::new();
+            let deadline = std::time::Instant::now() + Duration::from_secs(2);
+            let mut saw_eof = false;
+            while std::time::Instant::now() < deadline {
+                events.clear();
+                poller
+                    .wait(&mut events, Some(Duration::from_millis(50)))
+                    .expect("wait");
+                if let Some(ev) = events.iter().find(|e| e.token == 5) {
+                    assert!(ev.readable, "{backend:?}: FIN must surface as readable");
+                    assert!(!ev.closed, "{backend:?}: FIN is not a full hangup");
+                    let mut r = &accepted;
+                    let mut buf = [0u8; 8];
+                    assert_eq!(r.read(&mut buf).expect("read"), 0, "EOF");
+                    saw_eof = true;
+                    break;
+                }
+            }
+            assert!(saw_eof, "{backend:?}: half-close never surfaced");
+            // The client can still receive: the server's write succeeds.
+            let mut w = &accepted;
+            w.write_all(b"reply").expect("write after peer FIN");
+            let mut c = &client;
+            let mut buf = [0u8; 5];
+            c.read_exact(&mut buf).expect("client still reading");
+            assert_eq!(&buf, b"reply");
+        }
+    }
+
+    /// The waker wakes a blocked poller from another thread, and
+    /// draining the pipe clears the readiness.
+    #[test]
+    fn waker_rouses_a_blocked_wait() {
+        for backend in backends() {
+            let mut poller = Poller::with_backend(backend).expect("poller");
+            let (waker, rx) = wake_pair().expect("wake pair");
+            poller
+                .register(fd_of(&rx), 99, Interest::READ)
+                .expect("register");
+
+            let handle = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(30));
+                waker.wake();
+                waker
+            });
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .expect("wait");
+            assert!(
+                events.iter().any(|e| e.token == 99 && e.readable),
+                "{backend:?}: wake never arrived"
+            );
+            let waker = handle.join().expect("waker thread");
+
+            drain_wake_pipe(&rx);
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(10)))
+                .expect("wait");
+            assert!(
+                events.iter().all(|e| e.token != 99),
+                "{backend:?}: drained pipe must go quiet"
+            );
+
+            // A second wake still works (the pipe is reusable).
+            waker.wake();
+            events.clear();
+            poller
+                .wait(&mut events, Some(Duration::from_millis(500)))
+                .expect("wait");
+            assert!(events.iter().any(|e| e.token == 99));
+        }
+    }
+
+    #[test]
+    fn sub_millisecond_timeouts_round_up_not_to_zero() {
+        assert_eq!(timeout_millis(None), -1);
+        assert_eq!(timeout_millis(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_millis(Some(Duration::from_micros(200))), 1);
+        assert_eq!(timeout_millis(Some(Duration::from_millis(20))), 20);
+    }
+}

@@ -539,6 +539,9 @@ mod tests {
                     errors: rng.gen_range(0..100u64),
                     cache_hits: rng.gen_range(0..1_000_000u64),
                     cache_misses: rng.gen_range(0..1_000_000u64),
+                    open_connections: rng.gen_range(0..10_000u64),
+                    total_connections: rng.gen_range(0..1_000_000u64),
+                    accept_errors: rng.gen_range(0..1_000u64),
                     mean_batch_fill: rng.gen::<f64>() * 64.0,
                     p50_latency_us: rng.gen::<f64>() * 1e4,
                     p99_latency_us: rng.gen::<f64>() * 1e5,
