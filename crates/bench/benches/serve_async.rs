@@ -19,6 +19,10 @@
 //! on time across 4096 sockets where the old path was late 99% of the
 //! time across 16.
 //!
+//! The file also carries `audit_overhead_frac`: closed-loop throughput
+//! with the per-client audit ledger on vs off, held to the same ≤3%
+//! bar as the telemetry kill-switch.
+//!
 //! Wall-clock bars are report-only under `FIA_BENCH_NO_ASSERT=1` (CI);
 //! the JSON is written before any assertion, so a failed bar never
 //! discards the measurements.
@@ -68,10 +72,16 @@ fn config(replicas: usize) -> ServeConfig {
 /// Measures the pool's closed-loop capacity (8 clients, 1-row
 /// requests), the machine-relative anchor for the offered rates below.
 fn closed_loop_capacity(system: &Arc<VflSystem<LogisticRegression>>) -> f64 {
+    closed_loop_rps(system, true)
+}
+
+/// One closed-loop capacity measurement with the per-client audit
+/// ledger on or off — the two arms of `audit_overhead_frac`.
+fn closed_loop_rps(system: &Arc<VflSystem<LogisticRegression>>, audit: bool) -> f64 {
     let server = PredictionServer::spawn(
         Arc::clone(system),
         Arc::new(fia_defense::DefensePipeline::new()),
-        config(4),
+        ServeConfig { audit, ..config(4) },
     )
     .expect("bind ephemeral port");
     let _ = fia_serve::run_load(
@@ -167,9 +177,29 @@ fn main() {
     // (0.988 there, thread-per-sender generator at 16 connections).
     h.metric("openloop_late_frac_2x", late_frac_2x_max_conns);
     h.metric("accept_errors_total", accept_errors_total as f64);
+
+    // ------------------------------------------------------------------
+    // Audit-ledger overhead: the same closed-loop scenario with the
+    // per-client ledger on vs off. Per answered request the ledger is a
+    // BTreeMap probe plus a few integer bumps and one hash-set insert
+    // per row, all on the reactor thread — the bar is the same ≤3% the
+    // telemetry kill-switch is held to. The interleaved off/on/off/on
+    // order splits machine drift across both arms.
+    let mut rps_off = 0.0;
+    let mut rps_on = 0.0;
+    for _ in 0..3 {
+        rps_off += closed_loop_rps(&system, false);
+        rps_on += closed_loop_rps(&system, true);
+    }
+    let audit_overhead_frac = 1.0 - rps_on / rps_off.max(1e-9);
+    h.metric("audit_overhead_frac", audit_overhead_frac);
     h.write_json("BENCH_serve_async.json");
 
     if std::env::var_os("FIA_BENCH_NO_ASSERT").is_none() {
+        assert!(
+            audit_overhead_frac <= 0.03,
+            "audit-ledger overhead {audit_overhead_frac:.4} exceeds the 3% acceptance bar"
+        );
         assert!(
             late_frac_2x_max_conns < 0.05,
             "late fraction {late_frac_2x_max_conns:.4} at 2x offered load on the largest \

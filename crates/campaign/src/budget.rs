@@ -11,7 +11,7 @@
 //! accumulation chunk to land exactly on the limit), but the adapter is
 //! the hard stop.
 
-use fia_core::{OracleError, PredictionOracle, QueryCost};
+use fia_core::{OracleError, PredictionOracle, QueryCost, TraceContext};
 use fia_linalg::Matrix;
 
 /// A hard limit on what an adversary session may spend against the
@@ -193,6 +193,12 @@ impl PredictionOracle for BudgetedOracle<'_> {
 
     fn query_cost(&self) -> QueryCost {
         self.spent
+    }
+
+    fn set_trace_context(&mut self, ctx: Option<TraceContext>) {
+        // Budgeting is cost-transparent to tracing: forward, so a
+        // budgeted remote oracle still stamps its wire queries.
+        self.inner.set_trace_context(ctx);
     }
 }
 

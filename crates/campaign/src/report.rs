@@ -9,6 +9,7 @@
 
 use fia_core::QueryCost;
 use fia_linalg::Matrix;
+use fia_serve::AuditSummary;
 use fia_telemetry::TelemetrySnapshot;
 use std::fmt::Write as _;
 
@@ -89,12 +90,42 @@ pub struct CampaignReport {
     /// (kernel calls, attack phases, campaign chunk counters), as a
     /// snapshot delta over the run.
     pub telemetry: TelemetrySnapshot,
+    /// The session's distributed-trace id, stamped on every traced
+    /// prediction query (deterministic: derived from fingerprint and
+    /// seed, so reruns of one scenario share it).
+    pub trace_id: u64,
+    /// Client-side spans (`campaign.run` / `campaign.chunk` /
+    /// `campaign.attack`) as JSONL.
+    pub client_trace_jsonl: String,
+    /// Server-side spans (`serve.request` → `serve.round` trees) as
+    /// JSONL; `None` for in-process sessions.
+    pub server_trace_jsonl: Option<String>,
+    /// The audit-ledger session tag this campaign declared to the
+    /// server; `None` for in-process sessions.
+    pub session_tag: Option<String>,
+    /// The server's per-client audit ledger at run end; `None` for
+    /// in-process sessions.
+    pub server_audit: Option<AuditSummary>,
 }
 
 impl CampaignReport {
     /// The report for one attack by name, if present.
     pub fn attack(&self, name: &str) -> Option<&AttackReport> {
         self.attacks.iter().find(|a| a.attack == name)
+    }
+
+    /// One merged distributed trace: the client-side spans followed by
+    /// the server-side spans. The two id spaces are disjoint (server
+    /// span ids start at `1 << 32`), and every server `serve.request`
+    /// span's parent is the client-side `campaign.chunk` span that
+    /// caused it — so the concatenated JSONL resolves into a single
+    /// cross-process tree per `campaign.run`. For in-process sessions
+    /// this is just the client trace.
+    pub fn merged_trace_jsonl(&self) -> String {
+        match &self.server_trace_jsonl {
+            Some(server) => format!("{}{}", self.client_trace_jsonl, server),
+            None => self.client_trace_jsonl.clone(),
+        }
     }
 
     /// Serializes the report (metrics only — estimates stay in memory)
@@ -105,6 +136,10 @@ impl CampaignReport {
         let _ = writeln!(out, "  \"scenario\": \"{}\",", escape(&self.scenario));
         let _ = writeln!(out, "  \"seed\": {},", self.seed);
         let _ = writeln!(out, "  \"oracle\": \"{}\",", escape(&self.oracle));
+        let _ = writeln!(out, "  \"trace_id\": {},", self.trace_id);
+        if let Some(tag) = &self.session_tag {
+            let _ = writeln!(out, "  \"session_tag\": \"{}\",", escape(tag));
+        }
         let _ = writeln!(out, "  \"outcome\": \"{}\",", self.outcome.name());
         let _ = writeln!(out, "  \"rows_done\": {},", self.rows_done);
         let _ = writeln!(out, "  \"rows_planned\": {},", self.rows_planned);
@@ -193,6 +228,11 @@ mod tests {
                 estimates: Matrix::zeros(5, 2),
             }],
             telemetry: TelemetrySnapshot::default(),
+            trace_id: 0xFEED,
+            client_trace_jsonl: "{\"id\":1,\"name\":\"campaign.run\"}\n".to_string(),
+            server_trace_jsonl: None,
+            session_tag: None,
+            server_audit: None,
         }
     }
 
@@ -206,8 +246,21 @@ mod tests {
         assert!(json.contains("\\\"lr\\\""), "quotes escaped: {json}");
         assert!(json.contains("\"attack\": \"esa\""));
         assert!(json.contains("\"telemetry\": {\"instruments\":[]}"));
-        // Estimates are not serialized.
+        assert!(json.contains("\"trace_id\": 65261"));
+        // Estimates and traces are not serialized into the report JSON.
         assert!(!json.contains("estimates"));
+        assert!(!json.contains("campaign.run"));
+    }
+
+    #[test]
+    fn merged_trace_concatenates_client_then_server() {
+        let mut r = toy_report();
+        assert_eq!(r.merged_trace_jsonl(), r.client_trace_jsonl);
+        r.server_trace_jsonl = Some("{\"id\":4294967296,\"parent\":1}\n".to_string());
+        let merged = r.merged_trace_jsonl();
+        assert!(merged.starts_with(&r.client_trace_jsonl));
+        assert!(merged.ends_with("\"parent\":1}\n"));
+        assert_eq!(merged.lines().count(), 2);
     }
 
     #[test]

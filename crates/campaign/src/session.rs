@@ -30,11 +30,13 @@ use crate::event::{CampaignEvent, CampaignObserver};
 use crate::model::TrainedModel;
 use crate::report::{AttackReport, CampaignOutcome, CampaignReport};
 use crate::spec::{OracleSpec, ResolvedScenario};
-use fia_core::{metrics, AttackEngine, PredictionOracle, QueryBatch, QueryCost};
+use fia_core::{metrics, AttackEngine, PredictionOracle, QueryBatch, QueryCost, TraceContext};
 use fia_defense::{DefensePipeline, ScoreDefense};
 use fia_linalg::Matrix;
 use fia_models::PredictProba;
-use fia_serve::{MetricsReport, PredictionServer, RemoteOracle, ServeConfig, ServerHandle};
+use fia_serve::{
+    AuditSummary, MetricsReport, PredictionServer, RemoteOracle, ServeConfig, ServerHandle,
+};
 use fia_telemetry::{global, Tracer};
 use fia_vfl::VflSystem;
 use std::sync::Arc;
@@ -121,6 +123,23 @@ pub struct Campaign {
     chunks_issued: usize,
     oracle: Option<OracleHandle>,
     tracer: Tracer,
+    /// Deterministic distributed-trace id stamped on every traced wire
+    /// query (derived from fingerprint and seed).
+    trace_id: u64,
+    /// Audit-ledger session tag declared to a served oracle.
+    session_tag: Option<String>,
+}
+
+/// Deterministic trace id: FNV-1a over the scenario fingerprint, XORed
+/// with the seed — stable across reruns of one scenario, distinct
+/// across scenarios and seeds.
+fn derive_trace_id(fingerprint: &str, seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in fingerprint.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h ^ seed
 }
 
 impl Campaign {
@@ -128,6 +147,7 @@ impl Campaign {
     /// unlimited budget, and 64-row accumulation chunks.
     pub fn new(scenario: ResolvedScenario) -> Self {
         let c = scenario.data.n_classes;
+        let trace_id = derive_trace_id(&scenario.fingerprint, scenario.seed);
         Campaign {
             scenario,
             attacks: Vec::new(),
@@ -140,6 +160,8 @@ impl Campaign {
             chunks_issued: 0,
             oracle: None,
             tracer: Tracer::new(),
+            trace_id,
+            session_tag: None,
         }
     }
 
@@ -211,6 +233,36 @@ impl Campaign {
     pub fn server_metrics_text(&mut self) -> Option<String> {
         match self.oracle.as_mut()? {
             OracleHandle::Served { client, .. } => client.metrics_text().ok(),
+            OracleHandle::InProcess(_) => None,
+        }
+    }
+
+    /// The session's distributed-trace id (see
+    /// [`CampaignReport::trace_id`]).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The audit-ledger session tag declared to a served oracle
+    /// (`None` for in-process sessions or before the first run).
+    pub fn session_tag(&self) -> Option<&str> {
+        self.session_tag.as_deref()
+    }
+
+    /// The served oracle's span stream as JSONL (`None` for in-process
+    /// sessions or before the first run).
+    pub fn server_trace_jsonl(&mut self) -> Option<String> {
+        match self.oracle.as_mut()? {
+            OracleHandle::Served { client, .. } => client.server_trace_jsonl().ok(),
+            OracleHandle::InProcess(_) => None,
+        }
+    }
+
+    /// The served oracle's per-client audit ledger (`None` for
+    /// in-process sessions or before the first run).
+    pub fn server_audit(&mut self) -> Option<AuditSummary> {
+        match self.oracle.as_mut()? {
+            OracleHandle::Served { client, .. } => client.audit_report().ok(),
             OracleHandle::InProcess(_) => None,
         }
     }
@@ -291,6 +343,7 @@ impl Campaign {
         );
         let run_span = self.tracer.root("campaign.run");
         run_span.record_str("fingerprint", &self.scenario.fingerprint);
+        run_span.record_u64("trace_id", self.trace_id);
         let run_started = Instant::now();
 
         observer.on_event(&CampaignEvent::Started {
@@ -320,6 +373,13 @@ impl Campaign {
                 let chunk_span = run_span.child("campaign.chunk");
                 chunk_span.record_u64("chunk", self.chunks_issued as u64);
                 chunk_span.record_u64("rows", take as u64);
+                // Stamp this chunk's wire queries with the chunk span as
+                // remote parent: the server's `serve.request` spans link
+                // here, which is what the merged trace resolves on.
+                adapter.set_trace_context(Some(TraceContext {
+                    trace_id: self.trace_id,
+                    parent_span: chunk_span.id(),
+                }));
                 let before_chunk = self.spent;
                 let chunk_started = Instant::now();
                 let v = adapter.confidences(&indices);
@@ -356,6 +416,7 @@ impl Campaign {
                     elapsed: run_started.elapsed(),
                 });
             }
+            adapter.set_trace_context(None);
         }
         if exhausted {
             observer.on_event(&CampaignEvent::BudgetExhausted {
@@ -422,6 +483,14 @@ impl Campaign {
         run_span.record_u64("rows_done", self.rows_done as u64);
         run_span.record_str("outcome", outcome.name());
         run_span.finish();
+        // Collect the cross-process observability artifacts after the
+        // run span finished, so the client JSONL includes it.
+        let (server_trace_jsonl, server_audit) = match self.oracle.as_mut() {
+            Some(OracleHandle::Served { client, .. }) => {
+                (client.server_trace_jsonl().ok(), client.audit_report().ok())
+            }
+            _ => (None, None),
+        };
         Ok(CampaignReport {
             fingerprint: self.scenario.fingerprint.clone(),
             scenario: self.scenario.description.clone(),
@@ -433,6 +502,11 @@ impl Campaign {
             cost: self.spent,
             attacks: attack_reports,
             telemetry: global().snapshot().delta_since(&telemetry_before),
+            trace_id: self.trace_id,
+            client_trace_jsonl: self.tracer.to_jsonl(),
+            server_trace_jsonl,
+            session_tag: self.session_tag.clone(),
+            server_audit,
         })
     }
 
@@ -458,6 +532,7 @@ impl Campaign {
                     cache_capacity: cfg.cache_capacity,
                     cache_seed: self.scenario.seed ^ 0x5C0_7E5,
                     round_cost: cfg.round_cost,
+                    audit: true,
                 };
                 let server = PredictionServer::spawn(
                     Arc::clone(&self.scenario.system),
@@ -465,8 +540,23 @@ impl Campaign {
                     serve_cfg,
                 )
                 .map_err(CampaignError::Spawn)?;
-                let client = RemoteOracle::connect(server.addr())
+                let mut client = RemoteOracle::connect(server.addr())
                     .map_err(|e| CampaignError::Connect(e.to_string()))?;
+                // Declare an audit-ledger session tag so the server's
+                // per-client ledger attributes this campaign's traffic
+                // by fingerprint rather than by anonymous connection.
+                let tag: String = format!(
+                    "campaign-{}",
+                    self.scenario
+                        .fingerprint
+                        .chars()
+                        .take(16)
+                        .collect::<String>()
+                );
+                client
+                    .declare_session(&tag)
+                    .map_err(|e| CampaignError::Connect(e.to_string()))?;
+                self.session_tag = Some(tag);
                 OracleHandle::Served {
                     _server: server,
                     client,

@@ -47,7 +47,9 @@ pub use audit::{AuditReport, Finding, Severity};
 pub use engine::{row_seed, Attack, AttackEngine, AttackResult, QueryBatch};
 pub use esa::EqualitySolvingAttack;
 pub use grna::{Grna, GrnaConfig, TrainedGenerator};
-pub use oracle::{accumulate_batch, run_over_oracle, OracleError, PredictionOracle, QueryCost};
+pub use oracle::{
+    accumulate_batch, run_over_oracle, OracleError, PredictionOracle, QueryCost, TraceContext,
+};
 pub use pra::{BranchConstraint, InferredPath, PathRestrictionAttack};
 
 /// Re-exported correlation diagnostics (Eqns 16–17) from `fia-data`.

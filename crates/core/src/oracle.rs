@@ -57,6 +57,21 @@ impl QueryCost {
     }
 }
 
+/// A 128-bit distributed-trace context: which trace a query belongs to
+/// and which client-side span caused it. Oracles that cross a process
+/// boundary (`fia-serve`'s `RemoteOracle`) forward it on the wire so the
+/// server can open spans *linked* to the client's — after merging the
+/// two JSONL streams, a campaign chunk resolves into the server-side
+/// rounds it triggered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Campaign/run-unique trace id shared by every span of one trace.
+    pub trace_id: u64,
+    /// Span id (in the client's tracer) that semantically contains the
+    /// work the query causes remotely.
+    pub parent_span: u64,
+}
+
 /// A deployed prediction API as the adversary sees it: submit sample
 /// queries, receive confidence-score vectors — nothing else crosses the
 /// boundary.
@@ -81,6 +96,12 @@ pub trait PredictionOracle {
     fn query_cost(&self) -> QueryCost {
         QueryCost::default()
     }
+
+    /// Sets (or clears) the trace context attached to subsequent
+    /// queries. Oracles that cross a process boundary propagate it;
+    /// the default is a no-op, correct for in-process oracles whose
+    /// spans already live in the caller's tracer.
+    fn set_trace_context(&mut self, _ctx: Option<TraceContext>) {}
 }
 
 /// The in-process deployment *is* an oracle: a query round is a batched
@@ -251,6 +272,19 @@ mod tests {
             cached_rows: 5,
         };
         assert_eq!(odd.computed_rows(), 0);
+    }
+
+    #[test]
+    fn trace_context_default_is_a_no_op() {
+        let (mut sys, _) = deployed_system();
+        let before = sys.predict_batch(&[0, 1]);
+        sys.set_trace_context(Some(TraceContext {
+            trace_id: 42,
+            parent_span: 7,
+        }));
+        assert_eq!(sys.confidences(&[0, 1]).unwrap(), before);
+        sys.set_trace_context(None);
+        assert_eq!(sys.confidences(&[0, 1]).unwrap(), before);
     }
 
     #[test]

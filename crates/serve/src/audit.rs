@@ -1,0 +1,488 @@
+//! Per-client leakage audit ledger.
+//!
+//! The paper's adversary is visible to a deployment only as a *query
+//! stream*; the auditing literature (arxiv 2507.02376) frames measuring
+//! that stream as the defender's job. This module is the serving side of
+//! that job: the reactor feeds every successfully answered prediction
+//! request into an [`AuditLedger`] keyed by client (connection id, or a
+//! client-declared session tag), which maintains
+//!
+//! * a per-client [`fia_core::QueryCost`] that exactly mirrors what the
+//!   client's own meter records — queries, rows, cache-released rows —
+//!   pinned equal by the campaign parity test;
+//! * probe-shape statistics: distinct stored rows touched (coverage of
+//!   the aligned sample space), repeated rows (cache-exploiting
+//!   re-queries), ad-hoc feature-query counts, and a sliding-window
+//!   query rate;
+//! * Prometheus series per client
+//!   (`fia_serve_client_{queries,rows,distinct_rows,repeat_rows,feature_queries}_total{client=}`
+//!   and `fia_serve_client_window_rate_rps{client=}`), so a scrape of
+//!   the existing `MetricsText` op shows per-client spend.
+//!
+//! The authoritative ledger counts are plain integers owned by the
+//! single-threaded reactor — no locks, and deliberately *not* subject to
+//! the telemetry recording kill-switch, so audit parity holds even when
+//! instrument recording is priced out. The registry instruments are a
+//! mirror for the scrape surface.
+
+use fia_core::QueryCost;
+use fia_telemetry::{Counter, Gauge, Registry};
+use std::collections::{BTreeMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Sliding window over which the per-client query rate is measured.
+pub const RATE_WINDOW: Duration = Duration::from_secs(10);
+
+/// Cap on retained per-client query timestamps (bounds ledger memory
+/// against a hot client; the rate saturates rather than growing state).
+const WINDOW_CAP: usize = 8192;
+
+/// A client whose distinct stored-row coverage reaches this fraction of
+/// the aligned sample space is flagged `high-coverage` — systematic
+/// sweeps of the sample space are the accumulation phase of the paper's
+/// attacks.
+pub const COVERAGE_FLAG_FRAC: f64 = 0.5;
+
+/// A client whose repeated-row fraction reaches this value is flagged
+/// `repeat-heavy` — re-querying rows exploits bit-identical cache
+/// re-release (noise cannot be averaged away, but release is free).
+pub const REPEAT_FLAG_FRAC: f64 = 0.5;
+
+/// Minimum ad-hoc feature queries before the `feature-burst` flag can
+/// fire (together with feature queries being the majority of traffic) —
+/// structured ad-hoc probes are how GRNA-style attacks explore inputs.
+pub const FEATURE_BURST_MIN: u64 = 16;
+
+/// One client's ledger entry, as reported over the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientAudit {
+    /// Client label: the declared session tag, or `conn-{id}`.
+    pub client: String,
+    /// Prediction requests answered successfully.
+    pub queries: u64,
+    /// Total confidence rows released.
+    pub rows: u64,
+    /// Rows released from the score cache.
+    pub cached_rows: u64,
+    /// Distinct stored sample indices this client has queried.
+    pub distinct_rows: u64,
+    /// Stored-row requests beyond each row's first query.
+    pub repeat_rows: u64,
+    /// Ad-hoc feature-block prediction requests.
+    pub feature_queries: u64,
+    /// Queries per second over the trailing [`RATE_WINDOW`].
+    pub window_rate_rps: f64,
+    /// Probe-shape flags (`high-coverage`, `repeat-heavy`,
+    /// `feature-burst`), sorted.
+    pub flags: Vec<String>,
+}
+
+impl ClientAudit {
+    /// The serving side's view of this client's [`QueryCost`] — the
+    /// number the client's own meter must agree with.
+    pub fn cost(&self) -> QueryCost {
+        QueryCost {
+            queries: self.queries,
+            rows: self.rows,
+            cached_rows: self.cached_rows,
+        }
+    }
+
+    /// Fraction of the aligned sample space this client has touched.
+    pub fn coverage(&self, n_samples: usize) -> f64 {
+        if n_samples == 0 {
+            0.0
+        } else {
+            self.distinct_rows as f64 / n_samples as f64
+        }
+    }
+
+    /// Fraction of released rows that were repeats of earlier queries.
+    pub fn repeat_ratio(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.repeat_rows as f64 / self.rows as f64
+        }
+    }
+}
+
+/// Point-in-time audit of every client the server has answered —
+/// what the `AuditReport` wire op returns.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AuditSummary {
+    /// Aligned sample count of the deployment (the coverage denominator).
+    pub n_samples: u64,
+    /// Per-client entries, sorted by label for deterministic output.
+    pub clients: Vec<ClientAudit>,
+}
+
+impl AuditSummary {
+    /// Looks up one client's entry by label.
+    pub fn client(&self, label: &str) -> Option<&ClientAudit> {
+        self.clients.iter().find(|c| c.client == label)
+    }
+}
+
+/// Per-client mirror instruments on the server registry.
+struct ClientInstruments {
+    queries: Arc<Counter>,
+    rows: Arc<Counter>,
+    distinct_rows: Arc<Counter>,
+    repeat_rows: Arc<Counter>,
+    feature_queries: Arc<Counter>,
+    window_rate: Arc<Gauge>,
+}
+
+/// One client's live ledger state.
+struct ClientLedger {
+    queries: u64,
+    rows: u64,
+    cached_rows: u64,
+    repeat_rows: u64,
+    feature_queries: u64,
+    /// Distinct stored sample indices queried so far.
+    seen: HashSet<u32>,
+    /// Completion times of recent queries, oldest first.
+    recent: VecDeque<Instant>,
+    instruments: ClientInstruments,
+}
+
+impl ClientLedger {
+    fn new(label: &str, registry: &Registry) -> Self {
+        let labels = &[("client", label)];
+        ClientLedger {
+            queries: 0,
+            rows: 0,
+            cached_rows: 0,
+            repeat_rows: 0,
+            feature_queries: 0,
+            seen: HashSet::new(),
+            recent: VecDeque::new(),
+            instruments: ClientInstruments {
+                queries: registry.counter_with(
+                    "fia_serve_client_queries_total",
+                    "Prediction requests answered, per client.",
+                    labels,
+                ),
+                rows: registry.counter_with(
+                    "fia_serve_client_rows_total",
+                    "Confidence rows released, per client.",
+                    labels,
+                ),
+                distinct_rows: registry.counter_with(
+                    "fia_serve_client_distinct_rows_total",
+                    "Distinct stored sample indices queried, per client.",
+                    labels,
+                ),
+                repeat_rows: registry.counter_with(
+                    "fia_serve_client_repeat_rows_total",
+                    "Stored-row requests beyond each row's first query, per client.",
+                    labels,
+                ),
+                feature_queries: registry.counter_with(
+                    "fia_serve_client_feature_queries_total",
+                    "Ad-hoc feature-block prediction requests, per client.",
+                    labels,
+                ),
+                window_rate: registry.gauge_with(
+                    "fia_serve_client_window_rate_rps",
+                    "Queries per second over the trailing rate window (set at audit time).",
+                    labels,
+                ),
+            },
+        }
+    }
+
+    fn note_query(&mut self, rows: u64, cached_rows: u64, now: Instant) {
+        self.queries += 1;
+        self.rows += rows;
+        self.cached_rows += cached_rows;
+        self.instruments.queries.inc();
+        self.instruments.rows.add(rows);
+        if self.recent.len() == WINDOW_CAP {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(now);
+    }
+
+    fn prune_window(&mut self, now: Instant) {
+        while let Some(&front) = self.recent.front() {
+            if now.duration_since(front) > RATE_WINDOW {
+                self.recent.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn flags(&self, n_samples: u64) -> Vec<String> {
+        let mut flags = Vec::new();
+        if self.feature_queries >= FEATURE_BURST_MIN && 2 * self.feature_queries >= self.queries {
+            flags.push("feature-burst".to_string());
+        }
+        if n_samples > 0 && self.seen.len() as f64 >= COVERAGE_FLAG_FRAC * n_samples as f64 {
+            flags.push("high-coverage".to_string());
+        }
+        if self.rows > 0 && self.repeat_rows as f64 >= REPEAT_FLAG_FRAC * self.rows as f64 {
+            flags.push("repeat-heavy".to_string());
+        }
+        flags
+    }
+}
+
+/// The reactor's per-client audit ledger. Single-threaded by design: the
+/// reactor owns it and records on the same thread that stages responses,
+/// so successful-response accounting is exact without any locking.
+pub struct AuditLedger {
+    registry: Arc<Registry>,
+    /// Keyed by client label; `BTreeMap` so summaries are sorted.
+    clients: BTreeMap<String, ClientLedger>,
+}
+
+impl AuditLedger {
+    /// A fresh ledger whose mirror instruments register on `registry`.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        AuditLedger {
+            registry,
+            clients: BTreeMap::new(),
+        }
+    }
+
+    fn entry(&mut self, label: &str) -> &mut ClientLedger {
+        if !self.clients.contains_key(label) {
+            self.clients
+                .insert(label.to_string(), ClientLedger::new(label, &self.registry));
+        }
+        self.clients.get_mut(label).expect("just inserted")
+    }
+
+    /// Records one successfully answered stored-index request:
+    /// `indices` as queried (duplicates included), `cached_rows` of them
+    /// released from the score cache.
+    pub fn record_stored(&mut self, label: &str, indices: &[u32], cached_rows: u64, now: Instant) {
+        let c = self.entry(label);
+        let mut new_distinct = 0u64;
+        let mut repeats = 0u64;
+        for &i in indices {
+            if c.seen.insert(i) {
+                new_distinct += 1;
+            } else {
+                repeats += 1;
+            }
+        }
+        c.repeat_rows += repeats;
+        c.instruments.distinct_rows.add(new_distinct);
+        c.instruments.repeat_rows.add(repeats);
+        c.note_query(indices.len() as u64, cached_rows, now);
+    }
+
+    /// Records one successfully answered ad-hoc feature request of
+    /// `rows` prediction rows.
+    pub fn record_features(&mut self, label: &str, rows: u64, now: Instant) {
+        let c = self.entry(label);
+        c.feature_queries += 1;
+        c.instruments.feature_queries.inc();
+        c.note_query(rows, 0, now);
+    }
+
+    /// Builds the point-in-time summary (and refreshes the per-client
+    /// rate gauges). `n_samples` is the deployment's aligned sample
+    /// count — the coverage denominator.
+    pub fn summary(&mut self, n_samples: u64, now: Instant) -> AuditSummary {
+        let clients = self
+            .clients
+            .iter_mut()
+            .map(|(label, c)| {
+                c.prune_window(now);
+                let rate = c.recent.len() as f64 / RATE_WINDOW.as_secs_f64();
+                c.instruments.window_rate.set(rate);
+                ClientAudit {
+                    client: label.clone(),
+                    queries: c.queries,
+                    rows: c.rows,
+                    cached_rows: c.cached_rows,
+                    distinct_rows: c.seen.len() as u64,
+                    repeat_rows: c.repeat_rows,
+                    feature_queries: c.feature_queries,
+                    window_rate_rps: rate,
+                    flags: c.flags(n_samples),
+                }
+            })
+            .collect();
+        AuditSummary { n_samples, clients }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger() -> AuditLedger {
+        AuditLedger::new(Arc::new(Registry::new()))
+    }
+
+    #[test]
+    fn cost_parity_counts_queries_rows_and_cached_rows() {
+        let mut l = ledger();
+        let t = Instant::now();
+        l.record_stored("a", &[0, 1, 2], 0, t);
+        l.record_stored("a", &[1, 2, 3], 3, t);
+        l.record_stored("a", &[], 0, t); // empty batch still a query
+        let s = l.summary(10, t);
+        let a = s.client("a").unwrap();
+        assert_eq!(
+            a.cost(),
+            QueryCost {
+                queries: 3,
+                rows: 6,
+                cached_rows: 3,
+            }
+        );
+        assert_eq!(a.distinct_rows, 4);
+        assert_eq!(a.repeat_rows, 2);
+    }
+
+    #[test]
+    fn feature_queries_count_rows_but_not_coverage() {
+        let mut l = ledger();
+        let t = Instant::now();
+        l.record_features("f", 5, t);
+        l.record_features("f", 0, t);
+        let s = l.summary(10, t);
+        let f = s.client("f").unwrap();
+        assert_eq!(f.queries, 2);
+        assert_eq!(f.rows, 5);
+        assert_eq!(f.feature_queries, 2);
+        assert_eq!(f.distinct_rows, 0);
+        assert_eq!(f.coverage(10), 0.0);
+    }
+
+    #[test]
+    fn clients_are_isolated_and_sorted() {
+        let mut l = ledger();
+        let t = Instant::now();
+        l.record_stored("zeta", &[0], 0, t);
+        l.record_stored("alpha", &[1, 2], 0, t);
+        let s = l.summary(4, t);
+        assert_eq!(s.clients.len(), 2);
+        assert_eq!(s.clients[0].client, "alpha");
+        assert_eq!(s.clients[1].client, "zeta");
+        assert_eq!(s.client("alpha").unwrap().rows, 2);
+        assert_eq!(s.client("zeta").unwrap().rows, 1);
+        assert!(s.client("missing").is_none());
+    }
+
+    #[test]
+    fn high_coverage_flag_fires_at_half_the_sample_space() {
+        let mut l = ledger();
+        let t = Instant::now();
+        l.record_stored("probe", &[0, 1, 2, 3, 4], 0, t);
+        let s = l.summary(10, t);
+        let p = s.client("probe").unwrap();
+        assert!((p.coverage(10) - 0.5).abs() < 1e-12);
+        assert!(p.flags.contains(&"high-coverage".to_string()));
+        // A narrow client is not flagged.
+        let mut l2 = ledger();
+        l2.record_stored("casual", &[0], 0, t);
+        assert!(l2.summary(10, t).client("casual").unwrap().flags.is_empty());
+    }
+
+    #[test]
+    fn repeat_heavy_flag_fires_on_cache_exploiting_requeries() {
+        let mut l = ledger();
+        let t = Instant::now();
+        l.record_stored("r", &[0, 1], 0, t);
+        l.record_stored("r", &[0, 1], 2, t);
+        l.record_stored("r", &[0, 1], 2, t);
+        let s = l.summary(100, t);
+        let r = s.client("r").unwrap();
+        assert!((r.repeat_ratio() - 4.0 / 6.0).abs() < 1e-12);
+        assert!(r.flags.contains(&"repeat-heavy".to_string()));
+        assert!(!r.flags.contains(&"high-coverage".to_string()));
+    }
+
+    #[test]
+    fn feature_burst_flag_needs_volume_and_majority() {
+        let mut l = ledger();
+        let t = Instant::now();
+        for _ in 0..FEATURE_BURST_MIN {
+            l.record_features("g", 2, t);
+        }
+        let s = l.summary(10, t);
+        assert!(s
+            .client("g")
+            .unwrap()
+            .flags
+            .contains(&"feature-burst".to_string()));
+        // Majority stored-index traffic suppresses the flag.
+        let mut l2 = ledger();
+        for _ in 0..FEATURE_BURST_MIN {
+            l2.record_features("h", 2, t);
+        }
+        for _ in 0..(3 * FEATURE_BURST_MIN) {
+            l2.record_stored("h", &[0], 0, t);
+        }
+        assert!(!l2
+            .summary(10, t)
+            .client("h")
+            .unwrap()
+            .flags
+            .contains(&"feature-burst".to_string()));
+    }
+
+    #[test]
+    fn window_rate_counts_only_recent_queries() {
+        let mut l = ledger();
+        let t0 = Instant::now();
+        l.record_stored("w", &[0], 0, t0);
+        l.record_stored("w", &[1], 0, t0);
+        // At t0 both are in-window.
+        let rate_now = l.summary(10, t0).client("w").unwrap().window_rate_rps;
+        assert!((rate_now - 2.0 / RATE_WINDOW.as_secs_f64()).abs() < 1e-9);
+        // Far in the future both have aged out.
+        let later = t0 + RATE_WINDOW + Duration::from_secs(1);
+        let rate_later = l.summary(10, later).client("w").unwrap().window_rate_rps;
+        assert_eq!(rate_later, 0.0);
+        // Counters are cumulative, unaffected by the window.
+        assert_eq!(l.summary(10, later).client("w").unwrap().queries, 2);
+    }
+
+    #[test]
+    fn registry_mirror_exposes_per_client_series() {
+        let registry = Arc::new(Registry::new());
+        let mut l = AuditLedger::new(registry.clone());
+        let t = Instant::now();
+        l.record_stored("tag-1", &[0, 0, 1], 1, t);
+        l.record_features("tag-1", 4, t);
+        l.summary(10, t);
+        let snap = registry.snapshot();
+        let get = |name: &str| match snap.get(name, &[("client", "tag-1")]).unwrap().value {
+            fia_telemetry::InstrumentValue::Counter(v) => v,
+            ref other => panic!("expected counter, got {other:?}"),
+        };
+        assert_eq!(get("fia_serve_client_queries_total"), 2);
+        assert_eq!(get("fia_serve_client_rows_total"), 7);
+        assert_eq!(get("fia_serve_client_distinct_rows_total"), 2);
+        assert_eq!(get("fia_serve_client_repeat_rows_total"), 1);
+        assert_eq!(get("fia_serve_client_feature_queries_total"), 1);
+        assert!(snap
+            .get("fia_serve_client_window_rate_rps", &[("client", "tag-1")])
+            .is_some());
+    }
+
+    #[test]
+    fn window_memory_is_bounded() {
+        let mut l = ledger();
+        let t = Instant::now();
+        for _ in 0..(WINDOW_CAP + 100) {
+            l.record_stored("hot", &[0], 0, t);
+        }
+        assert!(l.clients.get("hot").unwrap().recent.len() <= WINDOW_CAP);
+        assert_eq!(
+            l.summary(1, t).client("hot").unwrap().queries,
+            (WINDOW_CAP + 100) as u64
+        );
+    }
+}

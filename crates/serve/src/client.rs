@@ -3,12 +3,13 @@
 //! that lets every attack in the workspace run unchanged against a live
 //! endpoint.
 
+use crate::audit::AuditSummary;
 use crate::metrics::MetricsReport;
 use crate::wire::{
     decode_response, encode_request, read_frame, write_frame, Request, Response, ServerInfo,
     WireError,
 };
-use fia_core::{OracleError, PredictionOracle, QueryCost};
+use fia_core::{OracleError, PredictionOracle, QueryCost, TraceContext};
 use fia_linalg::Matrix;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -64,6 +65,10 @@ pub struct RemoteOracle {
     stream: TcpStream,
     info: ServerInfo,
     cost: QueryCost,
+    /// When set, prediction requests travel as their *traced* wire
+    /// variants, carrying this context so the server opens linked
+    /// `serve.request` spans.
+    trace: Option<TraceContext>,
 }
 
 impl RemoteOracle {
@@ -81,6 +86,7 @@ impl RemoteOracle {
                 party_widths: Vec::new(),
             },
             cost: QueryCost::default(),
+            trace: None,
         };
         oracle.info = match oracle.call(&Request::Info)? {
             Response::Info(info) => info,
@@ -131,18 +137,67 @@ impl RemoteOracle {
     }
 
     /// One prediction round over stored sample indices; returns the
-    /// released `|indices| × c` confidence matrix.
+    /// released `|indices| × c` confidence matrix. With a trace context
+    /// set, the request travels as its traced wire variant — byte-
+    /// identical body, plus the 16-byte context.
     pub fn predict_batch(&mut self, indices: &[usize]) -> Result<Matrix, ClientError> {
         let wire_indices: Vec<u32> = indices.iter().map(|&i| i as u32).collect();
-        let resp = self.call(&Request::PredictByIndex(wire_indices))?;
+        let req = match self.trace {
+            Some(ctx) => Request::PredictByIndexTraced(wire_indices, ctx),
+            None => Request::PredictByIndex(wire_indices),
+        };
+        let resp = self.call(&req)?;
         self.expect_scores(resp)
     }
 
     /// One prediction round over ad-hoc inputs: one `n × d_p` feature
     /// block per party, in party id order.
     pub fn predict_features(&mut self, slices: &[Matrix]) -> Result<Matrix, ClientError> {
-        let resp = self.call(&Request::PredictFeatures(slices.to_vec()))?;
+        let req = match self.trace {
+            Some(ctx) => Request::PredictFeaturesTraced(slices.to_vec(), ctx),
+            None => Request::PredictFeatures(slices.to_vec()),
+        };
+        let resp = self.call(&req)?;
         self.expect_scores(resp)
+    }
+
+    /// Declares a stable session tag: the server's audit ledger keys
+    /// this connection's traffic under `tag` instead of the ephemeral
+    /// `conn-{id}` label (an empty tag reverts to the default).
+    pub fn declare_session(&mut self, tag: &str) -> Result<(), ClientError> {
+        match self.call(&Request::DeclareSession(tag.to_string()))? {
+            Response::SessionAck => Ok(()),
+            Response::Error(why) => Err(ClientError::Rejected(why)),
+            _ => Err(ClientError::Protocol(
+                "DeclareSession answered with wrong variant",
+            )),
+        }
+    }
+
+    /// The server's finished spans as JSONL. Concatenated with a
+    /// client-side tracer's JSONL this forms one merged trace: server
+    /// span ids live in a disjoint id space and `serve.request` parents
+    /// point at client span ids.
+    pub fn server_trace_jsonl(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::TraceExport)? {
+            Response::TraceJsonl(text) => Ok(text),
+            Response::Error(why) => Err(ClientError::Rejected(why)),
+            _ => Err(ClientError::Protocol(
+                "TraceExport answered with wrong variant",
+            )),
+        }
+    }
+
+    /// The server's per-client audit ledger: counters, window rates and
+    /// probe-shape flags for every client it has served.
+    pub fn audit_report(&mut self) -> Result<AuditSummary, ClientError> {
+        match self.call(&Request::AuditReport)? {
+            Response::Audit(summary) => Ok(summary),
+            Response::Error(why) => Err(ClientError::Rejected(why)),
+            _ => Err(ClientError::Protocol(
+                "AuditReport answered with wrong variant",
+            )),
+        }
     }
 
     /// What this connection's prediction traffic has cost the deployment
@@ -202,6 +257,10 @@ impl PredictionOracle for RemoteOracle {
 
     fn query_cost(&self) -> QueryCost {
         self.cost
+    }
+
+    fn set_trace_context(&mut self, ctx: Option<TraceContext>) {
+        self.trace = ctx;
     }
 }
 

@@ -26,6 +26,7 @@ use crate::pool::{Job, ReplicaPool, ReplyTo, RoundInput};
 use fia_linalg::Matrix;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Consistent contiguous row-range sharding of `n_rows` stored samples
 /// across `n_shards` backends: shard `s` owns rows
@@ -144,10 +145,18 @@ impl Dispatcher {
         }
     }
 
-    /// Phase 2: dispatches one planned miss group to its shard. A send
-    /// that fails mid-shutdown drops the job, whose reply guard delivers
-    /// the error completion — the caller never has to special-case it.
-    pub fn send_stored_part(&self, shard: usize, group: &[(usize, usize)], reply: ReplyTo) {
+    /// Phase 2: dispatches one planned miss group to its shard,
+    /// threading the request's dispatch-span id (if traced) into the
+    /// job so the batcher's round span can link back. A send that fails
+    /// mid-shutdown drops the job, whose reply guard delivers the error
+    /// completion — the caller never has to special-case it.
+    pub fn send_stored_part(
+        &self,
+        shard: usize,
+        group: &[(usize, usize)],
+        reply: ReplyTo,
+        trace_parent: Option<u64>,
+    ) {
         let sub_indices: Vec<usize> = group.iter().map(|&(_, idx)| idx).collect();
         let rows = sub_indices.len();
         let _ = self.pool.send(
@@ -156,6 +165,8 @@ impl Dispatcher {
                 input: RoundInput::Stored(sub_indices),
                 rows,
                 reply,
+                trace_parent,
+                enqueued: Instant::now(),
             },
         );
     }
@@ -183,13 +194,21 @@ impl Dispatcher {
     /// Never cached: an ad-hoc query names no stored row, so there is no
     /// stable identity to key a re-release on. Failure is delivered via
     /// the reply guard, as in [`Self::send_stored_part`].
-    pub fn send_adhoc(&self, blocks: Vec<Matrix>, rows: usize, reply: ReplyTo) {
+    pub fn send_adhoc(
+        &self,
+        blocks: Vec<Matrix>,
+        rows: usize,
+        reply: ReplyTo,
+        trace_parent: Option<u64>,
+    ) {
         let _ = self.pool.send(
             self.pool.least_loaded(),
             Job {
                 input: RoundInput::AdHoc(blocks),
                 rows,
                 reply,
+                trace_parent,
+                enqueued: Instant::now(),
             },
         );
     }

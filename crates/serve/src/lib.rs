@@ -51,6 +51,7 @@
 //! Everything above the wire codec is behind [`PredictionServer::spawn`]:
 //! pool, dispatch and cache landed without changing a client.
 
+pub mod audit;
 mod cache;
 mod client;
 mod coalesce;
@@ -62,6 +63,7 @@ mod server;
 mod sys;
 pub mod wire;
 
+pub use audit::{AuditLedger, AuditSummary, ClientAudit};
 pub use cache::ScoreCache;
 pub use client::{
     run_load, run_load_open, ClientError, LoadConfig, LoadReport, OpenLoadConfig, OpenLoadReport,
@@ -70,5 +72,5 @@ pub use client::{
 pub use coalesce::{Coalescer, Coalescible};
 pub use dispatch::ShardMap;
 pub use metrics::{MetricsReport, ServerMetrics};
-pub use server::{PredictionServer, ServeConfig, ServerHandle};
+pub use server::{PredictionServer, ServeConfig, ServerHandle, SERVER_SPAN_ID_BASE};
 pub use wire::{ServerInfo, WireError};

@@ -24,12 +24,13 @@ use crate::sys::Waker;
 use fia_defense::{DefensePipeline, ScoreDefense};
 use fia_linalg::Matrix;
 use fia_models::PredictProba;
+use fia_telemetry::Tracer;
 use fia_vfl::VflSystem;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often blocked server threads re-check the stop flag.
 pub(crate) const POLL_TICK: Duration = Duration::from_millis(20);
@@ -40,6 +41,14 @@ pub(crate) struct Job {
     pub input: RoundInput,
     pub rows: usize,
     pub reply: ReplyTo,
+    /// Server-side span id of the dispatch that enqueued this job, when
+    /// the originating request carried a trace context. The batcher's
+    /// `serve.round` span links to it, joining the round into the
+    /// request's trace.
+    pub trace_parent: Option<u64>,
+    /// When the job entered the queue — prices the coalescer's batch
+    /// wait into the round span.
+    pub enqueued: Instant,
 }
 
 /// Where a job's released rows go.
@@ -145,11 +154,13 @@ pub(crate) struct ReplicaPool {
 impl ReplicaPool {
     /// Spawns `replicas` batcher threads over cheap clones of `system`
     /// and returns the queue handles plus the join handles.
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn<M>(
         system: &Arc<VflSystem<M>>,
         defense: &Arc<DefensePipeline>,
         metrics: &Arc<ServerMetrics>,
         stop: &Arc<AtomicBool>,
+        tracer: &Tracer,
         coalescer: Coalescer,
         round_cost: Duration,
         replicas: usize,
@@ -179,6 +190,7 @@ impl ReplicaPool {
                 party_widths,
                 coalescer,
                 round_cost,
+                tracer: tracer.clone(),
             };
             handles.push(std::thread::spawn(move || batcher_loop(&ctx, &rx)));
             queues.push(ReplicaQueue { tx, depth_rows });
@@ -236,6 +248,7 @@ struct ReplicaCtx<M: PredictProba> {
     party_widths: Vec<usize>,
     coalescer: Coalescer,
     round_cost: Duration,
+    tracer: Tracer,
 }
 
 fn batcher_loop<M: PredictProba>(ctx: &ReplicaCtx<M>, rx: &Receiver<Job>) {
@@ -269,6 +282,22 @@ fn batcher_loop<M: PredictProba>(ctx: &ReplicaCtx<M>, rx: &Receiver<Job>) {
 fn run_round<M: PredictProba>(ctx: &ReplicaCtx<M>, jobs: Vec<Job>) {
     let total: usize = jobs.iter().map(|j| j.rows).sum();
 
+    // A round is traced when any coalesced job carried a trace context:
+    // the span links to the *first* traced job's dispatch span (one
+    // parent is enough to join the client and server streams; a round
+    // may serve many requests) and prices that job's queue wait.
+    let round_span = jobs
+        .iter()
+        .find_map(|j| j.trace_parent.map(|p| (p, j.enqueued)))
+        .map(|(parent, enqueued)| {
+            let s = ctx.tracer.root_with_parent("serve.round", parent);
+            s.record_u64("replica", ctx.id as u64);
+            s.record_u64("jobs", jobs.len() as u64);
+            s.record_u64("rows", total as u64);
+            s.record_u64("batch_wait_us", enqueued.elapsed().as_micros() as u64);
+            s
+        });
+
     // Assemble each party's contribution for the whole round, consuming
     // the jobs so ad-hoc blocks are moved, not cloned.
     let mut slices: Vec<Matrix> = ctx
@@ -298,10 +327,16 @@ fn run_round<M: PredictProba>(ctx: &ReplicaCtx<M>, jobs: Vec<Job>) {
         std::thread::sleep(ctx.round_cost);
     }
 
-    let scores = ctx.system.predict_features_batch(&slices);
+    let scores = {
+        let _predict = round_span.as_ref().map(|s| s.child("serve.predict"));
+        ctx.system.predict_features_batch(&slices)
+    };
     // Defense at the score-release boundary: one batch hook per round,
     // exactly where a deployment would apply it.
-    let released = ctx.defense.defend_batch(&scores);
+    let released = {
+        let _defense = round_span.as_ref().map(|s| s.child("serve.defense"));
+        ctx.defense.defend_batch(&scores)
+    };
     ctx.metrics.record_round(ctx.id, total);
 
     let mut offset = 0;
@@ -335,18 +370,30 @@ mod tests {
     fn spawn_pool(
         replicas: usize,
         stop: &Arc<AtomicBool>,
-    ) -> (ReplicaPool, Vec<JoinHandle<()>>, Arc<ServerMetrics>) {
+    ) -> (ReplicaPool, Vec<JoinHandle<()>>, Arc<ServerMetrics>, Tracer) {
         let metrics = Arc::new(ServerMetrics::with_replicas(replicas));
+        let tracer = Tracer::new();
         let (pool, handles) = ReplicaPool::spawn(
             &toy_system(),
             &Arc::new(DefensePipeline::new()),
             &metrics,
             stop,
+            &tracer,
             Coalescer::adaptive(16, Duration::from_micros(100)),
             Duration::ZERO,
             replicas,
         );
-        (pool, handles, metrics)
+        (pool, handles, metrics, tracer)
+    }
+
+    fn job(input: RoundInput, rows: usize, reply: ReplyTo) -> Job {
+        Job {
+            input,
+            rows,
+            reply,
+            trace_parent: None,
+            enqueued: Instant::now(),
+        }
     }
 
     fn shutdown(stop: &Arc<AtomicBool>, handles: Vec<JoinHandle<()>>) {
@@ -359,18 +406,18 @@ mod tests {
     #[test]
     fn each_replica_answers_its_own_queue() {
         let stop = Arc::new(AtomicBool::new(false));
-        let (pool, handles, metrics) = spawn_pool(3, &stop);
+        let (pool, handles, metrics, _) = spawn_pool(3, &stop);
         let system = toy_system();
         let mut receivers = Vec::new();
         for replica in 0..3 {
             let (tx, rx) = mpsc::channel();
             pool.send(
                 replica,
-                Job {
-                    input: RoundInput::Stored(vec![replica, replica + 1]),
-                    rows: 2,
-                    reply: ReplyTo::Channel(tx),
-                },
+                job(
+                    RoundInput::Stored(vec![replica, replica + 1]),
+                    2,
+                    ReplyTo::Channel(tx),
+                ),
             )
             .expect("send");
             receivers.push((replica, rx));
@@ -388,7 +435,7 @@ mod tests {
     #[test]
     fn least_loaded_prefers_the_empty_queue() {
         let stop = Arc::new(AtomicBool::new(true)); // batchers idle out fast
-        let (pool, handles, _metrics) = spawn_pool(2, &stop);
+        let (pool, handles, _metrics, _) = spawn_pool(2, &stop);
         // Gauge accounting is what least_loaded reads; simulate load on
         // replica 0 directly.
         pool.queues[0].depth_rows.store(10, Ordering::Relaxed);
@@ -404,24 +451,69 @@ mod tests {
     #[test]
     fn queued_jobs_are_answered_before_shutdown() {
         let stop = Arc::new(AtomicBool::new(false));
-        let (pool, handles, _metrics) = spawn_pool(1, &stop);
+        let (pool, handles, _metrics, _) = spawn_pool(1, &stop);
         let mut rxs = Vec::new();
         for i in 0..5 {
             let (tx, rx) = mpsc::channel();
-            pool.send(
-                0,
-                Job {
-                    input: RoundInput::Stored(vec![i]),
-                    rows: 1,
-                    reply: ReplyTo::Channel(tx),
-                },
-            )
-            .expect("send");
+            pool.send(0, job(RoundInput::Stored(vec![i]), 1, ReplyTo::Channel(tx)))
+                .expect("send");
             rxs.push(rx);
         }
         shutdown(&stop, handles);
         for rx in rxs {
             assert!(rx.recv().expect("answered before exit").is_ok());
         }
+    }
+
+    #[test]
+    fn traced_jobs_open_a_round_span_linked_to_the_dispatch() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (pool, handles, _metrics, tracer) = spawn_pool(1, &stop);
+        let (tx, rx) = mpsc::channel();
+        pool.send(
+            0,
+            Job {
+                input: RoundInput::Stored(vec![0, 1]),
+                rows: 2,
+                reply: ReplyTo::Channel(tx),
+                trace_parent: Some(77),
+                enqueued: Instant::now(),
+            },
+        )
+        .expect("send");
+        rx.recv().expect("reply").expect("round ok");
+        // The round span finishes when run_round returns, a hair after
+        // the reply lands — wait for it rather than racing the batcher.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let round = loop {
+            let recs = tracer.records();
+            if let Some(r) = recs.iter().find(|r| r.name == "serve.round") {
+                break r.clone();
+            }
+            assert!(Instant::now() < deadline, "no serve.round span appeared");
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        assert_eq!(round.parent, Some(77), "round links to the dispatch span");
+        let recs = tracer.records();
+        for child in ["serve.predict", "serve.defense"] {
+            let c = recs
+                .iter()
+                .find(|r| r.name == child)
+                .unwrap_or_else(|| panic!("missing {child} span"));
+            assert_eq!(c.parent, Some(round.id));
+        }
+        shutdown(&stop, handles);
+    }
+
+    #[test]
+    fn untraced_rounds_record_no_spans() {
+        let stop = Arc::new(AtomicBool::new(false));
+        let (pool, handles, _metrics, tracer) = spawn_pool(1, &stop);
+        let (tx, rx) = mpsc::channel();
+        pool.send(0, job(RoundInput::Stored(vec![0]), 1, ReplyTo::Channel(tx)))
+            .expect("send");
+        rx.recv().expect("reply").expect("round ok");
+        shutdown(&stop, handles);
+        assert!(tracer.records().is_empty(), "legacy traffic costs no spans");
     }
 }

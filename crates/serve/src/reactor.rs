@@ -32,13 +32,16 @@
 //!   by [`DRAIN_DEADLINE`]), and the loop exits with every connection
 //!   accounted for.
 
+use crate::audit::{AuditLedger, AuditSummary};
 use crate::dispatch::StoredPlan;
 use crate::metrics::AcceptErrorKind;
 use crate::pool::{Completion, ReactorReply, ReplyTo};
 use crate::server::Shared;
 use crate::sys::{self, drain_wake_pipe, fd_of, Event, Interest, Poller, Waker};
 use crate::wire::{decode_request, encode_response, Request, Response, MAX_FRAME_LEN};
+use fia_core::TraceContext;
 use fia_linalg::Matrix;
+use fia_telemetry::Span;
 use std::collections::{BTreeMap, HashMap};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -103,10 +106,14 @@ struct Conn {
     paused_read: bool,
     /// Interest currently registered with the poller.
     reg: Interest,
+    /// Audit-ledger label: `conn-{id}` until the client declares a
+    /// session tag (`DeclareSession`), which survives as the stable
+    /// identity across reconnects.
+    label: String,
 }
 
 impl Conn {
-    fn new(stream: TcpStream) -> Self {
+    fn new(stream: TcpStream, id: u64) -> Self {
         Conn {
             stream,
             buf: Vec::new(),
@@ -120,6 +127,7 @@ impl Conn {
             close_when_flushed: false,
             paused_read: false,
             reg: Interest::READ,
+            label: format!("conn-{id}"),
         }
     }
 
@@ -157,6 +165,22 @@ struct PendingRound {
     /// Ad-hoc requests have a single part whose release *is* the output.
     adhoc: bool,
     failed: Option<String>,
+    /// The `serve.request` span (traced requests only); finishes when
+    /// the response is staged.
+    req_span: Option<Span>,
+    /// Per-part `serve.dispatch` spans, finished as parts complete.
+    dispatch_spans: Vec<Option<Span>>,
+    /// What the audit ledger records if the round succeeds (`None` when
+    /// auditing is off).
+    audit: Option<AuditKind>,
+}
+
+/// Audit-ledger accounting deferred until a round's response stages.
+enum AuditKind {
+    /// Stored-index query: the queried identities plus cache hits.
+    Stored { indices: Vec<u32>, cached: u64 },
+    /// Ad-hoc feature query: row count only (no stored identity).
+    Features { rows: u64 },
 }
 
 /// The event loop. Owns the listener, every client socket, the poller
@@ -179,6 +203,10 @@ pub(crate) struct Reactor {
     accept_paused_until: Option<Instant>,
     /// Drain deadline, set once the stop flag is noticed.
     draining: Option<Instant>,
+    /// Per-client leakage audit ledger; `None` when [`crate::ServeConfig`]
+    /// disables auditing. Owned by the reactor thread — counters are
+    /// plain integers, no locks on the request path.
+    ledger: Option<AuditLedger>,
 }
 
 impl Reactor {
@@ -192,6 +220,9 @@ impl Reactor {
         poller.register(fd_of(&wake_rx), WAKER_TOKEN, Interest::READ)?;
         let (completion_tx, completion_rx) = mpsc::channel();
         let handle_waker = waker.clone();
+        let ledger = shared
+            .audit
+            .then(|| AuditLedger::new(Arc::clone(shared.metrics.registry())));
         Ok((
             Reactor {
                 poller,
@@ -209,6 +240,7 @@ impl Reactor {
                 accept_backoff: ACCEPT_BACKOFF_MIN,
                 accept_paused_until: None,
                 draining: None,
+                ledger,
             },
             handle_waker,
         ))
@@ -322,7 +354,7 @@ impl Reactor {
                             .record_accept_error(AcceptErrorKind::Setup);
                         continue;
                     }
-                    self.conns.insert(id, Conn::new(stream));
+                    self.conns.insert(id, Conn::new(stream, id));
                     self.shared
                         .metrics
                         .record_connection_opened(self.conns.len() as u64);
@@ -514,24 +546,113 @@ impl Reactor {
                 self.shared.stop.store(true, Ordering::SeqCst);
                 // The drain starts on the next loop turn.
             }
-            Ok(Request::PredictByIndex(indices)) => self.start_stored(id, seq, t0, indices),
-            Ok(Request::PredictFeatures(slices)) => self.start_adhoc(id, seq, t0, slices),
+            Ok(Request::PredictByIndex(indices)) => self.start_stored(id, seq, t0, indices, None),
+            Ok(Request::PredictFeatures(slices)) => self.start_adhoc(id, seq, t0, slices, None),
+            Ok(Request::PredictByIndexTraced(indices, ctx)) => {
+                self.start_stored(id, seq, t0, indices, Some(ctx))
+            }
+            Ok(Request::PredictFeaturesTraced(slices, ctx)) => {
+                self.start_adhoc(id, seq, t0, slices, Some(ctx))
+            }
+            Ok(Request::TraceExport) => {
+                let text = self.shared.tracer.to_jsonl();
+                self.stage_response(id, seq, t0, &Response::TraceJsonl(text), false);
+            }
+            Ok(Request::AuditReport) => {
+                let n = self.shared.info.n_samples as u64;
+                let summary = match &mut self.ledger {
+                    Some(ledger) => ledger.summary(n, Instant::now()),
+                    // Auditing off: an empty report, not an error — the
+                    // op stays probeable either way.
+                    None => AuditSummary {
+                        n_samples: n,
+                        clients: Vec::new(),
+                    },
+                };
+                self.stage_response(id, seq, t0, &Response::Audit(summary), false);
+            }
+            Ok(Request::DeclareSession(tag)) => {
+                if let Some(conn) = self.conns.get_mut(&id) {
+                    // An empty tag reverts to the per-connection default.
+                    conn.label = if tag.is_empty() {
+                        format!("conn-{id}")
+                    } else {
+                        tag
+                    };
+                }
+                self.stage_response(id, seq, t0, &Response::SessionAck, false);
+            }
         }
     }
 
-    fn start_stored(&mut self, id: u64, seq: u64, t0: Instant, indices: Vec<u32>) {
+    /// Opens the `serve.request` span for a traced request: a
+    /// server-side root *linked* to the client-side span id carried in
+    /// the frame, which is what joins the two JSONL streams after a
+    /// merge. Untraced requests cost no span at all.
+    fn open_request_span(&self, ctx: Option<TraceContext>, op: &str) -> Option<Span> {
+        ctx.map(|c| {
+            let s = self
+                .shared
+                .tracer
+                .root_with_parent("serve.request", c.parent_span);
+            s.record_u64("trace_id", c.trace_id);
+            s.record_str("op", op);
+            s
+        })
+    }
+
+    /// Records one successfully answered stored-index query against the
+    /// connection's ledger entry. Called exactly where a `Scores`
+    /// response stages — the same event the client meters — which is
+    /// what the server/client `QueryCost` parity guarantee rests on.
+    fn audit_stored(&mut self, id: u64, indices: &[u32], cached_rows: u64) {
+        if let (Some(ledger), Some(conn)) = (&mut self.ledger, self.conns.get(&id)) {
+            ledger.record_stored(&conn.label, indices, cached_rows, Instant::now());
+        }
+    }
+
+    /// Ledger entry for one successfully answered ad-hoc feature query.
+    fn audit_features(&mut self, id: u64, rows: u64) {
+        if let (Some(ledger), Some(conn)) = (&mut self.ledger, self.conns.get(&id)) {
+            ledger.record_features(&conn.label, rows, Instant::now());
+        }
+    }
+
+    fn start_stored(
+        &mut self,
+        id: u64,
+        seq: u64,
+        t0: Instant,
+        indices: Vec<u32>,
+        trace: Option<TraceContext>,
+    ) {
+        let req_span = self.open_request_span(trace, "predict_by_index");
+        if let Some(s) = &req_span {
+            s.record_u64("rows", indices.len() as u64);
+        }
         let n = self.shared.info.n_samples;
         if let Some(&bad) = indices.iter().find(|&&i| (i as usize) >= n) {
+            if let Some(s) = &req_span {
+                s.record_str("outcome", "rejected");
+            }
             self.shared.metrics.record_error();
             let resp =
                 Response::Error(format!("sample index {bad} out of range (n_samples = {n})"));
             self.stage_response(id, seq, t0, &resp, true);
             return;
         }
-        let indices: Vec<usize> = indices.into_iter().map(|i| i as usize).collect();
+        // Keep the u32 identities: the audit ledger tracks distinct and
+        // repeated stored rows by exactly what the client asked for.
+        let raw = indices;
+        let indices: Vec<usize> = raw.iter().map(|&i| i as usize).collect();
         if indices.is_empty() {
             // Nothing to compute or defend: answer the empty round
-            // directly.
+            // directly. It still counts as one query in the ledger,
+            // exactly as the client meters it.
+            self.audit_stored(id, &raw, 0);
+            if let Some(s) = &req_span {
+                s.record_str("outcome", "ok");
+            }
             let resp = Response::Scores {
                 scores: Matrix::zeros(0, self.shared.info.n_classes),
                 cached_rows: 0,
@@ -539,9 +660,25 @@ impl Reactor {
             self.stage_response(id, seq, t0, &resp, false);
             return;
         }
-        let StoredPlan { out, hits, groups } = self.shared.dispatcher.plan_stored(&indices);
+        let StoredPlan { out, hits, groups } = {
+            let cache_span = req_span.as_ref().map(|s| s.child("serve.cache"));
+            let plan = self.shared.dispatcher.plan_stored(&indices);
+            if let Some(cs) = &cache_span {
+                cs.record_u64("hit_rows", plan.hits);
+                cs.record_u64(
+                    "miss_rows",
+                    (indices.len() as u64).saturating_sub(plan.hits),
+                );
+            }
+            plan
+        };
         if groups.is_empty() {
             // Fully cache-served: no round, no protocol cost.
+            self.audit_stored(id, &raw, hits);
+            if let Some(s) = &req_span {
+                s.record_str("outcome", "ok");
+                s.record_u64("cached_rows", hits);
+            }
             let resp = Response::Scores {
                 scores: out,
                 cached_rows: hits as u32,
@@ -555,6 +692,21 @@ impl Reactor {
         if let Some(conn) = self.conns.get_mut(&id) {
             conn.inflight += 1;
         }
+        let dispatch_spans: Vec<Option<Span>> = groups
+            .iter()
+            .map(|(shard, group)| {
+                req_span.as_ref().map(|s| {
+                    let d = s.child("serve.dispatch");
+                    d.record_u64("shard", *shard as u64);
+                    d.record_u64("rows", group.len() as u64);
+                    d
+                })
+            })
+            .collect();
+        let audit = self.ledger.is_some().then_some(AuditKind::Stored {
+            indices: raw,
+            cached: hits,
+        });
         self.pending.insert(
             pid,
             PendingRound {
@@ -567,6 +719,9 @@ impl Reactor {
                 remaining,
                 adhoc: false,
                 failed: None,
+                req_span,
+                dispatch_spans,
+                audit,
             },
         );
         let round = self.pending.get(&pid).expect("just inserted");
@@ -577,15 +732,27 @@ impl Reactor {
                 pid,
                 part,
             ));
+            let parent = round.dispatch_spans[part].as_ref().map(|d| d.id());
             self.shared
                 .dispatcher
-                .send_stored_part(*shard, group, reply);
+                .send_stored_part(*shard, group, reply, parent);
         }
     }
 
-    fn start_adhoc(&mut self, id: u64, seq: u64, t0: Instant, slices: Vec<Matrix>) {
+    fn start_adhoc(
+        &mut self,
+        id: u64,
+        seq: u64,
+        t0: Instant,
+        slices: Vec<Matrix>,
+        trace: Option<TraceContext>,
+    ) {
+        let req_span = self.open_request_span(trace, "predict_features");
         let widths = &self.shared.info.party_widths;
         if slices.len() != widths.len() {
+            if let Some(s) = &req_span {
+                s.record_str("outcome", "rejected");
+            }
             self.shared.metrics.record_error();
             let resp = Response::Error(format!(
                 "expected {} party feature blocks, got {}",
@@ -596,8 +763,14 @@ impl Reactor {
             return;
         }
         let rows = slices.first().map(|s| s.rows()).unwrap_or_default();
+        if let Some(s) = &req_span {
+            s.record_u64("rows", rows as u64);
+        }
         for (p, (block, &width)) in slices.iter().zip(widths).enumerate() {
             if block.cols() != width {
+                if let Some(s) = &req_span {
+                    s.record_str("outcome", "rejected");
+                }
                 self.shared.metrics.record_error();
                 let resp = Response::Error(format!(
                     "party {p} block is {} wide, expected {width}",
@@ -607,6 +780,9 @@ impl Reactor {
                 return;
             }
             if block.rows() != rows {
+                if let Some(s) = &req_span {
+                    s.record_str("outcome", "rejected");
+                }
                 self.shared.metrics.record_error();
                 let resp = Response::Error("party blocks must be row-aligned".to_string());
                 self.stage_response(id, seq, t0, &resp, true);
@@ -614,6 +790,10 @@ impl Reactor {
             }
         }
         if rows == 0 {
+            self.audit_features(id, 0);
+            if let Some(s) = &req_span {
+                s.record_str("outcome", "ok");
+            }
             let resp = Response::Scores {
                 scores: Matrix::zeros(0, self.shared.info.n_classes),
                 cached_rows: 0,
@@ -626,6 +806,16 @@ impl Reactor {
         if let Some(conn) = self.conns.get_mut(&id) {
             conn.inflight += 1;
         }
+        let dispatch_span = req_span.as_ref().map(|s| {
+            let d = s.child("serve.dispatch");
+            d.record_u64("rows", rows as u64);
+            d
+        });
+        let parent = dispatch_span.as_ref().map(|d| d.id());
+        let audit = self
+            .ledger
+            .is_some()
+            .then_some(AuditKind::Features { rows: rows as u64 });
         self.pending.insert(
             pid,
             PendingRound {
@@ -638,6 +828,9 @@ impl Reactor {
                 remaining: 1,
                 adhoc: true,
                 failed: None,
+                req_span,
+                dispatch_spans: vec![dispatch_span],
+                audit,
             },
         );
         let reply = ReplyTo::Reactor(ReactorReply::new(
@@ -646,7 +839,9 @@ impl Reactor {
             pid,
             0,
         ));
-        self.shared.dispatcher.send_adhoc(slices, rows, reply);
+        self.shared
+            .dispatcher
+            .send_adhoc(slices, rows, reply, parent);
     }
 
     // -----------------------------------------------------------------
@@ -658,6 +853,10 @@ impl Reactor {
                 return; // request's connection is long gone
             };
             p.remaining -= 1;
+            // This part's dispatch span ends now, success or not.
+            if let Some(slot) = p.dispatch_spans.get_mut(c.part) {
+                drop(slot.take());
+            }
             match c.result {
                 Ok(part) => {
                     if p.adhoc {
@@ -680,17 +879,23 @@ impl Reactor {
         if !finished {
             return;
         }
-        let p = self.pending.remove(&c.pending_id).expect("checked above");
-        let (resp, is_error) = match p.failed {
+        let mut p = self.pending.remove(&c.pending_id).expect("checked above");
+        let (resp, is_error) = match p.failed.take() {
             Some(why) => (Response::Error(why), true),
             None => (
                 Response::Scores {
-                    scores: p.out,
+                    scores: std::mem::replace(&mut p.out, Matrix::zeros(0, 0)),
                     cached_rows: p.hits as u32,
                 },
                 false,
             ),
         };
+        if let Some(s) = &p.req_span {
+            s.record_str("outcome", if is_error { "error" } else { "ok" });
+            if p.hits > 0 {
+                s.record_u64("cached_rows", p.hits);
+            }
+        }
         let resume = {
             let Some(conn) = self.conns.get_mut(&p.conn) else {
                 return; // connection died while the round ran
@@ -702,6 +907,18 @@ impl Reactor {
             }
             resume
         };
+        // Ledger accounting happens only when a `Scores` response really
+        // stages to a live connection — the exact event the client's own
+        // cost metering counts, so the two stay equal by construction.
+        if !is_error {
+            match p.audit.take() {
+                Some(AuditKind::Stored { indices, cached }) => {
+                    self.audit_stored(p.conn, &indices, cached)
+                }
+                Some(AuditKind::Features { rows }) => self.audit_features(p.conn, rows),
+                None => {}
+            }
+        }
         self.stage_response(p.conn, p.seq, p.t0, &resp, is_error);
         if resume {
             // Frames buffered while the pipeline cap held are parsed now

@@ -41,6 +41,7 @@ use crate::sys::Waker;
 use crate::wire::ServerInfo;
 use fia_defense::DefensePipeline;
 use fia_models::PredictProba;
+use fia_telemetry::Tracer;
 use fia_vfl::{PartyId, VflSystem};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -78,6 +79,11 @@ pub struct ServeConfig {
     /// (secure aggregation, HE, party round trips) would be invisible;
     /// setting this reinstates it. `Duration::ZERO` for tests.
     pub round_cost: Duration,
+    /// Per-client audit ledger ([`crate::AuditLedger`]): query/row/
+    /// distinct-row counters, sliding-window rates and probe-shape flags
+    /// keyed by connection (or declared session tag). `false` removes
+    /// the ledger entirely — the bench's overhead-pricing knob.
+    pub audit: bool,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +97,7 @@ impl Default for ServeConfig {
             cache_capacity: 0,
             cache_seed: 0x5C0_7E5,
             round_cost: Duration::ZERO,
+            audit: true,
         }
     }
 }
@@ -114,7 +121,19 @@ pub(crate) struct Shared {
     pub(crate) metrics: Arc<ServerMetrics>,
     pub(crate) stop: Arc<AtomicBool>,
     pub(crate) info: ServerInfo,
+    /// Server-side span tracer. Its id space starts at `1 << 32` so a
+    /// merged client+server trace never collides span ids (client
+    /// tracers start at 1), which is what lets cross-process parent
+    /// links resolve unambiguously.
+    pub(crate) tracer: Tracer,
+    /// Whether the reactor keeps a per-client [`crate::AuditLedger`].
+    pub(crate) audit: bool,
 }
+
+/// Where the server-side span id space starts (see [`Shared::tracer`]):
+/// server span ids are `>= SERVER_SPAN_ID_BASE`, client span ids below
+/// it, so a merged trace tells the two processes apart by id alone.
+pub const SERVER_SPAN_ID_BASE: u64 = 1 << 32;
 
 /// The prediction service; [`PredictionServer::spawn`] is its only
 /// entry point.
@@ -152,11 +171,13 @@ impl PredictionServer {
         let replicas = config.replicas.max(1);
         let metrics = Arc::new(ServerMetrics::with_replicas(replicas));
         let stop = Arc::new(AtomicBool::new(false));
+        let tracer = Tracer::with_id_base(SERVER_SPAN_ID_BASE);
         let (pool, batchers) = ReplicaPool::spawn(
             &system,
             &defense,
             &metrics,
             &stop,
+            &tracer,
             config.coalescer(),
             config.round_cost,
             replicas,
@@ -176,6 +197,8 @@ impl PredictionServer {
             metrics: Arc::clone(&metrics),
             stop: Arc::clone(&stop),
             info,
+            tracer: tracer.clone(),
+            audit: config.audit,
         });
 
         let (reactor, waker) = Reactor::new(listener, shared)?;
@@ -187,6 +210,7 @@ impl PredictionServer {
             addr,
             stop,
             metrics,
+            tracer,
             waker,
             reactor: Some(reactor),
             batchers,
@@ -200,6 +224,7 @@ pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     metrics: Arc<ServerMetrics>,
+    tracer: Tracer,
     waker: Waker,
     reactor: Option<JoinHandle<()>>,
     batchers: Vec<JoinHandle<()>>,
@@ -227,6 +252,14 @@ impl ServerHandle {
     /// bench's overhead-pricing knob.
     pub fn set_telemetry_recording(&self, on: bool) {
         self.metrics.set_recording(on);
+    }
+
+    /// Finished server-side spans as JSONL (the same text the
+    /// `TraceExport` wire op returns). Server span ids start at
+    /// `1 << 32`, so concatenating this with a client tracer's JSONL
+    /// yields a merged trace with no id collisions.
+    pub fn trace_jsonl(&self) -> String {
+        self.tracer.to_jsonl()
     }
 
     /// Stops accepting, lets in-flight rounds finish, answers everything

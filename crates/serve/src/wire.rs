@@ -12,9 +12,11 @@
 //! so a NaN on the wire can only mean corruption — both encoder and
 //! decoder reject it.
 
+use fia_core::TraceContext;
 use fia_linalg::Matrix;
 use std::io::{Read, Write};
 
+use crate::audit::{AuditSummary, ClientAudit};
 use crate::metrics::MetricsReport;
 
 /// Hard cap on a frame payload (64 MiB). A length prefix above the cap
@@ -30,6 +32,15 @@ mod req_tag {
     pub const METRICS: u8 = 0x05;
     pub const SHUTDOWN: u8 = 0x06;
     pub const METRICS_TEXT: u8 = 0x07;
+    // Traced prediction ops carry a 16-byte trace context *before* the
+    // legacy body. They are new tags rather than optional suffixes on
+    // 0x02/0x03 because the decoder rejects trailing bytes — the legacy
+    // encodings stay bit-identical for untraced clients.
+    pub const PREDICT_BY_INDEX_TRACED: u8 = 0x08;
+    pub const PREDICT_FEATURES_TRACED: u8 = 0x09;
+    pub const TRACE_EXPORT: u8 = 0x0A;
+    pub const AUDIT_REPORT: u8 = 0x0B;
+    pub const DECLARE_SESSION: u8 = 0x0C;
 }
 
 /// Response tags (server → client).
@@ -40,8 +51,14 @@ mod resp_tag {
     pub const METRICS: u8 = 0x84;
     pub const SHUTTING_DOWN: u8 = 0x85;
     pub const METRICS_TEXT: u8 = 0x86;
+    pub const TRACE_JSONL: u8 = 0x87;
+    pub const AUDIT: u8 = 0x88;
+    pub const SESSION_ACK: u8 = 0x89;
     pub const ERROR: u8 = 0xEE;
 }
+
+/// Cap on a client-declared session tag (bytes) — a label, not a blob.
+pub const MAX_SESSION_TAG_LEN: usize = 256;
 
 /// Everything that can go wrong while encoding, decoding or transporting
 /// a frame.
@@ -121,6 +138,21 @@ pub enum Request {
     /// Ask for the full telemetry surface as Prometheus-style text
     /// exposition (server registry + process-global instruments).
     MetricsText,
+    /// [`Request::PredictByIndex`] carrying a distributed-trace context:
+    /// the server opens a `serve.request` span parented to the client's
+    /// span so merged traces join across the process boundary.
+    PredictByIndexTraced(Vec<u32>, TraceContext),
+    /// [`Request::PredictFeatures`] carrying a distributed-trace context.
+    PredictFeaturesTraced(Vec<Matrix>, TraceContext),
+    /// Ask for the server's finished spans as JSONL — the server half of
+    /// a merged cross-process trace.
+    TraceExport,
+    /// Ask for the per-client audit ledger summary.
+    AuditReport,
+    /// Declare a session tag for this connection: subsequent audit
+    /// accounting is keyed by the tag instead of the connection id (and
+    /// aggregates across reconnections that declare the same tag).
+    DeclareSession(String),
 }
 
 /// A server → client message.
@@ -146,6 +178,12 @@ pub enum Response {
     ShuttingDown,
     /// Prometheus-style text exposition of the server's telemetry.
     MetricsText(String),
+    /// The server's finished spans, one JSON object per line.
+    TraceJsonl(String),
+    /// Per-client audit ledger summary.
+    Audit(AuditSummary),
+    /// Acknowledgement of a declared session tag.
+    SessionAck,
     /// Server-side rejection with a human-readable reason.
     Error(String),
 }
@@ -157,8 +195,22 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
 fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Length-prefixed UTF-8 string, capped at `max` bytes.
+fn put_str(out: &mut Vec<u8>, s: &str, max: usize) -> Result<(), WireError> {
+    if s.len() > max {
+        return Err(WireError::Malformed("string exceeds field cap"));
+    }
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
 }
 
 /// A cursor over a received payload.
@@ -187,6 +239,22 @@ impl<'a> Scan<'a> {
 
     fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Length-prefixed UTF-8 string, capped at `max` bytes.
+    fn str(&mut self, max: usize) -> Result<String, WireError> {
+        let n = self.u32()? as usize;
+        if n > max {
+            return Err(WireError::Malformed("string exceeds field cap"));
+        }
+        let bytes = self.take(n)?;
+        std::str::from_utf8(bytes)
+            .map(|s| s.to_string())
+            .map_err(|_| WireError::Malformed("string not utf-8"))
     }
 
     fn f64(&mut self) -> Result<f64, WireError> {
@@ -240,6 +308,84 @@ fn get_matrix(scan: &mut Scan<'_>) -> Result<Matrix, WireError> {
     Matrix::from_vec(rows, cols, data).map_err(|_| WireError::Malformed("bad matrix shape"))
 }
 
+/// 16-byte trace context: trace id then parent span id, little-endian.
+fn put_trace(out: &mut Vec<u8>, ctx: &TraceContext) {
+    put_u64(out, ctx.trace_id);
+    put_u64(out, ctx.parent_span);
+}
+
+fn get_trace(scan: &mut Scan<'_>) -> Result<TraceContext, WireError> {
+    Ok(TraceContext {
+        trace_id: scan.u64()?,
+        parent_span: scan.u64()?,
+    })
+}
+
+fn put_audit(out: &mut Vec<u8>, audit: &AuditSummary) -> Result<(), WireError> {
+    put_u64(out, audit.n_samples);
+    put_u32(out, audit.clients.len() as u32);
+    for c in &audit.clients {
+        put_str(out, &c.client, MAX_SESSION_TAG_LEN)?;
+        put_u64(out, c.queries);
+        put_u64(out, c.rows);
+        put_u64(out, c.cached_rows);
+        put_u64(out, c.distinct_rows);
+        put_u64(out, c.repeat_rows);
+        put_u64(out, c.feature_queries);
+        if !c.window_rate_rps.is_finite() {
+            return Err(WireError::NonFinite);
+        }
+        put_f64(out, c.window_rate_rps);
+        put_u32(out, c.flags.len() as u32);
+        for f in &c.flags {
+            put_str(out, f, 64)?;
+        }
+    }
+    Ok(())
+}
+
+fn get_audit(scan: &mut Scan<'_>) -> Result<AuditSummary, WireError> {
+    let n_samples = scan.u64()?;
+    let n_clients = scan.u32()? as usize;
+    if n_clients > 65_536 {
+        return Err(WireError::Malformed("implausible audit client count"));
+    }
+    let mut clients = Vec::with_capacity(n_clients.min(1024));
+    for _ in 0..n_clients {
+        let client = scan.str(MAX_SESSION_TAG_LEN)?;
+        let queries = scan.u64()?;
+        let rows = scan.u64()?;
+        let cached_rows = scan.u64()?;
+        let distinct_rows = scan.u64()?;
+        let repeat_rows = scan.u64()?;
+        let feature_queries = scan.u64()?;
+        let window_rate_rps = scan.f64()?;
+        if !window_rate_rps.is_finite() {
+            return Err(WireError::NonFinite);
+        }
+        let n_flags = scan.u32()? as usize;
+        if n_flags > 64 {
+            return Err(WireError::Malformed("implausible audit flag count"));
+        }
+        let mut flags = Vec::with_capacity(n_flags);
+        for _ in 0..n_flags {
+            flags.push(scan.str(64)?);
+        }
+        clients.push(ClientAudit {
+            client,
+            queries,
+            rows,
+            cached_rows,
+            distinct_rows,
+            repeat_rows,
+            feature_queries,
+            window_rate_rps,
+            flags,
+        });
+    }
+    Ok(AuditSummary { n_samples, clients })
+}
+
 // ---------------------------------------------------------------------
 // Message codecs.
 
@@ -266,8 +412,57 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>, WireError> {
         Request::Metrics => out.push(req_tag::METRICS),
         Request::Shutdown => out.push(req_tag::SHUTDOWN),
         Request::MetricsText => out.push(req_tag::METRICS_TEXT),
+        Request::PredictByIndexTraced(indices, ctx) => {
+            out.push(req_tag::PREDICT_BY_INDEX_TRACED);
+            put_trace(&mut out, ctx);
+            put_u32(&mut out, indices.len() as u32);
+            for &i in indices {
+                put_u32(&mut out, i);
+            }
+        }
+        Request::PredictFeaturesTraced(slices, ctx) => {
+            out.push(req_tag::PREDICT_FEATURES_TRACED);
+            put_trace(&mut out, ctx);
+            put_u32(&mut out, slices.len() as u32);
+            for m in slices {
+                put_matrix(&mut out, m)?;
+            }
+        }
+        Request::TraceExport => out.push(req_tag::TRACE_EXPORT),
+        Request::AuditReport => out.push(req_tag::AUDIT_REPORT),
+        Request::DeclareSession(tag) => {
+            out.push(req_tag::DECLARE_SESSION);
+            put_str(&mut out, tag, MAX_SESSION_TAG_LEN)?;
+        }
     }
     Ok(out)
+}
+
+/// Index-list body shared by the plain and traced predict-by-index ops.
+fn get_indices(scan: &mut Scan<'_>) -> Result<Vec<u32>, WireError> {
+    let n = scan.u32()? as usize;
+    if n > MAX_FRAME_LEN / 4 {
+        return Err(WireError::Malformed("index batch larger than frame cap"));
+    }
+    let mut indices = Vec::with_capacity(n);
+    for _ in 0..n {
+        indices.push(scan.u32()?);
+    }
+    Ok(indices)
+}
+
+/// Per-party feature-block body shared by the plain and traced
+/// predict-features ops.
+fn get_feature_blocks(scan: &mut Scan<'_>) -> Result<Vec<Matrix>, WireError> {
+    let parties = scan.u32()? as usize;
+    if parties > 4096 {
+        return Err(WireError::Malformed("implausible party count"));
+    }
+    let mut slices = Vec::with_capacity(parties);
+    for _ in 0..parties {
+        slices.push(get_matrix(scan)?);
+    }
+    Ok(slices)
 }
 
 /// Parses a frame payload into a request, rejecting trailing bytes.
@@ -275,32 +470,23 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
     let mut scan = Scan::new(payload);
     let req = match scan.u8()? {
         req_tag::PING => Request::Ping,
-        req_tag::PREDICT_BY_INDEX => {
-            let n = scan.u32()? as usize;
-            if n > MAX_FRAME_LEN / 4 {
-                return Err(WireError::Malformed("index batch larger than frame cap"));
-            }
-            let mut indices = Vec::with_capacity(n);
-            for _ in 0..n {
-                indices.push(scan.u32()?);
-            }
-            Request::PredictByIndex(indices)
-        }
-        req_tag::PREDICT_FEATURES => {
-            let parties = scan.u32()? as usize;
-            if parties > 4096 {
-                return Err(WireError::Malformed("implausible party count"));
-            }
-            let mut slices = Vec::with_capacity(parties);
-            for _ in 0..parties {
-                slices.push(get_matrix(&mut scan)?);
-            }
-            Request::PredictFeatures(slices)
-        }
+        req_tag::PREDICT_BY_INDEX => Request::PredictByIndex(get_indices(&mut scan)?),
+        req_tag::PREDICT_FEATURES => Request::PredictFeatures(get_feature_blocks(&mut scan)?),
         req_tag::INFO => Request::Info,
         req_tag::METRICS => Request::Metrics,
         req_tag::SHUTDOWN => Request::Shutdown,
         req_tag::METRICS_TEXT => Request::MetricsText,
+        req_tag::PREDICT_BY_INDEX_TRACED => {
+            let ctx = get_trace(&mut scan)?;
+            Request::PredictByIndexTraced(get_indices(&mut scan)?, ctx)
+        }
+        req_tag::PREDICT_FEATURES_TRACED => {
+            let ctx = get_trace(&mut scan)?;
+            Request::PredictFeaturesTraced(get_feature_blocks(&mut scan)?, ctx)
+        }
+        req_tag::TRACE_EXPORT => Request::TraceExport,
+        req_tag::AUDIT_REPORT => Request::AuditReport,
+        req_tag::DECLARE_SESSION => Request::DeclareSession(scan.str(MAX_SESSION_TAG_LEN)?),
         t => return Err(WireError::BadTag(t)),
     };
     scan.finish()?;
@@ -351,6 +537,16 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
             put_u32(&mut out, text.len() as u32);
             out.extend_from_slice(text.as_bytes());
         }
+        Response::TraceJsonl(text) => {
+            out.push(resp_tag::TRACE_JSONL);
+            put_u32(&mut out, text.len() as u32);
+            out.extend_from_slice(text.as_bytes());
+        }
+        Response::Audit(audit) => {
+            out.push(resp_tag::AUDIT);
+            put_audit(&mut out, audit)?;
+        }
+        Response::SessionAck => out.push(resp_tag::SESSION_ACK),
         Response::Error(msg) => {
             out.push(resp_tag::ERROR);
             put_u32(&mut out, msg.len() as u32);
@@ -422,6 +618,18 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
                 .map_err(|_| WireError::Malformed("exposition not utf-8"))?;
             Response::MetricsText(text.to_string())
         }
+        resp_tag::TRACE_JSONL => {
+            let n = scan.u32()? as usize;
+            if n > MAX_FRAME_LEN {
+                return Err(WireError::Malformed("trace export larger than frame"));
+            }
+            let bytes = scan.take(n)?;
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::Malformed("trace export not utf-8"))?;
+            Response::TraceJsonl(text.to_string())
+        }
+        resp_tag::AUDIT => Response::Audit(get_audit(&mut scan)?),
+        resp_tag::SESSION_ACK => Response::SessionAck,
         resp_tag::ERROR => {
             let n = scan.u32()? as usize;
             if n > MAX_FRAME_LEN {
@@ -485,8 +693,15 @@ mod tests {
         Matrix::from_fn(rows, cols, |_, _| rng.gen::<f64>() * 2.0 - 1.0)
     }
 
+    fn random_trace(rng: &mut StdRng) -> fia_core::TraceContext {
+        fia_core::TraceContext {
+            trace_id: rng.gen(),
+            parent_span: rng.gen(),
+        }
+    }
+
     fn random_request(rng: &mut StdRng, case: usize) -> Request {
-        match case % 7 {
+        match case % 12 {
             0 => Request::Ping,
             1 => {
                 // Includes the empty batch when n == 0.
@@ -507,12 +722,66 @@ mod tests {
             3 => Request::Info,
             4 => Request::Metrics,
             5 => Request::MetricsText,
-            _ => Request::Shutdown,
+            6 => Request::Shutdown,
+            7 => {
+                let n = rng.gen_range(0..40usize);
+                Request::PredictByIndexTraced(
+                    (0..n).map(|_| rng.gen_range(0..10_000u32)).collect(),
+                    random_trace(rng),
+                )
+            }
+            8 => {
+                let parties = rng.gen_range(1..4usize);
+                let rows = rng.gen_range(0..8usize);
+                let slices = (0..parties)
+                    .map(|_| {
+                        let cols = rng.gen_range(1..6usize);
+                        random_matrix(rng, rows, cols)
+                    })
+                    .collect();
+                Request::PredictFeaturesTraced(slices, random_trace(rng))
+            }
+            9 => Request::TraceExport,
+            10 => Request::AuditReport,
+            _ => {
+                let n = rng.gen_range(0..32usize);
+                Request::DeclareSession(
+                    (0..n)
+                        .map(|_| char::from(rng.gen_range(b'a'..=b'z')))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    fn random_audit(rng: &mut StdRng) -> AuditSummary {
+        let n_clients = rng.gen_range(0..5usize);
+        AuditSummary {
+            n_samples: rng.gen_range(0..1_000_000u64),
+            clients: (0..n_clients)
+                .map(|i| {
+                    let n_flags = rng.gen_range(0..3usize);
+                    ClientAudit {
+                        client: format!("client-{i}"),
+                        queries: rng.gen_range(0..1_000_000u64),
+                        rows: rng.gen_range(0..1_000_000u64),
+                        cached_rows: rng.gen_range(0..1_000_000u64),
+                        distinct_rows: rng.gen_range(0..1_000_000u64),
+                        repeat_rows: rng.gen_range(0..1_000_000u64),
+                        feature_queries: rng.gen_range(0..1_000u64),
+                        window_rate_rps: rng.gen::<f64>() * 1e4,
+                        flags: ["high-coverage", "repeat-heavy", "feature-burst"][..n_flags]
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect(),
+                    }
+                })
+                .collect(),
         }
     }
 
     fn random_response(rng: &mut StdRng, case: usize) -> Response {
-        match case % 7 {
+        match case % 10 {
             0 => Response::Pong,
             1 => {
                 let rows = rng.gen_range(0..16usize);
@@ -556,7 +825,13 @@ mod tests {
                 "# TYPE fia_serve_requests_total counter\nfia_serve_requests_total 7\n"
                     .repeat(rng.gen_range(0..4usize)),
             ),
-            _ => Response::Error("sample index 99 out of range (n_samples = 10)".to_string()),
+            6 => Response::Error("sample index 99 out of range (n_samples = 10)".to_string()),
+            7 => Response::TraceJsonl(
+                "{\"id\":4294967296,\"parent\":7,\"name\":\"serve.request\"}\n"
+                    .repeat(rng.gen_range(0..4usize)),
+            ),
+            8 => Response::Audit(random_audit(rng)),
+            _ => Response::SessionAck,
         }
     }
 
@@ -723,6 +998,111 @@ mod tests {
         assert!(matches!(
             decode_request(&payload),
             Err(WireError::Malformed(_))
+        ));
+    }
+
+    /// Back-compat: the legacy (untraced) encodings are pinned byte for
+    /// byte. A client that has never heard of trace contexts keeps
+    /// producing — and a server keeps accepting — exactly these frames.
+    #[test]
+    fn legacy_encodings_are_bit_identical_golden_bytes() {
+        assert_eq!(encode_request(&Request::Ping).unwrap(), vec![0x01]);
+        assert_eq!(
+            encode_request(&Request::PredictByIndex(vec![1, 258])).unwrap(),
+            vec![0x02, 2, 0, 0, 0, 1, 0, 0, 0, 2, 1, 0, 0]
+        );
+        let m = Matrix::from_vec(1, 1, vec![1.5]).unwrap();
+        let mut expect = vec![0x03, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0];
+        expect.extend_from_slice(&1.5f64.to_bits().to_le_bytes());
+        assert_eq!(
+            encode_request(&Request::PredictFeatures(vec![m.clone()])).unwrap(),
+            expect
+        );
+        assert_eq!(encode_request(&Request::Info).unwrap(), vec![0x04]);
+        assert_eq!(encode_request(&Request::Metrics).unwrap(), vec![0x05]);
+        assert_eq!(encode_request(&Request::Shutdown).unwrap(), vec![0x06]);
+        assert_eq!(encode_request(&Request::MetricsText).unwrap(), vec![0x07]);
+    }
+
+    /// The traced predict layout is tag, 16-byte trace context, then the
+    /// byte-identical legacy body.
+    #[test]
+    fn traced_predict_is_trace_context_plus_legacy_body() {
+        let ctx = fia_core::TraceContext {
+            trace_id: 0x1111_2222_3333_4444,
+            parent_span: 0x5555_6666_7777_8888,
+        };
+        let indices = vec![9u32, 8, 7];
+        let legacy = encode_request(&Request::PredictByIndex(indices.clone())).unwrap();
+        let traced = encode_request(&Request::PredictByIndexTraced(indices.clone(), ctx)).unwrap();
+        assert_eq!(traced[0], 0x08);
+        assert_eq!(&traced[1..9], &ctx.trace_id.to_le_bytes());
+        assert_eq!(&traced[9..17], &ctx.parent_span.to_le_bytes());
+        assert_eq!(&traced[17..], &legacy[1..]);
+        assert_eq!(
+            decode_request(&traced).unwrap(),
+            Request::PredictByIndexTraced(indices, ctx)
+        );
+    }
+
+    #[test]
+    fn session_tag_cap_is_enforced_both_ways() {
+        let long = "x".repeat(MAX_SESSION_TAG_LEN + 1);
+        assert!(matches!(
+            encode_request(&Request::DeclareSession(long)),
+            Err(WireError::Malformed(_))
+        ));
+        let ok = "campaign-abc".to_string();
+        let payload = encode_request(&Request::DeclareSession(ok.clone())).unwrap();
+        assert_eq!(
+            decode_request(&payload).unwrap(),
+            Request::DeclareSession(ok)
+        );
+        // Decoder-side: a crafted over-cap length prefix is rejected.
+        let mut crafted = vec![0x0C];
+        crafted.extend_from_slice(&((MAX_SESSION_TAG_LEN as u32) + 1).to_le_bytes());
+        crafted.extend(std::iter::repeat_n(b'x', MAX_SESSION_TAG_LEN + 1));
+        assert!(matches!(
+            decode_request(&crafted),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn audit_summary_round_trips_and_rejects_non_finite_rate() {
+        let audit = AuditSummary {
+            n_samples: 512,
+            clients: vec![ClientAudit {
+                client: "campaign-1".to_string(),
+                queries: 8,
+                rows: 512,
+                cached_rows: 64,
+                distinct_rows: 448,
+                repeat_rows: 64,
+                feature_queries: 0,
+                window_rate_rps: 1.25,
+                flags: vec!["high-coverage".to_string()],
+            }],
+        };
+        let payload = encode_response(&Response::Audit(audit.clone())).unwrap();
+        assert_eq!(decode_response(&payload).unwrap(), Response::Audit(audit));
+        let bad = AuditSummary {
+            n_samples: 1,
+            clients: vec![ClientAudit {
+                client: "x".to_string(),
+                queries: 0,
+                rows: 0,
+                cached_rows: 0,
+                distinct_rows: 0,
+                repeat_rows: 0,
+                feature_queries: 0,
+                window_rate_rps: f64::NAN,
+                flags: vec![],
+            }],
+        };
+        assert!(matches!(
+            encode_response(&Response::Audit(bad)),
+            Err(WireError::NonFinite)
         ));
     }
 

@@ -67,10 +67,30 @@ fn format_f64(v: f64) -> String {
     }
 }
 
+/// Formats a histogram `le` bound label. Bucket identity lives in this
+/// string, so it must be *stable*: plain decimal notation, never
+/// scientific (`0.001`, not `1e-3` — a flip would split one bucket's
+/// series in two on any downstream scraper). Rust's `Display` for `f64`
+/// is shortest-round-trip decimal without exponents, which is exactly
+/// the contract; this helper exists to pin it by golden test.
+fn format_le(bound: f64) -> String {
+    if bound.is_infinite() && bound > 0.0 {
+        "+Inf".to_string()
+    } else {
+        format!("{bound}")
+    }
+}
+
 /// Encodes a snapshot as Prometheus text exposition. Entries keep their
 /// snapshot order; `# HELP`/`# TYPE` headers are emitted once per metric
 /// name, at its first occurrence.
 pub fn encode_prometheus(snapshot: &TelemetrySnapshot) -> String {
+    // An empty registry is a valid scrape target: the exposition is just
+    // the end-of-stream marker, not the empty string (which some parsers
+    // treat as a failed scrape).
+    if snapshot.entries.is_empty() {
+        return "# EOF\n".to_string();
+    }
     let mut out = String::new();
     let mut seen: HashSet<&str> = HashSet::new();
     for e in &snapshot.entries {
@@ -122,7 +142,7 @@ pub fn encode_prometheus(snapshot: &TelemetrySnapshot) -> String {
                     out,
                     "{}_bucket{} {}",
                     e.name,
-                    label_set(&e.labels, Some(("le", "+Inf"))),
+                    label_set(&e.labels, Some(("le", &format_le(f64::INFINITY)))),
                     h.count
                 );
                 let _ = writeln!(
@@ -142,6 +162,9 @@ pub fn encode_prometheus(snapshot: &TelemetrySnapshot) -> String {
             }
         }
     }
+    // Trailing end-of-stream marker (OpenMetrics-style), so a truncated
+    // scrape is distinguishable from a complete one.
+    out.push_str("# EOF\n");
     out
 }
 
@@ -163,8 +186,49 @@ mod tests {
              fia_requests_total 3\n\
              # HELP fia_uptime_seconds Uptime.\n\
              # TYPE fia_uptime_seconds gauge\n\
-             fia_uptime_seconds 1.5\n"
+             fia_uptime_seconds 1.5\n\
+             # EOF\n"
         );
+    }
+
+    #[test]
+    fn empty_registry_encodes_to_just_the_eof_marker() {
+        let r = Registry::new();
+        assert_eq!(encode_prometheus(&r.snapshot()), "# EOF\n");
+        assert_eq!(
+            encode_prometheus(&crate::TelemetrySnapshot::default()),
+            "# EOF\n"
+        );
+    }
+
+    #[test]
+    fn every_exposition_ends_with_eof() {
+        let r = Registry::new();
+        r.counter("c_total", "c").inc();
+        r.histogram("h_us", "h").record(5);
+        let text = encode_prometheus(&r.snapshot());
+        assert!(text.ends_with("# EOF\n"), "{text:?}");
+        assert_eq!(text.matches("# EOF").count(), 1);
+    }
+
+    #[test]
+    fn le_label_float_formatting_is_stable() {
+        // Bucket identity lives in the `le` string: a formatter that
+        // flips between `0.001` and `1e-3` splits the series. Pin the
+        // golden decimal renderings.
+        assert_eq!(format_le(0.001), "0.001");
+        assert_eq!(format_le(1e-3), "0.001"); // same value, same string
+        assert_eq!(format_le(0.0001), "0.0001");
+        assert_eq!(format_le(1.0), "1");
+        assert_eq!(format_le(1023.0), "1023");
+        assert_eq!(format_le(2.5), "2.5");
+        assert_eq!(format_le(1e6), "1000000");
+        assert_eq!(format_le(f64::INFINITY), "+Inf");
+        // No exponent notation may ever appear in a le label.
+        for v in [0.001, 0.0001, 1e-6, 1e9, 123456789.125] {
+            let s = format_le(v);
+            assert!(!s.contains('e') && !s.contains('E'), "{s}");
+        }
     }
 
     #[test]

@@ -79,15 +79,16 @@ impl TelemetrySnapshot {
         self.entries.is_empty()
     }
 
-    /// Looks up one instrument by name and exact label set.
+    /// Looks up one instrument by name and label *set* — label order is
+    /// irrelevant, as it is in Prometheus: `{a="1",b="2"}` and
+    /// `{b="2",a="1"}` name the same series.
     pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&InstrumentSnapshot> {
         self.entries.iter().find(|e| {
             e.name == name
                 && e.labels.len() == labels.len()
-                && e.labels
+                && labels
                     .iter()
-                    .zip(labels)
-                    .all(|((k, v), (lk, lv))| k == lk && v == lv)
+                    .all(|(lk, lv)| e.labels.iter().any(|(k, v)| k == lk && v == lv))
         })
     }
 
@@ -241,6 +242,76 @@ mod tests {
     fn merge_concatenates() {
         let m = snap_with(1, &[]).merge(snap_with(2, &[]));
         assert_eq!(m.entries.len(), 6);
+    }
+
+    #[test]
+    fn get_and_delta_are_label_order_invariant() {
+        let r = Registry::new();
+        r.counter_with("m_total", "m", &[("client", "a"), ("op", "idx")])
+            .add(9);
+        let snap = r.snapshot();
+        // Lookup matches regardless of query label order.
+        let fwd = snap.get("m_total", &[("client", "a"), ("op", "idx")]);
+        let rev = snap.get("m_total", &[("op", "idx"), ("client", "a")]);
+        assert_eq!(fwd, rev);
+        assert!(fwd.is_some());
+        // A baseline whose labels were stored in a different order still
+        // subtracts — the series identity is the set, not the sequence.
+        let mut earlier = snap.clone();
+        earlier.entries[0].labels.reverse();
+        if let InstrumentValue::Counter(ref mut v) = earlier.entries[0].value {
+            *v = 4;
+        }
+        let d = snap.delta_since(&earlier);
+        assert_eq!(
+            d.get("m_total", &[("op", "idx"), ("client", "a")])
+                .unwrap()
+                .value,
+            InstrumentValue::Counter(5)
+        );
+    }
+
+    #[test]
+    fn delta_passes_through_instruments_only_in_the_newer_snapshot() {
+        // The baseline has *different* instruments entirely (not just an
+        // empty snapshot): nothing matches, everything passes through.
+        let r0 = Registry::new();
+        r0.counter("old_total", "old").add(99);
+        let before = r0.snapshot();
+        let after = snap_with(7, &[42]);
+        let d = after.delta_since(&before);
+        assert_eq!(
+            d.get("c_total", &[("k", "v")]).unwrap().value,
+            InstrumentValue::Counter(7)
+        );
+        match &d.get("h_us", &[]).unwrap().value {
+            InstrumentValue::Histogram(h) => assert_eq!((h.count, h.sum), (1, 42)),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+        // And the retired instrument does not resurface in the delta.
+        assert!(d.get("old_total", &[]).is_none());
+    }
+
+    #[test]
+    fn delta_after_counter_reset_saturates_to_zero() {
+        // A re-registered (restarted) counter reads lower than the
+        // baseline; the delta saturates at zero instead of wrapping to
+        // an astronomically large u64.
+        let before = snap_with(10, &[1, 2, 3]);
+        let after = snap_with(4, &[1]); // "restart": fewer events so far
+        let d = after.delta_since(&before);
+        assert_eq!(
+            d.get("c_total", &[("k", "v")]).unwrap().value,
+            InstrumentValue::Counter(0)
+        );
+        match &d.get("h_us", &[]).unwrap().value {
+            InstrumentValue::Histogram(h) => {
+                assert_eq!(h.count, 0);
+                assert_eq!(h.sum, 0);
+                assert!(h.buckets.iter().all(|&b| b == 0));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::json::ObjectBuilder;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 /// A typed span field value.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +35,10 @@ pub struct SpanRecord {
     pub name: String,
     /// Start offset from the tracer's epoch, microseconds.
     pub start_us: u64,
+    /// Absolute wall-clock start, microseconds since the Unix epoch.
+    /// Monotonic offsets (`start_us`) order spans *within* one tracer;
+    /// this anchor time-aligns traces merged from different processes.
+    pub unix_us: u64,
     /// Wall-clock duration, microseconds.
     pub dur_us: u64,
     /// Fields attached while the span was open.
@@ -55,6 +59,7 @@ impl SpanRecord {
             )
             .str("name", &self.name)
             .u64("start_us", self.start_us)
+            .u64("unix_us", self.unix_us)
             .u64("dur_us", self.dur_us);
         for (k, v) in &self.fields {
             b = match v {
@@ -69,6 +74,9 @@ impl SpanRecord {
 
 struct TracerInner {
     epoch: Instant,
+    /// Wall-clock time of `epoch`, microseconds since the Unix epoch —
+    /// captured once so every record's `unix_us` shares one anchor.
+    epoch_unix_us: u64,
     next_id: AtomicU64,
     records: Mutex<Vec<SpanRecord>>,
 }
@@ -90,10 +98,25 @@ impl Default for Tracer {
 impl Tracer {
     /// A tracer whose epoch is now.
     pub fn new() -> Self {
+        Self::with_id_base(1)
+    }
+
+    /// A tracer whose epoch is now and whose span ids count up from
+    /// `base` (clamped to at least 1 — id 0 is reserved).
+    ///
+    /// Distinct processes that will later *merge* their JSONL traces
+    /// should pick disjoint bases (e.g. a server at `1 << 32`, clients
+    /// at 1) so span ids stay unique in the merged tree and a
+    /// cross-process `parent` reference is unambiguous.
+    pub fn with_id_base(base: u64) -> Self {
         Tracer {
             inner: Arc::new(TracerInner {
                 epoch: Instant::now(),
-                next_id: AtomicU64::new(1),
+                epoch_unix_us: SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_micros() as u64)
+                    .unwrap_or(0),
+                next_id: AtomicU64::new(base.max(1)),
                 records: Mutex::new(Vec::new()),
             }),
         }
@@ -114,6 +137,14 @@ impl Tracer {
     /// Opens a root span.
     pub fn root(&self, name: &str) -> Span {
         self.open(name, None)
+    }
+
+    /// Opens a span whose parent lives in *another* tracer — typically
+    /// another process. The span is a root of this tracer's local tree
+    /// but records `parent` as the remote span id, so after merging the
+    /// two JSONL streams the edge resolves like any in-process link.
+    pub fn root_with_parent(&self, name: &str, parent: u64) -> Span {
+        self.open(name, Some(parent))
     }
 
     /// Finished spans so far, in finish order.
@@ -188,14 +219,16 @@ impl Span {
         if self.finished.swap(1, Ordering::Relaxed) != 0 {
             return;
         }
+        let start_us = self
+            .started
+            .duration_since(self.tracer.inner.epoch)
+            .as_micros() as u64;
         let record = SpanRecord {
             id: self.id,
             parent: self.parent,
             name: self.name.clone(),
-            start_us: self
-                .started
-                .duration_since(self.tracer.inner.epoch)
-                .as_micros() as u64,
+            start_us,
+            unix_us: self.tracer.inner.epoch_unix_us.saturating_add(start_us),
             dur_us: self.started.elapsed().as_micros() as u64,
             fields: self.fields.lock().expect("span fields lock").clone(),
         };
@@ -281,6 +314,55 @@ mod tests {
         assert!(jsonl.contains("\"note\":\"a\\nb\""));
         assert!(jsonl.contains("\"parent\":null"));
         assert!(jsonl.ends_with('\n'));
+    }
+
+    #[test]
+    fn unix_us_anchors_the_monotonic_offsets() {
+        let t = Tracer::new();
+        t.root("a").finish();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        t.root("b").finish();
+        let recs = t.records();
+        // Anchored to a plausible wall clock (after 2020-01-01)…
+        assert!(recs[0].unix_us > 1_577_836_800_000_000);
+        // …and the wall-clock gap matches the monotonic gap exactly,
+        // because both derive from one captured epoch.
+        assert_eq!(
+            recs[1].unix_us - recs[0].unix_us,
+            recs[1].start_us - recs[0].start_us
+        );
+        assert!(t.to_jsonl().contains("\"unix_us\":"));
+    }
+
+    #[test]
+    fn id_base_offsets_the_id_space() {
+        let t = Tracer::with_id_base(1 << 32);
+        let a = t.root("a");
+        let b = a.child("b");
+        assert_eq!(a.id(), 1 << 32);
+        assert_eq!(b.id(), (1 << 32) + 1);
+        // Base 0 is clamped: id 0 is reserved for "no span".
+        assert_eq!(Tracer::with_id_base(0).root("z").id(), 1);
+    }
+
+    #[test]
+    fn root_with_parent_links_to_a_foreign_id() {
+        let client = Tracer::new();
+        let server = Tracer::with_id_base(1 << 32);
+        let chunk = client.root("campaign.chunk");
+        let req = server.root_with_parent("serve.request", chunk.id());
+        req.finish();
+        chunk.finish();
+        let recs = server.records();
+        assert_eq!(recs[0].parent, Some(chunk.id()));
+        // The merged stream resolves the edge: every parent id appears.
+        let mut merged = client.records();
+        merged.extend(server.records());
+        for r in &merged {
+            if let Some(p) = r.parent {
+                assert!(merged.iter().any(|o| o.id == p));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! `top` for the prediction service: polls the live `MetricsText` and
+//! `AuditReport` wire ops and renders a per-client table — queries,
+//! rows, cache-released rows, distinct-row coverage, repeats, ad-hoc
+//! feature traffic, trailing query rate, and the ledger's probe-shape
+//! flags. Point it at a running server, or let it spawn a demo
+//! deployment plus two synthetic clients (one sample-space sweeper, one
+//! ad-hoc feature prober) so the table has something to show.
+//!
+//! ```sh
+//! cargo run --release --example fia_top                  # self-hosted demo
+//! FIA_TOP_ADDR=127.0.0.1:7070 cargo run --example fia_top  # watch a server
+//! FIA_TOP_FRAMES=10 FIA_TOP_INTERVAL_MS=1000 ...           # pacing
+//! ```
+
+use fia::defense::DefensePipeline;
+use fia::linalg::Matrix;
+use fia::models::LogisticRegression;
+use fia::serve::{PredictionServer, RemoteOracle, ServeConfig, ServerHandle};
+use fia::vfl::{VerticalPartition, VflSystem};
+use std::io::IsTerminal;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 96;
+const D: usize = 8;
+const C: usize = 5;
+
+fn env_u64(key: &str, default: u64) -> u64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// A small deterministic LR deployment for the self-hosted demo.
+fn demo_server() -> ServerHandle {
+    let w = Matrix::from_fn(D, C, |i, j| ((1 + i * C + j) as f64).sin());
+    let model = LogisticRegression::from_parameters(w, vec![0.0; C], C);
+    let global = Matrix::from_fn(N, D, |i, j| 0.05 + 0.9 * ((i * D + j) as f64).cos().abs());
+    let partition =
+        VerticalPartition::from_assignments(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]], D);
+    let system = Arc::new(VflSystem::from_global(model, partition, &global));
+    PredictionServer::spawn(
+        system,
+        Arc::new(DefensePipeline::new()),
+        ServeConfig {
+            replicas: 2,
+            cache_capacity: 2 * N,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("bind demo server")
+}
+
+/// Two synthetic clients driving the demo server until `stop` flips:
+/// `sweeper` re-walks the stored sample space (coverage + repeats),
+/// `prober` issues ad-hoc feature queries (feature-burst shape).
+fn demo_traffic(
+    addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+) -> Vec<std::thread::JoinHandle<()>> {
+    let sweep_stop = Arc::clone(&stop);
+    let sweeper = std::thread::spawn(move || {
+        let mut oracle = RemoteOracle::connect(addr).expect("sweeper connect");
+        oracle.declare_session("sweeper").expect("declare");
+        let mut at = 0usize;
+        while !sweep_stop.load(Ordering::Relaxed) {
+            let indices: Vec<usize> = (0..16).map(|k| (at + k) % N).collect();
+            at = (at + 16) % N;
+            if oracle.predict_batch(&indices).is_err() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    });
+    let probe_stop = stop;
+    let prober = std::thread::spawn(move || {
+        let mut oracle = RemoteOracle::connect(addr).expect("prober connect");
+        oracle.declare_session("prober").expect("declare");
+        let mut tick = 0u64;
+        while !probe_stop.load(Ordering::Relaxed) {
+            let phase = tick as f64 / 7.0;
+            tick += 1;
+            let slices = vec![
+                Matrix::from_fn(3, 4, |i, j| ((i + j) as f64 + phase).sin().abs()),
+                Matrix::from_fn(3, 4, |i, j| ((i * j) as f64 - phase).cos().abs()),
+            ];
+            if oracle.predict_features(&slices).is_err() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(35));
+        }
+    });
+    vec![sweeper, prober]
+}
+
+fn main() {
+    let frames = env_u64("FIA_TOP_FRAMES", 5);
+    let interval = Duration::from_millis(env_u64("FIA_TOP_INTERVAL_MS", 500));
+
+    // Resolve the target: an external server, or a self-hosted demo.
+    let external = std::env::var("FIA_TOP_ADDR").ok();
+    let (server, addr) = match &external {
+        Some(a) => (None, a.parse().expect("FIA_TOP_ADDR parses")),
+        None => {
+            let s = demo_server();
+            let addr = s.addr();
+            (Some(s), addr)
+        }
+    };
+    let stop = Arc::new(AtomicBool::new(false));
+    let traffic = if server.is_some() {
+        demo_traffic(addr, Arc::clone(&stop))
+    } else {
+        Vec::new()
+    };
+
+    let mut oracle = RemoteOracle::connect(addr).expect("connect");
+    let live = std::io::stdout().is_terminal();
+    for frame in 1..=frames {
+        std::thread::sleep(interval);
+        let m = oracle.server_metrics().expect("metrics");
+        let audit = oracle.audit_report().expect("audit");
+        if live {
+            // In a terminal, redraw in place like `top`.
+            print!("\x1b[2J\x1b[H");
+        }
+        println!(
+            "fia-top — {addr} — frame {frame}/{frames}  up {:.1}s",
+            m.uptime_secs
+        );
+        println!(
+            "server: {} req  {} rows  {} rounds  {} err  cache {}/{}  {:.1} rps  fill {:.2}  conns {}",
+            m.requests,
+            m.rows,
+            m.rounds,
+            m.errors,
+            m.cache_hits,
+            m.cache_hits + m.cache_misses,
+            m.throughput_rps,
+            m.mean_batch_fill,
+            m.open_connections,
+        );
+        println!(
+            "{:<18} {:>8} {:>8} {:>8} {:>9} {:>8} {:>7} {:>8}  FLAGS",
+            "CLIENT", "QUERIES", "ROWS", "CACHED", "DISTINCT", "REPEATS", "FEATQ", "RATE/S",
+        );
+        for c in &audit.clients {
+            println!(
+                "{:<18} {:>8} {:>8} {:>8} {:>9} {:>8} {:>7} {:>8.2}  {}",
+                c.client,
+                c.queries,
+                c.rows,
+                c.cached_rows,
+                c.distinct_rows,
+                c.repeat_rows,
+                c.feature_queries,
+                c.window_rate_rps,
+                if c.flags.is_empty() {
+                    "-".to_string()
+                } else {
+                    c.flags.join(",")
+                },
+            );
+        }
+        if audit.clients.is_empty() {
+            println!("(no audited clients yet — is the server's audit ledger enabled?)");
+        }
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for t in traffic {
+        let _ = t.join();
+    }
+    if let Some(s) = server {
+        s.shutdown();
+    }
+}

@@ -17,6 +17,17 @@ use fia::data::PaperDataset;
 use std::fs;
 use std::path::Path;
 
+/// Pulls `"key":N` out of a hand-rolled JSONL span line.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\":");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn main() {
     // 1. A served scenario: the campaign spawns a real prediction
     //    server (two replicas, released-score cache) and queries it
@@ -70,6 +81,66 @@ fn main() {
     //     fia-linalg gemm kernel counters.
     let metrics = campaign.server_metrics_text().expect("served scrape");
     fs::write(dir.join("metrics.txt"), &metrics).expect("write metrics");
+
+    // 3d. The merged distributed trace: client spans followed by server
+    //     spans, one id space (server ids start at 1 << 32). Every
+    //     server `serve.request` span's parent is the client-side
+    //     `campaign.chunk` that caused it — assert that here so the
+    //     artifact is known-good before anything downstream reads it.
+    let merged = report.merged_trace_jsonl();
+    let client_ids: std::collections::HashSet<u64> = merged
+        .lines()
+        .filter_map(|l| field_u64(l, "id"))
+        .filter(|&id| id < fia::serve::SERVER_SPAN_ID_BASE)
+        .collect();
+    let mut cross_links = 0usize;
+    for line in merged
+        .lines()
+        .filter(|l| l.contains("\"name\":\"serve.request\""))
+    {
+        let parent = field_u64(line, "parent").expect("serve.request has a parent");
+        assert!(
+            client_ids.contains(&parent),
+            "server request span does not resolve to a client span: {line}"
+        );
+        cross_links += 1;
+    }
+    assert!(
+        cross_links > 0,
+        "no cross-process links in the merged trace"
+    );
+    fs::write(dir.join("merged_trace.jsonl"), &merged).expect("write merged trace");
+
+    // 3e. The server's per-client audit ledger: the defender's view of
+    //     this campaign's query stream. Its cost must equal the
+    //     client's own meter — the parity the ledger is built around.
+    let audit = report.server_audit.as_ref().expect("served audit");
+    let tag = report.session_tag.as_deref().expect("declared tag");
+    let entry = audit.client(tag).expect("ledger entry for this session");
+    assert_eq!(entry.cost(), report.cost, "ledger/meter parity");
+    let mut audit_txt = format!("# audit ledger — n_samples {}\n", audit.n_samples);
+    for c in &audit.clients {
+        audit_txt.push_str(&format!(
+            "client={} queries={} rows={} cached={} distinct={} repeats={} feature_queries={} rate={:.2}/s flags=[{}]\n",
+            c.client,
+            c.queries,
+            c.rows,
+            c.cached_rows,
+            c.distinct_rows,
+            c.repeat_rows,
+            c.feature_queries,
+            c.window_rate_rps,
+            c.flags.join(","),
+        ));
+    }
+    fs::write(dir.join("audit_ledger.txt"), &audit_txt).expect("write audit");
+    println!(
+        "merged trace: {} spans, {} cross-process request links; audit: {} ledger entries, flags [{}]",
+        merged.lines().count(),
+        cross_links,
+        audit.clients.len(),
+        entry.flags.join(","),
+    );
 
     println!(
         "wrote {} events, {} spans, {} metric samples under target/observability/",
