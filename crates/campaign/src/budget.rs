@@ -11,6 +11,7 @@
 //! accumulation chunk to land exactly on the limit), but the adapter is
 //! the hard stop.
 
+use crate::checkpoint::{CheckpointError, Cursor};
 use fia_core::{OracleError, PredictionOracle, QueryCost, TraceContext};
 use fia_linalg::Matrix;
 
@@ -101,6 +102,85 @@ impl QueryBudget {
             (None, Some(r)) => format!("rows≤{r}"),
             (Some(q), Some(r)) => format!("queries≤{q},rows≤{r}"),
         }
+    }
+}
+
+/// The serializable budget meter: a [`QueryBudget`] plus everything
+/// already [spent](QueryCost) against it — the state a checkpointed
+/// session must carry across process restarts so the budget bounds the
+/// *whole* session, not each incarnation.
+///
+/// Serializes as a small versioned blob (version byte, presence flags,
+/// little-endian `u64`s); decoding rejects version skew, truncation and
+/// trailing bytes with a typed [`CheckpointError`] rather than
+/// panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetMeter {
+    /// The session's budget.
+    pub budget: QueryBudget,
+    /// What the session has spent so far.
+    pub spent: QueryCost,
+}
+
+/// Current budget-meter blob version.
+const METER_VERSION: u8 = 1;
+
+impl BudgetMeter {
+    /// Serializes the meter: `[version, flags, caps…, spent…]` where
+    /// `flags` bit 0 marks a query cap and bit 1 a row cap.
+    pub fn to_blob(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(42);
+        out.push(METER_VERSION);
+        let mut flags = 0u8;
+        if self.budget.max_queries.is_some() {
+            flags |= 1;
+        }
+        if self.budget.max_rows.is_some() {
+            flags |= 2;
+        }
+        out.push(flags);
+        if let Some(q) = self.budget.max_queries {
+            out.extend_from_slice(&q.to_le_bytes());
+        }
+        if let Some(r) = self.budget.max_rows {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&self.spent.queries.to_le_bytes());
+        out.extend_from_slice(&self.spent.rows.to_le_bytes());
+        out.extend_from_slice(&self.spent.cached_rows.to_le_bytes());
+        out
+    }
+
+    /// Decodes a blob produced by [`BudgetMeter::to_blob`].
+    pub fn from_blob(blob: &[u8]) -> Result<Self, CheckpointError> {
+        let mut c = Cursor::new(blob);
+        let version = c.u8()?;
+        if version != METER_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let flags = c.u8()?;
+        if flags > 3 {
+            return Err(CheckpointError::Corrupt("unknown budget-meter flags"));
+        }
+        let max_queries = if flags & 1 != 0 { Some(c.u64()?) } else { None };
+        let max_rows = if flags & 2 != 0 { Some(c.u64()?) } else { None };
+        let spent = QueryCost {
+            queries: c.u64()?,
+            rows: c.u64()?,
+            cached_rows: c.u64()?,
+        };
+        if c.remaining() != 0 {
+            return Err(CheckpointError::Corrupt(
+                "trailing bytes after budget meter",
+            ));
+        }
+        Ok(BudgetMeter {
+            budget: QueryBudget {
+                max_queries,
+                max_rows,
+            },
+            spent,
+        })
     }
 }
 
@@ -310,6 +390,59 @@ mod tests {
         assert_eq!(spent.queries, 2);
         // cached = prior 1 + this run's delta (2/2 = 1).
         assert_eq!(spent.cached_rows, 2);
+    }
+
+    #[test]
+    fn meter_blob_round_trips_every_flag_combination() {
+        let spent = QueryCost {
+            queries: 3,
+            rows: u64::MAX - 7,
+            cached_rows: 11,
+        };
+        for budget in [
+            QueryBudget::unlimited(),
+            QueryBudget::queries(9),
+            QueryBudget::rows(u64::MAX),
+            QueryBudget::queries(2).with_rows(500),
+        ] {
+            let m = BudgetMeter { budget, spent };
+            assert_eq!(BudgetMeter::from_blob(&m.to_blob()), Ok(m));
+        }
+    }
+
+    #[test]
+    fn meter_blob_rejects_skew_truncation_and_trailing_bytes() {
+        use crate::checkpoint::CheckpointError;
+        let m = BudgetMeter {
+            budget: QueryBudget::queries(2).with_rows(500),
+            spent: QueryCost::default(),
+        };
+        let blob = m.to_blob();
+        for cut in 0..blob.len() {
+            assert_eq!(
+                BudgetMeter::from_blob(&blob[..cut]),
+                Err(CheckpointError::Truncated),
+                "cut at {cut}"
+            );
+        }
+        let mut extra = blob.clone();
+        extra.push(0);
+        assert!(matches!(
+            BudgetMeter::from_blob(&extra),
+            Err(CheckpointError::Corrupt(_))
+        ));
+        let mut skewed = blob.clone();
+        skewed[0] = 7;
+        assert_eq!(
+            BudgetMeter::from_blob(&skewed),
+            Err(CheckpointError::UnsupportedVersion(7))
+        );
+        let mut bad_flags = blob;
+        bad_flags[1] = 0xF0;
+        assert!(matches!(
+            BudgetMeter::from_blob(&bad_flags),
+            Err(CheckpointError::Corrupt(_))
+        ));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Typed campaign failures.
 
+use crate::checkpoint::CheckpointError;
 use fia_core::OracleError;
 
 /// A campaign session failure.
@@ -20,6 +21,8 @@ pub enum CampaignError {
     Spawn(std::io::Error),
     /// The served oracle's client could not connect or handshake.
     Connect(String),
+    /// A session checkpoint could not be decoded or restored.
+    Checkpoint(CheckpointError),
 }
 
 impl std::fmt::Display for CampaignError {
@@ -36,6 +39,7 @@ impl std::fmt::Display for CampaignError {
             CampaignError::Connect(why) => {
                 write!(f, "could not connect to prediction server: {why}")
             }
+            CampaignError::Checkpoint(e) => write!(f, "campaign checkpoint failure: {e}"),
         }
     }
 }
@@ -45,6 +49,12 @@ impl std::error::Error for CampaignError {}
 impl From<OracleError> for CampaignError {
     fn from(e: OracleError) -> Self {
         CampaignError::Oracle(e)
+    }
+}
+
+impl From<CheckpointError> for CampaignError {
+    fn from(e: CheckpointError) -> Self {
+        CampaignError::Checkpoint(e)
     }
 }
 
@@ -62,5 +72,7 @@ mod tests {
         assert!(e.to_string().contains("dt"));
         let e: CampaignError = OracleError("boom".into()).into();
         assert!(e.to_string().contains("boom"));
+        let e: CampaignError = CheckpointError::Truncated.into();
+        assert!(e.to_string().contains("truncated"));
     }
 }

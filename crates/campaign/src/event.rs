@@ -10,11 +10,11 @@
 use crate::budget::QueryBudget;
 use crate::report::CampaignOutcome;
 use fia_core::QueryCost;
-use fia_telemetry::json::ObjectBuilder;
+use fia_telemetry::json::{self, ObjectBuilder, Value};
 use std::time::Duration;
 
 /// One progress event of a running campaign.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CampaignEvent {
     /// The session started (or resumed) accumulating.
     Started {
@@ -102,12 +102,18 @@ impl CampaignEvent {
                 rows_planned,
                 rows_done,
                 budget,
-            } => b
-                .str("fingerprint", fingerprint)
-                .u64("rows_done", *rows_done as u64)
-                .u64("rows_planned", *rows_planned as u64)
-                .str("budget", &format!("{budget:?}"))
-                .build(),
+            } => {
+                let axis = |v: Option<u64>| v.map_or("null".to_string(), |n| n.to_string());
+                let budget_obj = ObjectBuilder::new()
+                    .raw("max_queries", &axis(budget.max_queries))
+                    .raw("max_rows", &axis(budget.max_rows))
+                    .build();
+                b.str("fingerprint", fingerprint)
+                    .u64("rows_done", *rows_done as u64)
+                    .u64("rows_planned", *rows_planned as u64)
+                    .raw("budget", &budget_obj)
+                    .build()
+            }
             CampaignEvent::ChunkDone {
                 chunk,
                 rows_done,
@@ -155,11 +161,155 @@ impl CampaignEvent {
                     .build()
             }
             CampaignEvent::Finished { outcome, cost } => {
-                with_cost(b.str("outcome", outcome.name()), cost).build()
+                let mut b = b.str("outcome", outcome.name());
+                if let CampaignOutcome::BudgetExhausted {
+                    rows_done,
+                    rows_planned,
+                } = outcome
+                {
+                    b = b
+                        .u64("rows_done", *rows_done as u64)
+                        .u64("rows_planned", *rows_planned as u64);
+                }
+                with_cost(b, cost).build()
             }
         }
     }
+
+    /// Parses one JSON object produced by [`CampaignEvent::to_json`]
+    /// back into the event — the daemon's attach/replay path, and what
+    /// makes archived `campaign_events.jsonl` artifacts
+    /// machine-checkable. Durations round-trip at microsecond
+    /// granularity (the serialized resolution).
+    pub fn from_json(line: &str) -> Result<CampaignEvent, EventParseError> {
+        let v = json::parse(line).map_err(|e| EventParseError(e.to_string()))?;
+        let req = |key: &str| {
+            v.get(key)
+                .ok_or_else(|| EventParseError(format!("missing field {key:?}")))
+        };
+        let req_u64 = |key: &str| {
+            req(key)?
+                .as_u64()
+                .ok_or_else(|| EventParseError(format!("field {key:?} is not an unsigned integer")))
+        };
+        let req_usize = |key: &str| req_u64(key).map(|n| n as usize);
+        let req_f64 = |key: &str| {
+            req(key)?
+                .as_f64()
+                .ok_or_else(|| EventParseError(format!("field {key:?} is not a number")))
+        };
+        let cost = || -> Result<QueryCost, EventParseError> {
+            Ok(QueryCost {
+                queries: req_u64("queries")?,
+                rows: req_u64("rows")?,
+                cached_rows: req_u64("cached_rows")?,
+            })
+        };
+        let kind = req("event")?
+            .as_str()
+            .ok_or_else(|| EventParseError("field \"event\" is not a string".to_string()))?;
+        match kind {
+            "started" => {
+                let budget_v = req("budget")?;
+                let axis = |key: &str| -> Result<Option<u64>, EventParseError> {
+                    match budget_v.get(key) {
+                        Some(Value::Null) => Ok(None),
+                        Some(x) => x.as_u64().map(Some).ok_or_else(|| {
+                            EventParseError(format!("budget axis {key:?} is not an integer"))
+                        }),
+                        None => Err(EventParseError(format!("budget is missing axis {key:?}"))),
+                    }
+                };
+                Ok(CampaignEvent::Started {
+                    fingerprint: req("fingerprint")?
+                        .as_str()
+                        .ok_or_else(|| {
+                            EventParseError("field \"fingerprint\" is not a string".to_string())
+                        })?
+                        .to_string(),
+                    rows_planned: req_usize("rows_planned")?,
+                    rows_done: req_usize("rows_done")?,
+                    budget: QueryBudget {
+                        max_queries: axis("max_queries")?,
+                        max_rows: axis("max_rows")?,
+                    },
+                })
+            }
+            "chunk-done" => Ok(CampaignEvent::ChunkDone {
+                chunk: req_usize("chunk")?,
+                rows_done: req_usize("rows_done")?,
+                rows_planned: req_usize("rows_planned")?,
+                cost: cost()?,
+                duration: Duration::from_micros(req_u64("duration_us")?),
+                elapsed: Duration::from_micros(req_u64("elapsed_us")?),
+            }),
+            "budget-exhausted" => Ok(CampaignEvent::BudgetExhausted {
+                rows_done: req_usize("rows_done")?,
+                rows_planned: req_usize("rows_planned")?,
+                cost: cost()?,
+            }),
+            "attack-done" => {
+                let attack = match req("attack")?.as_str() {
+                    Some("esa") => "esa",
+                    Some("pra") => "pra",
+                    Some("grna") => "grna",
+                    other => {
+                        return Err(EventParseError(format!("unknown attack {other:?}")));
+                    }
+                };
+                let per_feature_mse = req("per_feature_mse")?
+                    .as_arr()
+                    .ok_or_else(|| {
+                        EventParseError("field \"per_feature_mse\" is not an array".to_string())
+                    })?
+                    .iter()
+                    .map(|x| {
+                        x.as_f64().ok_or_else(|| {
+                            EventParseError("per_feature_mse entry is not a number".to_string())
+                        })
+                    })
+                    .collect::<Result<Vec<f64>, _>>()?;
+                Ok(CampaignEvent::AttackDone {
+                    attack,
+                    rows: req_usize("rows")?,
+                    mse: req_f64("mse")?,
+                    per_feature_mse,
+                    degraded_rows: req_usize("degraded_rows")?,
+                })
+            }
+            "finished" => {
+                let outcome = match req("outcome")?.as_str() {
+                    Some("completed") => CampaignOutcome::Completed,
+                    Some("budget-exhausted") => CampaignOutcome::BudgetExhausted {
+                        rows_done: req_usize("rows_done")?,
+                        rows_planned: req_usize("rows_planned")?,
+                    },
+                    other => {
+                        return Err(EventParseError(format!("unknown outcome {other:?}")));
+                    }
+                };
+                Ok(CampaignEvent::Finished {
+                    outcome,
+                    cost: cost()?,
+                })
+            }
+            other => Err(EventParseError(format!("unknown event kind {other:?}"))),
+        }
+    }
 }
+
+/// A typed [`CampaignEvent::from_json`] failure: what was malformed or
+/// missing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventParseError(pub String);
+
+impl std::fmt::Display for EventParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid campaign event: {}", self.0)
+    }
+}
+
+impl std::error::Error for EventParseError {}
 
 /// Receives [`CampaignEvent`]s as a campaign runs. Implemented by any
 /// `FnMut(&CampaignEvent)` closure; see also [`NullObserver`] and
@@ -220,6 +370,23 @@ impl EventLog {
             out.push('\n');
         }
         out
+    }
+
+    /// Parses a [`EventLog::to_jsonl`] artifact back into a log,
+    /// skipping blank lines; the first malformed line fails the whole
+    /// parse with its 1-based line number.
+    pub fn from_jsonl(jsonl: &str) -> Result<EventLog, EventParseError> {
+        let mut events = Vec::new();
+        for (i, line) in jsonl.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            events.push(
+                CampaignEvent::from_json(line)
+                    .map_err(|e| EventParseError(format!("line {}: {}", i + 1, e.0)))?,
+            );
+        }
+        Ok(EventLog { events })
     }
 }
 
@@ -310,5 +477,107 @@ mod tests {
             assert_eq!(l.matches('{').count(), l.matches('}').count());
         }
         assert_eq!(EventLog::new().to_jsonl(), "");
+    }
+
+    fn random_event(rng: &mut impl rand::Rng) -> CampaignEvent {
+        let cost = QueryCost {
+            queries: rng.gen::<u64>() >> 8,
+            rows: rng.gen::<u64>() >> 8,
+            // Exercise the full u64 range on one axis: the raw-token
+            // JSON numbers must not squeeze through an f64.
+            cached_rows: rng.gen::<u64>(),
+        };
+        match rng.gen::<u32>() % 5 {
+            0 => CampaignEvent::Started {
+                fingerprint: format!("{:016x}", rng.gen::<u64>()),
+                rows_planned: rng.gen::<u32>() as usize,
+                rows_done: rng.gen::<u32>() as usize,
+                budget: QueryBudget {
+                    max_queries: rng.gen::<bool>().then(|| rng.gen::<u64>()),
+                    max_rows: rng.gen::<bool>().then(|| rng.gen::<u64>()),
+                },
+            },
+            1 => CampaignEvent::ChunkDone {
+                chunk: rng.gen::<u32>() as usize,
+                rows_done: rng.gen::<u32>() as usize,
+                rows_planned: rng.gen::<u32>() as usize,
+                cost,
+                duration: Duration::from_micros(rng.gen::<u64>() >> 20),
+                elapsed: Duration::from_micros(rng.gen::<u64>() >> 20),
+            },
+            2 => CampaignEvent::BudgetExhausted {
+                rows_done: rng.gen::<u32>() as usize,
+                rows_planned: rng.gen::<u32>() as usize,
+                cost,
+            },
+            3 => CampaignEvent::AttackDone {
+                attack: ["esa", "pra", "grna"][(rng.gen::<u32>() % 3) as usize],
+                rows: rng.gen::<u32>() as usize,
+                mse: rng.gen::<f64>() * 10.0,
+                per_feature_mse: (0..rng.gen::<u32>() % 8)
+                    .map(|_| rng.gen::<f64>() * 3.0)
+                    .collect(),
+                degraded_rows: rng.gen::<u32>() as usize,
+            },
+            _ => CampaignEvent::Finished {
+                outcome: if rng.gen::<bool>() {
+                    CampaignOutcome::Completed
+                } else {
+                    CampaignOutcome::BudgetExhausted {
+                        rows_done: rng.gen::<u32>() as usize,
+                        rows_planned: rng.gen::<u32>() as usize,
+                    }
+                },
+                cost,
+            },
+        }
+    }
+
+    #[test]
+    fn every_event_kind_round_trips_through_json() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xE7E77);
+        for i in 0..500 {
+            let e = random_event(&mut rng);
+            let line = e.to_json();
+            let back = CampaignEvent::from_json(&line)
+                .unwrap_or_else(|err| panic!("case {i}: {err} for {line}"));
+            assert_eq!(back, e, "case {i}: {line}");
+        }
+    }
+
+    #[test]
+    fn event_log_round_trips_as_jsonl() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        let log = EventLog {
+            events: (0..40).map(|_| random_event(&mut rng)).collect(),
+        };
+        let back = EventLog::from_jsonl(&log.to_jsonl()).unwrap();
+        assert_eq!(back.events, log.events);
+        assert!(EventLog::from_jsonl("\n  \n").unwrap().events.is_empty());
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_events() {
+        for bad in [
+            "not json",
+            "{}",
+            "{\"event\":\"no-such-kind\"}",
+            "{\"event\":42}",
+            "{\"event\":\"started\",\"fingerprint\":\"ab\",\"rows_done\":0,\"rows_planned\":1,\"budget\":{\"max_queries\":null}}",
+            "{\"event\":\"started\",\"fingerprint\":\"ab\",\"rows_done\":0,\"rows_planned\":1,\"budget\":{\"max_queries\":null,\"max_rows\":-3}}",
+            "{\"event\":\"chunk-done\",\"chunk\":0,\"rows_done\":1,\"rows_planned\":2,\"duration_us\":1,\"elapsed_us\":2,\"queries\":1,\"rows\":1}",
+            "{\"event\":\"attack-done\",\"attack\":\"zzz\",\"rows\":1,\"mse\":0.5,\"per_feature_mse\":[],\"degraded_rows\":0}",
+            "{\"event\":\"attack-done\",\"attack\":\"esa\",\"rows\":1,\"mse\":0.5,\"per_feature_mse\":[\"x\"],\"degraded_rows\":0}",
+            "{\"event\":\"finished\",\"outcome\":\"sideways\",\"queries\":1,\"rows\":1,\"cached_rows\":0}",
+        ] {
+            let err = CampaignEvent::from_json(bad);
+            assert!(err.is_err(), "accepted malformed event {bad}");
+        }
+        // Line numbers surface in JSONL errors.
+        let err = EventLog::from_jsonl("{\"event\":\"finished\",\"outcome\":\"completed\",\"queries\":1,\"rows\":1,\"cached_rows\":0}\nnope\n")
+            .unwrap_err();
+        assert!(err.0.contains("line 2"), "{err}");
     }
 }

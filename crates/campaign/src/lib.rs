@@ -49,6 +49,7 @@
 
 mod attack;
 mod budget;
+mod checkpoint;
 mod error;
 mod event;
 mod model;
@@ -57,12 +58,13 @@ mod session;
 mod spec;
 
 pub use attack::AttackSpec;
-pub use budget::{BudgetedOracle, QueryBudget};
+pub use budget::{BudgetMeter, BudgetedOracle, QueryBudget};
+pub use checkpoint::{CampaignCheckpoint, CheckpointError};
 pub use error::CampaignError;
-pub use event::{CampaignEvent, CampaignObserver, EventLog, NullObserver};
+pub use event::{CampaignEvent, CampaignObserver, EventLog, EventParseError, NullObserver};
 pub use model::{ModelSpec, TrainedModel};
 pub use report::{AttackReport, CampaignOutcome, CampaignReport};
-pub use session::{Campaign, InProcessOracle};
+pub use session::{Campaign, InProcessOracle, StepOutcome};
 pub use spec::{
     DataSpec, OracleSpec, PartitionSpec, ResolvedScenario, ScenarioData, ScenarioSpec, ServedConfig,
 };

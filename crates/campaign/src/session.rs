@@ -25,6 +25,7 @@
 
 use crate::attack::AttackSpec;
 use crate::budget::{BudgetedOracle, QueryBudget};
+use crate::checkpoint::{CampaignCheckpoint, CheckpointError};
 use crate::error::CampaignError;
 use crate::event::{CampaignEvent, CampaignObserver};
 use crate::model::TrainedModel;
@@ -37,7 +38,7 @@ use fia_models::PredictProba;
 use fia_serve::{
     AuditSummary, MetricsReport, PredictionServer, RemoteOracle, ServeConfig, ServerHandle,
 };
-use fia_telemetry::{global, Tracer};
+use fia_telemetry::{global, Counter, Span, TelemetrySnapshot, Tracer};
 use fia_vfl::VflSystem;
 use std::sync::Arc;
 use std::time::Instant;
@@ -97,6 +98,11 @@ enum OracleHandle {
         _server: ServerHandle,
         client: RemoteOracle,
     },
+    /// A caller-attached oracle ([`Campaign::attach_oracle`]): the
+    /// session queries it but does not own its deployment — the
+    /// campaign daemon uses this to point many jobs at one shared
+    /// `PredictionServer`.
+    External(Box<dyn PredictionOracle + Send>),
 }
 
 impl OracleHandle {
@@ -104,8 +110,35 @@ impl OracleHandle {
         match self {
             OracleHandle::InProcess(o) => o,
             OracleHandle::Served { client, .. } => client,
+            OracleHandle::External(o) => o.as_mut(),
         }
     }
+}
+
+/// What one [`Campaign::step`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// One chunk was accumulated; more rows remain in the plan.
+    Chunk,
+    /// The budget cannot afford another row; accumulation is over for
+    /// this run ([`Campaign::finalize`] will attack the partial corpus).
+    Exhausted,
+    /// The planned corpus is complete.
+    Done,
+}
+
+/// Per-run state [`Campaign::begin`] opens and [`Campaign::finalize`]
+/// consumes: the telemetry before-image, the root span, the run clock
+/// and the global counters.
+struct RunCtx {
+    telemetry_before: TelemetrySnapshot,
+    run_span: Span,
+    run_started: Instant,
+    exhausted: bool,
+    chunks_total: Arc<Counter>,
+    rows_total: Arc<Counter>,
+    queries_total: Arc<Counter>,
+    cached_rows_total: Arc<Counter>,
 }
 
 /// A budgeted adversary session over a resolved scenario. See the
@@ -122,6 +155,7 @@ pub struct Campaign {
     spent: QueryCost,
     chunks_issued: usize,
     oracle: Option<OracleHandle>,
+    run_ctx: Option<RunCtx>,
     tracer: Tracer,
     /// Deterministic distributed-trace id stamped on every traced wire
     /// query (derived from fingerprint and seed).
@@ -159,10 +193,74 @@ impl Campaign {
             spent: QueryCost::default(),
             chunks_issued: 0,
             oracle: None,
+            run_ctx: None,
             tracer: Tracer::new(),
             trace_id,
             session_tag: None,
         }
+    }
+
+    /// Rebuilds a session from a [`CampaignCheckpoint`] — the crash
+    /// recovery path. The checkpoint's fingerprint must match the
+    /// scenario it is being restored into (a fingerprint covers data,
+    /// split, model, defense, oracle kind and seed, so a match
+    /// guarantees the corpus prefix is the one this scenario would have
+    /// released); a mismatch or an inconsistent blob is a typed
+    /// [`CheckpointError`], never a panic.
+    pub fn restore(
+        scenario: ResolvedScenario,
+        cp: &CampaignCheckpoint,
+    ) -> Result<Self, CheckpointError> {
+        if cp.fingerprint != scenario.fingerprint {
+            return Err(CheckpointError::FingerprintMismatch {
+                expected: scenario.fingerprint.clone(),
+                found: cp.fingerprint.clone(),
+            });
+        }
+        if cp.confidences.rows() != cp.rows_done || cp.confidences.cols() != scenario.data.n_classes
+        {
+            return Err(CheckpointError::Corrupt(
+                "checkpoint corpus shape disagrees with the scenario",
+            ));
+        }
+        if cp.chunk == 0 {
+            return Err(CheckpointError::Corrupt("checkpoint chunk size is zero"));
+        }
+        let mut c = Campaign::new(scenario);
+        c.budget = cp.budget;
+        c.chunk = cp.chunk;
+        c.rows_done = cp.rows_done;
+        c.confidences = cp.confidences.clone();
+        c.spent = cp.spent;
+        c.chunks_issued = cp.chunks_issued;
+        Ok(c)
+    }
+
+    /// Captures the session's resumable state. Valid between
+    /// [`Campaign::step`] calls (the corpus and the cost meter are
+    /// mutually consistent there); the blob form is
+    /// [`CampaignCheckpoint::to_blob`].
+    pub fn checkpoint(&self) -> CampaignCheckpoint {
+        CampaignCheckpoint {
+            fingerprint: self.scenario.fingerprint.clone(),
+            seed: self.scenario.seed,
+            budget: self.budget,
+            spent: self.spent,
+            rows_done: self.rows_done,
+            chunks_issued: self.chunks_issued,
+            chunk: self.chunk,
+            confidences: self.confidences.clone(),
+        }
+    }
+
+    /// Attaches a caller-owned oracle instead of letting the session
+    /// resolve one from the scenario spec — how the campaign daemon
+    /// points many jobs at one shared `PredictionServer` deployment.
+    /// The session queries (and budgets, and traces) the attached
+    /// oracle exactly as it would its own; it never tears the backing
+    /// deployment down.
+    pub fn attach_oracle(&mut self, oracle: Box<dyn PredictionOracle + Send>) {
+        self.oracle = Some(OracleHandle::External(oracle));
     }
 
     /// Adds an attack to mount over the accumulated corpus.
@@ -213,6 +311,21 @@ impl Campaign {
         self.rows_done
     }
 
+    /// Rows the full campaign plans to accumulate.
+    pub fn rows_planned(&self) -> usize {
+        self.scenario.data.n_predictions()
+    }
+
+    /// Accumulation chunks issued so far (across runs).
+    pub fn chunks_issued(&self) -> usize {
+        self.chunks_issued
+    }
+
+    /// The session's query budget.
+    pub fn budget(&self) -> QueryBudget {
+        self.budget
+    }
+
     /// What the session has spent so far, as metered at the oracle
     /// boundary.
     pub fn spent(&self) -> QueryCost {
@@ -224,7 +337,7 @@ impl Campaign {
     pub fn server_metrics(&mut self) -> Option<MetricsReport> {
         match self.oracle.as_mut()? {
             OracleHandle::Served { client, .. } => client.server_metrics().ok(),
-            OracleHandle::InProcess(_) => None,
+            _ => None,
         }
     }
 
@@ -233,7 +346,7 @@ impl Campaign {
     pub fn server_metrics_text(&mut self) -> Option<String> {
         match self.oracle.as_mut()? {
             OracleHandle::Served { client, .. } => client.metrics_text().ok(),
-            OracleHandle::InProcess(_) => None,
+            _ => None,
         }
     }
 
@@ -254,7 +367,7 @@ impl Campaign {
     pub fn server_trace_jsonl(&mut self) -> Option<String> {
         match self.oracle.as_mut()? {
             OracleHandle::Served { client, .. } => client.server_trace_jsonl().ok(),
-            OracleHandle::InProcess(_) => None,
+            _ => None,
         }
     }
 
@@ -263,7 +376,7 @@ impl Campaign {
     pub fn server_audit(&mut self) -> Option<AuditSummary> {
         match self.oracle.as_mut()? {
             OracleHandle::Served { client, .. } => client.audit_report().ok(),
-            OracleHandle::InProcess(_) => None,
+            _ => None,
         }
     }
 
@@ -306,11 +419,25 @@ impl Campaign {
     /// under the budget, mount every configured attack over whatever
     /// corpus the budget allowed, and return the report. Emits
     /// [`CampaignEvent`](crate::CampaignEvent)s to `observer`
-    /// throughout.
+    /// throughout. Equivalent to [`Campaign::begin`], [`Campaign::step`]
+    /// until the plan or budget is spent, then [`Campaign::finalize`] —
+    /// the decomposed form is what the campaign daemon drives so it can
+    /// checkpoint (and be killed) between any two chunks.
     pub fn run(
         &mut self,
         observer: &mut dyn CampaignObserver,
     ) -> Result<CampaignReport, CampaignError> {
+        self.begin(observer)?;
+        while self.step(observer)? == StepOutcome::Chunk {}
+        self.finalize(observer)
+    }
+
+    /// Opens a run: validates the attack/model pairing, resolves the
+    /// oracle, files the `campaign.run` root span and emits
+    /// [`CampaignEvent::Started`]. Must precede [`Campaign::step`] /
+    /// [`Campaign::finalize`]; calling it again abandons the previous
+    /// unfinalized run context.
+    pub fn begin(&mut self, observer: &mut dyn CampaignObserver) -> Result<(), CampaignError> {
         // Fail a misconfigured session before it spends anything: the
         // attack/model pairing is fully determined by the specs, so an
         // incompatibility must not cost a single oracle round.
@@ -352,72 +479,125 @@ impl Campaign {
             rows_done: self.rows_done,
             budget: self.budget,
         });
+        self.run_ctx = Some(RunCtx {
+            telemetry_before,
+            run_span,
+            run_started,
+            exhausted: false,
+            chunks_total,
+            rows_total,
+            queries_total,
+            cached_rows_total,
+        });
+        Ok(())
+    }
 
-        // ---- Accumulation under the budget --------------------------
-        let mut exhausted = false;
-        {
-            let handle = self.oracle.as_mut().expect("oracle ensured above");
-            let mut adapter =
-                BudgetedOracle::resuming(handle.oracle_mut(), self.budget, self.spent);
-            while self.rows_done < rows_planned {
-                let remaining_plan = rows_planned - self.rows_done;
-                let take = match adapter.affordable_rows() {
-                    None => self.chunk.min(remaining_plan),
-                    Some(a) => self.chunk.min(remaining_plan).min(a as usize),
-                };
-                if take == 0 {
-                    exhausted = true;
-                    break;
-                }
-                let indices: Vec<usize> = (self.rows_done..self.rows_done + take).collect();
-                let chunk_span = run_span.child("campaign.chunk");
-                chunk_span.record_u64("chunk", self.chunks_issued as u64);
-                chunk_span.record_u64("rows", take as u64);
-                // Stamp this chunk's wire queries with the chunk span as
-                // remote parent: the server's `serve.request` spans link
-                // here, which is what the merged trace resolves on.
-                adapter.set_trace_context(Some(TraceContext {
-                    trace_id: self.trace_id,
-                    parent_span: chunk_span.id(),
-                }));
-                let before_chunk = self.spent;
-                let chunk_started = Instant::now();
-                let v = adapter.confidences(&indices);
-                let duration = chunk_started.elapsed();
-                // Persist the meter before surfacing any error: a chunk
-                // that failed mid-run must leave the checkpoint
-                // consistent (spent in sync with the accumulated rows),
-                // or a resumed session would under-count prior spend
-                // and could overrun the hard budget.
-                self.spent = adapter.spent();
-                chunk_span.record_u64("queries", self.spent.queries - before_chunk.queries);
-                chunk_span.record_u64(
-                    "cached_rows",
-                    self.spent.cached_rows - before_chunk.cached_rows,
-                );
-                chunk_span.finish();
-                let v = v?;
-                self.confidences = self
-                    .confidences
-                    .vstack(&v)
-                    .expect("oracle answers a fixed class width");
-                self.rows_done += take;
-                self.chunks_issued += 1;
-                chunks_total.inc();
-                rows_total.add(take as u64);
-                queries_total.add(self.spent.queries - before_chunk.queries);
-                cached_rows_total.add(self.spent.cached_rows - before_chunk.cached_rows);
-                observer.on_event(&CampaignEvent::ChunkDone {
-                    chunk: self.chunks_issued - 1,
-                    rows_done: self.rows_done,
-                    rows_planned,
-                    cost: self.spent,
-                    duration,
-                    elapsed: run_started.elapsed(),
-                });
-            }
-            adapter.set_trace_context(None);
+    /// Accumulates one chunk under the budget (between a
+    /// [`Campaign::begin`] and a [`Campaign::finalize`]). Between two
+    /// `step` calls the session is checkpoint-consistent
+    /// ([`Campaign::checkpoint`]): the corpus, cursor and cost meter all
+    /// describe the same prefix.
+    ///
+    /// # Panics
+    /// Panics when called without [`Campaign::begin`].
+    pub fn step(
+        &mut self,
+        observer: &mut dyn CampaignObserver,
+    ) -> Result<StepOutcome, CampaignError> {
+        let rows_planned = self.scenario.data.n_predictions();
+        if self.rows_done >= rows_planned {
+            return Ok(StepOutcome::Done);
         }
+        let ctx = self.run_ctx.as_mut().expect("begin() must precede step()");
+        let handle = self.oracle.as_mut().expect("begin() resolved the oracle");
+        let mut adapter = BudgetedOracle::resuming(handle.oracle_mut(), self.budget, self.spent);
+        let remaining_plan = rows_planned - self.rows_done;
+        let take = match adapter.affordable_rows() {
+            None => self.chunk.min(remaining_plan),
+            Some(a) => self.chunk.min(remaining_plan).min(a as usize),
+        };
+        if take == 0 {
+            ctx.exhausted = true;
+            return Ok(StepOutcome::Exhausted);
+        }
+        let indices: Vec<usize> = (self.rows_done..self.rows_done + take).collect();
+        let chunk_span = ctx.run_span.child("campaign.chunk");
+        chunk_span.record_u64("chunk", self.chunks_issued as u64);
+        chunk_span.record_u64("rows", take as u64);
+        // Stamp this chunk's wire queries with the chunk span as
+        // remote parent: the server's `serve.request` spans link
+        // here, which is what the merged trace resolves on.
+        adapter.set_trace_context(Some(TraceContext {
+            trace_id: self.trace_id,
+            parent_span: chunk_span.id(),
+        }));
+        let before_chunk = self.spent;
+        let chunk_started = Instant::now();
+        let v = adapter.confidences(&indices);
+        let duration = chunk_started.elapsed();
+        // Persist the meter before surfacing any error: a chunk
+        // that failed mid-run must leave the checkpoint
+        // consistent (spent in sync with the accumulated rows),
+        // or a resumed session would under-count prior spend
+        // and could overrun the hard budget.
+        self.spent = adapter.spent();
+        adapter.set_trace_context(None);
+        chunk_span.record_u64("queries", self.spent.queries - before_chunk.queries);
+        chunk_span.record_u64(
+            "cached_rows",
+            self.spent.cached_rows - before_chunk.cached_rows,
+        );
+        chunk_span.finish();
+        let v = v?;
+        self.confidences = self
+            .confidences
+            .vstack(&v)
+            .expect("oracle answers a fixed class width");
+        self.rows_done += take;
+        self.chunks_issued += 1;
+        ctx.chunks_total.inc();
+        ctx.rows_total.add(take as u64);
+        ctx.queries_total
+            .add(self.spent.queries - before_chunk.queries);
+        ctx.cached_rows_total
+            .add(self.spent.cached_rows - before_chunk.cached_rows);
+        observer.on_event(&CampaignEvent::ChunkDone {
+            chunk: self.chunks_issued - 1,
+            rows_done: self.rows_done,
+            rows_planned,
+            cost: self.spent,
+            duration,
+            elapsed: ctx.run_started.elapsed(),
+        });
+        Ok(if self.rows_done >= rows_planned {
+            StepOutcome::Done
+        } else {
+            StepOutcome::Chunk
+        })
+    }
+
+    /// Closes a run: emits [`CampaignEvent::BudgetExhausted`] when the
+    /// budget cut accumulation short, mounts every configured attack
+    /// over the (possibly partial) corpus, finishes the root span and
+    /// returns the [`CampaignReport`].
+    ///
+    /// # Panics
+    /// Panics when called without [`Campaign::begin`].
+    pub fn finalize(
+        &mut self,
+        observer: &mut dyn CampaignObserver,
+    ) -> Result<CampaignReport, CampaignError> {
+        let ctx = self
+            .run_ctx
+            .take()
+            .expect("begin() must precede finalize()");
+        let RunCtx {
+            telemetry_before,
+            run_span,
+            exhausted,
+            ..
+        } = ctx;
+        let rows_planned = self.scenario.data.n_predictions();
         if exhausted {
             observer.on_event(&CampaignEvent::BudgetExhausted {
                 rows_done: self.rows_done,
@@ -653,6 +833,83 @@ mod tests {
             full.attack("esa").unwrap().estimates
         );
         assert_eq!(resumed.cost.rows, full.cost.rows);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        use crate::checkpoint::{CampaignCheckpoint, CheckpointError};
+
+        let mut fresh = lr_campaign(29);
+        let full = fresh.run(&mut NullObserver).unwrap();
+
+        // Drive the stepping API directly (the daemon's loop), stop
+        // after two chunks, checkpoint through the blob codec, and
+        // resume in a "new process" (a fresh Campaign over a freshly
+        // built scenario).
+        let mut first = lr_campaign(29);
+        first.begin(&mut NullObserver).unwrap();
+        assert_eq!(first.step(&mut NullObserver).unwrap(), StepOutcome::Chunk);
+        assert_eq!(first.step(&mut NullObserver).unwrap(), StepOutcome::Chunk);
+        let blob = first.checkpoint().to_blob();
+        drop(first); // the "kill": the run context and oracle die here
+
+        let cp = CampaignCheckpoint::from_blob(&blob).unwrap();
+        assert_eq!(cp.rows_done, 64);
+        let scenario = ScenarioSpec::paper(PaperDataset::DriveDiagnosis)
+            .with_scale(0.005)
+            .with_partition(crate::PartitionSpec::two_block_random(0.2))
+            .with_seed(29)
+            .build();
+        let mut resumed = Campaign::restore(scenario, &cp)
+            .unwrap()
+            .with_attack(AttackSpec::esa());
+        assert_eq!(resumed.rows_done(), 64);
+        assert_eq!(resumed.chunks_issued(), 2);
+        let report = resumed.run(&mut NullObserver).unwrap();
+        assert!(report.outcome.is_complete());
+        assert_eq!(report.cost, full.cost);
+        assert_eq!(
+            report.attack("esa").unwrap().estimates,
+            full.attack("esa").unwrap().estimates
+        );
+
+        // A checkpoint from a different scenario is refused, typed.
+        let other = ScenarioSpec::paper(PaperDataset::DriveDiagnosis)
+            .with_scale(0.005)
+            .with_partition(crate::PartitionSpec::two_block_random(0.2))
+            .with_seed(30)
+            .build();
+        assert!(matches!(
+            Campaign::restore(other, &cp),
+            Err(CheckpointError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn attached_external_oracle_is_queried_and_budgeted() {
+        let scenario = ScenarioSpec::paper(PaperDataset::DriveDiagnosis)
+            .with_scale(0.005)
+            .with_partition(crate::PartitionSpec::two_block_random(0.2))
+            .with_seed(31)
+            .build();
+        let external = InProcessOracle::new(
+            scenario.system().as_ref().clone(),
+            Arc::clone(scenario.defense()),
+        );
+        let mut owned = Campaign::new(scenario.clone())
+            .with_attack(AttackSpec::esa())
+            .with_chunk(32);
+        let mut attached = Campaign::new(scenario)
+            .with_attack(AttackSpec::esa())
+            .with_chunk(32);
+        attached.attach_oracle(Box::new(external));
+        let a = owned.run(&mut NullObserver).unwrap();
+        let b = attached.run(&mut NullObserver).unwrap();
+        assert_eq!(
+            a.attack("esa").unwrap().estimates,
+            b.attack("esa").unwrap().estimates
+        );
+        assert_eq!(a.cost, b.cost);
     }
 
     #[test]

@@ -433,7 +433,11 @@ impl ScenarioData {
 
 /// A fully resolved scenario: data, a trained deployed model, the
 /// defense stack and the oracle choice — everything a
-/// [`Campaign`](crate::Campaign) session needs.
+/// [`Campaign`](crate::Campaign) session needs. Cloning is cheap-ish
+/// (the system and defense are shared behind `Arc`s; the data splits
+/// are copied), which lets a daemon keep one resolved template per
+/// fingerprint and stamp out sessions from it.
+#[derive(Clone)]
 pub struct ResolvedScenario {
     pub(crate) data: ScenarioData,
     pub(crate) system: Arc<VflSystem<TrainedModel>>,

@@ -1,0 +1,53 @@
+//! The `fia-campaignd` binary: stand up a campaign daemon over a state
+//! directory and serve until asked to shut down.
+//!
+//! ```text
+//! fia-campaignd --state-dir DIR [--bind ADDR] [--workers N]
+//! ```
+//!
+//! The bound address is printed to stdout and written (atomically) to
+//! `DIR/endpoint`, so scripts that bind an ephemeral port can find it.
+
+use fia_campaignd::{start, DaemonConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: fia-campaignd --state-dir DIR [--bind ADDR] [--workers N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut state_dir: Option<String> = None;
+    let mut bind = "127.0.0.1:0".to_string();
+    let mut workers = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--state-dir" => state_dir = Some(args.next().unwrap_or_else(|| usage())),
+            "--bind" => bind = args.next().unwrap_or_else(|| usage()),
+            "--workers" => {
+                workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            _ => usage(),
+        }
+    }
+    let Some(state_dir) = state_dir else { usage() };
+
+    let config = DaemonConfig {
+        bind,
+        state_dir: state_dir.into(),
+        workers,
+    };
+    match start(config) {
+        Ok(handle) => {
+            println!("fia-campaignd listening on {}", handle.addr());
+            handle.wait();
+        }
+        Err(e) => {
+            eprintln!("fia-campaignd: startup failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

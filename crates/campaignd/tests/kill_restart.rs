@@ -1,0 +1,207 @@
+//! The durability pin: a `fia-campaignd` process killed with `SIGKILL`
+//! mid-campaign restarts over the same state directory, resumes every
+//! in-flight job from its write-ahead checkpoint log, and finishes with
+//! outcomes bit-identical to an uninterrupted run — on both poller
+//! backends.
+
+use fia_campaignd::{CampaignClient, JobAttack, JobDefense, JobModel, JobOracle, JobSpec};
+use fia_data::PaperDataset;
+use fia_serve::JobState;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// `FIA_CAMPAIGND_SMOKE_DIR` redirects state directories to a fixed
+/// location and keeps them after the test, so CI can upload the
+/// surviving job logs / event streams / outcome blobs as an artifact.
+fn state_dir(tag: &str) -> PathBuf {
+    let dir = match std::env::var_os("FIA_CAMPAIGND_SMOKE_DIR") {
+        Some(base) => {
+            let dir = PathBuf::from(base).join(tag);
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        }
+        None => std::env::temp_dir().join(format!(
+            "fia-campaignd-kill-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        )),
+    };
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cleanup(dir: &Path) {
+    if std::env::var_os("FIA_CAMPAIGND_SMOKE_DIR").is_none() {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+/// A spawned daemon that dies with the test: if an assertion unwinds
+/// before the explicit kill/shutdown, the drop still reaps the child so
+/// the harness never hangs on an inherited pipe.
+struct DaemonProc(Child);
+
+impl DaemonProc {
+    fn kill(&mut self) {
+        let _ = self.0.kill(); // SIGKILL on unix
+        let _ = self.0.wait();
+    }
+
+    fn wait(&mut self) {
+        let _ = self.0.wait();
+    }
+}
+
+impl Drop for DaemonProc {
+    fn drop(&mut self) {
+        self.kill();
+    }
+}
+
+fn spawn_daemon(dir: &Path, force_poll: bool) -> DaemonProc {
+    // A fresh spawn must discover a fresh endpoint, not a stale one.
+    let _ = std::fs::remove_file(dir.join("endpoint"));
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_fia-campaignd"));
+    cmd.arg("--state-dir")
+        .arg(dir)
+        .arg("--workers")
+        .arg("2")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    if force_poll {
+        cmd.env("FIA_FORCE_POLL", "1");
+    }
+    DaemonProc(cmd.spawn().expect("daemon spawns"))
+}
+
+fn connect(dir: &Path) -> CampaignClient {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(addr) = std::fs::read_to_string(dir.join("endpoint")) {
+            if let Ok(client) = CampaignClient::connect(addr.trim()) {
+                return client;
+            }
+        }
+        assert!(Instant::now() < deadline, "daemon never came up");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn specs() -> Vec<JobSpec> {
+    // One in-process LR/ESA job, one shared-deployment DT/PRA job over
+    // real TCP; both throttled so the kill reliably lands mid-campaign.
+    // Deterministic defenses only: resume must be bit-identical.
+    let base = JobSpec {
+        dataset: PaperDataset::CreditCard,
+        scale: 0.005,
+        target_fraction: 0.3,
+        seed: 17,
+        model: JobModel::Logistic,
+        defense: JobDefense::RoundingFine,
+        attacks: vec![JobAttack::Esa],
+        max_queries: None,
+        max_rows: None,
+        chunk: 4,
+        oracle: JobOracle::InProcess,
+        throttle_ms: 60,
+    };
+    let mut served = base.clone();
+    served.seed = 18;
+    served.model = JobModel::DecisionTree;
+    served.attacks = vec![JobAttack::Pra];
+    served.defense = JobDefense::None;
+    served.oracle = JobOracle::Shared {
+        replicas: 2,
+        cache_capacity: 0,
+    };
+    vec![base, served]
+}
+
+/// Runs the two jobs on a fresh daemon without interruption and returns
+/// their outcome blobs — the reference the killed run must reproduce.
+fn uninterrupted_reference(force_poll: bool) -> Vec<Vec<u8>> {
+    let dir = state_dir(if force_poll { "ref-poll" } else { "ref" });
+    let mut daemon = spawn_daemon(&dir, force_poll);
+    let mut client = connect(&dir);
+    let mut specs = specs();
+    for spec in &mut specs {
+        spec.throttle_ms = 0;
+    }
+    let ids: Vec<u64> = specs.iter().map(|s| client.submit(s).unwrap()).collect();
+    let blobs = ids
+        .iter()
+        .map(|&id| {
+            let row = client.wait_terminal(id, Duration::from_secs(120)).unwrap();
+            assert_eq!(row.state, JobState::Completed, "detail: {}", row.detail);
+            client.report(id).unwrap().to_blob()
+        })
+        .collect();
+    client.shutdown_daemon().unwrap();
+    daemon.wait();
+    cleanup(&dir);
+    blobs
+}
+
+fn kill_restart_round_trip(force_poll: bool) {
+    let reference = uninterrupted_reference(force_poll);
+    let dir = state_dir(if force_poll { "poll" } else { "epoll" });
+
+    let mut daemon = spawn_daemon(&dir, force_poll);
+    let mut client = connect(&dir);
+    let ids: Vec<u64> = specs().iter().map(|s| client.submit(s).unwrap()).collect();
+
+    // Wait until every job has at least one durable checkpoint, then
+    // SIGKILL the daemon mid-campaign.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let rows: Vec<_> = ids.iter().map(|&id| client.status(id).unwrap()).collect();
+        if rows.iter().all(|r| r.chunks_done >= 1) {
+            assert!(
+                rows.iter().all(|r| !r.state.is_terminal()),
+                "kill window closed: a job already finished; raise throttle_ms"
+            );
+            break;
+        }
+        assert!(Instant::now() < deadline, "jobs never reached a checkpoint");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    daemon.kill(); // SIGKILL on unix
+
+    // Restart over the same state directory: both jobs must resume from
+    // their logs and finish bit-identically to the uninterrupted run.
+    let mut daemon = spawn_daemon(&dir, force_poll);
+    let mut client = connect(&dir);
+    for (&id, expected) in ids.iter().zip(&reference) {
+        let row = client.wait_terminal(id, Duration::from_secs(120)).unwrap();
+        assert_eq!(row.state, JobState::Completed, "detail: {}", row.detail);
+        assert!(row.resumes >= 1, "job {id} did not resume from its log");
+        let blob = client.report(id).unwrap().to_blob();
+        assert_eq!(
+            &blob, expected,
+            "job {id} outcome diverged after kill+resume"
+        );
+
+        // The event stream replays gaplessly across the restart.
+        let mut seqs = Vec::new();
+        let next = client.attach(id, 0, |seq, _| seqs.push(seq)).unwrap();
+        assert_eq!(seqs, (0..next).collect::<Vec<u64>>());
+        assert_eq!(next, row.events);
+    }
+    client.shutdown_daemon().unwrap();
+    daemon.wait();
+    cleanup(&dir);
+}
+
+#[test]
+fn sigkill_resume_is_bit_identical_epoll() {
+    kill_restart_round_trip(false);
+}
+
+#[test]
+fn sigkill_resume_is_bit_identical_forced_poll() {
+    kill_restart_round_trip(true);
+}

@@ -60,7 +60,7 @@ mod metrics;
 mod pool;
 mod reactor;
 mod server;
-mod sys;
+pub mod sys;
 pub mod wire;
 
 pub use audit::{AuditLedger, AuditSummary, ClientAudit};
@@ -73,4 +73,4 @@ pub use coalesce::{Coalescer, Coalescible};
 pub use dispatch::ShardMap;
 pub use metrics::{MetricsReport, ServerMetrics};
 pub use server::{PredictionServer, ServeConfig, ServerHandle, SERVER_SPAN_ID_BASE};
-pub use wire::{ServerInfo, WireError};
+pub use wire::{JobState, JobStatusInfo, ServerInfo, WireError};

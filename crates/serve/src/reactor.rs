@@ -571,6 +571,28 @@ impl Reactor {
                 };
                 self.stage_response(id, seq, t0, &Response::Audit(summary), false);
             }
+            Ok(
+                Request::JobSubmit(_)
+                | Request::JobStatus(_)
+                | Request::JobList
+                | Request::JobCancel(_)
+                | Request::JobAttach { .. }
+                | Request::JobReport(_),
+            ) => {
+                // Job ops share the tag space but are a campaign-daemon
+                // surface; a prediction server rejects them with a typed
+                // error so a misdirected client fails loudly, not oddly.
+                self.shared.metrics.record_error();
+                self.stage_response(
+                    id,
+                    seq,
+                    t0,
+                    &Response::Error(
+                        "job ops are served by fia-campaignd, not a prediction server".to_string(),
+                    ),
+                    true,
+                );
+            }
             Ok(Request::DeclareSession(tag)) => {
                 if let Some(conn) = self.conns.get_mut(&id) {
                     // An empty tag reverts to the per-connection default.

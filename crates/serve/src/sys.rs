@@ -23,7 +23,7 @@ use std::time::Duration;
 
 /// What a registered fd should be watched for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct Interest {
+pub struct Interest {
     /// Wake when the fd is readable.
     pub read: bool,
     /// Wake when the fd is writable.
@@ -31,10 +31,13 @@ pub(crate) struct Interest {
 }
 
 impl Interest {
+    /// Read-only interest (the common case for idle connections).
     pub const READ: Interest = Interest {
         read: true,
         write: false,
     };
+    /// No interest bits — HUP/ERR still surface (both backends report
+    /// them unconditionally).
     pub const NONE: Interest = Interest {
         read: false,
         write: false,
@@ -48,16 +51,20 @@ impl Interest {
 /// it surfaces as `readable`, the reader observes `read() == 0`, and
 /// responses already in flight can still be written back.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct Event {
+pub struct Event {
+    /// The token the fd was registered under.
     pub token: u64,
+    /// The fd has bytes (or an EOF) to read.
     pub readable: bool,
+    /// The fd can accept writes without blocking.
     pub writable: bool,
+    /// Full hangup or socket error; the peer is gone.
     pub closed: bool,
 }
 
 /// Which readiness backend a [`Poller`] is driving.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum Backend {
+pub enum Backend {
     /// Linux `epoll`: O(ready) waits, the default where available.
     Epoll,
     /// POSIX `poll`: O(registered) waits, portable fallback
@@ -66,7 +73,7 @@ pub(crate) enum Backend {
 }
 
 /// `FIA_FORCE_POLL=1` pins the portable `poll` backend at runtime.
-pub(crate) fn force_poll() -> bool {
+pub fn force_poll() -> bool {
     std::env::var_os("FIA_FORCE_POLL").is_some_and(|v| v == "1")
 }
 
@@ -384,7 +391,7 @@ enum BackendImpl {
 
 /// Level-triggered readiness over a set of registered fds — the one
 /// abstraction the reactor event loop is written against.
-pub(crate) struct Poller {
+pub struct Poller {
     backend: BackendImpl,
 }
 
@@ -417,7 +424,6 @@ impl Poller {
     }
 
     /// Which backend this poller drives (test/diagnostic visibility).
-    #[cfg_attr(not(test), allow(dead_code))]
     pub fn backend(&self) -> Backend {
         match &self.backend {
             #[cfg(target_os = "linux")]
@@ -473,7 +479,7 @@ impl Poller {
 /// poller watches. Cheap to clone (one `Arc` bump) — every in-flight
 /// job's reply guard carries one.
 #[derive(Clone)]
-pub(crate) struct Waker {
+pub struct Waker {
     tx: Arc<UnixStream>,
 }
 
@@ -490,7 +496,7 @@ impl Waker {
 /// A connected waker and the read end the reactor registers. Both ends
 /// are nonblocking: `wake` never stalls a batcher, and draining never
 /// stalls the reactor.
-pub(crate) fn wake_pair() -> io::Result<(Waker, UnixStream)> {
+pub fn wake_pair() -> io::Result<(Waker, UnixStream)> {
     let (tx, rx) = UnixStream::pair()?;
     tx.set_nonblocking(true)?;
     rx.set_nonblocking(true)?;
@@ -499,7 +505,7 @@ pub(crate) fn wake_pair() -> io::Result<(Waker, UnixStream)> {
 
 /// Reads and discards everything pending on a wake pipe's read end
 /// (`Read` is implemented for `&UnixStream`, so this borrows the pipe).
-pub(crate) fn drain_wake_pipe(rx: &UnixStream) {
+pub fn drain_wake_pipe(rx: &UnixStream) {
     use std::io::Read;
     let mut buf = [0u8; 64];
     loop {
@@ -512,7 +518,7 @@ pub(crate) fn drain_wake_pipe(rx: &UnixStream) {
 }
 
 /// The raw fd of any `AsRawFd` (a shorthand the reactor uses a lot).
-pub(crate) fn fd_of(s: &impl AsRawFd) -> RawFd {
+pub fn fd_of(s: &impl AsRawFd) -> RawFd {
     s.as_raw_fd()
 }
 

@@ -41,6 +41,14 @@ mod req_tag {
     pub const TRACE_EXPORT: u8 = 0x0A;
     pub const AUDIT_REPORT: u8 = 0x0B;
     pub const DECLARE_SESSION: u8 = 0x0C;
+    // Campaign-job ops (served by `fia-campaignd`; a prediction server
+    // answers them with a typed Error so the tag space stays unified).
+    pub const JOB_SUBMIT: u8 = 0x0D;
+    pub const JOB_STATUS: u8 = 0x0E;
+    pub const JOB_LIST: u8 = 0x0F;
+    pub const JOB_CANCEL: u8 = 0x10;
+    pub const JOB_ATTACH: u8 = 0x11;
+    pub const JOB_REPORT: u8 = 0x12;
 }
 
 /// Response tags (server → client).
@@ -54,11 +62,111 @@ mod resp_tag {
     pub const TRACE_JSONL: u8 = 0x87;
     pub const AUDIT: u8 = 0x88;
     pub const SESSION_ACK: u8 = 0x89;
+    pub const JOB_ACCEPTED: u8 = 0x8A;
+    pub const JOB_INFO: u8 = 0x8B;
+    pub const JOB_TABLE: u8 = 0x8C;
+    pub const JOB_EVENT: u8 = 0x8D;
+    pub const JOB_EVENTS_END: u8 = 0x8E;
+    pub const JOB_REPORT_BLOB: u8 = 0x8F;
     pub const ERROR: u8 = 0xEE;
 }
 
 /// Cap on a client-declared session tag (bytes) — a label, not a blob.
 pub const MAX_SESSION_TAG_LEN: usize = 256;
+
+/// Cap on a job's failure-detail string (bytes) on the wire.
+pub const MAX_JOB_DETAIL_LEN: usize = 1024;
+
+/// Lifecycle state of a submitted campaign job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted, waiting for a worker.
+    Pending,
+    /// A worker is driving the campaign.
+    Running,
+    /// Finished; a report blob is available.
+    Completed,
+    /// The campaign errored; see [`JobStatusInfo::detail`].
+    Failed,
+    /// Canceled before completion.
+    Canceled,
+}
+
+impl JobState {
+    /// Stable single-byte wire encoding.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            JobState::Pending => 0,
+            JobState::Running => 1,
+            JobState::Completed => 2,
+            JobState::Failed => 3,
+            JobState::Canceled => 4,
+        }
+    }
+
+    /// Decodes the wire byte; unknown values are malformed.
+    pub fn from_u8(b: u8) -> Result<JobState, WireError> {
+        Ok(match b {
+            0 => JobState::Pending,
+            1 => JobState::Running,
+            2 => JobState::Completed,
+            3 => JobState::Failed,
+            4 => JobState::Canceled,
+            _ => return Err(WireError::Malformed("unknown job state byte")),
+        })
+    }
+
+    /// Short stable identifier (`"pending"`, `"running"`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Pending => "pending",
+            JobState::Running => "running",
+            JobState::Completed => "completed",
+            JobState::Failed => "failed",
+            JobState::Canceled => "canceled",
+        }
+    }
+
+    /// `true` once the job can no longer make progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::Canceled
+        )
+    }
+}
+
+/// One row of the campaign daemon's job table: identity, lifecycle
+/// state, accumulation progress and the budget meter as last
+/// checkpointed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatusInfo {
+    /// Daemon-assigned job id (monotonic, stable across restarts).
+    pub id: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// The job's scenario fingerprint (shared-deployment key).
+    pub fingerprint: String,
+    /// Accumulation chunks completed so far.
+    pub chunks_done: u64,
+    /// Corpus rows accumulated so far.
+    pub rows_done: u64,
+    /// Rows the full campaign would accumulate.
+    pub rows_planned: u64,
+    /// Oracle rounds spent so far.
+    pub queries: u64,
+    /// Confidence rows spent so far.
+    pub rows: u64,
+    /// Rows answered from the deployment's released-score cache.
+    pub cached_rows: u64,
+    /// Times the daemon resumed this job from its checkpoint log.
+    pub resumes: u64,
+    /// Events appended to the job's stream so far (the next attach
+    /// sequence number).
+    pub events: u64,
+    /// Failure reason for [`JobState::Failed`] jobs; empty otherwise.
+    pub detail: String,
+}
 
 /// Everything that can go wrong while encoding, decoding or transporting
 /// a frame.
@@ -153,6 +261,28 @@ pub enum Request {
     /// accounting is keyed by the tag instead of the connection id (and
     /// aggregates across reconnections that declare the same tag).
     DeclareSession(String),
+    /// Submit a campaign job to a `fia-campaignd` daemon. The payload is
+    /// an opaque versioned job-spec blob (the wire layer does not
+    /// interpret it).
+    JobSubmit(Vec<u8>),
+    /// Ask for one job's status row.
+    JobStatus(u64),
+    /// Ask for the daemon's full job table.
+    JobList,
+    /// Ask the daemon to cancel a job (answered with the job's status
+    /// row after the cancel request lands).
+    JobCancel(u64),
+    /// Attach to a job's event stream from a sequence number: the daemon
+    /// replays events `from_seq..` and then streams live ones, each as a
+    /// [`Response::JobEvent`], ending with [`Response::JobEventsEnd`].
+    JobAttach {
+        /// The job to attach to.
+        id: u64,
+        /// First event sequence number to deliver (0 = from the start).
+        from_seq: u64,
+    },
+    /// Ask for a completed job's typed outcome blob.
+    JobReport(u64),
 }
 
 /// A server → client message.
@@ -184,6 +314,31 @@ pub enum Response {
     Audit(AuditSummary),
     /// Acknowledgement of a declared session tag.
     SessionAck,
+    /// A submitted job was accepted under this id.
+    JobAccepted(u64),
+    /// One job's status row.
+    JobInfo(JobStatusInfo),
+    /// The daemon's job table, in id order.
+    JobTable(Vec<JobStatusInfo>),
+    /// One event from an attached job's stream.
+    JobEvent {
+        /// The job the event belongs to.
+        id: u64,
+        /// Gapless per-job sequence number (line number in the job's
+        /// event log).
+        seq: u64,
+        /// The event as one compact JSON object.
+        json: String,
+    },
+    /// The attached stream ended (the job reached a terminal state).
+    JobEventsEnd {
+        /// The job whose stream ended.
+        id: u64,
+        /// The sequence number the next attach should resume from.
+        next_seq: u64,
+    },
+    /// A completed job's typed outcome blob (opaque to the wire layer).
+    JobReportBlob(Vec<u8>),
     /// Server-side rejection with a human-readable reason.
     Error(String),
 }
@@ -386,6 +541,57 @@ fn get_audit(scan: &mut Scan<'_>) -> Result<AuditSummary, WireError> {
     Ok(AuditSummary { n_samples, clients })
 }
 
+/// Length-prefixed opaque byte blob (job specs, outcome blobs).
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) -> Result<(), WireError> {
+    if bytes.len() > MAX_FRAME_LEN {
+        return Err(WireError::TooLarge(bytes.len()));
+    }
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+    Ok(())
+}
+
+fn get_bytes(scan: &mut Scan<'_>) -> Result<Vec<u8>, WireError> {
+    let n = scan.u32()? as usize;
+    if n > MAX_FRAME_LEN {
+        return Err(WireError::Malformed("blob larger than frame cap"));
+    }
+    Ok(scan.take(n)?.to_vec())
+}
+
+fn put_job_info(out: &mut Vec<u8>, info: &JobStatusInfo) -> Result<(), WireError> {
+    put_u64(out, info.id);
+    out.push(info.state.as_u8());
+    put_str(out, &info.fingerprint, 64)?;
+    put_u64(out, info.chunks_done);
+    put_u64(out, info.rows_done);
+    put_u64(out, info.rows_planned);
+    put_u64(out, info.queries);
+    put_u64(out, info.rows);
+    put_u64(out, info.cached_rows);
+    put_u64(out, info.resumes);
+    put_u64(out, info.events);
+    put_str(out, &info.detail, MAX_JOB_DETAIL_LEN)?;
+    Ok(())
+}
+
+fn get_job_info(scan: &mut Scan<'_>) -> Result<JobStatusInfo, WireError> {
+    Ok(JobStatusInfo {
+        id: scan.u64()?,
+        state: JobState::from_u8(scan.u8()?)?,
+        fingerprint: scan.str(64)?,
+        chunks_done: scan.u64()?,
+        rows_done: scan.u64()?,
+        rows_planned: scan.u64()?,
+        queries: scan.u64()?,
+        rows: scan.u64()?,
+        cached_rows: scan.u64()?,
+        resumes: scan.u64()?,
+        events: scan.u64()?,
+        detail: scan.str(MAX_JOB_DETAIL_LEN)?,
+    })
+}
+
 // ---------------------------------------------------------------------
 // Message codecs.
 
@@ -433,6 +639,28 @@ pub fn encode_request(req: &Request) -> Result<Vec<u8>, WireError> {
         Request::DeclareSession(tag) => {
             out.push(req_tag::DECLARE_SESSION);
             put_str(&mut out, tag, MAX_SESSION_TAG_LEN)?;
+        }
+        Request::JobSubmit(blob) => {
+            out.push(req_tag::JOB_SUBMIT);
+            put_bytes(&mut out, blob)?;
+        }
+        Request::JobStatus(id) => {
+            out.push(req_tag::JOB_STATUS);
+            put_u64(&mut out, *id);
+        }
+        Request::JobList => out.push(req_tag::JOB_LIST),
+        Request::JobCancel(id) => {
+            out.push(req_tag::JOB_CANCEL);
+            put_u64(&mut out, *id);
+        }
+        Request::JobAttach { id, from_seq } => {
+            out.push(req_tag::JOB_ATTACH);
+            put_u64(&mut out, *id);
+            put_u64(&mut out, *from_seq);
+        }
+        Request::JobReport(id) => {
+            out.push(req_tag::JOB_REPORT);
+            put_u64(&mut out, *id);
         }
     }
     Ok(out)
@@ -487,6 +715,15 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, WireError> {
         req_tag::TRACE_EXPORT => Request::TraceExport,
         req_tag::AUDIT_REPORT => Request::AuditReport,
         req_tag::DECLARE_SESSION => Request::DeclareSession(scan.str(MAX_SESSION_TAG_LEN)?),
+        req_tag::JOB_SUBMIT => Request::JobSubmit(get_bytes(&mut scan)?),
+        req_tag::JOB_STATUS => Request::JobStatus(scan.u64()?),
+        req_tag::JOB_LIST => Request::JobList,
+        req_tag::JOB_CANCEL => Request::JobCancel(scan.u64()?),
+        req_tag::JOB_ATTACH => Request::JobAttach {
+            id: scan.u64()?,
+            from_seq: scan.u64()?,
+        },
+        req_tag::JOB_REPORT => Request::JobReport(scan.u64()?),
         t => return Err(WireError::BadTag(t)),
     };
     scan.finish()?;
@@ -547,6 +784,36 @@ pub fn encode_response(resp: &Response) -> Result<Vec<u8>, WireError> {
             put_audit(&mut out, audit)?;
         }
         Response::SessionAck => out.push(resp_tag::SESSION_ACK),
+        Response::JobAccepted(id) => {
+            out.push(resp_tag::JOB_ACCEPTED);
+            put_u64(&mut out, *id);
+        }
+        Response::JobInfo(info) => {
+            out.push(resp_tag::JOB_INFO);
+            put_job_info(&mut out, info)?;
+        }
+        Response::JobTable(rows) => {
+            out.push(resp_tag::JOB_TABLE);
+            put_u32(&mut out, rows.len() as u32);
+            for info in rows {
+                put_job_info(&mut out, info)?;
+            }
+        }
+        Response::JobEvent { id, seq, json } => {
+            out.push(resp_tag::JOB_EVENT);
+            put_u64(&mut out, *id);
+            put_u64(&mut out, *seq);
+            put_bytes(&mut out, json.as_bytes())?;
+        }
+        Response::JobEventsEnd { id, next_seq } => {
+            out.push(resp_tag::JOB_EVENTS_END);
+            put_u64(&mut out, *id);
+            put_u64(&mut out, *next_seq);
+        }
+        Response::JobReportBlob(blob) => {
+            out.push(resp_tag::JOB_REPORT_BLOB);
+            put_bytes(&mut out, blob)?;
+        }
         Response::Error(msg) => {
             out.push(resp_tag::ERROR);
             put_u32(&mut out, msg.len() as u32);
@@ -630,6 +897,32 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, WireError> {
         }
         resp_tag::AUDIT => Response::Audit(get_audit(&mut scan)?),
         resp_tag::SESSION_ACK => Response::SessionAck,
+        resp_tag::JOB_ACCEPTED => Response::JobAccepted(scan.u64()?),
+        resp_tag::JOB_INFO => Response::JobInfo(get_job_info(&mut scan)?),
+        resp_tag::JOB_TABLE => {
+            let n = scan.u32()? as usize;
+            if n > 65_536 {
+                return Err(WireError::Malformed("implausible job table size"));
+            }
+            let mut rows = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                rows.push(get_job_info(&mut scan)?);
+            }
+            Response::JobTable(rows)
+        }
+        resp_tag::JOB_EVENT => {
+            let id = scan.u64()?;
+            let seq = scan.u64()?;
+            let bytes = get_bytes(&mut scan)?;
+            let json = String::from_utf8(bytes)
+                .map_err(|_| WireError::Malformed("job event not utf-8"))?;
+            Response::JobEvent { id, seq, json }
+        }
+        resp_tag::JOB_EVENTS_END => Response::JobEventsEnd {
+            id: scan.u64()?,
+            next_seq: scan.u64()?,
+        },
+        resp_tag::JOB_REPORT_BLOB => Response::JobReportBlob(get_bytes(&mut scan)?),
         resp_tag::ERROR => {
             let n = scan.u32()? as usize;
             if n > MAX_FRAME_LEN {
@@ -700,8 +993,30 @@ mod tests {
         }
     }
 
+    fn random_job_info(rng: &mut StdRng) -> JobStatusInfo {
+        let state = JobState::from_u8(rng.gen_range(0..5u8)).unwrap();
+        JobStatusInfo {
+            id: rng.gen(),
+            state,
+            fingerprint: format!("{:016x}", rng.gen::<u64>()),
+            chunks_done: rng.gen_range(0..10_000u64),
+            rows_done: rng.gen_range(0..1_000_000u64),
+            rows_planned: rng.gen_range(0..1_000_000u64),
+            queries: rng.gen_range(0..1_000_000u64),
+            rows: rng.gen_range(0..1_000_000u64),
+            cached_rows: rng.gen_range(0..1_000_000u64),
+            resumes: rng.gen_range(0..16u64),
+            events: rng.gen_range(0..100_000u64),
+            detail: if state == JobState::Failed {
+                "oracle failure: boom".to_string()
+            } else {
+                String::new()
+            },
+        }
+    }
+
     fn random_request(rng: &mut StdRng, case: usize) -> Request {
-        match case % 12 {
+        match case % 18 {
             0 => Request::Ping,
             1 => {
                 // Includes the empty batch when n == 0.
@@ -743,7 +1058,7 @@ mod tests {
             }
             9 => Request::TraceExport,
             10 => Request::AuditReport,
-            _ => {
+            11 => {
                 let n = rng.gen_range(0..32usize);
                 Request::DeclareSession(
                     (0..n)
@@ -751,6 +1066,19 @@ mod tests {
                         .collect(),
                 )
             }
+            12 => {
+                // Includes the empty blob when n == 0.
+                let n = rng.gen_range(0..256usize);
+                Request::JobSubmit((0..n).map(|_| rng.gen::<u32>() as u8).collect())
+            }
+            13 => Request::JobStatus(rng.gen()),
+            14 => Request::JobList,
+            15 => Request::JobCancel(rng.gen()),
+            16 => Request::JobAttach {
+                id: rng.gen(),
+                from_seq: rng.gen_range(0..100_000u64),
+            },
+            _ => Request::JobReport(rng.gen()),
         }
     }
 
@@ -781,7 +1109,7 @@ mod tests {
     }
 
     fn random_response(rng: &mut StdRng, case: usize) -> Response {
-        match case % 10 {
+        match case % 16 {
             0 => Response::Pong,
             1 => {
                 let rows = rng.gen_range(0..16usize);
@@ -831,7 +1159,26 @@ mod tests {
                     .repeat(rng.gen_range(0..4usize)),
             ),
             8 => Response::Audit(random_audit(rng)),
-            _ => Response::SessionAck,
+            9 => Response::SessionAck,
+            10 => Response::JobAccepted(rng.gen()),
+            11 => Response::JobInfo(random_job_info(rng)),
+            12 => {
+                let n = rng.gen_range(0..6usize);
+                Response::JobTable((0..n).map(|_| random_job_info(rng)).collect())
+            }
+            13 => Response::JobEvent {
+                id: rng.gen(),
+                seq: rng.gen_range(0..100_000u64),
+                json: "{\"event\":\"chunk-done\",\"chunk\":3}".to_string(),
+            },
+            14 => Response::JobEventsEnd {
+                id: rng.gen(),
+                next_seq: rng.gen_range(0..100_000u64),
+            },
+            _ => {
+                let n = rng.gen_range(0..256usize);
+                Response::JobReportBlob((0..n).map(|_| rng.gen::<u32>() as u8).collect())
+            }
         }
     }
 
@@ -1062,6 +1409,49 @@ mod tests {
         let mut crafted = vec![0x0C];
         crafted.extend_from_slice(&((MAX_SESSION_TAG_LEN as u32) + 1).to_le_bytes());
         crafted.extend(std::iter::repeat_n(b'x', MAX_SESSION_TAG_LEN + 1));
+        assert!(matches!(
+            decode_request(&crafted),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    /// Job-op payloads fail with a typed error at every truncation cut,
+    /// and an unknown state byte is malformed rather than a panic.
+    #[test]
+    fn job_table_truncation_and_bad_state_rejected() {
+        let mut rng = StdRng::seed_from_u64(0x10B);
+        let resp = Response::JobTable(vec![random_job_info(&mut rng), random_job_info(&mut rng)]);
+        let payload = encode_response(&resp).unwrap();
+        assert_eq!(decode_response(&payload).unwrap(), resp);
+        for cut in 0..payload.len() {
+            assert!(decode_response(&payload[..cut]).is_err(), "cut {cut}");
+        }
+        // Corrupt the first row's state byte (tag + count + id = 13).
+        let mut bad = payload.clone();
+        bad[13] = 9;
+        assert!(matches!(
+            decode_response(&bad),
+            Err(WireError::Malformed(_))
+        ));
+        // The detail cap is enforced on encode.
+        let mut info = random_job_info(&mut rng);
+        info.detail = "x".repeat(MAX_JOB_DETAIL_LEN + 1);
+        assert!(matches!(
+            encode_response(&Response::JobInfo(info)),
+            Err(WireError::Malformed(_))
+        ));
+    }
+
+    /// The job-submit blob is opaque: arbitrary bytes (including ones
+    /// that look like frame headers) survive the round trip untouched.
+    #[test]
+    fn job_submit_blob_is_opaque_and_exact() {
+        let blob: Vec<u8> = (0..=255u8).cycle().take(1024).collect();
+        let payload = encode_request(&Request::JobSubmit(blob.clone())).unwrap();
+        assert_eq!(decode_request(&payload).unwrap(), Request::JobSubmit(blob));
+        // A crafted length prefix past the frame cap is malformed.
+        let mut crafted = vec![req_tag::JOB_SUBMIT];
+        crafted.extend_from_slice(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
         assert!(matches!(
             decode_request(&crafted),
             Err(WireError::Malformed(_))

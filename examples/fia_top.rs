@@ -6,12 +6,22 @@
 //! deployment plus two synthetic clients (one sample-space sweeper, one
 //! ad-hoc feature prober) so the table has something to show.
 //!
+//! It also renders the campaign service's job table: the self-hosted
+//! demo spawns an in-process `fia-campaignd` and submits two small
+//! campaigns so the jobs panel shows live chunk/row/query progress, or
+//! point `FIA_TOP_JOBS_ADDR` at a running daemon's endpoint.
+//!
 //! ```sh
 //! cargo run --release --example fia_top                  # self-hosted demo
 //! FIA_TOP_ADDR=127.0.0.1:7070 cargo run --example fia_top  # watch a server
+//! FIA_TOP_JOBS_ADDR=127.0.0.1:7071 ...                      # watch a daemon
 //! FIA_TOP_FRAMES=10 FIA_TOP_INTERVAL_MS=1000 ...           # pacing
 //! ```
 
+use fia::campaignd::{
+    start, CampaignClient, DaemonConfig, JobAttack, JobDefense, JobModel, JobOracle, JobSpec,
+};
+use fia::data::PaperDataset;
 use fia::defense::DefensePipeline;
 use fia::linalg::Matrix;
 use fia::models::LogisticRegression;
@@ -95,6 +105,75 @@ fn demo_traffic(
     vec![sweeper, prober]
 }
 
+/// Spawns a demo campaign daemon and submits two small throttled
+/// campaigns (one in-process oracle, one shared served deployment) so
+/// the jobs panel has live progress to show across frames.
+fn demo_daemon(dir: &std::path::Path) -> fia::campaignd::DaemonHandle {
+    let daemon = start(DaemonConfig::new(dir)).expect("spawn demo daemon");
+    let mut client = CampaignClient::connect(daemon.addr()).expect("connect daemon");
+    let mut spec = JobSpec {
+        dataset: PaperDataset::CreditCard,
+        scale: 0.005,
+        target_fraction: 0.3,
+        seed: 41,
+        model: JobModel::Logistic,
+        defense: JobDefense::RoundingFine,
+        attacks: vec![JobAttack::Esa],
+        max_queries: None,
+        max_rows: None,
+        chunk: 8,
+        oracle: JobOracle::InProcess,
+        throttle_ms: 120,
+    };
+    client.submit(&spec).expect("submit in-process job");
+    spec.seed = 42;
+    spec.defense = JobDefense::None;
+    spec.oracle = JobOracle::Shared {
+        replicas: 1,
+        cache_capacity: 0,
+    };
+    client.submit(&spec).expect("submit served job");
+    daemon
+}
+
+/// Renders the daemon's job table for one frame.
+fn print_jobs(client: &mut CampaignClient) {
+    let rows = match client.list() {
+        Ok(rows) => rows,
+        Err(e) => {
+            println!("jobs: daemon unavailable ({e})");
+            return;
+        }
+    };
+    println!(
+        "{:<4} {:<9} {:>6} {:>11} {:>8} {:>7} {:>7}  FINGERPRINT",
+        "JOB", "STATE", "CHUNKS", "ROWS", "QUERIES", "RESUMES", "EVENTS",
+    );
+    for r in &rows {
+        let fp_end = r.fingerprint.len().min(12);
+        println!(
+            "{:<4} {:<9} {:>6} {:>5}/{:<5} {:>8} {:>7} {:>7}  {}{}",
+            r.id,
+            r.state.name(),
+            r.chunks_done,
+            r.rows_done,
+            r.rows_planned,
+            r.queries,
+            r.resumes,
+            r.events,
+            &r.fingerprint[..fp_end],
+            if r.detail.is_empty() {
+                String::new()
+            } else {
+                format!("  ({})", r.detail)
+            },
+        );
+    }
+    if rows.is_empty() {
+        println!("(no jobs submitted yet)");
+    }
+}
+
 fn main() {
     let frames = env_u64("FIA_TOP_FRAMES", 5);
     let interval = Duration::from_millis(env_u64("FIA_TOP_INTERVAL_MS", 500));
@@ -114,6 +193,20 @@ fn main() {
         demo_traffic(addr, Arc::clone(&stop))
     } else {
         Vec::new()
+    };
+
+    // Resolve the campaign daemon: an external endpoint, or (in demo
+    // mode) a self-hosted daemon running two live campaigns.
+    let external_jobs = std::env::var("FIA_TOP_JOBS_ADDR").ok();
+    let demo_dir = std::env::temp_dir().join(format!("fia-top-demo-{}", std::process::id()));
+    let daemon = match (&external_jobs, &external) {
+        (None, None) => Some(demo_daemon(&demo_dir)),
+        _ => None,
+    };
+    let mut jobs_client = match (&external_jobs, &daemon) {
+        (Some(a), _) => CampaignClient::connect(a.as_str()).ok(),
+        (None, Some(d)) => CampaignClient::connect(d.addr()).ok(),
+        (None, None) => None,
     };
 
     let mut oracle = RemoteOracle::connect(addr).expect("connect");
@@ -167,6 +260,10 @@ fn main() {
         if audit.clients.is_empty() {
             println!("(no audited clients yet — is the server's audit ledger enabled?)");
         }
+        if let Some(client) = jobs_client.as_mut() {
+            println!();
+            print_jobs(client);
+        }
     }
 
     stop.store(true, Ordering::Relaxed);
@@ -175,5 +272,9 @@ fn main() {
     }
     if let Some(s) = server {
         s.shutdown();
+    }
+    if let Some(d) = daemon {
+        d.shutdown();
+        let _ = std::fs::remove_dir_all(&demo_dir);
     }
 }

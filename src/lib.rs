@@ -21,6 +21,10 @@
 //! * [`campaign`] — the front door: a typed `ScenarioSpec` builder, a
 //!   budgeted resumable `Campaign` session over any oracle (in-process
 //!   or served), streaming events and a serializable report.
+//! * [`campaignd`] — the campaign *service*: a durable daemon that runs
+//!   many submitted campaigns concurrently over shared deployments,
+//!   checkpoints every chunk to a write-ahead log, and resumes
+//!   bit-identically after `SIGKILL`.
 //! * [`telemetry`] — workspace-wide observability: a registry of typed
 //!   instruments, span-style scoped timers, and Prometheus-style text
 //!   exposition scrapeable over the wire (`MetricsText`).
@@ -29,6 +33,7 @@
 //! `examples/served_attack.rs` for the same campaign mounted over the wire.
 
 pub use fia_campaign as campaign;
+pub use fia_campaignd as campaignd;
 pub use fia_core as attacks;
 pub use fia_data as data;
 pub use fia_defense as defense;
